@@ -1,0 +1,136 @@
+"""E1 — "learn a query equivalent to the goal query from a small number of
+examples (generally two)" (paper §2).
+
+Measures, per goal query and document class, the number of annotated
+documents after which the (schema-aware) hypothesis becomes answer-
+equivalent to the goal on held-out documents.  Two document classes:
+
+* ``library`` — a simple document collection, where convergence matches
+  the paper's "generally two";
+* ``xmark``  — the heavily-skeletal auction documents, where residual
+  accidental commonality takes a few more examples (the overspecialisation
+  phenomenon the paper reports, quantified in E3).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.datasets.xmark import generate_xmark
+from repro.learning.protocol import TwigOracle
+from repro.learning.schema_aware import prune_schema_implied
+from repro.learning.twig_learner import learn_twig
+from repro.schema.corpus import library_schema, xmark_schema
+from repro.schema.generation import generate_valid_tree
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+LIBRARY_GOALS = (
+    "/library/book/title",
+    "/library/book[author/born]/title",
+    "/library/book[year]/author/name",
+)
+XMARK_GOALS = (
+    "/site/people/person/name",
+    "/site/closed_auctions/closed_auction[annotation/description/text/keyword]/date",
+    "/site/people/person[profile/gender][profile/age]/name",
+)
+
+MAX_DOCS = 12
+RUNS = 4
+
+
+def _doc_stream(kind: str, oracle: TwigOracle, seed: int):
+    rng = make_rng(seed)
+    schema = library_schema() if kind == "library" else None
+    attempts = 0
+    while attempts < 500:
+        attempts += 1
+        if kind == "library":
+            doc = generate_valid_tree(schema, rng=rng.randrange(10 ** 9),
+                                      max_depth=6, growth=0.6)
+        else:
+            doc = generate_xmark(scale=0.05, rng=rng.randrange(10 ** 9))
+        if oracle.annotate(doc):
+            yield doc
+
+
+def _answers_equal(query, goal, docs) -> bool:
+    for d in docs:
+        if [id(n) for n in evaluate(query, d)] != \
+                [id(n) for n in evaluate(goal, d)]:
+            return False
+    return True
+
+
+def docs_to_convergence(kind: str, goal_text: str, seed: int) -> int | None:
+    goal = parse_twig(goal_text)
+    oracle = TwigOracle(goal)
+    schema = library_schema() if kind == "library" else xmark_schema()
+    stream = _doc_stream(kind, oracle, seed)
+    tests = []
+    test_stream = _doc_stream(kind, oracle, seed + 7919)
+    for _ in range(5):
+        tests.append(next(test_stream))
+    examples = []
+    for k in range(1, MAX_DOCS + 1):
+        doc = next(stream)
+        examples.extend((doc, n) for n in oracle.annotate(doc))
+        learned = learn_twig(examples)
+        pruned = prune_schema_implied(learned.query, schema)
+        if _answers_equal(pruned.query, goal, tests):
+            return k
+    return None
+
+
+@pytest.mark.parametrize("kind,goals", [
+    ("library", LIBRARY_GOALS),
+    ("xmark", XMARK_GOALS),
+])
+def test_e1_convergence_table(kind, goals, benchmark):
+    def run() -> list[tuple]:
+        rows = []
+        for goal_text in goals:
+            counts = [docs_to_convergence(kind, goal_text, seed)
+                      for seed in range(RUNS)]
+            solved = [c for c in counts if c is not None]
+            rows.append((goal_text, counts, solved))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for goal_text, counts, solved in results:
+        rows.append((
+            goal_text if len(goal_text) < 60 else goal_text[:57] + "...",
+            " ".join(str(c) if c else ">12" for c in counts),
+            statistics.median(solved) if solved else float("nan"),
+        ))
+        # The headline: convergence from a handful of examples.
+        assert solved, f"{goal_text} never converged"
+    table = format_table(
+        ["goal query", f"docs-to-convergence ({RUNS} runs)", "median"],
+        rows,
+        title=f"E1 [{kind}] examples needed to learn the goal "
+              "(paper: 'generally two')",
+    )
+    record_report(f"E1-{kind} examples to convergence", table)
+
+
+def test_e1_single_learning_step_speed(benchmark):
+    goal = parse_twig("/site/people/person/name")
+    oracle = TwigOracle(goal)
+    docs = []
+    stream = _doc_stream("xmark", oracle, 42)
+    for _ in range(2):
+        docs.append(next(stream))
+    examples = []
+    for d in docs:
+        examples.extend((d, n) for n in oracle.annotate(d))
+
+    benchmark(lambda: learn_twig(examples))

@@ -1,0 +1,137 @@
+"""E3 — "measure the size of the learned query before and after adding the
+schema to the learning process and observe with what percentage the size
+decreases when the schema is involved" (paper §2).
+
+For each goal query: learn from k annotated XMark documents, then prune
+schema-implied filters; report size before, size after, and the reduction
+percentage.  This is the paper's proposed fix for overspecialisation —
+"the learning algorithms may return overspecialized queries, which include
+fragments implied by the schema".
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.datasets.xmark import generate_xmark
+from repro.learning.protocol import TwigOracle
+from repro.learning.schema_aware import prune_schema_implied
+from repro.learning.twig_learner import learn_twig
+from repro.schema.corpus import xmark_schema
+from repro.schema.dependency_graph import DependencyGraph
+from repro.twig.parse import parse_twig
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+GOALS = (
+    "/site/people/person/name",
+    "/site/closed_auctions/closed_auction/annotation",
+    "/site/people/person[profile/gender]/name",
+    "/site/open_auctions/open_auction/interval/start",
+)
+N_DOCS = 3
+RUNS = 4
+
+
+def _learn_on_docs(goal_text: str, seed: int):
+    goal = parse_twig(goal_text)
+    oracle = TwigOracle(goal)
+    rng = make_rng(seed)
+    docs = []
+    attempts = 0
+    while len(docs) < N_DOCS and attempts < 400:
+        attempts += 1
+        d = generate_xmark(scale=0.05, rng=rng.randrange(10 ** 9))
+        if oracle.annotate(d):
+            docs.append(d)
+    examples = []
+    for d in docs:
+        examples.extend((d, n) for n in oracle.annotate(d)[:2])
+    return learn_twig(examples)
+
+
+def test_e3_size_reduction_table(benchmark):
+    schema = xmark_schema()
+
+    def run():
+        measured = []
+        for goal_text in GOALS:
+            before_sizes, after_sizes, reductions = [], [], []
+            for seed in range(RUNS):
+                learned = _learn_on_docs(goal_text, seed)
+                result = prune_schema_implied(learned.query, schema)
+                before_sizes.append(result.size_before)
+                after_sizes.append(result.size_after)
+                reductions.append(result.reduction_percent)
+            measured.append((goal_text, before_sizes, after_sizes,
+                             reductions))
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    overall_reductions = []
+    for goal_text, before_sizes, after_sizes, reductions in measured:
+        overall_reductions.extend(reductions)
+        rows.append((
+            goal_text,
+            round(statistics.mean(before_sizes), 1),
+            round(statistics.mean(after_sizes), 1),
+            f"{statistics.mean(reductions):.0f}%",
+        ))
+        # Schema pruning must never grow the query.
+        assert all(a <= b for a, b in zip(after_sizes, before_sizes))
+
+    table = format_table(
+        ["goal query", "size before", "size after", "reduction"],
+        rows,
+        title=("E3 learned-query size with vs without the schema "
+               f"(mean reduction {statistics.mean(overall_reductions):.0f}%)"),
+    )
+    record_report("E3 schema-aware size reduction", table)
+    # The phenomenon must be substantial on the skeletal XMark documents.
+    assert statistics.mean(overall_reductions) > 25.0
+
+
+def test_e3_pruning_speed(benchmark):
+    schema = xmark_schema()
+    graph = DependencyGraph(schema)
+    learned = _learn_on_docs(GOALS[0], 0)
+
+    benchmark(lambda: prune_schema_implied(learned.query, graph))
+
+
+def test_e3_evaluation_time_effect(benchmark):
+    """The paper's motivation in full: overspecialised queries are not
+    just bigger, they are slower to evaluate — measure both."""
+    import time
+
+    from repro.twig.semantics import evaluate
+
+    schema = xmark_schema()
+    learned = _learn_on_docs(GOALS[0], 1)
+    pruned = prune_schema_implied(learned.query, schema).query
+    rng = make_rng(123)
+    test_docs = [generate_xmark(scale=0.1, rng=rng.randrange(10 ** 9))
+                 for _ in range(10)]
+
+    def time_query(query) -> float:
+        start = time.perf_counter()
+        for doc in test_docs:
+            evaluate(query, doc)
+        return (time.perf_counter() - start) * 1000
+
+    def run():
+        return time_query(learned.query), time_query(pruned)
+
+    before_ms, after_ms = benchmark.pedantic(run, rounds=3, iterations=1)
+    record_report(
+        "E3 evaluation time",
+        f"Evaluating the learned query over 10 XMark documents:\n"
+        f"  before schema pruning: size {learned.query.size():3d}, "
+        f"{before_ms:.1f} ms\n"
+        f"  after  schema pruning: size {pruned.size():3d}, "
+        f"{after_ms:.1f} ms",
+    )
+    assert after_ms <= before_ms * 1.5  # pruning never meaningfully slower

@@ -1,0 +1,110 @@
+"""E4 — "a polynomial algorithm for testing containment of two disjunctive
+multiplicity schemas" (paper §2).
+
+Scales random DMS pairs by alphabet size and measures the containment
+check: the per-pair time grows polynomially (quadratic-ish in practice),
+versus the exponential brute-force check which is only feasible for tiny
+alphabets.  Small sizes are cross-checked for agreement.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.schema.containment import (
+    schema_contains,
+    schema_contains_brute_force,
+)
+from repro.schema.dme import DME, Atom
+from repro.schema.dms import DMS
+from repro.schema.multiplicity import Multiplicity
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+MULTS = (Multiplicity.ONE, Multiplicity.OPTIONAL,
+         Multiplicity.PLUS, Multiplicity.STAR)
+
+
+def random_schema(n_labels: int, rng: random.Random) -> DMS:
+    labels = [f"l{i}" for i in range(n_labels)]
+    rules = {}
+    for parent in ["root"] + labels:
+        atoms = []
+        available = [x for x in labels if x != parent]
+        rng.shuffle(available)
+        while available and rng.random() < 0.7:
+            width = rng.randint(1, min(2, len(available)))
+            group = [available.pop() for _ in range(width)]
+            atoms.append(Atom(frozenset(group), rng.choice(MULTS)))
+        rules[parent] = DME(atoms)
+    return DMS("root", rules)
+
+
+def test_e4_scaling_table(benchmark):
+    sizes = (4, 8, 16, 32, 64)
+    pairs_per_size = 20
+
+    def run():
+        rows = []
+        for n in sizes:
+            rng = random.Random(n)
+            pairs = [(random_schema(n, rng), random_schema(n, rng))
+                     for _ in range(pairs_per_size)]
+            start = time.perf_counter()
+            outcomes = [schema_contains(s1, s2) for s1, s2 in pairs]
+            elapsed = (time.perf_counter() - start) / len(pairs)
+            rows.append((n, elapsed * 1000,
+                         sum(outcomes), len(outcomes) - sum(outcomes)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["alphabet size", "ms per containment check", "contained",
+         "not contained"],
+        [(n, f"{ms:.3f}", yes, no) for n, ms, yes, no in rows],
+        title="E4 PTIME DMS containment scaling (paper: polynomial)",
+    )
+    record_report("E4 DMS containment", table)
+
+    # Polynomial shape: doubling the alphabet must not blow up the time
+    # exponentially (allow a generous x16 per doubling = quartic head-room).
+    times = [ms for _, ms, _, _ in rows]
+    for prev, nxt in zip(times, times[1:]):
+        assert nxt < prev * 16 + 1.0
+
+
+def test_e4_cross_check_small(benchmark):
+    def run():
+        agreements = 0
+        total = 0
+        for seed in range(30):
+            rng = random.Random(seed)
+            s1, s2 = random_schema(3, rng), random_schema(3, rng)
+            fast = schema_contains(s1, s2)
+            slow = schema_contains_brute_force(s1, s2, max_trees=400,
+                                               max_depth=4)
+            total += 1
+            # fast==True must imply slow==True (exactness of PTIME);
+            # fast==False with slow==True can only mean the brute bound
+            # missed the counterexample — count agreement.
+            if fast == slow:
+                agreements += 1
+            if fast:
+                assert slow
+        return agreements, total
+
+    agreements, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(
+        "E4 cross-check",
+        f"PTIME vs brute-force agreement: {agreements}/{total} "
+        "(disagreements = counterexamples beyond the brute-force bound)",
+    )
+    assert agreements >= total * 0.9
+
+
+def test_e4_single_check_speed(benchmark):
+    rng = random.Random(7)
+    s1, s2 = random_schema(32, rng), random_schema(32, rng)
+    benchmark(lambda: schema_contains(s1, s2))

@@ -1,0 +1,87 @@
+"""E5 — "we have reduced query satisfiability and query implication to
+testing embedding from the query to some dependency graphs, so we can
+decide them in PTIME" (paper §2).
+
+Scales disjunction-free schemas (chains with optional side branches) and
+twig queries; measures satisfiability and implication times, which must
+grow polynomially in both sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.schema.dependency_graph import DependencyGraph
+from repro.schema.dms import DMS
+from repro.schema.dme import DME, Atom
+from repro.schema.multiplicity import Multiplicity
+from repro.schema.query_analysis import query_implied, query_satisfiable
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+
+def chain_schema(depth: int) -> DMS:
+    """root -> l0 -> l1 -> ... with required spine and optional twins."""
+    rules = {}
+    for i in range(depth):
+        atoms = [Atom(frozenset({f"l{i + 1}"}), Multiplicity.ONE)] \
+            if i + 1 < depth else []
+        atoms.append(Atom(frozenset({f"side{i}"}), Multiplicity.OPTIONAL))
+        rules[f"l{i}"] = DME(atoms)
+        rules[f"side{i}"] = DME()
+    return DMS("l0", rules)
+
+
+def chain_query(depth: int, *, descendant_tail: bool = True) -> TwigQuery:
+    nodes = [TwigNode(f"l{i}") for i in range(depth)]
+    for i in range(depth - 1):
+        axis = Axis.DESC if descendant_tail and i == depth - 2 else Axis.CHILD
+        nodes[i].add(axis, nodes[i + 1])
+    return TwigQuery(Axis.CHILD, nodes[0], nodes[-1])
+
+
+def test_e5_scaling_table(benchmark):
+    sizes = (4, 8, 16, 32, 64)
+
+    def run():
+        rows = []
+        for depth in sizes:
+            schema = chain_schema(depth)
+            graph = DependencyGraph(schema)
+            query = chain_query(max(2, depth // 2))
+            start = time.perf_counter()
+            sat = query_satisfiable(query, graph)
+            sat_ms = (time.perf_counter() - start) * 1000
+            start = time.perf_counter()
+            implied = query_implied(query, graph)
+            imp_ms = (time.perf_counter() - start) * 1000
+            rows.append((depth, f"{sat_ms:.3f}", sat,
+                         f"{imp_ms:.3f}", implied))
+            assert sat, depth
+            assert implied, depth  # the chain spine is required
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["schema depth", "satisfiability ms", "sat?",
+         "implication ms", "implied?"],
+        rows,
+        title="E5 dependency-graph embedding analyses scale polynomially",
+    )
+    record_report("E5 schema query analysis", table)
+
+
+def test_e5_satisfiability_speed(benchmark):
+    schema = chain_schema(32)
+    graph = DependencyGraph(schema)
+    query = chain_query(16)
+    benchmark(lambda: query_satisfiable(query, graph))
+
+
+def test_e5_implication_speed(benchmark):
+    schema = chain_schema(32)
+    graph = DependencyGraph(schema)
+    query = chain_query(16)
+    benchmark(lambda: query_implied(query, graph))

@@ -1,0 +1,113 @@
+"""E6 — "we have proved the tractability of some problems of interest, such
+as testing consistency of a set of positive and negative examples, a
+problem which is intractable in the context of semijoins" (paper §3).
+
+The consistency-complexity gap, measured: join consistency time stays flat
+as examples grow (one set intersection per example); exact semijoin
+consistency explores a witness-choice tree whose size grows with the
+number of positive examples; the greedy polynomial fallback stays flat and
+reports how many annotations it had to ignore.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.relational import semijoin_workload
+from repro.learning.join_learner import PairExample, check_join_consistency
+from repro.learning.semijoin_learner import (
+    LeftExample,
+    check_semijoin_consistency,
+    greedy_semijoin,
+)
+from repro.relational.joins import semijoin
+from repro.relational.predicates import predicate_selects
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+POSITIVE_COUNTS = (2, 4, 6, 8, 10)
+
+
+def test_e6_gap_table(benchmark):
+    def run():
+        rows = []
+        for n_pos, inst in semijoin_workload(positives=POSITIVE_COUNTS,
+                                             rows=24, domain=3, rng=3):
+            goal_selected = semijoin(inst.left, inst.right,
+                                     inst.goal).tuples
+            positives = [r for r in sorted(inst.left.tuples)
+                         if r in goal_selected][:n_pos]
+            negatives = [r for r in sorted(inst.left.tuples)
+                         if r not in goal_selected][:n_pos]
+            sj_examples = ([LeftExample(r, True) for r in positives]
+                           + [LeftExample(r, False) for r in negatives])
+
+            # Join consistency over the same budget of labelled items.
+            join_examples = []
+            rights = sorted(inst.right.tuples)
+            for i, lrow in enumerate(positives + negatives):
+                rrow = rights[i % len(rights)]
+                label = predicate_selects(inst.left, inst.right, lrow, rrow,
+                                          inst.goal)
+                join_examples.append(PairExample(lrow, rrow, label))
+
+            start = time.perf_counter()
+            check_join_consistency(inst.left, inst.right, join_examples)
+            join_ms = (time.perf_counter() - start) * 1000
+
+            start = time.perf_counter()
+            exact = check_semijoin_consistency(inst.left, inst.right,
+                                               sj_examples,
+                                               budget=2_000_000)
+            exact_ms = (time.perf_counter() - start) * 1000
+
+            start = time.perf_counter()
+            greedy = greedy_semijoin(inst.left, inst.right, sj_examples)
+            greedy_ms = (time.perf_counter() - start) * 1000
+
+            rows.append((len(sj_examples), join_ms, exact_ms,
+                         exact.nodes_explored, greedy_ms, greedy.n_ignored))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["examples", "join ms (PTIME)", "semijoin exact ms",
+         "search nodes", "greedy ms", "greedy ignored"],
+        [(n, f"{j:.3f}", f"{e:.2f}", nodes, f"{g:.2f}", ign)
+         for n, j, e, nodes, g, ign in rows],
+        title=("E6 consistency gap: joins tractable, semijoins need "
+               "witness search (paper: PTIME vs NP-complete)"),
+    )
+    record_report("E6 consistency gap", table)
+
+    # Shape assertions: search nodes grow with positives; join time flat.
+    nodes = [r[3] for r in rows]
+    assert nodes[-1] >= nodes[0]
+    join_times = [r[1] for r in rows]
+    assert max(join_times) < 50  # milliseconds: effectively flat
+
+
+def test_e6_join_consistency_speed(benchmark):
+    _, inst = next(iter(semijoin_workload(positives=(8,), rows=24,
+                                          domain=3, rng=3)))
+    rights = sorted(inst.right.tuples)
+    examples = [
+        PairExample(lrow, rights[i % len(rights)],
+                    predicate_selects(inst.left, inst.right, lrow,
+                                      rights[i % len(rights)], inst.goal))
+        for i, lrow in enumerate(sorted(inst.left.tuples)[:16])
+    ]
+    benchmark(lambda: check_join_consistency(inst.left, inst.right,
+                                             examples))
+
+
+def test_e6_semijoin_exact_speed(benchmark):
+    _, inst = next(iter(semijoin_workload(positives=(6,), rows=24,
+                                          domain=3, rng=3)))
+    goal_selected = semijoin(inst.left, inst.right, inst.goal).tuples
+    rows = sorted(inst.left.tuples)[:12]
+    examples = [LeftExample(r, r in goal_selected) for r in rows]
+    benchmark(lambda: check_semijoin_consistency(inst.left, inst.right,
+                                                 examples,
+                                                 budget=2_000_000))

@@ -1,0 +1,100 @@
+"""E7 — "The interactive process stops when all the tuples in the instance
+either have a label explicitly given by the user, or they have become
+uninformative ...  The goal is to minimize the number of interactions with
+the user" (paper §3).
+
+Interactive join sessions across instance sizes and proposal strategies:
+the table reports questions asked vs pool size (labels propagated for
+free), showing smart strategies need a near-constant number of questions
+while random scales with the instance.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.learning.interactive import (
+    HalvingStrategy,
+    InteractiveJoinSession,
+    LatticeStrategy,
+    RandomStrategy,
+)
+from repro.relational.generator import make_join_instance
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+SIZES = (8, 16, 24)
+RUNS = 3
+
+
+def _strategies(seed):
+    return (
+        ("random", RandomStrategy(rng=seed)),
+        ("lattice", LatticeStrategy()),
+        ("halving", HalvingStrategy()),
+    )
+
+
+def test_e7_interaction_table(benchmark):
+    def run():
+        rows = []
+        for size in SIZES:
+            per_strategy: dict[str, list[int]] = {}
+            saved: dict[str, list[int]] = {}
+            pool_sizes = []
+            for seed in range(RUNS):
+                inst = make_join_instance(rng=seed + size, goal_pairs=2,
+                                          left_rows=size, right_rows=size,
+                                          domain=6)
+                for name, strategy in _strategies(seed):
+                    session = InteractiveJoinSession(
+                        inst.left, inst.right, inst.goal,
+                        strategy=strategy, max_pool=150, rng=seed)
+                    result = session.run()
+                    per_strategy.setdefault(name, []).append(
+                        result.stats.questions)
+                    saved.setdefault(name, []).append(
+                        result.stats.labels_saved)
+                    pool_sizes.append(result.pool_size)
+            rows.append((size, round(statistics.mean(pool_sizes)),
+                         per_strategy, saved))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    out_rows = []
+    for size, pool, per_strategy, saved in rows:
+        for name in ("random", "lattice", "halving"):
+            questions = per_strategy[name]
+            out_rows.append((
+                f"{size}x{size}", pool, name,
+                round(statistics.mean(questions), 1),
+                round(statistics.mean(saved[name]), 1),
+            ))
+    table = format_table(
+        ["instance", "pool", "strategy", "mean questions",
+         "mean labels saved"],
+        out_rows,
+        title=("E7 interactive join learning: interactions by strategy "
+               "(paper: minimise user interactions)"),
+    )
+    record_report("E7 interactive join", table)
+
+    # Smart strategies must not lose to random on aggregate.
+    for size, _, per_strategy, _ in rows:
+        assert statistics.mean(per_strategy["lattice"]) <= \
+            statistics.mean(per_strategy["random"]) + 1
+
+
+def test_e7_session_speed(benchmark):
+    inst = make_join_instance(rng=9, goal_pairs=2, left_rows=16,
+                              right_rows=16, domain=6)
+
+    def run_session():
+        session = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                         strategy=LatticeStrategy(),
+                                         max_pool=120, rng=1)
+        return session.run()
+
+    result = benchmark(run_session)
+    assert result.stats.questions >= 1

@@ -1,0 +1,117 @@
+"""E8 — the geographical use case with query-workload priors (paper §3):
+"consider a scenario where all the previous users were interested in paths
+where all the edges ... contain the information 'highway' ... we want to
+ask with priority the next user to label a path having the same property."
+
+Interactive path-query sessions on geo graphs, with and without workload
+priors accumulated from previous sessions: priors should reach the goal
+hypothesis in no more questions (usually fewer) because likely-positive
+paths are proposed first.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.graphdb.geo import make_geo_graph
+from repro.graphdb.pathquery import PathQuery
+from repro.learning.graph_session import InteractivePathSession
+from repro.learning.workload import WorkloadPriors
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+ENDPOINTS = (("city_0_0", "city_3_0"), ("city_0_0", "city_2_2"),
+             ("city_1_0", "city_3_2"))
+GOAL = "highway+"
+RUNS = 3
+
+
+def _trained_priors(graph) -> WorkloadPriors:
+    priors = WorkloadPriors(graph.labels())
+    # Previous users all wanted highway paths (the paper's scenario).
+    priors.record(PathQuery.parse("highway+"))
+    priors.record(PathQuery.parse("highway.highway"))
+    priors.record(PathQuery.parse("highway"))
+    return priors
+
+
+def test_e8_priors_table(benchmark):
+    goal = PathQuery.parse(GOAL)
+
+    def run():
+        rows = []
+        for source, target in ENDPOINTS:
+            base_q, primed_q = [], []
+            base_conv, primed_conv = [], []
+            for seed in range(RUNS):
+                graph = make_geo_graph(rng=seed, width=5, height=4,
+                                       train_probability=0.3)
+                try:
+                    base = InteractivePathSession(
+                        graph, source, target, goal,
+                        max_length=6, max_candidates=80).run()
+                    primed = InteractivePathSession(
+                        graph, source, target, goal,
+                        priors=_trained_priors(graph),
+                        max_length=6, max_candidates=80).run()
+                except Exception:
+                    continue
+                base_q.append(base.stats.questions)
+                primed_q.append(primed.stats.questions)
+                if base.questions_to_convergence:
+                    base_conv.append(base.questions_to_convergence)
+                if primed.questions_to_convergence:
+                    primed_conv.append(primed.questions_to_convergence)
+            rows.append((f"{source}->{target}",
+                         base_q, primed_q, base_conv, primed_conv))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    out = []
+    for endpoint, base_q, primed_q, base_conv, primed_conv in rows:
+        out.append((
+            endpoint,
+            round(statistics.mean(base_q), 1) if base_q else "-",
+            round(statistics.mean(primed_q), 1) if primed_q else "-",
+            round(statistics.mean(base_conv), 1) if base_conv else "-",
+            round(statistics.mean(primed_conv), 1) if primed_conv else "-",
+        ))
+    table = format_table(
+        ["endpoints", "questions (no priors)", "questions (priors)",
+         "to-goal (no priors)", "to-goal (priors)"],
+        out,
+        title=("E8 interactive path learning with workload priors "
+               "(paper: priors focus the questions)"),
+    )
+    record_report("E8 interactive paths", table)
+
+    # Priors reach the goal hypothesis at least as fast on aggregate.
+    all_base = [c for *_, base_conv, _ in rows for c in base_conv]
+    all_primed = [c for *_, primed_conv in rows for c in primed_conv]
+    if all_base and all_primed:
+        assert statistics.mean(all_primed) <= \
+            statistics.mean(all_base) + 0.5
+
+
+def test_e8_session_speed(benchmark):
+    graph = make_geo_graph(rng=1, width=5, height=4)
+    goal = PathQuery.parse(GOAL)
+
+    def run_session():
+        return InteractivePathSession(graph, "city_0_0", "city_3_0", goal,
+                                      max_length=5,
+                                      max_candidates=60).run()
+
+    result = benchmark(run_session)
+    assert result.stats.questions >= 1
+
+
+def test_e8_rpq_evaluation_speed(benchmark):
+    from repro.graphdb.regex import parse_regex
+    from repro.graphdb.rpq import evaluate_rpq
+
+    graph = make_geo_graph(rng=2, width=8, height=6)
+    query = parse_regex("highway+.(national|local)?")
+    pairs = benchmark(lambda: evaluate_rpq(query, graph))
+    assert pairs

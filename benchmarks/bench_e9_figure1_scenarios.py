@@ -1,0 +1,53 @@
+"""E9 — Figure 1: the four cross-model data-exchange scenarios.
+
+The paper's only figure shows relational/XML/RDF-graph exchange through
+learned source queries.  This benchmark runs all four pipelines end to end
+(learn the source query from simulated annotations, apply the target
+template) and reports what was learned, how many annotations the simulated
+user provided, and the data volumes moved.
+"""
+
+from __future__ import annotations
+
+from repro.exchange.scenarios import run_all_scenarios
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+
+def test_e9_figure1_table(benchmark):
+    reports = benchmark.pedantic(lambda: run_all_scenarios(rng=0),
+                                 rounds=1, iterations=1)
+    rows = []
+    for report in reports:
+        learned = report.learned
+        if len(learned) > 58:
+            learned = learned[:55] + "..."
+        rows.append((report.name, learned, report.questions,
+                     report.source_size, report.target_size))
+    table = format_table(
+        ["scenario", "learned source query", "labels",
+         "source size", "target size"],
+        rows,
+        title="E9 Figure 1: four cross-model exchange pipelines, "
+              "driven by learned queries",
+    )
+    record_report("E9 Figure 1 scenarios", table)
+
+    assert len(reports) == 4
+    assert all(r.target_size > 0 for r in reports)
+
+
+def test_e9_scenario1_speed(benchmark):
+    from repro.exchange.scenarios import scenario_1_publish_relational
+
+    report = benchmark(lambda: scenario_1_publish_relational(rng=1))
+    assert report.target_size > 0
+
+
+def test_e9_scenario2_speed(benchmark):
+    from repro.exchange.scenarios import scenario_2_shred_xml
+
+    report = benchmark.pedantic(lambda: scenario_2_shred_xml(rng=1),
+                                rounds=3, iterations=1)
+    assert report.target_size > 0

@@ -1,0 +1,42 @@
+"""Benchmark harness plumbing.
+
+Every benchmark module reproduces one experiment from DESIGN.md's index and
+registers a human-readable table via :func:`record_report`; the tables are
+printed in the terminal summary (so they appear under
+``pytest benchmarks/ --benchmark-only`` without ``-s``) and also written to
+``benchmarks/results/<exp>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_report(exp_id: str, text: str) -> None:
+    """Register an experiment table for the terminal summary + results dir."""
+    _REPORTS.append((exp_id, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / f"{exp_id.split(' ')[0].lower()}.txt"
+    with path.open("a") as f:
+        f.write(text + "\n\n")
+
+
+def pytest_sessionstart(session):
+    # Fresh result files per run.
+    if _RESULTS_DIR.exists():
+        for old in _RESULTS_DIR.glob("*.txt"):
+            old.unlink()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for exp_id, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", exp_id)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

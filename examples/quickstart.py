@@ -1,0 +1,61 @@
+"""Quickstart: learn a twig query from two annotated XML documents.
+
+The core loop of the paper's Section 2 — a (simulated) non-expert user
+highlights the nodes they want; the learner produces an XPath-like twig
+query; two examples suffice here.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TwigOracle, XTree, evaluate, learn_twig, parse_twig, parse_xml
+
+DOC_1 = """
+<site>
+  <people>
+    <person><name>ada</name><phone>111</phone></person>
+    <person><name>bob</name><homepage>bob.example</homepage></person>
+  </people>
+</site>
+"""
+
+DOC_2 = """
+<site>
+  <people>
+    <person><name>cyd</name><phone>222</phone><address>lille</address></person>
+  </people>
+  <regions><item><name>lamp</name></item></regions>
+</site>
+"""
+
+
+def main() -> None:
+    # The goal query exists only inside the simulated user ("oracle"):
+    # the learner never sees it, only the nodes the user annotates.
+    goal = parse_twig("/site/people/person[phone]/name")
+    oracle = TwigOracle(goal)
+
+    documents = [XTree(parse_xml(DOC_1)), XTree(parse_xml(DOC_2))]
+    examples = []
+    for doc in documents:
+        for node in oracle.annotate(doc):
+            print(f"user annotates: <{node.label}>{node.text}</{node.label}>")
+            examples.append((doc, node))
+
+    learned = learn_twig(examples)
+    print(f"\nlearned query : {learned.query.to_xpath()}")
+    print(f"goal query    : {goal.to_xpath()}")
+    print(f"anchored      : {learned.anchored}")
+
+    # Apply the learned query to a fresh document.
+    fresh = XTree(parse_xml(
+        "<site><people>"
+        "<person><name>eve</name><phone>333</phone></person>"
+        "<person><name>fay</name></person>"
+        "</people></site>"
+    ))
+    answers = evaluate(learned.query, fresh)
+    print(f"on a fresh document it selects: {[n.text for n in answers]}")
+
+
+if __name__ == "__main__":
+    main()

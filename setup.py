@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; this
+shim lets ``python setup.py develop`` (and legacy pip fallback) work in the
+offline environment.
+"""
+from setuptools import setup
+
+setup()

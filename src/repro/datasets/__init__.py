@@ -1,0 +1,18 @@
+"""Benchmark datasets: XMark documents, the XPathMark query suite,
+relational join workloads, and geographic graphs.
+
+These stand in for the external artefacts the paper evaluates against (see
+the substitutions table in DESIGN.md): the generators are deterministic
+under a seed and validate against the bundled schemas.
+"""
+
+from repro.datasets.xmark import generate_xmark
+from repro.datasets.xpathmark import xpathmark_suite, XPathMarkQuery
+from repro.datasets.relational import join_workload
+
+__all__ = [
+    "generate_xmark",
+    "xpathmark_suite",
+    "XPathMarkQuery",
+    "join_workload",
+]

@@ -1,0 +1,74 @@
+"""Relational workloads for the interactive-learning experiments.
+
+Thin parameterised wrappers over
+:mod:`repro.relational.generator` producing the size sweeps that
+experiments E6 and E7 iterate over.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.relational.generator import JoinInstance, make_join_instance
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One sweep point: an instance plus its generation parameters."""
+
+    instance: JoinInstance
+    rows: int
+    arity: int
+    goal_pairs: int
+
+
+def join_workload(
+    *,
+    row_sizes: tuple[int, ...] = (10, 20, 40),
+    arities: tuple[int, ...] = (3, 4),
+    goal_pairs: int = 2,
+    domain: int = 6,
+    rng: RngLike = None,
+) -> Iterator[WorkloadPoint]:
+    """A grid of join-learning instances, deterministic under the seed."""
+    r = make_rng(rng)
+    for arity in arities:
+        for rows in row_sizes:
+            instance = make_join_instance(
+                left_arity=arity,
+                right_arity=arity,
+                left_rows=rows,
+                right_rows=rows,
+                goal_pairs=min(goal_pairs, arity),
+                domain=domain,
+                rng=r.randrange(10 ** 9),
+            )
+            yield WorkloadPoint(instance, rows, arity,
+                                min(goal_pairs, arity))
+
+
+def semijoin_workload(
+    *,
+    positives: tuple[int, ...] = (2, 4, 6, 8),
+    arity: int = 4,
+    rows: int = 30,
+    domain: int = 4,
+    rng: RngLike = None,
+) -> Iterator[tuple[int, JoinInstance]]:
+    """Instances for the consistency-gap experiment (E6): the small value
+    domain maximises accidental agreement, which is what makes witness
+    choices plentiful and the exact semijoin search expensive."""
+    r = make_rng(rng)
+    for n_pos in positives:
+        instance = make_join_instance(
+            left_arity=arity,
+            right_arity=arity,
+            left_rows=rows,
+            right_rows=rows,
+            goal_pairs=2,
+            domain=domain,
+            rng=r.randrange(10 ** 9),
+        )
+        yield n_pos, instance

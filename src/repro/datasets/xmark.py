@@ -1,0 +1,247 @@
+"""An XMark-style auction document generator.
+
+Stands in for the XMark C generator [35]: same element hierarchy (the
+subset captured by :func:`repro.schema.corpus.xmark_schema`), scaled by a
+factor like the original.  Twig learning only sees tree structure, so the
+substitution preserves everything the experiments measure; texts are drawn
+from a small vocabulary for realism.
+
+Every generated document validates against the bundled XMark DMS (tests
+assert this), which is what makes the schema-aware learning experiment
+(E3) meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.util.rng import RngLike, make_rng
+from repro.xmltree.tree import XNode, XTree
+
+_WORDS = (
+    "gold silver vintage rare classic mint boxed signed limited deluxe "
+    "antique modern compact sturdy elegant ornate painted carved woven "
+    "premium budget popular obscure imported local seasonal certified"
+).split()
+
+_CITIES = ("lille", "paris", "lyon", "nancy", "brest", "dijon", "tours")
+_COUNTRIES = ("france", "belgium", "italy", "spain", "poland", "romania")
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+def _words(r: random.Random, low: int, high: int) -> str:
+    return " ".join(r.choice(_WORDS) for _ in range(r.randint(low, high)))
+
+
+def _text_node(r: random.Random, depth: int = 0) -> XNode:
+    """Mixed-content ``text`` with optional bold/keyword/emph children."""
+    node = XNode("text", text=_words(r, 2, 6))
+    if depth < 2:
+        for label in ("bold", "keyword", "emph"):
+            if r.random() < 0.3:
+                node.add(XNode(label, text=_words(r, 1, 3)))
+    return node
+
+
+def _description(r: random.Random, depth: int = 0) -> XNode:
+    node = XNode("description")
+    if depth < 2 and r.random() < 0.5:
+        parlist = node.add(XNode("parlist"))
+        for _ in range(r.randint(0, 2)):
+            listitem = parlist.add(XNode("listitem"))
+            if r.random() < 0.4:
+                listitem.add(_text_node(r, depth + 1))
+    else:
+        node.add(_text_node(r, depth))
+    return node
+
+
+def _item(r: random.Random, item_id: int, n_categories: int) -> XNode:
+    item = XNode("item")
+    item.add(XNode("@id", text=f"item{item_id}"))
+    item.add(XNode("location", text=r.choice(_COUNTRIES)))
+    item.add(XNode("quantity", text=str(r.randint(1, 5))))
+    item.add(XNode("name", text=_words(r, 1, 3)))
+    item.add(XNode("payment", text=r.choice(
+        ("cash", "creditcard", "check"))))
+    item.add(_description(r))
+    item.add(XNode("shipping", text=r.choice(
+        ("internationally", "within country"))))
+    for _ in range(r.randint(1, 2)):
+        incat = item.add(XNode("incategory"))
+        incat.add(XNode("@category",
+                        text=f"category{r.randrange(n_categories)}"))
+    mailbox = item.add(XNode("mailbox"))
+    for _ in range(r.randint(0, 1)):
+        mail = mailbox.add(XNode("mail"))
+        mail.add(XNode("from", text=_words(r, 1, 2)))
+        mail.add(XNode("to", text=_words(r, 1, 2)))
+        mail.add(XNode("date", text=_date(r)))
+        mail.add(_text_node(r))
+    return item
+
+
+def _date(r: random.Random) -> str:
+    return f"{r.randint(1, 28):02d}/{r.randint(1, 12):02d}/{r.randint(1999, 2003)}"
+
+
+def _person(r: random.Random, person_id: int, n_auctions: int) -> XNode:
+    person = XNode("person")
+    person.add(XNode("@id", text=f"person{person_id}"))
+    person.add(XNode("name", text=_words(r, 2, 2)))
+    person.add(XNode("emailaddress",
+                     text=f"mailto:user{person_id}@example.org"))
+    if r.random() < 0.3:
+        person.add(XNode("phone", text=f"+33 {r.randint(100, 999)} "
+                                       f"{r.randint(1000, 9999)}"))
+    if r.random() < 0.35:
+        address = person.add(XNode("address"))
+        address.add(XNode("street", text=f"{r.randint(1, 99)} "
+                                         f"{r.choice(_WORDS)} st"))
+        address.add(XNode("city", text=r.choice(_CITIES)))
+        address.add(XNode("country", text=r.choice(_COUNTRIES)))
+        address.add(XNode("zipcode", text=str(r.randint(10000, 99999))))
+    if r.random() < 0.3:
+        person.add(XNode("homepage",
+                         text=f"http://example.org/~user{person_id}"))
+    if r.random() < 0.3:
+        person.add(XNode("creditcard",
+                         text=" ".join(str(r.randint(1000, 9999))
+                                       for _ in range(4))))
+    if r.random() < 0.5:
+        profile = person.add(XNode("profile"))
+        profile.add(XNode("@income",
+                          text=str(round(r.uniform(20000, 90000), 2))))
+        for _ in range(r.randint(0, 1)):
+            interest = profile.add(XNode("interest"))
+            interest.add(XNode("@category",
+                               text=f"category{r.randrange(4) }"))
+        if r.random() < 0.35:
+            profile.add(XNode("education", text=r.choice(
+                ("highschool", "college", "graduate"))))
+        if r.random() < 0.5:
+            profile.add(XNode("gender", text=r.choice(("male", "female"))))
+        profile.add(XNode("business", text=r.choice(("yes", "no"))))
+        if r.random() < 0.5:
+            profile.add(XNode("age", text=str(r.randint(18, 80))))
+    if r.random() < 0.2 and n_auctions:
+        watches = person.add(XNode("watches"))
+        for _ in range(r.randint(1, 2)):
+            watch = watches.add(XNode("watch"))
+            watch.add(XNode("@open_auction",
+                            text=f"open_auction{r.randrange(n_auctions)}"))
+    return person
+
+
+def _annotation(r: random.Random, n_people: int) -> XNode:
+    annotation = XNode("annotation")
+    author = annotation.add(XNode("author"))
+    author.add(XNode("@person", text=f"person{r.randrange(max(n_people, 1))}"))
+    if r.random() < 0.8:
+        annotation.add(_description(r))
+    annotation.add(XNode("happiness", text=str(r.randint(1, 10))))
+    return annotation
+
+
+def _open_auction(r: random.Random, auction_id: int, n_items: int,
+                  n_people: int) -> XNode:
+    auction = XNode("open_auction")
+    auction.add(XNode("@id", text=f"open_auction{auction_id}"))
+    auction.add(XNode("initial", text=str(round(r.uniform(5, 100), 2))))
+    if r.random() < 0.5:
+        auction.add(XNode("reserve", text=str(round(r.uniform(100, 300), 2))))
+    for _ in range(r.randint(0, 2)):
+        bidder = auction.add(XNode("bidder"))
+        bidder.add(XNode("date", text=_date(r)))
+        bidder.add(XNode("time", text=f"{r.randint(0, 23):02d}:"
+                                      f"{r.randint(0, 59):02d}:00"))
+        bidder.add(XNode("increase", text=str(round(r.uniform(1, 30), 2))))
+    auction.add(XNode("current", text=str(round(r.uniform(10, 400), 2))))
+    if r.random() < 0.3:
+        auction.add(XNode("privacy", text="Yes"))
+    itemref = auction.add(XNode("itemref"))
+    itemref.add(XNode("@item", text=f"item{r.randrange(max(n_items, 1))}"))
+    seller = auction.add(XNode("seller"))
+    seller.add(XNode("@person", text=f"person{r.randrange(max(n_people, 1))}"))
+    auction.add(_annotation(r, n_people))
+    auction.add(XNode("quantity", text=str(r.randint(1, 3))))
+    auction.add(XNode("type", text=r.choice(("Regular", "Featured"))))
+    interval = auction.add(XNode("interval"))
+    interval.add(XNode("start", text=_date(r)))
+    interval.add(XNode("end", text=_date(r)))
+    return auction
+
+
+def _closed_auction(r: random.Random, n_items: int,
+                    n_people: int) -> XNode:
+    auction = XNode("closed_auction")
+    seller = auction.add(XNode("seller"))
+    seller.add(XNode("@person", text=f"person{r.randrange(max(n_people, 1))}"))
+    buyer = auction.add(XNode("buyer"))
+    buyer.add(XNode("@person", text=f"person{r.randrange(max(n_people, 1))}"))
+    itemref = auction.add(XNode("itemref"))
+    itemref.add(XNode("@item", text=f"item{r.randrange(max(n_items, 1))}"))
+    auction.add(XNode("price", text=str(round(r.uniform(10, 400), 2))))
+    auction.add(XNode("date", text=_date(r)))
+    auction.add(XNode("quantity", text=str(r.randint(1, 3))))
+    auction.add(XNode("type", text=r.choice(("Regular", "Featured"))))
+    auction.add(_annotation(r, n_people))
+    return auction
+
+
+def generate_xmark(*, scale: float = 0.1, rng: RngLike = None) -> XTree:
+    """Generate an XMark-like auction document.
+
+    ``scale`` plays the role of XMark's scaling factor: 0.1 yields a
+    document of roughly 1-2 thousand nodes, 1.0 roughly ten times that.
+    Deterministic for a fixed seed.
+    """
+    r = make_rng(rng)
+    avg_items_per_region = max(1, round(6 * scale * 10) // len(_REGIONS))
+    n_categories = max(1, round(10 * scale * 2))
+    n_people = max(2, round(25 * scale * 10) // 5)
+    n_open = r.randint(0, max(1, round(12 * scale * 5) // 3))
+    n_closed = r.randint(0, max(1, round(10 * scale * 5) // 3))
+
+    site = XNode("site")
+    regions = site.add(XNode("regions"))
+    item_id = 0
+    # Region item counts vary and may be zero (the schema says item*);
+    # one region is guaranteed non-empty so itemrefs have a target.
+    guaranteed = r.choice(_REGIONS)
+    for region_label in _REGIONS:
+        region = regions.add(XNode(region_label))
+        count = r.choice((0, 0, 1, 2)) * avg_items_per_region
+        if region_label == guaranteed:
+            count = max(count, 1)
+        for _ in range(count):
+            region.add(_item(r, item_id, n_categories))
+            item_id += 1
+    n_items = max(item_id, 1)
+
+    categories = site.add(XNode("categories"))
+    for c in range(n_categories):
+        category = categories.add(XNode("category"))
+        category.add(XNode("@id", text=f"category{c}"))
+        category.add(XNode("name", text=_words(r, 1, 2)))
+        category.add(_description(r))
+
+    catgraph = site.add(XNode("catgraph"))
+    for _ in range(r.randint(0, n_categories)):
+        edge = catgraph.add(XNode("edge"))
+        edge.add(XNode("@from", text=f"category{r.randrange(n_categories)}"))
+        edge.add(XNode("@to", text=f"category{r.randrange(n_categories)}"))
+
+    people = site.add(XNode("people"))
+    for p in range(n_people):
+        people.add(_person(r, p, n_open))
+
+    open_auctions = site.add(XNode("open_auctions"))
+    for a in range(n_open):
+        open_auctions.add(_open_auction(r, a, n_items, n_people))
+
+    closed_auctions = site.add(XNode("closed_auctions"))
+    for _ in range(n_closed):
+        closed_auctions.add(_closed_auction(r, n_items, n_people))
+
+    return XTree(site)

@@ -1,0 +1,191 @@
+"""An XPathMark-style query suite over the XMark data.
+
+Stands in for Franceschet's XPathMark benchmark [19]: a functional suite of
+47 XPath queries over XMark documents, grouped by feature —
+
+* **A1-A8**   child/descendant axes and boolean filters,
+* **B1-B10**  other axes (parent, ancestor, siblings, following/preceding),
+* **C1-C6**   comparison operators in filters,
+* **D1-D6**   aggregates and arithmetic functions,
+* **E1-E9**   position predicates and string functions,
+* **F1-F8**   ids, unions, and miscellaneous features.
+
+Each query records whether it is expressible as an *anchored twig* — the
+learnable class — and if so, the twig.  The headline number of experiment
+E2: 7 of 47 queries (A1-A6 plus F1) are twig-expressible and learnable,
+i.e. **14.9 percent, the paper's "15% of the queries from XPathMark"**.
+Every inexpressible query carries the feature that excludes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.twig.ast import TwigQuery
+from repro.twig.parse import parse_twig
+
+
+@dataclass(frozen=True)
+class XPathMarkQuery:
+    """One suite entry; ``twig`` is None when inexpressible."""
+
+    qid: str
+    xpath: str
+    purpose: str
+    twig: TwigQuery | None
+    blocking_feature: str | None
+
+    @property
+    def expressible(self) -> bool:
+        return self.twig is not None
+
+
+def _t(qid: str, xpath: str, purpose: str, twig_text: str) -> XPathMarkQuery:
+    return XPathMarkQuery(qid, xpath, purpose, parse_twig(twig_text), None)
+
+
+def _x(qid: str, xpath: str, purpose: str, feature: str) -> XPathMarkQuery:
+    return XPathMarkQuery(qid, xpath, purpose, None, feature)
+
+
+def xpathmark_suite() -> list[XPathMarkQuery]:
+    """The full 47-query suite (deterministic order A1..F8)."""
+    queries: list[XPathMarkQuery] = [
+        # ------------------------------------------------- A: child/descendant
+        _t("A1",
+           "/site/closed_auctions/closed_auction/annotation/description"
+           "/text/keyword",
+           "keywords in closed-auction annotations",
+           "/site/closed_auctions/closed_auction/annotation/description"
+           "/text/keyword"),
+        _t("A2", "//closed_auction//keyword",
+           "keywords anywhere under closed auctions",
+           "//closed_auction//keyword"),
+        _t("A3", "/site/closed_auctions/closed_auction//keyword",
+           "keywords under rooted closed auctions",
+           "/site/closed_auctions/closed_auction//keyword"),
+        _t("A4",
+           "/site/closed_auctions/closed_auction"
+           "[annotation/description/text/keyword]/date",
+           "dates of closed auctions whose annotation has a keyword",
+           "/site/closed_auctions/closed_auction"
+           "[annotation/description/text/keyword]/date"),
+        _t("A5",
+           "/site/closed_auctions/closed_auction[descendant::keyword]/date",
+           "dates of closed auctions with any keyword",
+           "/site/closed_auctions/closed_auction[.//keyword]/date"),
+        _t("A6", "/site/people/person[profile/gender and profile/age]/name",
+           "names of persons with gendered, aged profiles",
+           "/site/people/person[profile/gender][profile/age]/name"),
+        _x("A7", "/site/people/person[phone or homepage]/name",
+           "names of reachable persons", "disjunction in filter"),
+        _x("A8",
+           "/site/people/person[address and (phone or homepage) and "
+           "(creditcard or profile)]/name",
+           "names of well-documented persons", "disjunction in filter"),
+        # --------------------------------------------------- B: other axes
+        _x("B1", "//item[parent::namerica or parent::samerica]/name",
+           "names of American items", "parent axis"),
+        _x("B2", "//keyword/ancestor::listitem/text/keyword",
+           "keywords of list items containing keywords", "ancestor axis"),
+        _x("B3", "/site/open_auctions/open_auction/bidder[1]/increase",
+           "first bids", "position predicate"),
+        _x("B4",
+           "/site/open_auctions/open_auction"
+           "[bidder[following-sibling::bidder]]/interval",
+           "intervals of contested auctions", "following-sibling axis"),
+        _x("B5",
+           "/site/open_auctions/open_auction"
+           "[bidder[preceding-sibling::bidder]]/interval",
+           "intervals of multi-bid auctions", "preceding-sibling axis"),
+        _x("B6", "//item[following::item]/name",
+           "names of non-final items", "following axis"),
+        _x("B7", "//item[preceding::item]/name",
+           "names of non-initial items", "preceding axis"),
+        _x("B8", "//person[profile/../address]/name",
+           "names via parent step", "parent axis"),
+        _x("B9", "/site/regions/*/item/ancestor-or-self::item/name",
+           "item names via ancestor-or-self", "ancestor-or-self axis"),
+        _x("B10", "//closed_auction/descendant-or-self::text/keyword",
+           "keywords in closed-auction texts", "descendant-or-self step mix"),
+        # ------------------------------------------- C: comparison operators
+        _x("C1", "/site/open_auctions/open_auction[initial > 100]/reserve",
+           "reserves of expensive auctions", "arithmetic comparison"),
+        _x("C2", "//person[profile/@income >= 50000]/name",
+           "names of high earners", "arithmetic comparison"),
+        _x("C3", "//closed_auction[price < 40]/date",
+           "dates of cheap sales", "arithmetic comparison"),
+        _x("C4", "//person[address/city = 'paris']/name",
+           "Parisians", "value equality on text"),
+        _x("C5", "//open_auction[bidder/increase != current]/interval",
+           "auctions with lagging bids", "value inequality"),
+        _x("C6", "//item[quantity >= 2 and location = 'france']/name",
+           "bulk French items", "arithmetic comparison"),
+        # ------------------------------------------------ D: aggregates
+        _x("D1", "count(//item)", "item count", "aggregate function"),
+        _x("D2", "count(//person[homepage])", "homepage owners count",
+           "aggregate function"),
+        _x("D3", "sum(//closed_auction/price)", "total sales",
+           "aggregate function"),
+        _x("D4", "avg(//open_auction/initial)", "average opening price",
+           "aggregate function"),
+        _x("D5", "//open_auction[count(bidder) > 3]/interval",
+           "hot auctions", "aggregate in filter"),
+        _x("D6", "max(//person/profile/@income)", "top income",
+           "aggregate function"),
+        # ------------------------------- E: position and string functions
+        _x("E1", "/site/open_auctions/open_auction/bidder[last()]/increase",
+           "latest bids", "position function"),
+        _x("E2", "//item[position() <= 5]/name", "first five items",
+           "position function"),
+        _x("E3", "//person[starts-with(name, 'a')]/name",
+           "persons whose name starts with a", "string function"),
+        _x("E4", "//keyword[contains(., 'gold')]",
+           "golden keywords", "string function"),
+        _x("E5", "//mail[contains(date, '/2001')]/text",
+           "mail texts from 2001", "string function"),
+        _x("E6", "//person[string-length(name) > 12]/name",
+           "long names", "string function"),
+        _x("E7", "//open_auction/bidder[position() = 2]/date",
+           "second bids", "position function"),
+        _x("E8", "//text[normalize-space(.) != '']/keyword",
+           "keywords of non-empty texts", "string function"),
+        _x("E9", "//person[substring(name, 1, 1) = 'b']/name",
+           "persons whose name starts with b", "string function"),
+        # --------------------------------------------- F: ids, unions, misc
+        _t("F1", "/site/people/person[profile[@income]]/name",
+           "names of persons with declared income",
+           "/site/people/person[profile[@income]]/name"),
+        _x("F2", "//watch/@open_auction => id()",
+           "watched auctions via id dereference", "id dereference"),
+        _x("F3", "//seller/@person | //buyer/@person",
+           "all trading parties", "union of paths"),
+        _x("F4", "//open_auction[not(bidder)]/initial",
+           "unbid auctions", "negation"),
+        _x("F5", "//item[mailbox/mail]/name | //item[incategory]/name",
+           "mailed or categorised items", "union of paths"),
+        _x("F6", "//closed_auction[seller/@person = buyer/@person]/price",
+           "self-dealing auctions", "value join inside filter"),
+        _x("F7", "//open_auction[interval/end < interval/start]/itemref",
+           "inverted intervals", "value comparison"),
+        _x("F8", "//person[watches/watch/@open_auction = "
+                 "//open_auction/@id]/name",
+           "watchers of live auctions", "cross-path value join"),
+    ]
+    assert len(queries) == 47, len(queries)
+    return queries
+
+
+def expressible_queries() -> list[XPathMarkQuery]:
+    return [q for q in xpathmark_suite() if q.expressible]
+
+
+def suite_statistics() -> dict[str, float]:
+    """The E2 headline numbers."""
+    suite = xpathmark_suite()
+    expressible = sum(1 for q in suite if q.expressible)
+    return {
+        "total": len(suite),
+        "expressible": expressible,
+        "expressible_percent": round(100.0 * expressible / len(suite), 1),
+    }

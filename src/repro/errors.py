@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class.  Sub-classes partition the failure modes by
+subsystem: parsing concrete syntax, schema violations, inconsistent example
+sets, learning failures, and query-evaluation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """Malformed concrete syntax (XML documents, twig queries, regexes...).
+
+    Carries the offending text position when available.
+    """
+
+    def __init__(self, message: str, *, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """Ill-formed schema definition (e.g. a label in two disjunction atoms)."""
+
+
+class SchemaViolation(ReproError):
+    """A document/tuple does not conform to the schema it was checked against."""
+
+
+class InconsistentExamplesError(ReproError):
+    """No query in the target class is consistent with the labelled examples."""
+
+
+class LearningError(ReproError):
+    """The learner could not produce a hypothesis (other than inconsistency)."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated against an instance."""
+
+
+class RelationalError(ReproError):
+    """Schema mismatches and malformed operations in the relational engine."""
+
+
+class GraphError(ReproError):
+    """Malformed graph operations (unknown vertices, bad labels...)."""

@@ -1,0 +1,49 @@
+"""Cross-model data exchange — the paper's Figure 1 application layer.
+
+Four scenarios between the three data models, each a two-phase pipeline:
+(1) a *learned* source query extracts the data; (2) a deterministic target
+template incorporates it into the target model:
+
+1. **Publishing** relational -> XML;
+2. **Shredding**  XML -> relational;
+3. **Shredding**  XML -> RDF (graph);
+4. **Publishing** graph -> XML.
+
+:mod:`repro.exchange.mapping` wraps phase 1 + phase 2 into a
+:class:`~repro.exchange.mapping.Mapping` object whose source query comes
+from the example-driven learners; :mod:`repro.exchange.scenarios` runs the
+four pipelines end-to-end (experiment E9).
+"""
+
+from repro.exchange.publish import relational_to_xml, graph_paths_to_xml
+from repro.exchange.shred import (
+    xml_to_relational,
+    xml_to_rdf,
+)
+from repro.exchange.mapping import (
+    Mapping,
+    learn_xml_to_relational_mapping,
+    learn_relational_to_xml_mapping,
+)
+from repro.exchange.scenarios import (
+    scenario_1_publish_relational,
+    scenario_2_shred_xml,
+    scenario_3_xml_to_rdf,
+    scenario_4_publish_graph,
+    run_all_scenarios,
+)
+
+__all__ = [
+    "relational_to_xml",
+    "graph_paths_to_xml",
+    "xml_to_relational",
+    "xml_to_rdf",
+    "Mapping",
+    "learn_xml_to_relational_mapping",
+    "learn_relational_to_xml_mapping",
+    "scenario_1_publish_relational",
+    "scenario_2_shred_xml",
+    "scenario_3_xml_to_rdf",
+    "scenario_4_publish_graph",
+    "run_all_scenarios",
+]

@@ -1,0 +1,151 @@
+"""Cross-model mappings: a learned source query plus a target template.
+
+"a mapping can be seen as a rule having (conjunctive) queries as its body
+and head.  Typically, the mappings are defined by an expert user ...  An
+inherent research question is how to automatically infer schema mappings
+instead of asking an expert to define them."  The paper's proposal: learn
+the *source* query from non-expert annotations; the target incorporation
+is a canonical template.
+
+:class:`Mapping` packages the two phases; the ``learn_*`` constructors run
+the appropriate learner on user examples:
+
+* XML source — the twig learner on annotated nodes;
+* relational source — the join learner on labelled tuple pairs;
+* graph source — the path learner on labelled paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exchange.publish import relational_to_xml
+from repro.exchange.shred import xml_to_relational
+from repro.learning.join_learner import PairExample, learn_join
+from repro.learning.protocol import NodeExample
+from repro.learning.twig_learner import learn_twig
+from repro.relational.database import Database
+from repro.relational.joins import equi_join
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.twig.ast import TwigQuery
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XNode, XTree
+
+
+@dataclass
+class Mapping:
+    """``target = template(source_query(source))``.
+
+    ``source_query`` is an executable closure produced by a learner;
+    ``template`` incorporates the extracted data into the target model.
+    ``describe`` carries the human-readable query (for reports).
+    """
+
+    source_query: Callable[[object], object]
+    template: Callable[[object], object]
+    description: str = ""
+    learned_from: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def apply(self, source: object) -> object:
+        return self.template(self.source_query(source))
+
+
+# ---------------------------------------------------------------------------
+# XML source -> relational target (Figure 1, scenario 2)
+# ---------------------------------------------------------------------------
+
+
+def learn_xml_to_relational_mapping(
+    examples: Sequence[NodeExample],
+    *,
+    schema: object | None = None,
+) -> Mapping:
+    """Learn a twig query from annotated nodes; shred its answers.
+
+    The resulting mapping, applied to a document, evaluates the learned
+    twig and emits one row per selected node: ``(id, label, text)``.
+
+    Passing the documents' ``schema`` (a DMS) applies the paper's
+    schema-aware optimisation: filters implied by the schema are pruned
+    from the learned query, which collapses the overspecialised document
+    skeleton down to the intended path.
+    """
+    learned = learn_twig([(e.tree, e.node) for e in examples if e.positive])
+    query: TwigQuery = learned.query
+    if schema is not None:
+        from repro.learning.schema_aware import prune_schema_implied
+
+        query = prune_schema_implied(query, schema).query  # type: ignore[arg-type]
+
+    def extract(source: object) -> list[XNode]:
+        assert isinstance(source, XTree)
+        return evaluate(query, source)
+
+    def template(selected: object) -> Relation:
+        rows = []
+        nodes: list[XNode] = selected  # type: ignore[assignment]
+        for i, n in enumerate(nodes):
+            rows.append((i, n.label, n.text or ""))
+        schema = RelationSchema("extracted", ("id", "label", "text"))
+        return Relation(schema, rows)
+
+    return Mapping(
+        source_query=extract,
+        template=template,
+        description=f"shred answers of {query.to_xpath()}",
+        learned_from=len(examples),
+        metadata={"twig": query},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Relational source -> XML target (Figure 1, scenario 1)
+# ---------------------------------------------------------------------------
+
+
+def learn_relational_to_xml_mapping(
+    left: Relation,
+    right: Relation,
+    examples: Sequence[PairExample],
+    *,
+    root_label: str = "published",
+) -> Mapping:
+    """Learn a join predicate from labelled pairs; publish the join as XML."""
+    result = learn_join(left, right, examples)
+    theta = result.predicate
+
+    def extract(source: object) -> Relation:
+        assert isinstance(source, Database)
+        return equi_join(source[left.name], source[right.name], theta)
+
+    def template(joined: object) -> XTree:
+        assert isinstance(joined, Relation)
+        return relational_to_xml(joined, root_label=root_label)
+
+    pairs = ", ".join(f"{a}={b}" for a, b in sorted(theta))
+    return Mapping(
+        source_query=extract,
+        template=template,
+        description=(f"publish {left.name} JOIN {right.name} "
+                     f"ON {pairs or 'TRUE'} as XML"),
+        learned_from=len(examples),
+        metadata={"theta": theta},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Convenience: whole-document shredding mapping (no learning required)
+# ---------------------------------------------------------------------------
+
+
+def shredding_mapping(*, attribute_tables: bool = False) -> Mapping:
+    """The identity-extraction shredding pipeline as a Mapping object."""
+    return Mapping(
+        source_query=lambda source: source,
+        template=lambda tree: xml_to_relational(
+            tree, attribute_tables=attribute_tables),  # type: ignore[arg-type]
+        description="shred whole document into edge table",
+    )

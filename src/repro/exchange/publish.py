@@ -1,0 +1,101 @@
+"""Publishing: relational and graph data rendered as XML.
+
+The target-side templates of Figure 1's scenarios 1 and 4.  Publishing is
+deterministic given the extracted data — the learned part of the pipeline
+is the *source query* that chooses what to publish (see
+:mod:`repro.exchange.mapping`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graphdb.graph import Graph, VertexId
+from repro.relational.relation import Relation
+from repro.xmltree.tree import XNode, XTree
+
+
+def relational_to_xml(rel: Relation, *, root_label: str | None = None,
+                      row_label: str = "row") -> XTree:
+    """Render a relation as the canonical nested XML document::
+
+        <emp>
+          <row><eid>1</eid><ename>ada</ename></row>
+          ...
+        </emp>
+
+    Attribute names become element labels; values become text.  Rows are
+    emitted in sorted order for determinism.
+    """
+    root = XNode(root_label or rel.name)
+    for row in sorted(rel.tuples, key=repr):
+        row_node = root.add(XNode(row_label))
+        for attribute, value in zip(rel.attributes, row):
+            label = attribute.replace(".", "_")
+            row_node.add(XNode(label, text=str(value)))
+    return XTree(root)
+
+
+def grouped_relational_to_xml(rel: Relation, group_by: str, *,
+                              root_label: str | None = None,
+                              group_label: str = "group",
+                              row_label: str = "row") -> XTree:
+    """Publishing with one nesting level: rows grouped under a key::
+
+        <emp><group key="3"><row>...</row></group>...</emp>
+
+    The standard "publish with nesting" shape (SilkRoute-style) the paper
+    cites as scenario 1.
+    """
+    position = rel.schema.position(group_by)
+    root = XNode(root_label or rel.name)
+    groups: dict[str, list] = {}
+    for row in rel:
+        groups.setdefault(str(row[position]), []).append(row)
+    for key in sorted(groups):
+        group_node = root.add(XNode(group_label))
+        group_node.add(XNode("@key", text=key))
+        for row in sorted(groups[key], key=repr):
+            row_node = group_node.add(XNode(row_label))
+            for attribute, value in zip(rel.attributes, row):
+                if attribute == group_by:
+                    continue
+                row_node.add(XNode(attribute.replace(".", "_"),
+                                   text=str(value)))
+    return XTree(root)
+
+
+def graph_paths_to_xml(graph: Graph,
+                       paths: Sequence[Sequence[VertexId]],
+                       *, root_label: str = "paths") -> XTree:
+    """Render extracted graph paths as XML (Figure 1, scenario 4)::
+
+        <paths>
+          <path>
+            <node id="city_0_0"/>
+            <edge label="highway" distance="9.5"/>
+            <node id="city_1_0"/>
+          </path>
+        </paths>
+
+    Edge elements carry the label and all edge properties; an edge between
+    consecutive vertices is looked up by trying every label (the first
+    matching one is emitted).
+    """
+    root = XNode(root_label)
+    for path in paths:
+        path_node = root.add(XNode("path"))
+        for index, vertex in enumerate(path):
+            vnode = path_node.add(XNode("node"))
+            vnode.add(XNode("@id", text=str(vertex)))
+            if index + 1 < len(path):
+                nxt = path[index + 1]
+                for label, neighbour in sorted(graph.out_edges(vertex)):
+                    if neighbour == nxt:
+                        enode = path_node.add(XNode("edge"))
+                        enode.add(XNode("@label", text=label))
+                        props = graph.edge_properties(vertex, label, nxt)
+                        for key, value in sorted(props.items()):
+                            enode.add(XNode("@" + key, text=str(value)))
+                        break
+    return XTree(root)

@@ -1,0 +1,119 @@
+"""Shredding: XML decomposed into relational tables or RDF triples.
+
+The target-side templates of Figure 1's scenarios 2 and 3.  The relational
+shredding is the classic *edge table* scheme (node id, parent id, label,
+text) plus optional per-label attribute tables; the RDF shredding emits
+one ``(parent, child-label, child)`` triple per tree edge with node ids
+minted deterministically, plus ``text``/``label`` triples per node.
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.rdf import TripleStore
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.xmltree.tree import XNode, XTree
+
+
+def _number_nodes(tree: XTree) -> dict[int, int]:
+    """Stable pre-order numbering of tree nodes (root = 0)."""
+    return {id(n): i for i, n in enumerate(tree.nodes())}
+
+
+def xml_to_relational(tree: XTree, *, attribute_tables: bool = False,
+                      ) -> Database:
+    """Shred a document into an edge table (and optional label tables).
+
+    The edge table is ``edge(id, parent, label, text)`` with ``parent = -1``
+    for the root and empty string for missing text.  With
+    ``attribute_tables=True``, every label whose nodes carry ``@attr``
+    children additionally yields a table
+    ``<label>(id, <attr1>, <attr2>, ...)``.
+    """
+    numbering = _number_nodes(tree)
+    edge_rows = []
+    parent_of: dict[int, int] = {}
+    for n in tree.nodes():
+        for child in n.children:
+            parent_of[id(child)] = numbering[id(n)]
+    for n in tree.nodes():
+        edge_rows.append((
+            numbering[id(n)],
+            parent_of.get(id(n), -1),
+            n.label,
+            n.text or "",
+        ))
+    edge = Relation(RelationSchema("edge", ("id", "parent", "label", "text")),
+                    edge_rows)
+    db = Database.of(edge)
+
+    if attribute_tables:
+        by_label: dict[str, list[XNode]] = {}
+        for n in tree.nodes():
+            if n.label.startswith("@"):
+                continue
+            if any(c.label.startswith("@") for c in n.children):
+                by_label.setdefault(n.label, []).append(n)
+        for label, nodes in sorted(by_label.items()):
+            attrs = sorted({
+                c.label[1:]
+                for n in nodes for c in n.children
+                if c.label.startswith("@")
+            })
+            rows = []
+            for n in nodes:
+                values = {c.label[1:]: c.text or "" for c in n.children
+                          if c.label.startswith("@")}
+                rows.append((numbering[id(n)],
+                             *(values.get(a, "") for a in attrs)))
+            db = db.with_relation(
+                Relation(RelationSchema(label, ("id", *attrs)), rows)
+            )
+    return db
+
+
+def relational_to_xml_roundtrip(db: Database) -> XTree:
+    """Rebuild a document from its edge table (inverse of the shredding).
+
+    Children are reattached in id order; the reconstruction equals the
+    original up to sibling order — exactly the unordered-tree equality the
+    library uses everywhere.
+    """
+    edge = db["edge"]
+    nodes: dict[int, XNode] = {}
+    rows = sorted(edge.tuples)
+    for node_id, _, label, text in rows:
+        nodes[node_id] = XNode(label, text=text or None)
+    root = None
+    for node_id, parent, _, _ in rows:
+        if parent == -1:
+            root = nodes[node_id]
+        else:
+            nodes[parent].add(nodes[node_id])
+    if root is None:
+        raise ValueError("edge table has no root row (parent = -1)")
+    return XTree(root)
+
+
+def xml_to_rdf(tree: XTree, *, base: str = "n") -> TripleStore:
+    """Shred a document into RDF triples (Figure 1, scenario 3).
+
+    Node ids are ``<base><preorder>``; per node: a ``label`` triple, a
+    ``text`` triple when text is present, and one ``child``-labelled triple
+    per tree edge, predicate = the child's label (the natural RDF reading
+    of an XML edge).
+    """
+    numbering = _number_nodes(tree)
+    store = TripleStore()
+
+    def node_id(n: XNode) -> str:
+        return f"{base}{numbering[id(n)]}"
+
+    for n in tree.nodes():
+        store.add(node_id(n), "label", n.label)
+        if n.text is not None:
+            store.add(node_id(n), "text", n.text)
+        for child in n.children:
+            store.add(node_id(n), child.label, node_id(child))
+    return store

@@ -1,0 +1,53 @@
+"""Graph database substrate: edge-labelled directed graphs and path queries.
+
+Section 3 of the paper targets graph databases (RDF being the motivating
+concrete model) queried with regular-path-style languages.  This package
+provides, from scratch:
+
+* :class:`~repro.graphdb.graph.Graph` — a property multigraph with
+  labelled edges (cities and roads in the paper's running use case);
+* a regular-expression engine over edge labels
+  (:mod:`~repro.graphdb.regex`, :mod:`~repro.graphdb.nfa`) and a regular
+  path query evaluator (:mod:`~repro.graphdb.rpq`);
+* :class:`~repro.graphdb.pathquery.PathQuery` — the learnable fragment
+  (concatenations of label-disjunction atoms with multiplicities,
+  mirroring the schema package's DME atoms);
+* a geographical database generator (:mod:`~repro.graphdb.geo`) and an RDF
+  triple-store view (:mod:`~repro.graphdb.rdf`).
+"""
+
+from repro.graphdb.graph import Graph, Edge
+from repro.graphdb.regex import (
+    Regex,
+    Label,
+    Concat,
+    Union,
+    Star,
+    parse_regex,
+)
+from repro.graphdb.nfa import NFA, compile_regex
+from repro.graphdb.rpq import evaluate_rpq, find_paths, enumerate_words
+from repro.graphdb.pathquery import PathAtom, PathQuery
+from repro.graphdb.geo import make_geo_graph
+from repro.graphdb.rdf import TripleStore, graph_to_triples
+
+__all__ = [
+    "Graph",
+    "Edge",
+    "Regex",
+    "Label",
+    "Concat",
+    "Union",
+    "Star",
+    "parse_regex",
+    "NFA",
+    "compile_regex",
+    "evaluate_rpq",
+    "find_paths",
+    "enumerate_words",
+    "PathAtom",
+    "PathQuery",
+    "make_geo_graph",
+    "TripleStore",
+    "graph_to_triples",
+]

@@ -1,0 +1,84 @@
+"""Geographical database generator — the paper's running graph use case.
+
+"Take for instance a geographical database modeled as a graph.  The
+vertices represent cities and the edges store information such as the
+distance between the cities, the type of road linking the cities (e.g.,
+highway), etc."
+
+:func:`make_geo_graph` lays cities on a jittered grid and connects nearby
+cities with roads whose type depends on distance (short hops are local
+roads, longer ones national, a sparse backbone of highways), plus an
+optional rail layer.  Road edges are bidirectional (two directed edges)
+and carry a ``distance`` property.  Deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphdb.graph import Graph
+from repro.util.rng import RngLike, make_rng
+
+ROAD_TYPES = ("highway", "national", "local", "train")
+
+
+def make_geo_graph(
+    *,
+    width: int = 5,
+    height: int = 4,
+    spacing: float = 10.0,
+    jitter: float = 2.0,
+    connect_radius: float = 16.0,
+    highway_every: int = 2,
+    train_probability: float = 0.15,
+    rng: RngLike = None,
+) -> Graph:
+    """A city grid with typed, distance-weighted roads.
+
+    ``highway_every`` puts a highway backbone along every k-th grid row and
+    column; other nearby pairs get ``national`` or ``local`` roads by
+    distance; ``train`` edges appear independently with the given
+    probability.  Vertices are ``city_<i>_<j>`` with ``x``/``y``/``name``
+    properties.
+    """
+    r = make_rng(rng)
+    graph = Graph()
+    coords: dict[str, tuple[float, float]] = {}
+    for i in range(width):
+        for j in range(height):
+            name = f"city_{i}_{j}"
+            x = i * spacing + r.uniform(-jitter, jitter)
+            y = j * spacing + r.uniform(-jitter, jitter)
+            coords[name] = (x, y)
+            graph.add_vertex(name, x=x, y=y, name=name)
+
+    def add_road(a: str, b: str, label: str) -> None:
+        (xa, ya), (xb, yb) = coords[a], coords[b]
+        distance = round(math.hypot(xa - xb, ya - yb), 2)
+        graph.add_edge(a, label, b, distance=distance)
+        graph.add_edge(b, label, a, distance=distance)
+
+    cities = sorted(coords)
+    for idx, a in enumerate(cities):
+        for b in cities[idx + 1:]:
+            (xa, ya), (xb, yb) = coords[a], coords[b]
+            distance = math.hypot(xa - xb, ya - yb)
+            if distance > connect_radius:
+                continue
+            ia, ja = map(int, a.split("_")[1:])
+            ib, jb = map(int, b.split("_")[1:])
+            same_row = ja == jb and abs(ia - ib) == 1
+            same_col = ia == ib and abs(ja - jb) == 1
+            on_backbone = (
+                (same_row and ja % highway_every == 0)
+                or (same_col and ia % highway_every == 0)
+            )
+            if on_backbone:
+                add_road(a, b, "highway")
+            elif same_row or same_col:
+                add_road(a, b, "national")
+            elif distance <= connect_radius * 0.75:
+                add_road(a, b, "local")
+            if (same_row or same_col) and r.random() < train_probability:
+                add_road(a, b, "train")
+    return graph

@@ -1,0 +1,140 @@
+"""An edge-labelled directed property multigraph.
+
+Vertices are arbitrary hashable ids with a property dict (city name,
+population...); edges carry a label (the RPQ alphabet: road type, RDF
+predicate) plus properties (distance...).  Parallel edges with different
+labels are expected; parallel edges with identical (src, label, dst) are
+collapsed (their properties merged, last write wins).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+
+VertexId = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One labelled edge; properties excluded from identity."""
+
+    src: VertexId
+    label: str
+    dst: VertexId
+    properties: Mapping[str, object] = field(default_factory=dict,
+                                             compare=False, hash=False)
+
+
+class Graph:
+    """Adjacency-indexed directed multigraph with labelled edges."""
+
+    def __init__(self) -> None:
+        self._vertices: dict[VertexId, dict[str, object]] = {}
+        self._out: dict[VertexId, dict[str, set[VertexId]]] = {}
+        self._in: dict[VertexId, dict[str, set[VertexId]]] = {}
+        self._edge_props: dict[tuple[VertexId, str, VertexId],
+                               dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: VertexId, **properties: object) -> None:
+        self._vertices.setdefault(v, {}).update(properties)
+        self._out.setdefault(v, {})
+        self._in.setdefault(v, {})
+
+    def add_edge(self, src: VertexId, label: str, dst: VertexId,
+                 **properties: object) -> None:
+        if not label:
+            raise GraphError("edge label must be non-empty")
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        self._out[src].setdefault(label, set()).add(dst)
+        self._in[dst].setdefault(label, set()).add(src)
+        self._edge_props.setdefault((src, label, dst), {}).update(properties)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def vertices(self) -> Iterator[VertexId]:
+        return iter(self._vertices)
+
+    def vertex_properties(self, v: VertexId) -> dict[str, object]:
+        try:
+            return self._vertices[v]
+        except KeyError:
+            raise GraphError(f"unknown vertex {v!r}") from None
+
+    def has_vertex(self, v: VertexId) -> bool:
+        return v in self._vertices
+
+    def edges(self) -> Iterator[Edge]:
+        for (src, label, dst), props in self._edge_props.items():
+            yield Edge(src, label, dst, props)
+
+    def edge_properties(self, src: VertexId, label: str,
+                        dst: VertexId) -> dict[str, object]:
+        try:
+            return self._edge_props[(src, label, dst)]
+        except KeyError:
+            raise GraphError(
+                f"no edge {src!r} -{label}-> {dst!r}"
+            ) from None
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(label for _, label, _ in self._edge_props)
+
+    def out_neighbours(self, v: VertexId,
+                       label: str | None = None) -> set[VertexId]:
+        if v not in self._out:
+            raise GraphError(f"unknown vertex {v!r}")
+        if label is not None:
+            return set(self._out[v].get(label, ()))
+        out: set[VertexId] = set()
+        for targets in self._out[v].values():
+            out |= targets
+        return out
+
+    def out_edges(self, v: VertexId) -> Iterator[tuple[str, VertexId]]:
+        if v not in self._out:
+            raise GraphError(f"unknown vertex {v!r}")
+        for label, targets in self._out[v].items():
+            for dst in targets:
+                yield label, dst
+
+    def in_neighbours(self, v: VertexId,
+                      label: str | None = None) -> set[VertexId]:
+        if v not in self._in:
+            raise GraphError(f"unknown vertex {v!r}")
+        if label is not None:
+            return set(self._in[v].get(label, ()))
+        out: set[VertexId] = set()
+        for sources in self._in[v].values():
+            out |= sources
+        return out
+
+    def n_vertices(self) -> int:
+        return len(self._vertices)
+
+    def n_edges(self) -> int:
+        return len(self._edge_props)
+
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` (optional integration)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        for v, props in self._vertices.items():
+            g.add_node(v, **props)
+        for edge in self.edges():
+            g.add_edge(edge.src, edge.dst, label=edge.label,
+                       **dict(edge.properties))
+        return g
+
+    def __repr__(self) -> str:
+        return (f"<Graph |V|={self.n_vertices()} |E|={self.n_edges()} "
+                f"labels={sorted(self.labels())}>")

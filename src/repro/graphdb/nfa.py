@@ -1,0 +1,118 @@
+"""Thompson-construction NFAs over the edge-label alphabet.
+
+The evaluator needs three things of an automaton: epsilon-closed stepping
+(for the product construction with a graph), word acceptance (for path
+labelling), and determinised reachability — all small and explicit here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graphdb.regex import Concat, Epsilon, Label, Regex, Star, Union
+
+EPS = None  # transition label for epsilon moves
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves."""
+
+    def __init__(self) -> None:
+        self.n_states = 0
+        self.start = 0
+        self.accept = 0
+        # transitions[state] = list of (label_or_None, target)
+        self.transitions: dict[int, list[tuple[str | None, int]]] = {}
+
+    def new_state(self) -> int:
+        s = self.n_states
+        self.n_states += 1
+        self.transitions[s] = []
+        return s
+
+    def add_transition(self, src: int, label: str | None, dst: int) -> None:
+        self.transitions[src].append((label, dst))
+
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        out = set(states)
+        stack = list(out)
+        while stack:
+            s = stack.pop()
+            for label, t in self.transitions[s]:
+                if label is EPS and t not in out:
+                    out.add(t)
+                    stack.append(t)
+        return frozenset(out)
+
+    def step(self, states: frozenset[int], symbol: str) -> frozenset[int]:
+        moved = {
+            t
+            for s in states
+            for label, t in self.transitions[s]
+            if label == symbol
+        }
+        return self.epsilon_closure(moved)
+
+    def initial(self) -> frozenset[int]:
+        return self.epsilon_closure([self.start])
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        return self.accept in states
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        states = self.initial()
+        for symbol in word:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(
+            label
+            for moves in self.transitions.values()
+            for label, _ in moves
+            if label is not EPS
+        )
+
+
+def compile_regex(regex: Regex) -> NFA:
+    """Thompson construction: one fragment per AST node, linear size."""
+    nfa = NFA()
+
+    def build(r: Regex) -> tuple[int, int]:
+        if isinstance(r, Epsilon):
+            s, t = nfa.new_state(), nfa.new_state()
+            nfa.add_transition(s, EPS, t)
+            return s, t
+        if isinstance(r, Label):
+            s, t = nfa.new_state(), nfa.new_state()
+            nfa.add_transition(s, r.name, t)
+            return s, t
+        if isinstance(r, Concat):
+            ls, lt = build(r.left)
+            rs, rt = build(r.right)
+            nfa.add_transition(lt, EPS, rs)
+            return ls, rt
+        if isinstance(r, Union):
+            s, t = nfa.new_state(), nfa.new_state()
+            ls, lt = build(r.left)
+            rs, rt = build(r.right)
+            nfa.add_transition(s, EPS, ls)
+            nfa.add_transition(s, EPS, rs)
+            nfa.add_transition(lt, EPS, t)
+            nfa.add_transition(rt, EPS, t)
+            return s, t
+        if isinstance(r, Star):
+            s, t = nfa.new_state(), nfa.new_state()
+            inner_s, inner_t = build(r.inner)
+            nfa.add_transition(s, EPS, inner_s)
+            nfa.add_transition(s, EPS, t)
+            nfa.add_transition(inner_t, EPS, inner_s)
+            nfa.add_transition(inner_t, EPS, t)
+            return s, t
+        raise TypeError(f"unknown regex node {type(r).__name__}")
+
+    nfa.start, nfa.accept = build(regex)
+    return nfa

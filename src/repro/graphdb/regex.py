@@ -1,0 +1,178 @@
+"""Regular expressions over edge labels — the RPQ query syntax.
+
+AST nodes: :class:`Label`, :class:`Concat`, :class:`Union`, :class:`Star`
+(plus derived ``Plus``/``Optional`` constructors), and :class:`Epsilon`.
+Concrete syntax (parsed by :func:`parse_regex`)::
+
+    highway.highway*            concatenation is '.', Kleene star '*'
+    (highway|national)+.train?  union '|', plus '+', optional '?'
+
+Labels are bare identifiers (letters, digits, underscore, dash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class Regex:
+    """Base class; nodes are immutable and hashable."""
+
+    def matches(self, word: tuple[str, ...]) -> bool:
+        """Membership test (compiles to an NFA; convenience for tests)."""
+        from repro.graphdb.nfa import compile_regex
+
+        return compile_regex(self).accepts(word)
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class Label(Regex):
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParseError("empty label in regex")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    def __str__(self) -> str:
+        return f"{self._wrap(self.left)}.{self._wrap(self.right)}"
+
+    @staticmethod
+    def _wrap(r: Regex) -> str:
+        return f"({r})" if isinstance(r, Union) else str(r)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    left: Regex
+    right: Regex
+
+    def __str__(self) -> str:
+        return f"{self.left}|{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    inner: Regex
+
+    def __str__(self) -> str:
+        inner = str(self.inner)
+        if isinstance(self.inner, (Concat, Union)):
+            inner = f"({inner})"
+        return f"{inner}*"
+
+
+def plus(inner: Regex) -> Regex:
+    """``r+ == r.r*``"""
+    return Concat(inner, Star(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    """``r? == r|()``"""
+    return Union(inner, Epsilon())
+
+
+def concat_all(parts: list[Regex]) -> Regex:
+    if not parts:
+        return Epsilon()
+    out = parts[0]
+    for p in parts[1:]:
+        out = Concat(out, p)
+    return out
+
+
+def union_all(parts: list[Regex]) -> Regex:
+    if not parts:
+        raise ParseError("empty union")
+    out = parts[0]
+    for p in parts[1:]:
+        out = Union(out, p)
+    return out
+
+
+_LABEL_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> str:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self, ch: str) -> bool:
+        if self.peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    def parse_union(self) -> Regex:
+        parts = [self.parse_concat()]
+        while self.take("|"):
+            parts.append(self.parse_concat())
+        return union_all(parts)
+
+    def parse_concat(self) -> Regex:
+        parts = [self.parse_postfix()]
+        while self.take("."):
+            parts.append(self.parse_postfix())
+        return concat_all(parts)
+
+    def parse_postfix(self) -> Regex:
+        atom = self.parse_atom()
+        while True:
+            if self.take("*"):
+                atom = Star(atom)
+            elif self.take("+"):
+                atom = plus(atom)
+            elif self.take("?"):
+                atom = optional(atom)
+            else:
+                return atom
+
+    def parse_atom(self) -> Regex:
+        if self.take("("):
+            if self.take(")"):
+                return Epsilon()
+            inner = self.parse_union()
+            if not self.take(")"):
+                raise ParseError("expected ')'", position=self.pos)
+            return inner
+        start = self.pos
+        self.peek()  # skip whitespace
+        begin = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _LABEL_CHARS:
+            self.pos += 1
+        if self.pos == begin:
+            raise ParseError("expected a label or '('", position=start)
+        return Label(self.text[begin:self.pos])
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the concrete RPQ syntax; raises on malformed input."""
+    parser = _Parser(text)
+    result = parser.parse_union()
+    if parser.peek():
+        raise ParseError("trailing input after regex", position=parser.pos)
+    return result

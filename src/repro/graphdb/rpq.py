@@ -1,0 +1,112 @@
+"""Regular path query evaluation: the NFA x graph product construction.
+
+``evaluate_rpq`` computes all vertex pairs ``(u, v)`` connected by a path
+whose edge-label word belongs to the query language — BFS over the product
+of the graph with the query NFA, the textbook RPQ algorithm (polynomial in
+``|G| * |A|``).  ``find_paths`` additionally reconstructs witness paths,
+and ``enumerate_words``/``enumerate_paths`` stream candidate paths between
+two endpoints in length order — the proposal pool of the interactive graph
+learner.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.graphdb.graph import Graph, VertexId
+from repro.graphdb.nfa import NFA, compile_regex
+from repro.graphdb.regex import Regex
+
+Path = tuple[VertexId, ...]
+Word = tuple[str, ...]
+
+
+def _as_nfa(query: Regex | NFA) -> NFA:
+    return query if isinstance(query, NFA) else compile_regex(query)
+
+
+def evaluate_rpq(query: Regex | NFA, graph: Graph,
+                 sources: list[VertexId] | None = None,
+                 ) -> set[tuple[VertexId, VertexId]]:
+    """All ``(source, target)`` pairs linked by a query-matching path."""
+    nfa = _as_nfa(query)
+    result: set[tuple[VertexId, VertexId]] = set()
+    start_vertices = list(sources) if sources is not None \
+        else list(graph.vertices())
+    for source in start_vertices:
+        initial = (source, nfa.initial())
+        seen = {initial}
+        queue = deque([initial])
+        while queue:
+            vertex, states = queue.popleft()
+            if nfa.is_accepting(states):
+                result.add((source, vertex))
+            for label, neighbour in graph.out_edges(vertex):
+                next_states = nfa.step(states, label)
+                if not next_states:
+                    continue
+                item = (neighbour, next_states)
+                if item not in seen:
+                    seen.add(item)
+                    queue.append(item)
+    return result
+
+
+def find_paths(query: Regex | NFA, graph: Graph, source: VertexId,
+               target: VertexId, *, max_paths: int = 10,
+               max_length: int = 12) -> list[tuple[Path, Word]]:
+    """Witness paths from ``source`` to ``target`` matching the query.
+
+    Paths are simple (no repeated vertex) and streamed in length order up
+    to ``max_length`` edges / ``max_paths`` results.
+    """
+    nfa = _as_nfa(query)
+    out: list[tuple[Path, Word]] = []
+    for path, word in enumerate_paths(graph, source, target,
+                                      max_length=max_length):
+        if nfa.accepts(word):
+            out.append((path, word))
+            if len(out) >= max_paths:
+                break
+    return out
+
+
+def enumerate_paths(graph: Graph, source: VertexId, target: VertexId,
+                    *, max_length: int = 12,
+                    ) -> Iterator[tuple[Path, Word]]:
+    """All simple paths ``source -> target``, shortest (fewest edges) first.
+
+    Yields ``(vertex_path, label_word)`` pairs; parallel edge labels yield
+    one path per label word.
+    """
+    queue: deque[tuple[Path, Word]] = deque([((source,), ())])
+    while queue:
+        path, word = queue.popleft()
+        current = path[-1]
+        if current == target and word:
+            yield path, word
+            # keep exploring: longer paths to the same target still count
+        if len(word) >= max_length:
+            continue
+        for label, neighbour in sorted(graph.out_edges(current),
+                                       key=lambda e: (str(e[0]), str(e[1]))):
+            if neighbour in path:
+                continue
+            queue.append((path + (neighbour,), word + (label,)))
+
+
+def enumerate_words(graph: Graph, source: VertexId, target: VertexId,
+                    *, max_length: int = 12, limit: int | None = None,
+                    ) -> list[Word]:
+    """Distinct label words of simple ``source -> target`` paths."""
+    seen: set[Word] = set()
+    out: list[Word] = []
+    for _, word in enumerate_paths(graph, source, target,
+                                   max_length=max_length):
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+            if limit is not None and len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,158 @@
+"""Learning chains of joins across many relations.
+
+Section 3: "We want to extend our approach to other operators and also to
+chains of joins between many relations."
+
+The two-relation version-space analysis generalises verbatim: a hypothesis
+is a set θ of *cross-relation* attribute pairs ``((i, a), (j, b))`` with
+``i < j``; a tuple combination ``(r_1, ..., r_k)`` is selected iff the
+rows agree on every pair.  ``Θ`` (the intersection of the positives'
+agreement sets) is still the most specific hypothesis, consistency is
+still "Θ avoids every negative", and implied labels propagate the same
+way — joins stay tractable at any chain length, which is the point the
+paper contrasts against semijoins.
+
+:func:`predicate_to_chain` converts a learned predicate into the list of
+per-step equi-join predicates accepted by
+:func:`repro.relational.joins.join_chain` (when the predicate's relation
+graph is connected left-to-right).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import InconsistentExamplesError, LearningError
+from repro.relational.relation import Relation, Row
+
+QualifiedPair = tuple[tuple[int, str], tuple[int, str]]
+
+
+@dataclass(frozen=True)
+class ChainExample:
+    """A labelled element of ``R_1 x ... x R_k``."""
+
+    rows: tuple[Row, ...]
+    positive: bool
+
+
+def chain_universe(relations: Sequence[Relation],
+                   *, typed: bool = True) -> frozenset[QualifiedPair]:
+    """All candidate cross-relation pairs, optionally type-filtered."""
+    pairs: set[QualifiedPair] = set()
+    domains = [
+        {a: {type(v) for v in rel.active_domain(a)} for a in rel.attributes}
+        for rel in relations
+    ]
+    for i in range(len(relations)):
+        for j in range(i + 1, len(relations)):
+            for a in relations[i].attributes:
+                for b in relations[j].attributes:
+                    if typed and domains[i][a] and domains[j][b] \
+                            and not domains[i][a] & domains[j][b]:
+                        continue
+                    pairs.add(((i, a), (j, b)))
+    return frozenset(pairs)
+
+
+def chain_agreement(relations: Sequence[Relation], rows: Sequence[Row],
+                    universe: Iterable[QualifiedPair],
+                    ) -> frozenset[QualifiedPair]:
+    """``eq(rows)``: the universe pairs the row combination agrees on."""
+    out = set()
+    for (i, a), (j, b) in universe:
+        if relations[i].value(rows[i], a) == relations[j].value(rows[j], b):
+            out.add(((i, a), (j, b)))
+    return frozenset(out)
+
+
+def chain_selects(relations: Sequence[Relation], rows: Sequence[Row],
+                  theta: Iterable[QualifiedPair]) -> bool:
+    return all(
+        relations[i].value(rows[i], a) == relations[j].value(rows[j], b)
+        for (i, a), (j, b) in theta
+    )
+
+
+class ChainVersionSpace:
+    """Version space over k-relation join predicates (cf. two-relation
+    :class:`~repro.learning.join_learner.JoinVersionSpace`)."""
+
+    def __init__(self, relations: Sequence[Relation],
+                 universe: Iterable[QualifiedPair] | None = None) -> None:
+        if len(relations) < 2:
+            raise LearningError("a chain needs at least two relations")
+        self.relations = list(relations)
+        self.universe: frozenset[QualifiedPair] = (
+            frozenset(universe) if universe is not None
+            else chain_universe(relations)
+        )
+        self.theta_max = self.universe
+        self.negative_eqs: list[frozenset[QualifiedPair]] = []
+
+    def add(self, example: ChainExample) -> None:
+        if len(example.rows) != len(self.relations):
+            raise LearningError(
+                f"example has {len(example.rows)} rows for "
+                f"{len(self.relations)} relations"
+            )
+        agreement = chain_agreement(self.relations, example.rows,
+                                    self.universe)
+        if example.positive:
+            self.theta_max = self.theta_max & agreement
+        else:
+            self.negative_eqs.append(agreement)
+
+    def is_consistent(self) -> bool:
+        return all(not self.theta_max <= neg for neg in self.negative_eqs)
+
+    def implied_positive(self, rows: Sequence[Row]) -> bool:
+        return self.theta_max <= chain_agreement(self.relations, rows,
+                                                 self.universe)
+
+    def implied_negative(self, rows: Sequence[Row]) -> bool:
+        candidate = self.theta_max & chain_agreement(self.relations, rows,
+                                                     self.universe)
+        return any(candidate <= neg for neg in self.negative_eqs)
+
+
+def learn_join_chain(relations: Sequence[Relation],
+                     examples: Sequence[ChainExample],
+                     *, universe: Iterable[QualifiedPair] | None = None,
+                     ) -> frozenset[QualifiedPair]:
+    """Most specific chain predicate consistent with the examples.
+
+    PTIME, like the two-relation case.  Raises on inconsistency or an
+    example set without positives.
+    """
+    if not any(e.positive for e in examples):
+        raise LearningError("chain learning needs a positive example")
+    space = ChainVersionSpace(relations, universe)
+    for example in examples:
+        space.add(example)
+    if not space.is_consistent():
+        raise InconsistentExamplesError(
+            "no chain-join predicate is consistent with the examples"
+        )
+    return space.theta_max
+
+
+def predicate_to_chain(
+    relations: Sequence[Relation],
+    theta: Iterable[QualifiedPair],
+) -> list[list[tuple[str, str]]]:
+    """Per-step predicates for a left-deep join over ``relations``.
+
+    Step ``j`` (joining relation ``j+1`` onto the accumulated prefix) uses
+    every θ-pair whose right side lives in relation ``j+1`` and whose left
+    side lives in the prefix.  Attribute names must stay unambiguous in
+    the accumulated schema (qualify beforehand if needed); pairs pointing
+    *forward* from a later relation are deferred to the step where both
+    sides exist.
+    """
+    steps: list[list[tuple[str, str]]] = [[] for _ in relations[1:]]
+    for (i, a), (j, b) in sorted(theta):
+        # Both orientations normalise to i < j at construction time.
+        steps[j - 1].append((a, b))
+    return steps

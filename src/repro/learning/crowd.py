@@ -1,0 +1,80 @@
+"""Crowdsourcing cost accounting for interactive sessions.
+
+Section 3: "Such an interaction is called Human Intelligence Task (HIT) in
+terms of crowdsourcing marketplaces and involves an employer who pays a
+certain amount of money to workers to solve it.  A consequence is that for
+the crowdsourcing applications, minimizing the number of interactions with
+the user is equivalent to minimizing the financial cost of the process."
+
+:class:`CrowdBudget` converts a session's interaction statistics into that
+financial reading (cost per HIT, optional redundancy factor for majority
+voting — standard crowdsourcing practice), and prices the savings from the
+uninformative-label propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.learning.protocol import SessionStats
+
+
+@dataclass(frozen=True)
+class CrowdBudget:
+    """Marketplace pricing: dollars per HIT, workers per question."""
+
+    cost_per_hit: float = 0.05
+    redundancy: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cost_per_hit < 0:
+            raise ValueError("cost_per_hit must be non-negative")
+        if self.redundancy < 1:
+            raise ValueError("redundancy must be >= 1 worker per question")
+
+    def cost_of(self, stats: SessionStats) -> float:
+        """Money spent on the questions actually asked."""
+        return stats.questions * self.redundancy * self.cost_per_hit
+
+    def saved_by_propagation(self, stats: SessionStats) -> float:
+        """Money *not* spent thanks to implied labels."""
+        return stats.labels_saved * self.redundancy * self.cost_per_hit
+
+    def full_labelling_cost(self, pool_size: int) -> float:
+        """What labelling the whole pool naively would have cost."""
+        return pool_size * self.redundancy * self.cost_per_hit
+
+
+@dataclass
+class CostedSession:
+    """A session result annotated with its marketplace economics."""
+
+    stats: SessionStats
+    pool_size: int
+    budget: CrowdBudget
+
+    @property
+    def spent(self) -> float:
+        return self.budget.cost_of(self.stats)
+
+    @property
+    def saved(self) -> float:
+        return self.budget.saved_by_propagation(self.stats)
+
+    @property
+    def naive_cost(self) -> float:
+        return self.budget.full_labelling_cost(self.pool_size)
+
+    @property
+    def savings_percent(self) -> float:
+        if self.naive_cost == 0:
+            return 0.0
+        return 100.0 * (1 - self.spent / self.naive_cost)
+
+    def report(self) -> str:
+        return (
+            f"asked {self.stats.questions} questions for "
+            f"${self.spent:.2f}; naive labelling of {self.pool_size} "
+            f"items would cost ${self.naive_cost:.2f} "
+            f"({self.savings_percent:.0f}% saved)"
+        )

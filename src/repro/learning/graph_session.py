@@ -1,0 +1,132 @@
+"""Interactive path-query learning over a graph database.
+
+The paper's geographical scenario end-to-end: "the user has to select two
+vertices from the graph ... Our algorithms compute what paths the user
+should be asked to label (as positive or negative example) in order to
+gather as many information as possible with few interactions."
+
+The session enumerates candidate paths between the chosen endpoints (label
+words, shortest first), then repeatedly proposes the most promising
+*informative* candidate:
+
+* a word the current hypothesis already accepts is *implied positive*
+  (every generalisation of the positives accepts it too) — uninformative;
+* a word whose inclusion would force the hypothesis to accept a known
+  negative is *implied negative* — uninformative;
+* remaining words are ranked by workload priors (then shorter first).
+
+The loop stops when no informative candidate remains; the metric is the
+number of questions, with/without priors (experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LearningError
+from repro.graphdb.graph import Graph, VertexId
+from repro.graphdb.pathquery import PathQuery
+from repro.graphdb.rpq import enumerate_words
+from repro.learning.path_learner import lgg_path, normalize
+from repro.learning.protocol import SessionStats
+from repro.learning.workload import WorkloadPriors
+
+Word = tuple[str, ...]
+
+
+@dataclass
+class PathSessionResult:
+    query: PathQuery | None
+    stats: SessionStats
+    candidates: int
+    questions_to_convergence: int | None = None
+    """Questions asked when the hypothesis first became equivalent to the
+    goal (None if it never did on this instance)."""
+
+    @property
+    def questions(self) -> int:
+        return self.stats.questions
+
+
+class InteractivePathSession:
+    """One interactive session against a hidden goal path query."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        source: VertexId,
+        target: VertexId,
+        goal: PathQuery,
+        *,
+        priors: WorkloadPriors | None = None,
+        max_length: int = 8,
+        max_candidates: int = 200,
+    ) -> None:
+        self.graph = graph
+        self.goal = goal
+        self.priors = priors
+        self.candidates = enumerate_words(graph, source, target,
+                                          max_length=max_length,
+                                          limit=max_candidates)
+        if not self.candidates:
+            raise LearningError(
+                f"no paths between {source!r} and {target!r} within "
+                f"length {max_length}"
+            )
+
+    # ------------------------------------------------------------------
+    def _implied_negative(self, hypothesis: PathQuery | None, word: Word,
+                          negatives: list[Word]) -> bool:
+        if hypothesis is None:
+            return False
+        widened = lgg_path(hypothesis, normalize(PathQuery.of_word(word)))
+        return any(widened.accepts(neg) for neg in negatives)
+
+    def _rank(self, words: list[Word]) -> list[Word]:
+        if self.priors is not None:
+            return [tuple(w) for w in self.priors.rank(words)]
+        return sorted(words, key=lambda w: (len(w), w))
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_questions: int | None = None) -> PathSessionResult:
+        stats = SessionStats()
+        hypothesis: PathQuery | None = None
+        negatives: list[Word] = []
+        pending = list(self.candidates)
+        converged_at: int | None = None
+
+        while True:
+            informative = []
+            for word in pending:
+                if hypothesis is not None and hypothesis.accepts(word):
+                    continue
+                if self._implied_negative(hypothesis, word, negatives):
+                    continue
+                informative.append(word)
+            if not informative:
+                break
+            if max_questions is not None and stats.questions >= max_questions:
+                raise LearningError(
+                    f"session exceeded max_questions={max_questions}"
+                )
+            word = self._rank(informative)[0]
+            pending.remove(word)
+            stats.questions += 1
+            if self.goal.accepts(word):
+                positive = normalize(PathQuery.of_word(word))
+                hypothesis = positive if hypothesis is None \
+                    else lgg_path(hypothesis, positive)
+                if (converged_at is None
+                        and hypothesis.generalizes(self.goal)
+                        and self.goal.generalizes(hypothesis)):
+                    converged_at = stats.questions
+            else:
+                negatives.append(word)
+
+        for word in pending:
+            if hypothesis is not None and hypothesis.accepts(word):
+                stats.implied_positive += 1
+            elif self._implied_negative(hypothesis, word, negatives):
+                stats.implied_negative += 1
+        return PathSessionResult(hypothesis, stats, len(self.candidates),
+                                 converged_at)

@@ -1,0 +1,133 @@
+"""Approximate (PAC) learning of twig queries.
+
+Section 2: "Since learning twig queries from positive and negative examples
+is intractable in general, we intend to study an approximate learning
+framework, such as PAC.  In this setting, the learned query may select some
+negative examples and omit some positive ones."
+
+This module provides the standard realizable-case recipe over the
+finite hypothesis class of anchored twigs of bounded size:
+
+* :func:`sample_complexity` — the classic bound
+  ``m >= (1/eps) * (ln|H| + ln(1/delta))`` with ``ln|H|`` estimated from
+  the size bound and alphabet (each node contributes a label choice, an
+  axis choice, and a shape choice — ``|H| <= (2*(|Sigma|+1))^n * C_n``
+  with ``C_n`` the Catalan number counting tree shapes);
+* :func:`pac_learn_twig` — draw ``m`` labelled examples from the provided
+  sampler, run the bounded consistency search of
+  :mod:`repro.learning.twig_negative`, and fall back to the
+  minimum-empirical-error candidate when no hypothesis in the explored
+  space is fully consistent (the agnostic behaviour the paper asks for:
+  "some of the annotations might be ignored").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import LearningError
+from repro.learning.protocol import NodeExample
+from repro.learning.twig_negative import check_consistency
+from repro.twig.anchored import anchor_repair
+from repro.twig.ast import TwigQuery
+from repro.twig.generator import canonical_query_for_node
+from repro.twig.normalize import minimize
+from repro.twig.product import iter_products
+from repro.twig.semantics import evaluate
+
+
+def sample_complexity(epsilon: float, delta: float, *,
+                      size_bound: int, alphabet_size: int) -> int:
+    """Examples sufficient for (eps, delta)-PAC learning of bounded twigs."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must lie in (0, 1)")
+    if size_bound < 1 or alphabet_size < 1:
+        raise ValueError("size_bound and alphabet_size must be >= 1")
+    # ln(C_n) <= n ln 4; label+axis choices <= (2 * (|Sigma| + 1))^n.
+    ln_h = size_bound * (math.log(4) + math.log(2 * (alphabet_size + 1)))
+    return math.ceil((ln_h + math.log(1.0 / delta)) / epsilon)
+
+
+@dataclass
+class PacResult:
+    query: TwigQuery
+    empirical_error: float
+    n_examples: int
+    consistent: bool
+
+
+def _empirical_error(query: TwigQuery,
+                     examples: Sequence[NodeExample]) -> float:
+    errors = 0
+    for ex in examples:
+        selected = any(n is ex.node for n in evaluate(query, ex.tree))
+        if selected != ex.positive:
+            errors += 1
+    return errors / len(examples)
+
+
+def pac_learn_twig(
+    sampler: Callable[[], NodeExample],
+    *,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    size_bound: int = 8,
+    alphabet_size: int = 20,
+    budget: int = 256,
+    max_examples: int | None = None,
+) -> PacResult:
+    """Draw examples from ``sampler`` and fit approximately.
+
+    Tries the exact consistency search first; if it is inconclusive or the
+    sample is unrealizable, returns the candidate minimising empirical
+    error among the generalisation lattice explored from the positives.
+    """
+    m = sample_complexity(epsilon, delta, size_bound=size_bound,
+                          alphabet_size=alphabet_size)
+    if max_examples is not None:
+        m = min(m, max_examples)
+    examples = [sampler() for _ in range(m)]
+    positives = [e for e in examples if e.positive]
+    if not positives:
+        raise LearningError(
+            f"PAC sample of {m} examples contains no positives; the target "
+            "concept may have negligible mass under the sampling "
+            "distribution"
+        )
+
+    result = check_consistency(examples, budget=budget)
+    if result.consistent and result.query is not None:
+        return PacResult(result.query, _empirical_error(result.query,
+                                                        examples),
+                         m, True)
+
+    # Agnostic fallback: greedy fold with a small alternative beam, keep
+    # the empirically best candidate seen.
+    canonicals = [canonical_query_for_node(e.tree, e.node)
+                  for e in positives]
+    best: TwigQuery | None = None
+    best_error = float("inf")
+
+    def consider(candidate: TwigQuery) -> None:
+        nonlocal best, best_error
+        error = _empirical_error(candidate, examples)
+        if error < best_error:
+            best, best_error = candidate, error
+
+    hypothesis = canonicals[0]
+    repaired, _ = anchor_repair(hypothesis)
+    consider(minimize(repaired))
+    for canonical in canonicals[1:]:
+        alternatives = list(iter_products(hypothesis, canonical, limit=4))
+        scored = []
+        for alt in alternatives:
+            alt_repaired, _ = anchor_repair(alt)
+            alt_min = minimize(alt_repaired)
+            consider(alt_min)
+            scored.append((_empirical_error(alt_min, examples), alt_min))
+        hypothesis = min(scored, key=lambda pair: pair[0])[1]
+
+    assert best is not None
+    return PacResult(best, best_error, m, consistent=best_error == 0.0)

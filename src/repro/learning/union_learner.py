@@ -1,0 +1,110 @@
+"""Learning unions of twig queries by greedy agglomerative merging.
+
+The paper leaves union learnability open; this module contributes the
+natural algorithm: start from one disjunct per positive example (the
+canonical queries — the least consistent union), then repeatedly merge the
+two disjuncts whose product yields the largest size saving *while the
+union stays consistent with the negatives*, until a target disjunct count
+is reached or no consistent merge remains.
+
+This makes disjunctive goals (e.g. XPathMark's A7
+``person[phone or homepage]/name``) learnable: positives split into
+phone-people and homepage-people clusters, in-cluster merges generalise
+cleanly, and the cross-cluster merge is rejected because it would select
+negative persons with neither feature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import InconsistentExamplesError, LearningError
+from repro.learning.protocol import NodeExample
+from repro.twig.anchored import anchor_repair
+from repro.twig.ast import TwigQuery
+from repro.twig.generator import canonical_query_for_node
+from repro.twig.normalize import minimize
+from repro.twig.product import product
+from repro.twig.union import UnionTwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+
+@dataclass
+class LearnedUnion:
+    query: UnionTwigQuery
+    merges: int
+    consistent: bool
+
+
+def _merge(a: TwigQuery, b: TwigQuery, practical: bool) -> TwigQuery:
+    merged, _ = anchor_repair(product(a, b, practical=practical))
+    return minimize(merged)
+
+
+def _violates(query: UnionTwigQuery,
+              negatives: Sequence[tuple[XTree, XNode]]) -> bool:
+    return any(query.selects(t, n) for t, n in negatives)
+
+
+def learn_union_twig(
+    examples: Sequence[NodeExample | tuple[XTree, XNode]],
+    *,
+    max_disjuncts: int = 2,
+    practical: bool = True,
+) -> LearnedUnion:
+    """Fit a union of at most... well, *aim* for ``max_disjuncts`` twigs.
+
+    Greedy merging stops early when every remaining merge would select a
+    negative example; the result can therefore keep more disjuncts than
+    requested (still consistent).  Raises
+    :class:`~repro.errors.InconsistentExamplesError` when not even the
+    union of canonical queries is consistent (the trivial test).
+    """
+    positives: list[tuple[XTree, XNode]] = []
+    negatives: list[tuple[XTree, XNode]] = []
+    for ex in examples:
+        if isinstance(ex, NodeExample):
+            (positives if ex.positive else negatives).append(
+                (ex.tree, ex.node))
+        else:
+            positives.append(ex)
+    if not positives:
+        raise LearningError("at least one positive example is required")
+
+    disjuncts = [minimize(canonical_query_for_node(t, n))
+                 for t, n in positives]
+    union = UnionTwigQuery(disjuncts)
+    if _violates(union, negatives):
+        raise InconsistentExamplesError(
+            "no union of twig queries is consistent: some positive's "
+            "canonical query already selects a negative"
+        )
+
+    merges = 0
+    while len(disjuncts) > max_disjuncts:
+        best: tuple[int, int, TwigQuery] | None = None
+        best_saving = None
+        for i in range(len(disjuncts)):
+            for j in range(i + 1, len(disjuncts)):
+                merged = _merge(disjuncts[i], disjuncts[j], practical)
+                trial = UnionTwigQuery(
+                    [d for k, d in enumerate(disjuncts) if k not in (i, j)]
+                    + [merged]
+                )
+                if _violates(trial, negatives):
+                    continue
+                saving = (disjuncts[i].size() + disjuncts[j].size()
+                          - merged.size())
+                if best_saving is None or saving > best_saving:
+                    best_saving = saving
+                    best = (i, j, merged)
+        if best is None:
+            break  # every merge would select a negative
+        i, j, merged = best
+        disjuncts = [d for k, d in enumerate(disjuncts) if k not in (i, j)]
+        disjuncts.append(merged)
+        merges += 1
+
+    result = UnionTwigQuery(disjuncts).simplified()
+    return LearnedUnion(result, merges, not _violates(result, negatives))

@@ -1,0 +1,61 @@
+"""Query-workload priors for interactive graph learning.
+
+The paper: "the learning framework must be able to use query workload
+techniques to take advantage of the previously inferred paths.  For
+instance, consider a scenario where all the previous users were interested
+in paths where all the edges ... contain the information 'highway' ...
+In this case we want to ask with priority the next user to label a path
+having the same property."
+
+:class:`WorkloadPriors` keeps additively-smoothed label frequencies over
+previously learned path queries and scores candidate words by mean label
+log-likelihood; the interactive session proposes high-scoring candidates
+first.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.graphdb.pathquery import PathQuery
+
+
+class WorkloadPriors:
+    """Label preferences accumulated from past sessions."""
+
+    def __init__(self, alphabet: Iterable[str], *,
+                 smoothing: float = 1.0) -> None:
+        self.alphabet = frozenset(alphabet)
+        if not self.alphabet:
+            raise ValueError("priors need a non-empty alphabet")
+        self.smoothing = smoothing
+        self.counts: Counter[str] = Counter()
+        self.sessions = 0
+
+    def record(self, query: PathQuery) -> None:
+        """Fold one previously learned query into the prior."""
+        self.sessions += 1
+        for atom in query.atoms:
+            for label in atom.labels:
+                self.counts[label] += 1
+
+    def record_word(self, word: Sequence[str]) -> None:
+        self.sessions += 1
+        self.counts.update(word)
+
+    def probability(self, label: str) -> float:
+        total = sum(self.counts.values()) + self.smoothing * len(self.alphabet)
+        return (self.counts[label] + self.smoothing) / total
+
+    def score(self, word: Sequence[str]) -> float:
+        """Mean log-likelihood of the word's labels (0-length scores 0)."""
+        if not word:
+            return 0.0
+        return sum(math.log(self.probability(x)) for x in word) / len(word)
+
+    def rank(self, words: Sequence[Sequence[str]]) -> list[Sequence[str]]:
+        """Words sorted most-plausible first (ties: shorter, then lexical)."""
+        return sorted(words,
+                      key=lambda w: (-self.score(w), len(w), tuple(w)))

@@ -1,0 +1,144 @@
+"""Interactive twig-query learning — the paper's "practical system".
+
+Section 2 closes with: "We also want to develop a practical system able to
+learn twig queries from interaction with the user."  This module is that
+system, mirroring the interactive protocol of the relational and graph
+sessions:
+
+* the pool is a corpus of documents' nodes (optionally restricted by
+  label, as a UI would);
+* after each answer the session propagates *implied* labels — a node the
+  current least-general hypothesis selects is implied positive (every
+  consistent generalisation selects it too), and a node whose addition as
+  a positive would force the hypothesis to select a known negative is
+  implied negative;
+* remaining informative nodes are proposed smallest-document first (cheap
+  for the user to inspect), until none remain or the question budget runs
+  out.
+
+The learned query is the schema-aware-pruned hypothesis when a schema is
+supplied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import LearningError
+from repro.learning.protocol import SessionStats, TwigOracle
+from repro.twig.anchored import anchor_repair
+from repro.twig.ast import TwigQuery
+from repro.twig.generator import canonical_query_for_node
+from repro.twig.normalize import minimize
+from repro.twig.product import product
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XNode, XTree
+
+Candidate = tuple[XTree, XNode]
+
+
+@dataclass
+class TwigSessionResult:
+    query: TwigQuery | None
+    stats: SessionStats
+    pool_size: int
+
+
+class InteractiveTwigSession:
+    """One interactive session against a hidden goal twig query."""
+
+    def __init__(
+        self,
+        documents: Sequence[XTree],
+        goal: TwigQuery,
+        *,
+        label_filter: str | None = None,
+        schema=None,
+        max_pool: int | None = 300,
+        practical: bool = True,
+    ) -> None:
+        if not documents:
+            raise LearningError("the session needs at least one document")
+        self.documents = list(documents)
+        self.oracle = TwigOracle(goal)
+        self.schema = schema
+        self.practical = practical
+        pool: list[Candidate] = []
+        for doc in self.documents:
+            for n in doc.nodes():
+                if label_filter is None or n.label == label_filter:
+                    pool.append((doc, n))
+        if max_pool is not None:
+            pool = pool[:max_pool]
+        if not pool:
+            raise LearningError("empty candidate pool (label filter?)")
+        self.pool = pool
+
+    # ------------------------------------------------------------------
+    def _extend(self, hypothesis: TwigQuery | None,
+                candidate: Candidate) -> TwigQuery:
+        tree, node = candidate
+        canonical = canonical_query_for_node(tree, node)
+        if hypothesis is None:
+            merged = canonical
+        else:
+            merged = product(hypothesis, canonical, practical=self.practical)
+        repaired, _ = anchor_repair(merged)
+        return minimize(repaired)
+
+    def _selects(self, hypothesis: TwigQuery | None,
+                 candidate: Candidate) -> bool:
+        if hypothesis is None:
+            return False
+        tree, node = candidate
+        return any(n is node for n in evaluate(hypothesis, tree))
+
+    def _implied_negative(self, hypothesis: TwigQuery | None,
+                          candidate: Candidate,
+                          negatives: list[Candidate]) -> bool:
+        if hypothesis is None or not negatives:
+            return False
+        widened = self._extend(hypothesis, candidate)
+        return any(self._selects(widened, neg) for neg in negatives)
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_questions: int | None = None) -> TwigSessionResult:
+        stats = SessionStats()
+        hypothesis: TwigQuery | None = None
+        negatives: list[Candidate] = []
+        pending = list(self.pool)
+
+        while True:
+            informative = [
+                c for c in pending
+                if not self._selects(hypothesis, c)
+                and not self._implied_negative(hypothesis, c, negatives)
+            ]
+            if not informative:
+                break
+            if max_questions is not None and stats.questions >= max_questions:
+                break
+            # Cheapest-to-inspect first: smaller documents, shallower nodes.
+            informative.sort(key=lambda c: (c[0].size(),
+                                            len(c[0].path_to_root(c[1]))))
+            candidate = informative[0]
+            pending.remove(candidate)
+            stats.questions += 1
+            if self.oracle.label(*candidate):
+                hypothesis = self._extend(hypothesis, candidate)
+            else:
+                negatives.append(candidate)
+
+        for candidate in pending:
+            if self._selects(hypothesis, candidate):
+                stats.implied_positive += 1
+            elif self._implied_negative(hypothesis, candidate, negatives):
+                stats.implied_negative += 1
+
+        final = hypothesis
+        if final is not None and self.schema is not None:
+            from repro.learning.schema_aware import prune_schema_implied
+
+            final = prune_schema_implied(final, self.schema).query
+        return TwigSessionResult(final, stats, len(self.pool))

@@ -1,0 +1,56 @@
+"""Relational substrate: an in-memory relational algebra engine.
+
+Built from scratch for the paper's Section 3 experiments: set-semantics
+relations with named attributes, the classic algebra (selection,
+projection, renaming, product, union, difference) and the join family the
+paper's learners target — natural join, equi-join over explicit attribute
+pairs, semijoin, antijoin.
+
+The engine is deliberately small and value-oriented: relations are
+immutable, operators return new relations, and every schema mismatch
+raises :class:`~repro.errors.RelationalError` eagerly.
+"""
+
+from repro.relational.schema import RelationSchema
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.algebra import (
+    select,
+    project,
+    rename,
+    product,
+    union,
+    difference,
+    intersection,
+)
+from repro.relational.joins import (
+    natural_join,
+    equi_join,
+    semijoin,
+    antijoin,
+)
+from repro.relational.predicates import (
+    JoinPredicate,
+    comparable_pairs,
+    agreement_pairs,
+)
+
+__all__ = [
+    "RelationSchema",
+    "Relation",
+    "Database",
+    "select",
+    "project",
+    "rename",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "natural_join",
+    "equi_join",
+    "semijoin",
+    "antijoin",
+    "JoinPredicate",
+    "comparable_pairs",
+    "agreement_pairs",
+]

@@ -1,0 +1,91 @@
+"""The classic relational algebra operators (set semantics).
+
+Every operator validates schemas eagerly and returns a fresh
+:class:`~repro.relational.relation.Relation`; nothing is mutated.
+Selections take a predicate over a row-view dict so user code reads like
+SQL: ``select(r, lambda t: t["age"] > 30)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.errors import RelationalError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import RelationSchema
+
+RowPredicate = Callable[[Mapping[str, object]], bool]
+
+
+def select(rel: Relation, predicate: RowPredicate,
+           name: str | None = None) -> Relation:
+    """Rows satisfying ``predicate`` (called with an attribute->value dict)."""
+    attrs = rel.attributes
+    kept = [row for row in rel if predicate(dict(zip(attrs, row)))]
+    schema = RelationSchema(name or rel.name, attrs)
+    return Relation(schema, kept)
+
+
+def project(rel: Relation, attributes: Sequence[str],
+            name: str | None = None) -> Relation:
+    """Projection (deduplicating, as sets do)."""
+    positions = [rel.schema.position(a) for a in attributes]
+    schema = RelationSchema(name or rel.name, tuple(attributes))
+    return Relation(schema, (tuple(row[p] for p in positions) for row in rel))
+
+
+def rename(rel: Relation, mapping: Mapping[str, str],
+           name: str | None = None) -> Relation:
+    """Rename attributes; unknown keys are an error, collisions too."""
+    for old in mapping:
+        rel.schema.position(old)  # raises on unknown attribute
+    new_attrs = tuple(mapping.get(a, a) for a in rel.attributes)
+    schema = RelationSchema(name or rel.name, new_attrs)
+    return Relation(schema, rel.tuples)
+
+
+def product(left: Relation, right: Relation,
+            name: str | None = None) -> Relation:
+    """Cartesian product; attribute names must be disjoint (qualify first)."""
+    clash = set(left.attributes) & set(right.attributes)
+    if clash:
+        raise RelationalError(
+            f"product attribute clash on {sorted(clash)}; rename or "
+            "qualify attributes first"
+        )
+    schema = RelationSchema(
+        name or f"{left.name}_x_{right.name}",
+        left.attributes + right.attributes,
+    )
+    rows: list[Row] = [lrow + rrow for lrow in left for rrow in right]
+    return Relation(schema, rows)
+
+
+def _check_union_compatible(left: Relation, right: Relation,
+                            operation: str) -> None:
+    if left.attributes != right.attributes:
+        raise RelationalError(
+            f"{operation} needs identical attribute lists: "
+            f"{left.attributes} vs {right.attributes}"
+        )
+
+
+def union(left: Relation, right: Relation,
+          name: str | None = None) -> Relation:
+    _check_union_compatible(left, right, "union")
+    schema = RelationSchema(name or left.name, left.attributes)
+    return Relation(schema, left.tuples | right.tuples)
+
+
+def difference(left: Relation, right: Relation,
+               name: str | None = None) -> Relation:
+    _check_union_compatible(left, right, "difference")
+    schema = RelationSchema(name or left.name, left.attributes)
+    return Relation(schema, left.tuples - right.tuples)
+
+
+def intersection(left: Relation, right: Relation,
+                 name: str | None = None) -> Relation:
+    _check_union_compatible(left, right, "intersection")
+    schema = RelationSchema(name or left.name, left.attributes)
+    return Relation(schema, left.tuples & right.tuples)

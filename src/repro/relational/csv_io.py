@@ -1,0 +1,59 @@
+"""CSV import/export for relations.
+
+Values are stored as strings on disk; :func:`load_csv` optionally coerces
+numerals back to ``int``/``float`` (the learners compare values by
+equality, so consistent coercion matters more than exact types).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import RelationalError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def _coerce(value: str) -> object:
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def load_csv(path: str | Path, *, name: str | None = None,
+             coerce_numbers: bool = True) -> Relation:
+    """Read a relation from a headered CSV file."""
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise RelationalError(f"{path} is empty (no header row)") from None
+        schema = RelationSchema(name or path.stem, tuple(header))
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise RelationalError(
+                    f"{path}:{lineno}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            rows.append(tuple(_coerce(v) for v in row)
+                        if coerce_numbers else tuple(row))
+    return Relation(schema, rows)
+
+
+def save_csv(rel: Relation, path: str | Path) -> None:
+    """Write a relation with a header row (rows sorted for determinism)."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(rel.attributes)
+        for row in sorted(rel.tuples, key=repr):
+            writer.writerow(row)

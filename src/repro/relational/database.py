@@ -1,0 +1,65 @@
+"""A database instance: a named catalogue of relations."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import RelationalError
+from repro.relational.relation import Relation
+
+
+class Database:
+    """An immutable catalogue mapping relation names to relations."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self, relations: Mapping[str, Relation] | None = None,
+                 *more: Relation) -> None:
+        catalog: dict[str, Relation] = {}
+        if relations:
+            catalog.update(relations)
+        for rel in more:
+            if rel.name in catalog:
+                raise RelationalError(f"duplicate relation {rel.name!r}")
+            catalog[rel.name] = rel
+        self.relations = dict(catalog)
+
+    @classmethod
+    def of(cls, *relations: Relation) -> "Database":
+        db = cls()
+        for rel in relations:
+            if rel.name in db.relations:
+                raise RelationalError(f"duplicate relation {rel.name!r}")
+            db.relations[rel.name] = rel
+        return db
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise RelationalError(
+                f"no relation {name!r}; database has "
+                f"{sorted(self.relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def with_relation(self, rel: Relation) -> "Database":
+        """A new database with ``rel`` added or replaced."""
+        updated = dict(self.relations)
+        updated[rel.name] = rel
+        return Database(updated)
+
+    def total_tuples(self) -> int:
+        return sum(len(rel) for rel in self)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}:{len(r)}" for r in self)
+        return f"<Database {parts}>"

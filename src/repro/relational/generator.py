@@ -1,0 +1,98 @@
+"""Synthetic relational instances for the join-learning experiments.
+
+The paper's setting needs instances where the goal join predicate is
+*identifiable*: tuple pairs must exist that agree on the goal pairs and
+disagree elsewhere, plus distractor pairs agreeing on non-goal attributes
+(otherwise every hypothesis looks the same and no interaction is needed).
+:func:`make_join_instance` constructs exactly that, with a controllable
+amount of accidental agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.predicates import AttributePair
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.util.rng import RngLike, make_rng
+
+
+@dataclass
+class JoinInstance:
+    """Two relations plus the hidden goal predicate."""
+
+    left: Relation
+    right: Relation
+    goal: frozenset[AttributePair]
+
+
+def make_join_instance(
+    *,
+    left_arity: int = 3,
+    right_arity: int = 3,
+    left_rows: int = 20,
+    right_rows: int = 20,
+    goal_pairs: int = 1,
+    domain: int = 8,
+    noise: float = 0.25,
+    rng: RngLike = None,
+) -> JoinInstance:
+    """A random two-relation instance with a hidden equi-join goal.
+
+    ``domain`` controls value collisions (small domain = much accidental
+    agreement = harder learning), ``noise`` is the fraction of right rows
+    rewritten with fresh values (guaranteeing non-matching pairs exist).
+    """
+    r = make_rng(rng)
+    left_attrs = tuple(f"a{i}" for i in range(left_arity))
+    right_attrs = tuple(f"b{i}" for i in range(right_arity))
+    goal = frozenset(
+        (f"a{i}", f"b{i}") for i in r.sample(
+            range(min(left_arity, right_arity)), goal_pairs)
+    )
+
+    left_tuples = [
+        tuple(r.randrange(domain) for _ in range(left_arity))
+        for _ in range(left_rows)
+    ]
+    right_tuples = []
+    for _ in range(right_rows):
+        if left_tuples and r.random() > noise:
+            # Derive from a left row so goal-agreeing pairs exist.
+            base = r.choice(left_tuples)
+            row = []
+            for j, b in enumerate(right_attrs):
+                source = next((a for a, bb in goal if bb == b), None)
+                if source is not None:
+                    row.append(base[left_attrs.index(source)])
+                else:
+                    row.append(r.randrange(domain))
+            right_tuples.append(tuple(row))
+        else:
+            right_tuples.append(
+                tuple(domain + r.randrange(domain)
+                      for _ in range(right_arity)))
+
+    left = Relation(RelationSchema("R", left_attrs), left_tuples)
+    right = Relation(RelationSchema("S", right_attrs), right_tuples)
+    return JoinInstance(left, right, goal)
+
+
+def employees_departments(*, people: int = 30, departments: int = 5,
+                          rng: RngLike = None) -> tuple[Relation, Relation]:
+    """A readable fixed-schema workload (used by examples and docs)."""
+    r = make_rng(rng)
+    dept_rows = [
+        (d, f"dept{d}", r.choice(["paris", "lille", "lyon", "nice"]))
+        for d in range(departments)
+    ]
+    emp_rows = [
+        (e, f"emp{e}", r.randrange(departments), 30000 + 1000 * r.randrange(40))
+        for e in range(people)
+    ]
+    dept = Relation(RelationSchema("dept", ("did", "dname", "city")),
+                    dept_rows)
+    emp = Relation(RelationSchema("emp", ("eid", "ename", "dept_id", "salary")),
+                   emp_rows)
+    return emp, dept

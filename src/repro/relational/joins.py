@@ -1,0 +1,136 @@
+"""The join family: natural join, equi-join, semijoin, antijoin.
+
+Equi-joins are hash joins over the predicate's left-attribute key; the
+semijoin/antijoin pair returns subsets of the left relation (the exact
+semantics the paper's semijoin learner targets: a left tuple is selected
+iff *some* right tuple agrees with it on every predicate pair).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import RelationalError
+from repro.relational.predicates import (
+    AttributePair,
+    natural_predicate,
+    validate_predicate,
+)
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import RelationSchema
+
+
+def _hash_partition(rel: Relation, attrs: list[str]) -> dict[tuple, list[Row]]:
+    positions = [rel.schema.position(a) for a in attrs]
+    buckets: dict[tuple, list[Row]] = defaultdict(list)
+    for row in rel:
+        buckets[tuple(row[p] for p in positions)].append(row)
+    return buckets
+
+
+def equi_join(left: Relation, right: Relation,
+              theta: Iterable[AttributePair],
+              name: str | None = None) -> Relation:
+    """Join on an explicit set of attribute pairs.
+
+    Output schema: all left attributes (original names) followed by the
+    right attributes that are *not* equated to a left attribute of the same
+    name (natural-join convention); remaining name clashes are qualified
+    with the right relation's name.
+    """
+    pairs = list(theta)
+    validate_predicate(left, right, pairs)
+    left_keys = [a for a, _ in pairs]
+    right_keys = [b for _, b in pairs]
+
+    merged_away = {b for a, b in pairs if a == b}
+    out_right_attrs = [b for b in right.attributes if b not in merged_away]
+    out_names = list(left.attributes) + [
+        b if b not in left.schema.attributes else f"{right.name}.{b}"
+        for b in out_right_attrs
+    ]
+    if len(set(out_names)) != len(out_names):
+        raise RelationalError(
+            f"join output would have duplicate attributes: {out_names}"
+        )
+    schema = RelationSchema(name or f"{left.name}_join_{right.name}",
+                            tuple(out_names))
+
+    right_positions = [right.schema.position(b) for b in out_right_attrs]
+    buckets = _hash_partition(right, right_keys)
+    left_positions = [left.schema.position(a) for a in left_keys]
+    rows = []
+    for lrow in left:
+        key = tuple(lrow[p] for p in left_positions)
+        for rrow in buckets.get(key, ()):
+            rows.append(lrow + tuple(rrow[p] for p in right_positions))
+    return Relation(schema, rows)
+
+
+def natural_join(left: Relation, right: Relation,
+                 name: str | None = None) -> Relation:
+    """Join on equality of all shared attribute names.
+
+    With no shared attributes this degrades to the Cartesian product, per
+    the textbook definition.
+    """
+    theta = natural_predicate(left, right)
+    if not theta:
+        from repro.relational.algebra import product
+        return product(left, right, name=name)
+    return equi_join(left, right, theta, name=name)
+
+
+def semijoin(left: Relation, right: Relation,
+             theta: Iterable[AttributePair] | None = None,
+             name: str | None = None) -> Relation:
+    """Left tuples with at least one ``theta``-matching right tuple.
+
+    ``theta=None`` uses the natural predicate (shared attribute names).
+    An empty predicate selects every left tuple iff the right relation is
+    non-empty.
+    """
+    pairs = list(theta) if theta is not None \
+        else list(natural_predicate(left, right))
+    validate_predicate(left, right, pairs)
+    schema = RelationSchema(name or left.name, left.attributes)
+    if not pairs:
+        return Relation(schema, left.tuples if len(right) else ())
+    buckets = _hash_partition(right, [b for _, b in pairs])
+    left_positions = [left.schema.position(a) for a, _ in pairs]
+    rows = [row for row in left
+            if tuple(row[p] for p in left_positions) in buckets]
+    return Relation(schema, rows)
+
+
+def antijoin(left: Relation, right: Relation,
+             theta: Iterable[AttributePair] | None = None,
+             name: str | None = None) -> Relation:
+    """Left tuples with *no* ``theta``-matching right tuple."""
+    kept = semijoin(left, right, theta)
+    schema = RelationSchema(name or left.name, left.attributes)
+    return Relation(schema, left.tuples - kept.tuples)
+
+
+def join_chain(relations: list[Relation],
+               predicates: list[Iterable[AttributePair]],
+               name: str | None = None) -> Relation:
+    """Left-deep chain of equi-joins: ``((R1 ⋈ R2) ⋈ R3) ...``.
+
+    ``predicates[i]`` joins the accumulated result with ``relations[i+1]``;
+    pairs reference accumulated attribute names on the left side.
+    """
+    if not relations:
+        raise RelationalError("join_chain needs at least one relation")
+    if len(predicates) != len(relations) - 1:
+        raise RelationalError(
+            f"{len(relations)} relations need {len(relations) - 1} "
+            f"predicates, got {len(predicates)}"
+        )
+    acc = relations[0]
+    for rel, theta in zip(relations[1:], predicates):
+        acc = equi_join(acc, rel, theta)
+    if name is not None:
+        acc = Relation(RelationSchema(name, acc.attributes), acc.tuples)
+    return acc

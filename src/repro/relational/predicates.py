@@ -1,0 +1,84 @@
+"""Join predicates: sets of attribute pairs, and agreement computation.
+
+The paper's join learners live entirely in this vocabulary: a (natural or
+equi-) join between ``R`` and ``S`` is determined by a set ``θ`` of
+attribute pairs ``(a, b)`` with ``a`` from ``R`` and ``b`` from ``S``; a
+pair of tuples ``(r, s)`` is selected iff ``r.a = s.b`` for every pair in
+``θ``.  The learners reason over
+
+* ``comparable_pairs(R, S)`` — the hypothesis universe (all attribute
+  pairs, optionally type-filtered);
+* ``agreement_pairs(r, s, universe)`` — the ``eq(t)`` of the analysis: the
+  pairs on which a concrete tuple pair agrees.  Every version-space
+  computation in :mod:`repro.learning.join_learner` is set algebra over
+  these.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import RelationalError
+from repro.relational.relation import Relation, Row
+
+AttributePair = tuple[str, str]
+JoinPredicate = frozenset  # of AttributePair
+
+
+def comparable_pairs(left: Relation, right: Relation,
+                     *, typed: bool = True) -> frozenset[AttributePair]:
+    """All candidate join pairs between two relations.
+
+    With ``typed=True`` a pair qualifies only when the two columns share at
+    least one Python value type in their active domains (a cheap stand-in
+    for a type system; it prunes hopeless pairs exactly like the paper's
+    "features" discussion suggests).
+    """
+    pairs: set[AttributePair] = set()
+    for a in left.attributes:
+        types_a = {type(v) for v in left.active_domain(a)}
+        for b in right.attributes:
+            if typed and types_a:
+                types_b = {type(v) for v in right.active_domain(b)}
+                if types_b and not types_a & types_b:
+                    continue
+            pairs.add((a, b))
+    return frozenset(pairs)
+
+
+def agreement_pairs(left: Relation, right: Relation, lrow: Row, rrow: Row,
+                    universe: Iterable[AttributePair]) -> JoinPredicate:
+    """``eq(r, s)``: the universe pairs on which the two rows agree."""
+    out = set()
+    for a, b in universe:
+        if left.value(lrow, a) == right.value(rrow, b):
+            out.add((a, b))
+    return frozenset(out)
+
+
+def predicate_selects(left: Relation, right: Relation, lrow: Row, rrow: Row,
+                      theta: Iterable[AttributePair]) -> bool:
+    """Does ``(lrow, rrow)`` satisfy every pair of ``theta``?"""
+    return all(left.value(lrow, a) == right.value(rrow, b)
+               for a, b in theta)
+
+
+def natural_predicate(left: Relation, right: Relation) -> JoinPredicate:
+    """The natural-join predicate: equality on all shared attribute names."""
+    shared = left.schema.common_attributes(right.schema)
+    return frozenset((a, a) for a in shared)
+
+
+def validate_predicate(left: Relation, right: Relation,
+                       theta: Iterable[AttributePair]) -> None:
+    for a, b in theta:
+        if not left.schema.has(a):
+            raise RelationalError(
+                f"predicate pair ({a!r}, {b!r}): {left.name!r} has no "
+                f"attribute {a!r}"
+            )
+        if not right.schema.has(b):
+            raise RelationalError(
+                f"predicate pair ({a!r}, {b!r}): {right.name!r} has no "
+                f"attribute {b!r}"
+            )

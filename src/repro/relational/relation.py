@@ -1,0 +1,91 @@
+"""Relations: immutable sets of tuples under a schema."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import RelationalError
+from repro.relational.schema import RelationSchema
+
+Row = tuple
+
+
+class Relation:
+    """A set-semantics relation.
+
+    Tuples are plain Python tuples aligned with ``schema.attributes``.
+    Construction validates arity; values just need to be hashable.
+    """
+
+    __slots__ = ("schema", "tuples")
+
+    def __init__(self, schema: RelationSchema,
+                 tuples: Iterable[Sequence] = ()) -> None:
+        self.schema = schema
+        frozen = set()
+        arity = len(schema.attributes)
+        for t in tuples:
+            row = tuple(t)
+            if len(row) != arity:
+                raise RelationalError(
+                    f"tuple {row!r} has arity {len(row)}, schema "
+                    f"{schema!r} expects {arity}"
+                )
+            frozen.add(row)
+        self.tuples: frozenset[Row] = frozenset(frozen)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, name: str,
+                   rows: Sequence[Mapping[str, object]]) -> "Relation":
+        """Build a relation from dict rows (attribute order = first row)."""
+        if not rows:
+            raise RelationalError(
+                "from_dicts needs at least one row to fix the schema; "
+                "use Relation(schema) for an empty relation"
+            )
+        attributes = tuple(rows[0])
+        schema = RelationSchema(name, attributes)
+        return cls(schema,
+                   [tuple(row[a] for a in attributes) for row in rows])
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.schema.attributes
+
+    def value(self, row: Row, attribute: str):
+        return row[self.schema.position(attribute)]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.attributes, row)) for row in sorted(
+            self.tuples, key=repr)]
+
+    def active_domain(self, attribute: str) -> set:
+        pos = self.schema.position(attribute)
+        return {row[pos] for row in self.tuples}
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (self.schema.attributes == other.schema.attributes
+                and self.tuples == other.tuples)
+
+    def __hash__(self) -> int:
+        return hash((self.schema.attributes, self.tuples))
+
+    def __repr__(self) -> str:
+        return f"<Relation {self.schema!r} with {len(self)} tuples>"

@@ -1,0 +1,67 @@
+"""Relation schemas: a name plus an ordered tuple of attribute names."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import RelationalError
+
+
+class RelationSchema:
+    """An immutable relation schema.
+
+    Attribute names must be unique; order fixes the tuple layout.  Use
+    :meth:`qualified` to prefix attributes with the relation name (the
+    standard disambiguation before a product).
+    """
+
+    __slots__ = ("name", "attributes", "_index")
+
+    def __init__(self, name: str, attributes: Sequence[str]) -> None:
+        if not name:
+            raise RelationalError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise RelationalError(f"relation {name!r} needs >= 1 attribute")
+        if len(set(attrs)) != len(attrs):
+            raise RelationalError(
+                f"duplicate attributes in schema of {name!r}: {attrs}"
+            )
+        self.name = name
+        self.attributes = attrs
+        self._index = {a: i for i, a in enumerate(attrs)}
+
+    def position(self, attribute: str) -> int:
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise RelationalError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {list(self.attributes)}"
+            ) from None
+
+    def has(self, attribute: str) -> bool:
+        return attribute in self._index
+
+    def common_attributes(self, other: "RelationSchema") -> tuple[str, ...]:
+        return tuple(a for a in self.attributes if other.has(a))
+
+    def qualified(self) -> "RelationSchema":
+        return RelationSchema(
+            self.name, tuple(f"{self.name}.{a}" for a in self.attributes)
+        )
+
+    def with_attributes(self, attributes: Iterable[str],
+                        name: str | None = None) -> "RelationSchema":
+        return RelationSchema(name or self.name, tuple(attributes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"

@@ -1,0 +1,51 @@
+"""Schemas for unordered XML: (disjunctive) multiplicity schemas.
+
+Implements the schema formalisms of Boneva, Ciucanu & Staworko ("Simple
+schemas for unordered XML", 2013) that Section 2 of the paper introduces to
+fight overspecialisation in twig learning:
+
+* :class:`~repro.schema.dms.DMS` — *disjunctive multiplicity schemas*: each
+  label maps to an unordered expression ``(a|b)^M1 || c^M2 || ...`` whose
+  atoms are disjoint label disjunctions with multiplicities ``0 1 ? + *``;
+* the *disjunction-free* restriction (every atom a single label), for which
+  query satisfiability and query implication are PTIME via embeddings into
+  dependency graphs;
+* PTIME containment of two DMS (the paper's highlighted technical result);
+* schema inference from positive examples (DMS are identifiable in the
+  limit from positive examples);
+* bounded query-containment-under-schema (coNP-complete in general).
+"""
+
+from repro.schema.multiplicity import Multiplicity
+from repro.schema.dme import Atom, DME
+from repro.schema.dms import DMS
+from repro.schema.satisfiability import satisfiable_labels, trim
+from repro.schema.containment import schema_contains, schema_equivalent
+from repro.schema.dependency_graph import DependencyGraph
+from repro.schema.query_analysis import (
+    query_satisfiable,
+    query_implied,
+    filter_implied_at,
+    query_contained_under_schema,
+)
+from repro.schema.inference import infer_schema
+from repro.schema.generation import generate_valid_tree, enumerate_valid_trees
+
+__all__ = [
+    "Multiplicity",
+    "Atom",
+    "DME",
+    "DMS",
+    "satisfiable_labels",
+    "trim",
+    "schema_contains",
+    "schema_equivalent",
+    "DependencyGraph",
+    "query_satisfiable",
+    "query_implied",
+    "filter_implied_at",
+    "query_contained_under_schema",
+    "infer_schema",
+    "generate_valid_tree",
+    "enumerate_valid_trees",
+]

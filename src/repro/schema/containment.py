@@ -1,0 +1,110 @@
+"""PTIME containment of disjunctive multiplicity schemas.
+
+The paper highlights this as a technical contribution: "a polynomial
+algorithm for testing containment of two disjunctive multiplicity schemas"
+(DTD containment, by contrast, ranges from PTIME to PSPACE-complete
+depending on the regular expressions allowed).
+
+The algorithm: trim the left schema to its satisfiable, reachable core
+(every admitted children-multiset is then realizable), require equal root
+labels, and check *expression inclusion* per label.  Expression inclusion
+``E1 ⊆ E2`` reduces to interval arithmetic because expression atoms
+partition disjoint label sets:
+
+* every label producible under ``E1`` must belong to ``E2``'s alphabet;
+* for every atom ``(L2, M2)`` of ``E2``, the totals of ``L2``-labels
+  achievable under ``E1`` form a contiguous interval — the Minkowski sum of
+  per-``E1``-atom contributions ``[lo1, hi1]`` (atom inside ``L2``),
+  ``[0, hi1]`` (partial overlap: required occurrences can be routed to
+  labels outside ``L2``), or ``[0, 0]`` (disjoint) — and that interval must
+  lie inside ``M2``'s.
+
+Soundness and completeness both follow from contiguity of the achievable
+sets; :mod:`tests <tests.test_schema_containment>` cross-validate against a
+brute-force tree enumerator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.dme import DME
+from repro.schema.dms import DMS
+from repro.schema.satisfiability import is_satisfiable, trim
+from repro.util.intervals import Interval
+
+ZERO = Interval(0, 0)
+
+
+def _appearable(expr: DME) -> frozenset[str]:
+    """Labels that can occur with count >= 1 under ``expr``."""
+    out: set[str] = set()
+    for atom in expr.atoms:
+        if not isinstance(atom.interval.hi, int) or atom.interval.hi >= 1:
+            out.update(atom.labels)
+    return frozenset(out)
+
+
+def _achievable_total(expr: DME, target: frozenset[str]) -> Interval:
+    """Achievable totals of ``target``-labelled children under ``expr``."""
+    total = ZERO
+    for atom in expr.atoms:
+        overlap = atom.labels & target
+        if not overlap:
+            contribution = ZERO
+        elif atom.labels <= target:
+            contribution = atom.interval
+        else:
+            contribution = Interval(0, atom.interval.hi)
+        total = total + contribution
+    return total
+
+
+def dme_included(e1: DME, e2: DME) -> bool:
+    """Multiset-language inclusion of two expressions (all labels realizable)."""
+    if not _appearable(e1) <= e2.alphabet:
+        return False
+    return all(
+        _achievable_total(e1, atom.labels).issubset(atom.interval)
+        for atom in e2.atoms
+    )
+
+
+def schema_contains(s1: DMS, s2: DMS) -> bool:
+    """Is every ``s1``-valid document also ``s2``-valid?  PTIME."""
+    if not is_satisfiable(s1):
+        return True  # no valid documents, vacuous containment
+    core = trim(s1)
+    if core.root != s2.root:
+        return False
+    for label, expr in core.rules.items():
+        if label not in s2.rules:
+            return False
+        if not dme_included(expr, s2.expression(label)):
+            return False
+    return True
+
+
+def schema_equivalent(s1: DMS, s2: DMS) -> bool:
+    """Mutual containment."""
+    return schema_contains(s1, s2) and schema_contains(s2, s1)
+
+
+def schema_contains_brute_force(s1: DMS, s2: DMS, *,
+                                max_trees: int = 2000,
+                                max_depth: int = 8) -> bool:
+    """Exponential cross-check: enumerate ``s1``-valid trees, test ``s2``.
+
+    Complete only up to the enumeration bounds; used to validate the PTIME
+    algorithm in tests and the E4 benchmark.
+    """
+    from repro.schema.generation import enumerate_valid_trees
+
+    if not is_satisfiable(s1):
+        return True
+    if max_depth < 1:
+        raise SchemaError("max_depth must be >= 1")
+    return all(
+        s2.accepts(tree)
+        for tree in enumerate_valid_trees(s1, limit=max_trees,
+                                          max_depth=max_depth)
+    )

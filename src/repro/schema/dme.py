@@ -1,0 +1,159 @@
+"""Disjunctive multiplicity expressions (DME).
+
+A DME constrains the *multiset* of children labels of a node::
+
+    (a | b)+ || c? || d*
+
+reads: at least one child labelled ``a`` or ``b`` (any mix), at most one
+``c``, any number of ``d``, and nothing else.  Formally it is a set of
+*atoms* — pairwise disjoint label sets, each with a multiplicity — and a
+multiset ``w`` satisfies the expression iff every label of ``w`` belongs to
+some atom and, for every atom ``(L, M)``, the total count of ``L``-labels
+in ``w`` lies in ``M``'s interval.
+
+Sibling order never matters: this is the paper's "unordered XML" stance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import ParseError, SchemaError
+from repro.schema.multiplicity import Multiplicity
+from repro.util.intervals import Interval
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A disjunction of labels with a multiplicity: ``(a|b|c)^M``."""
+
+    labels: frozenset[str]
+    multiplicity: Multiplicity
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise SchemaError("atom must contain at least one label")
+
+    @property
+    def interval(self) -> Interval:
+        return self.multiplicity.interval
+
+    def count_in(self, counts: Mapping[str, int]) -> int:
+        return sum(counts.get(label, 0) for label in self.labels)
+
+    def __str__(self) -> str:
+        body = "|".join(sorted(self.labels))
+        if len(self.labels) > 1:
+            body = f"({body})"
+        suffix = "" if self.multiplicity is Multiplicity.ONE \
+            else str(self.multiplicity)
+        return f"{body}{suffix}"
+
+
+class DME:
+    """A conjunction (unordered concatenation) of disjoint atoms."""
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        atoms = tuple(atoms)
+        seen: set[str] = set()
+        for atom in atoms:
+            overlap = seen & atom.labels
+            if overlap:
+                raise SchemaError(
+                    f"labels {sorted(overlap)} occur in two atoms; atoms of a "
+                    "disjunctive multiplicity expression must be disjoint"
+                )
+            seen.update(atom.labels)
+        self.atoms = atoms
+
+    # ------------------------------------------------------------------
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(label for atom in self.atoms for label in atom.labels)
+
+    @property
+    def is_disjunction_free(self) -> bool:
+        return all(len(atom.labels) == 1 for atom in self.atoms)
+
+    def atom_of(self, label: str) -> Atom | None:
+        for atom in self.atoms:
+            if label in atom.labels:
+                return atom
+        return None
+
+    def admits(self, counts: Mapping[str, int]) -> bool:
+        """Does a children-label multiset satisfy this expression?"""
+        for label, count in counts.items():
+            if count > 0 and label not in self.alphabet:
+                return False
+        return all(atom.count_in(counts) in atom.interval
+                   for atom in self.atoms)
+
+    def admits_labels(self, labels: Iterable[str]) -> bool:
+        return self.admits(Counter(labels))
+
+    # ------------------------------------------------------------------
+    def restrict(self, keep: frozenset[str]) -> "DME | None":
+        """Drop labels outside ``keep`` (trimming unsatisfiable labels).
+
+        Returns ``None`` when a required atom loses all its labels — the
+        parent label then becomes unsatisfiable itself.
+        """
+        new_atoms: list[Atom] = []
+        for atom in self.atoms:
+            kept = atom.labels & keep
+            if kept:
+                new_atoms.append(Atom(frozenset(kept), atom.multiplicity))
+            elif atom.multiplicity.required:
+                return None
+        return DME(new_atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DME):
+            return NotImplemented
+        return frozenset(self.atoms) == frozenset(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.atoms))
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "epsilon"
+        return " || ".join(str(a) for a in sorted(
+            self.atoms, key=lambda a: sorted(a.labels)))
+
+    def __repr__(self) -> str:
+        return f"DME({self})"
+
+
+def parse_dme(text: str) -> DME:
+    """Parse the concrete syntax: ``(a|b)+ || c? || d`` (``epsilon`` = empty).
+
+    Multiplicity symbols: ``0 ? + *`` as suffixes, absence meaning ``1``.
+    """
+    text = text.strip()
+    if not text or text == "epsilon":
+        return DME()
+    atoms: list[Atom] = []
+    for part in text.split("||"):
+        part = part.strip()
+        if not part:
+            raise ParseError("empty atom in expression")
+        mult = Multiplicity.ONE
+        if part[-1] in "0?+*":
+            mult = Multiplicity(part[-1])
+            part = part[:-1].strip()
+        if part.startswith("(") and part.endswith(")"):
+            part = part[1:-1]
+        label_list = [p.strip() for p in part.split("|")]
+        labels = frozenset(label_list)
+        if not all(labels):
+            raise ParseError(f"malformed atom {part!r}")
+        if len(labels) != len(label_list):
+            raise ParseError(f"duplicate label inside disjunction {part!r}")
+        atoms.append(Atom(labels, mult))
+    return DME(atoms)

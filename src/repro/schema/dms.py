@@ -1,0 +1,149 @@
+"""Disjunctive multiplicity schemas (DMS) and document validation.
+
+A DMS assigns to every label a :class:`~repro.schema.dme.DME` constraining
+the children-label multiset of nodes carrying that label, plus a root
+label.  A document is valid when its root carries the root label and every
+node's children satisfy the node's expression.  The *disjunction-free*
+restriction (``MS``) has single-label atoms only; the PTIME dependency-graph
+analyses of :mod:`repro.schema.query_analysis` are exact for it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.errors import SchemaError, SchemaViolation
+from repro.schema.dme import DME, Atom, parse_dme
+from repro.schema.multiplicity import Multiplicity
+from repro.xmltree.tree import XNode, XTree
+
+
+class DMS:
+    """A disjunctive multiplicity schema: root label + per-label expression.
+
+    Labels mentioned inside expressions but without a rule of their own
+    implicitly map to the empty expression (leaves).
+    """
+
+    def __init__(self, root: str, rules: Mapping[str, DME]) -> None:
+        if not root:
+            raise SchemaError("schema root label must be non-empty")
+        self.root = root
+        self.rules: dict[str, DME] = dict(rules)
+        for label in sorted(self._mentioned_labels()):
+            self.rules.setdefault(label, DME())
+        if root not in self.rules:
+            self.rules[root] = DME()
+
+    def _mentioned_labels(self) -> set[str]:
+        out: set[str] = set()
+        for expr in self.rules.values():
+            out.update(expr.alphabet)
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return frozenset(self.rules) | {self.root}
+
+    @property
+    def is_disjunction_free(self) -> bool:
+        return all(expr.is_disjunction_free for expr in self.rules.values())
+
+    def expression(self, label: str) -> DME:
+        try:
+            return self.rules[label]
+        except KeyError:
+            raise SchemaError(f"label {label!r} is not in the schema") from None
+
+    def allowed_children(self, label: str) -> frozenset[str]:
+        return self.expression(label).alphabet
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, tree: XTree) -> None:
+        """Raise :class:`~repro.errors.SchemaViolation` on the first problem."""
+        if tree.root.label != self.root:
+            raise SchemaViolation(
+                f"root is {tree.root.label!r}, schema expects {self.root!r}"
+            )
+        for n in tree.nodes():
+            if n.label not in self.rules:
+                raise SchemaViolation(f"unknown label {n.label!r}")
+            counts = Counter(c.label for c in n.children)
+            expr = self.rules[n.label]
+            if not expr.admits(counts):
+                raise SchemaViolation(
+                    f"children of a {n.label!r} node violate {expr}: "
+                    f"{dict(counts)}"
+                )
+
+    def accepts(self, tree: XTree) -> bool:
+        """Boolean membership test."""
+        try:
+            self.validate(tree)
+        except SchemaViolation:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DMS):
+            return NotImplemented
+        return self.root == other.root and self.rules == other.rules
+
+    def __hash__(self) -> int:
+        return hash((self.root, frozenset(self.rules.items())))
+
+    def __str__(self) -> str:
+        lines = [f"root: {self.root}"]
+        lines.extend(
+            f"{label} -> {expr}"
+            for label, expr in sorted(self.rules.items())
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<DMS root={self.root!r} labels={len(self.rules)}>"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str) -> "DMS":
+        """Parse the textual format printed by ``str()``::
+
+            root: site
+            site -> regions || people?
+            regions -> (africa|asia)*
+        """
+        root: str | None = None
+        rules: dict[str, DME] = {}
+        for raw_line in text.strip().splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("root:"):
+                root = line.split(":", 1)[1].strip()
+                continue
+            if "->" not in line:
+                raise SchemaError(f"malformed schema line: {line!r}")
+            label, expr_text = line.split("->", 1)
+            rules[label.strip()] = parse_dme(expr_text)
+        if root is None:
+            raise SchemaError("schema text must declare 'root: <label>'")
+        return cls(root, rules)
+
+
+def single(label: str, multiplicity: Multiplicity = Multiplicity.ONE) -> Atom:
+    """Convenience: a single-label atom (for building disjunction-free MS)."""
+    return Atom(frozenset({label}), multiplicity)
+
+
+def make_ms(root: str,
+            rules: Mapping[str, Iterable[tuple[str, Multiplicity]]]) -> DMS:
+    """Build a disjunction-free schema from ``label -> [(child, mult), ...]``."""
+    return DMS(root, {
+        label: DME(Atom(frozenset({child}), mult) for child, mult in pairs)
+        for label, pairs in rules.items()
+    })

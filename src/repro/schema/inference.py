@@ -1,0 +1,133 @@
+"""Schema inference from positive examples.
+
+The paper: "the schema must be learned from positive examples only and our
+preliminary research pointed out that the disjunctive multiplicity schemas
+are identifiable in the limit from positive examples only."
+
+* Disjunction-free inference is the canonical identification-in-the-limit
+  learner: for every (parent label, child label) pair, record the minimum
+  and maximum occurrence count over all parent occurrences in the corpus
+  and emit the tightest multiplicity.  Given a characteristic sample the
+  result equals the goal schema exactly.
+
+* Disjunctive inference adds a greedy merge phase: two child labels merge
+  into one disjunction atom when they never co-occur under the parent and
+  merging strictly tightens the description (the union's count range maps
+  to a multiplicity at least as strict, with requiredness revealed —
+  e.g. two ``?``-labels whose union is always exactly one become
+  ``(a|b)^1``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.errors import LearningError
+from repro.schema.dme import DME, Atom
+from repro.schema.dms import DMS
+from repro.schema.multiplicity import Multiplicity
+from repro.xmltree.tree import XTree
+
+
+def _collect_counts(
+    trees: Sequence[XTree],
+) -> tuple[str, dict[str, list[Counter[str]]]]:
+    roots = {t.root.label for t in trees}
+    if len(roots) != 1:
+        raise LearningError(
+            f"example documents have different root labels: {sorted(roots)}"
+        )
+    occurrences: dict[str, list[Counter[str]]] = defaultdict(list)
+    for tree in trees:
+        for n in tree.nodes():
+            occurrences[n.label].append(Counter(c.label for c in n.children))
+    return roots.pop(), occurrences
+
+
+def _count_range(occurrences: list[Counter[str]],
+                 labels: frozenset[str]) -> tuple[int, int]:
+    totals = [sum(c.get(x, 0) for x in labels) for c in occurrences]
+    return min(totals), max(totals)
+
+
+def infer_schema(
+    trees: Iterable[XTree],
+    *,
+    disjunctions: bool = False,
+) -> DMS:
+    """Infer a multiplicity schema from positive example documents.
+
+    With ``disjunctions=False`` the result is disjunction-free (one atom
+    per observed child label).  With ``disjunctions=True`` the greedy merge
+    phase may produce disjunction atoms.
+
+    Raises :class:`~repro.errors.LearningError` on an empty corpus or
+    inconsistent root labels.
+    """
+    tree_list = list(trees)
+    if not tree_list:
+        raise LearningError("at least one example document is required")
+    root, occurrences = _collect_counts(tree_list)
+
+    rules: dict[str, DME] = {}
+    for label, counters in occurrences.items():
+        child_labels = sorted({x for c in counters for x in c})
+        atoms = [
+            Atom(frozenset({x}),
+                 Multiplicity.from_counts(*_count_range(counters,
+                                                        frozenset({x}))))
+            for x in child_labels
+        ]
+        if disjunctions:
+            atoms = _merge_disjunctions(atoms, counters)
+        rules[label] = DME(atoms)
+    return DMS(root, rules)
+
+
+def _never_cooccur(a: frozenset[str], b: frozenset[str],
+                   counters: list[Counter[str]]) -> bool:
+    return not any(
+        sum(c.get(x, 0) for x in a) > 0 and sum(c.get(y, 0) for y in b) > 0
+        for c in counters
+    )
+
+
+def _merge_gain(a: Atom, b: Atom, counters: list[Counter[str]]) -> Atom | None:
+    """The merged atom if merging tightens the description, else None.
+
+    Merging is profitable when the union's observed counts reveal
+    requiredness (min >= 1) that neither part shows on its own — the
+    signature of a true disjunction in the goal schema.
+    """
+    union = a.labels | b.labels
+    lo, hi = _count_range(counters, frozenset(union))
+    if lo < 1:
+        return None
+    if a.multiplicity.required and b.multiplicity.required:
+        return None  # both already required: co-occurrence, not disjunction
+    return Atom(frozenset(union), Multiplicity.from_counts(lo, hi))
+
+
+def _merge_disjunctions(atoms: list[Atom],
+                        counters: list[Counter[str]]) -> list[Atom]:
+    merged = list(atoms)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(merged)):
+            for j in range(i + 1, len(merged)):
+                a, b = merged[i], merged[j]
+                if not _never_cooccur(a.labels, b.labels, counters):
+                    continue
+                candidate = _merge_gain(a, b, counters)
+                if candidate is not None:
+                    merged = (
+                        merged[:i] + [candidate] + merged[i + 1:j]
+                        + merged[j + 1:]
+                    )
+                    changed = True
+                    break
+            if changed:
+                break
+    return merged

@@ -1,0 +1,58 @@
+"""Multiplicities: the five symbols ``0 1 ? + *`` as count intervals."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.util.intervals import INF, Interval
+
+
+class Multiplicity(enum.Enum):
+    """How many occurrences an atom admits."""
+
+    ZERO = "0"
+    ONE = "1"
+    OPTIONAL = "?"
+    PLUS = "+"
+    STAR = "*"
+
+    @property
+    def interval(self) -> Interval:
+        return _INTERVALS[self]
+
+    @property
+    def min(self) -> int:
+        return self.interval.lo
+
+    @property
+    def required(self) -> bool:
+        """At least one occurrence is forced."""
+        return self.interval.lo >= 1
+
+    def admits(self, count: int) -> bool:
+        return count in self.interval
+
+    @classmethod
+    def from_counts(cls, lo: int, hi: int) -> "Multiplicity":
+        """Tightest multiplicity covering observed count range ``[lo, hi]``.
+
+        This is the inference primitive: observed min/max occurrence counts
+        map onto the unique minimal symbol that admits them all.
+        """
+        if hi == 0:
+            return cls.ZERO
+        if lo >= 1:
+            return cls.ONE if hi == 1 else cls.PLUS
+        return cls.OPTIONAL if hi == 1 else cls.STAR
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_INTERVALS = {
+    Multiplicity.ZERO: Interval(0, 0),
+    Multiplicity.ONE: Interval(1, 1),
+    Multiplicity.OPTIONAL: Interval(0, 1),
+    Multiplicity.PLUS: Interval(1, INF),
+    Multiplicity.STAR: Interval(0, INF),
+}

@@ -1,0 +1,231 @@
+"""Static analysis of twig queries against multiplicity schemas.
+
+Three problems from Section 2 of the paper, all via the dependency graph:
+
+* **query satisfiability** — is there a valid document on which the query
+  matches?  Decided by embedding the query into the *possible* edges.
+  Exact and PTIME for disjunction-free schemas (witness trees for separate
+  branches merge label-by-label); for disjunctive schemas the embedding is
+  a sound upper approximation (a bounded-width atom shared between two
+  branches can make the conjunction unsatisfiable), which is precisely why
+  the paper claims PTIME only for the disjunction-free case.
+
+* **query implication** — does *every* valid document satisfy the query
+  (as a Boolean pattern)?  Decided by embedding the query into the
+  *certain* child groups; exact and PTIME for both schema classes.  This
+  powers the schema-aware learner: a filter implied by the schema carries
+  no information and can be dropped from the learned query.
+
+* **query containment under a schema** — ``q1 ⊆_S q2``.  coNP-complete
+  even for disjunction-free schemas (the paper proves the bound), so the
+  implementation searches for a bounded counterexample document.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.schema.dependency_graph import DependencyGraph
+from repro.schema.dms import DMS
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.twig.semantics import evaluate, matches_boolean
+from repro.util.rng import RngLike, make_rng
+from repro.xmltree.tree import XTree
+
+
+def _label_compatible(query_label: str, label: str) -> bool:
+    return query_label == "*" or query_label == label
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability (possible embedding)
+# ---------------------------------------------------------------------------
+
+
+def _satisfiable_at(qnode: TwigNode, label: str, graph: DependencyGraph,
+                    memo: dict[tuple[int, str], bool]) -> bool:
+    key = (id(qnode), label)
+    if key in memo:
+        return memo[key]
+    ok = _label_compatible(qnode.label, label)
+    if ok:
+        for axis, child in qnode.branches:
+            if axis is Axis.CHILD:
+                targets = graph.possible[label]
+            else:
+                targets = graph.reachable(label)
+            if not any(_satisfiable_at(child, b, graph, memo)
+                       for b in targets):
+                ok = False
+                break
+    memo[key] = ok
+    return ok
+
+
+def query_satisfiable(query: TwigQuery, schema: DMS | DependencyGraph) -> bool:
+    """Can the query match some valid document?
+
+    Exact (and PTIME) for disjunction-free schemas; a sound upper
+    approximation for disjunctive ones (never reports unsatisfiable for a
+    satisfiable query).
+    """
+    graph = schema if isinstance(schema, DependencyGraph) \
+        else DependencyGraph(schema)
+    memo: dict[tuple[int, str], bool] = {}
+    if query.root_axis is Axis.CHILD:
+        return _satisfiable_at(query.root, graph.root, graph, memo)
+    candidates = {graph.root} | set(graph.reachable(graph.root))
+    return any(_satisfiable_at(query.root, label, graph, memo)
+               for label in candidates)
+
+
+# ---------------------------------------------------------------------------
+# Implication (certain embedding)
+# ---------------------------------------------------------------------------
+
+
+class _ImpliedAnalysis:
+    """Fixpoint computation of node/descendant certainty.
+
+    ``node_implied(q, a)`` — every valid subtree rooted at label ``a`` has
+    the pattern rooted at ``q`` matching at its root.
+
+    ``desc_implied(q, a)`` — every valid subtree rooted at ``a`` has a
+    proper descendant at which ``q``'s pattern matches.
+
+    Both are least fixpoints: certainty must be grounded in required atoms
+    (sound for finite trees because required structures cannot cycle in a
+    trimmed schema).
+    """
+
+    def __init__(self, graph: DependencyGraph) -> None:
+        self.graph = graph
+        self.node_true: set[tuple[int, str]] = set()
+        self.desc_true: set[tuple[int, str]] = set()
+
+    def run(self, query_nodes: list[TwigNode]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for q in query_nodes:
+                for a in self.graph.labels:
+                    if (id(q), a) not in self.node_true \
+                            and self._node_check(q, a):
+                        self.node_true.add((id(q), a))
+                        changed = True
+                    if (id(q), a) not in self.desc_true \
+                            and self._desc_check(q, a):
+                        self.desc_true.add((id(q), a))
+                        changed = True
+
+    def _node_check(self, q: TwigNode, a: str) -> bool:
+        if not _label_compatible(q.label, a):
+            return False
+        for axis, child in q.branches:
+            if axis is Axis.CHILD:
+                if not self._certain_child(child, a):
+                    return False
+            else:
+                if (id(child), a) not in self.desc_true:
+                    return False
+        return True
+
+    def _certain_child(self, q: TwigNode, a: str) -> bool:
+        """Some required atom of E(a) forces a child matching ``q``."""
+        return any(
+            all((id(q), x) in self.node_true for x in group)
+            for group in self.graph.certain_groups[a]
+        )
+
+    def _desc_check(self, q: TwigNode, a: str) -> bool:
+        """Some required atom forces a child that matches ``q`` or
+        certainly contains a matching descendant."""
+        return any(
+            all(
+                (id(q), x) in self.node_true or (id(q), x) in self.desc_true
+                for x in group
+            )
+            for group in self.graph.certain_groups[a]
+        )
+
+
+def query_implied(query: TwigQuery, schema: DMS | DependencyGraph) -> bool:
+    """Does every valid document satisfy the query (Boolean semantics)?
+
+    Exact and PTIME for both disjunction-free and disjunctive schemas.
+    """
+    graph = schema if isinstance(schema, DependencyGraph) \
+        else DependencyGraph(schema)
+    analysis = _ImpliedAnalysis(graph)
+    analysis.run(list(query.nodes()))
+    root_key = (id(query.root), graph.root)
+    if query.root_axis is Axis.CHILD:
+        return root_key in analysis.node_true
+    return root_key in analysis.node_true or root_key in analysis.desc_true
+
+
+def filter_implied_at(schema: DMS | DependencyGraph, label: str,
+                      axis: Axis, filter_root: TwigNode) -> bool:
+    """Is the branch ``(axis, filter_root)`` implied at every valid node
+    labelled ``label``?
+
+    The schema-aware learner's primitive: subtree validity is local in a
+    multiplicity schema, so a filter is implied at a node iff it is implied
+    at every valid subtree rooted with that node's label.
+    """
+    graph = schema if isinstance(schema, DependencyGraph) \
+        else DependencyGraph(schema)
+    if label == "*":
+        labels = graph.labels
+    elif label in graph.labels:
+        labels = frozenset({label})
+    else:
+        return False
+    analysis = _ImpliedAnalysis(graph)
+    analysis.run(list(filter_root.iter()))
+    if axis is Axis.CHILD:
+        return all(analysis._certain_child(filter_root, a) for a in labels)
+    return all((id(filter_root), a) in analysis.desc_true for a in labels)
+
+
+# ---------------------------------------------------------------------------
+# Containment under a schema (bounded counterexample search)
+# ---------------------------------------------------------------------------
+
+
+def query_contained_under_schema(
+    q1: TwigQuery,
+    q2: TwigQuery,
+    schema: DMS,
+    *,
+    max_trees: int = 500,
+    max_depth: int = 8,
+    random_trees: int = 100,
+    rng: RngLike = None,
+) -> tuple[bool, XTree | None]:
+    """Bounded test of ``q1 ⊆_S q2``.
+
+    Searches systematically-enumerated and randomly-sampled valid documents
+    for a node selected by ``q1`` but not ``q2``.  Returns ``(False,
+    counterexample)`` when one is found, else ``(True, None)`` — complete
+    only up to the bounds (the problem is coNP-complete).
+    """
+    from repro.schema.generation import (
+        enumerate_valid_trees,
+        generate_valid_tree,
+    )
+
+    r = make_rng(rng)
+
+    def is_counterexample(tree: XTree) -> bool:
+        selected2 = set(map(id, evaluate(q2, tree)))
+        return any(id(n) not in selected2 for n in evaluate(q1, tree))
+
+    for tree in itertools.chain(
+        enumerate_valid_trees(schema, limit=max_trees, max_depth=max_depth),
+        (generate_valid_tree(schema, rng=r, max_depth=max_depth)
+         for _ in range(random_trees)),
+    ):
+        if is_counterexample(tree):
+            return False, tree
+    return True, None

@@ -1,0 +1,89 @@
+"""Label satisfiability, reachability, and schema trimming.
+
+A label is *satisfiable* when some finite tree rooted at it validates: a
+required atom whose labels are all unsatisfiable (or a required cycle)
+poisons its parent.  Computed as a greatest-to-least fixpoint in PTIME.
+
+*Trimming* rewrites a schema onto its satisfiable, root-reachable core;
+containment and the dependency-graph analyses all start by trimming, which
+is what keeps them both correct and polynomial.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.dms import DMS
+
+
+def satisfiable_labels(schema: DMS) -> frozenset[str]:
+    """Labels admitting at least one finite valid subtree.
+
+    Least fixpoint: a label is satisfiable once every *required* atom of its
+    expression contains some already-satisfiable label (leaves start the
+    induction: no atoms, or none required).
+    """
+    sat: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for label, expr in schema.rules.items():
+            if label in sat:
+                continue
+            ok = all(
+                (not atom.multiplicity.required)
+                or any(x in sat for x in atom.labels)
+                for atom in expr.atoms
+            )
+            if ok:
+                sat.add(label)
+                changed = True
+    return frozenset(sat)
+
+
+def reachable_labels(schema: DMS,
+                     within: frozenset[str] | None = None) -> frozenset[str]:
+    """Labels reachable from the root through allowed-children edges.
+
+    ``within`` restricts traversal (pass the satisfiable set to compute the
+    useful core).
+    """
+    allowed = within if within is not None else schema.alphabet
+    if schema.root not in allowed:
+        return frozenset()
+    seen = {schema.root}
+    stack = [schema.root]
+    while stack:
+        label = stack.pop()
+        for child in schema.expression(label).alphabet:
+            if child in allowed and child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return frozenset(seen)
+
+
+def is_satisfiable(schema: DMS) -> bool:
+    """Does the schema admit at least one valid document?"""
+    return schema.root in satisfiable_labels(schema)
+
+
+def trim(schema: DMS) -> DMS:
+    """The equivalent schema over satisfiable, root-reachable labels only.
+
+    Raises :class:`~repro.errors.SchemaError` when the schema is
+    unsatisfiable (there is no equivalent trimmed schema to return).
+    """
+    sat = satisfiable_labels(schema)
+    if schema.root not in sat:
+        raise SchemaError(
+            f"schema is unsatisfiable: root {schema.root!r} admits no "
+            "finite valid tree"
+        )
+    core = reachable_labels(schema, within=sat)
+    rules = {}
+    for label in core:
+        restricted = schema.expression(label).restrict(core)
+        # ``restrict`` returns None only when a required atom dies, which
+        # cannot happen for satisfiable labels.
+        assert restricted is not None, label
+        rules[label] = restricted
+    return DMS(schema.root, rules)

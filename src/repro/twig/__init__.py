@@ -1,0 +1,52 @@
+"""Twig queries: the downward, learnable fragment of XPath.
+
+A *twig query* is a tree pattern over node labels with two edge types —
+child (``/``) and descendant (``//``) — wildcard labels (``*``), and one
+distinguished *selected* node that produces the answer.  This is the query
+class of Staworko & Wieczorek (ICDT 2012) that the paper builds its XML
+learning story on; the *anchored* restriction (no wildcard below a ``//``
+edge) is the learnable-from-positive-examples subclass.
+
+Public surface:
+
+* :class:`TwigQuery`, :class:`TwigNode`, :class:`Axis` — the AST.
+* :func:`parse_twig` / ``TwigQuery.to_xpath`` — concrete XPath-like syntax.
+* :func:`evaluate` / :func:`selects` / :func:`matches_boolean` — semantics.
+* :func:`embeds` / :func:`contains` / :func:`equivalent` — containment.
+* :func:`minimize` — redundant-branch elimination.
+* :func:`product` — least-general-generalisation machinery for the learner.
+* :func:`is_anchored` / :func:`anchor_repair` — the anchored subclass.
+"""
+
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate, selects, matches_boolean
+from repro.twig.embedding import embeds, contains, equivalent, contains_exact
+from repro.twig.normalize import minimize
+from repro.twig.product import product
+from repro.twig.anchored import is_anchored, anchor_repair, universal_query
+from repro.twig.union import UnionTwigQuery, union_consistent
+from repro.twig.generator import random_twig, canonical_query_for_node
+
+__all__ = [
+    "Axis",
+    "TwigNode",
+    "TwigQuery",
+    "parse_twig",
+    "evaluate",
+    "selects",
+    "matches_boolean",
+    "embeds",
+    "contains",
+    "contains_exact",
+    "equivalent",
+    "minimize",
+    "product",
+    "is_anchored",
+    "anchor_repair",
+    "universal_query",
+    "UnionTwigQuery",
+    "union_consistent",
+    "random_twig",
+    "canonical_query_for_node",
+]

@@ -1,0 +1,112 @@
+"""The anchored subclass of twig queries and the repair into it.
+
+A twig query is *anchored* when no wildcard node hangs below a descendant
+edge: every ``//`` edge (including the virtual edge from the document root
+when the root axis is ``//``) targets a labelled node.  Wildcards reached
+by child edges are allowed (``/a/*/b`` is anchored; ``/a//*`` is not).
+Staworko & Wieczorek proved this subclass learnable from positive examples;
+products of anchored queries may momentarily leave the class, so the
+learner repairs them with :func:`anchor_repair`, the least anchored
+generalisation:
+
+* a ``//``-edge to a *leaf* wildcard is replaced by a ``/``-edge wildcard
+  (equivalent: "has a descendant" iff "has a child");
+* a ``//``-edge to an *internal* wildcard dissolves the wildcard and
+  reattaches its branches with ``//`` edges (a sound generalisation);
+* a ``//``-rooted wildcard root dissolves similarly; when that is
+  impossible (the wildcard is the selected node) the repair falls back to
+  the :func:`universal_query` ``//*`` and reports inexactness.
+"""
+
+from __future__ import annotations
+
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+
+
+def is_anchored(query: TwigQuery) -> bool:
+    """No wildcard below a ``//`` edge (nor a ``//``-rooted wildcard root)."""
+    if query.root_axis is Axis.DESC and query.root.is_wildcard:
+        return False
+    return all(
+        not child.is_wildcard
+        for n in query.nodes()
+        for axis, child in n.branches
+        if axis is Axis.DESC
+    )
+
+
+def universal_query() -> TwigQuery:
+    """The top of the generalisation lattice: ``//*`` (selects every node)."""
+    root = TwigNode("*")
+    return TwigQuery(Axis.DESC, root, root)
+
+
+def _repair_node(n: TwigNode, selected: TwigNode) -> bool:
+    """Repair ``//``-to-wildcard edges below ``n``.  Returns False when the
+    selected node itself blocks the repair."""
+    changed = True
+    while changed:
+        changed = False
+        new_branches: list[tuple[Axis, TwigNode]] = []
+        for axis, child in n.branches:
+            if axis is Axis.DESC and child.is_wildcard:
+                if child is selected:
+                    return False
+                if not child.branches:
+                    # "has a descendant" == "has a child".
+                    new_branches.append((Axis.CHILD, TwigNode("*")))
+                else:
+                    # Dissolve the wildcard; grandchildren sat at depth >= 2,
+                    # // keeps them at depth >= 1 — a sound generalisation.
+                    new_branches.extend(
+                        (Axis.DESC, grandchild)
+                        for _, grandchild in child.branches
+                    )
+                changed = True
+            else:
+                new_branches.append((axis, child))
+        n.branches = new_branches
+    return all(_repair_node(child, selected) for _, child in n.branches)
+
+
+def anchor_repair(query: TwigQuery) -> tuple[TwigQuery, bool]:
+    """Return ``(anchored_query, exact)``.
+
+    ``anchored_query`` generalises ``query`` and lies in the anchored class.
+    ``exact`` is False when the repair had to fall back to the universal
+    query (the generalisation may then be much coarser).
+    """
+    if is_anchored(query):
+        return query, True
+    repaired = query.copy()
+
+    if not _repair_node(repaired.root, repaired.selected):
+        return universal_query(), False
+
+    # Root repair: dissolve a //-rooted wildcard root.
+    while repaired.root_axis is Axis.DESC and repaired.root.is_wildcard:
+        root = repaired.root
+        if root is repaired.selected:
+            return universal_query(), False
+        if not root.branches:
+            # "//*" with no constraints selecting a non-existent node cannot
+            # happen (selected is inside the pattern), keep defensive.
+            return universal_query(), False
+        if len(root.branches) == 1:
+            _, child = root.branches[0]
+            repaired = TwigQuery(Axis.DESC, child, repaired.selected)
+        else:
+            # Keep only the branch leading to the selected node; dropping
+            # the sibling filters is a sound generalisation.
+            keeper = None
+            for _, child in root.branches:
+                if child.contains_node(repaired.selected):
+                    keeper = child
+                    break
+            if keeper is None:
+                return universal_query(), False
+            repaired = TwigQuery(Axis.DESC, keeper, repaired.selected)
+        if not _repair_node(repaired.root, repaired.selected):
+            return universal_query(), False
+
+    return repaired, True

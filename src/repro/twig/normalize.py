@@ -1,0 +1,113 @@
+"""Twig minimisation: removal of redundant (sibling-subsumed) branches.
+
+A branch ``(axis_i, c_i)`` at a node is *redundant* when a sibling branch
+``(axis_j, c_j)`` implies it: every document satisfying the sibling branch
+below some node also satisfies the redundant one.  Concretely
+
+* ``axis_i = /``:  requires ``axis_j = /`` and a Boolean embedding of
+  ``c_i`` into ``c_j`` mapping root to root;
+* ``axis_i = //``: requires a Boolean embedding of ``c_i`` at *any* node of
+  the sibling subtree (anything in the sibling subtree sits at depth >= 1).
+
+Removing redundant branches preserves query equivalence; this is the
+standard tree-pattern minimisation step and the reason the paper's learned
+queries do not grow with the size of the example documents.  Branches whose
+subtree contains the selected node are never removed.
+
+The implication relation is transitive, and ties between mutually-implied
+(equivalent) branches are broken by keeping the earliest, so a single sweep
+per node is sound.
+"""
+
+from __future__ import annotations
+
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+
+
+def bool_embeds_at(pattern: TwigNode, target: TwigNode) -> bool:
+    """Boolean embedding of ``pattern`` into the subtree at ``target``.
+
+    Root maps to root; no selected-node constraints.
+    """
+    memo: dict[tuple[int, int], bool] = {}
+
+    def go(u: TwigNode, v: TwigNode) -> bool:
+        key = (id(u), id(v))
+        if key in memo:
+            return memo[key]
+        if u.is_wildcard:
+            ok = True
+        else:
+            ok = (not v.is_wildcard) and u.label == v.label
+        if ok:
+            for axis, uc in u.branches:
+                if axis is Axis.CHILD:
+                    targets = [c for a, c in v.branches if a is Axis.CHILD]
+                else:
+                    targets = [d for _, c in v.branches for d in c.iter()]
+                if not any(go(uc, vc) for vc in targets):
+                    ok = False
+                    break
+        memo[key] = ok
+        return ok
+
+    return go(pattern, target)
+
+
+def branch_implies(stronger: tuple[Axis, TwigNode],
+                   weaker: tuple[Axis, TwigNode]) -> bool:
+    """Does the ``stronger`` branch imply the ``weaker`` one at the same node?"""
+    axis_s, sub_s = stronger
+    axis_w, sub_w = weaker
+    if axis_w is Axis.CHILD:
+        return axis_s is Axis.CHILD and bool_embeds_at(sub_w, sub_s)
+    # weaker is a descendant branch: any placement in the stronger subtree
+    # sits at depth >= 1 below the shared parent.
+    return any(bool_embeds_at(sub_w, v) for v in sub_s.iter())
+
+
+def _prune_branches(
+    branches: list[tuple[Axis, TwigNode]],
+    protected: set[int],
+) -> list[tuple[Axis, TwigNode]]:
+    """Drop branches implied by a surviving sibling.
+
+    ``protected`` holds ids of subtree roots that must survive (they contain
+    the selected node).  Equivalent pairs keep the earliest branch.
+    """
+    removed: set[int] = set()
+    for i, bi in enumerate(branches):
+        if id(bi[1]) in protected:
+            continue
+        for j, bj in enumerate(branches):
+            if i == j or j in removed:
+                continue
+            if branch_implies(bj, bi):
+                if not branch_implies(bi, bj) or j < i:
+                    removed.add(i)
+                    break
+    return [b for i, b in enumerate(branches) if i not in removed]
+
+
+def prune_redundant_branches(
+    branches: list[tuple[Axis, TwigNode]],
+) -> list[tuple[Axis, TwigNode]]:
+    """Public pruning entry point for Boolean branch lists (no selected node)."""
+    return _prune_branches(branches, set())
+
+
+def minimize(query: TwigQuery) -> TwigQuery:
+    """Equivalent query with redundant branches removed, bottom-up.
+
+    The input is not mutated.
+    """
+    result = query.copy()
+    protected = {id(n) for _, n in result.spine()}
+
+    def go(n: TwigNode) -> None:
+        for _, child in n.branches:
+            go(child)
+        n.branches = _prune_branches(n.branches, protected)
+
+    go(result.root)
+    return result

@@ -1,0 +1,125 @@
+"""Parser for the XPath-like concrete syntax of twig queries.
+
+Grammar (whitespace-insensitive)::
+
+    query   :=  ('/' | '//') step (('/' | '//') step)*
+    step    :=  name filter*
+    filter  :=  '[' rel ']'
+    rel     :=  ('.//')? step (('/' | '//') step)*
+    name    :=  '*' | [A-Za-z_@][A-Za-z0-9_.:-]*
+
+The final step of the outer path is the selected node.  Filters starting
+with ``.//`` attach via a descendant edge; plain filters via a child edge.
+Examples::
+
+    /site/people/person[profile/gender][profile/age]/name
+    //closed_auction//keyword
+    /a/*[b//c]/d
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_@")
+_NAME_CHARS = _NAME_START | set("0123456789.:-")
+
+
+class _Cursor:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def eof(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, token: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.peek(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.take(token):
+            raise ParseError(f"expected {token!r}", position=self.pos)
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        if self.take("*"):
+            return "*"
+        start = self.pos
+        if self.pos >= len(self.text) or self.text[self.pos] not in _NAME_START:
+            raise ParseError("expected a label or '*'", position=self.pos)
+        self.pos += 1
+        while (self.pos < len(self.text)
+               and self.text[self.pos] in _NAME_CHARS):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+
+def _parse_axis(cursor: _Cursor) -> Axis | None:
+    # '//' must be tried before '/'.
+    if cursor.take("//"):
+        return Axis.DESC
+    if cursor.take("/"):
+        return Axis.CHILD
+    return None
+
+
+def _parse_step(cursor: _Cursor) -> TwigNode:
+    label = cursor.read_name()
+    step = TwigNode(label)
+    while cursor.peek("["):
+        cursor.expect("[")
+        axis = Axis.DESC if cursor.take(".//") else Axis.CHILD
+        child = _parse_rel_path(cursor)
+        step.add(axis, child)
+        cursor.expect("]")
+    return step
+
+
+def _parse_rel_path(cursor: _Cursor) -> TwigNode:
+    head = _parse_step(cursor)
+    tail = head
+    while True:
+        # Stop at ']' or end; otherwise an axis continues the path.
+        if cursor.peek("]") or cursor.eof():
+            return head
+        axis = _parse_axis(cursor)
+        if axis is None:
+            return head
+        nxt = _parse_step(cursor)
+        tail.add(axis, nxt)
+        tail = nxt
+
+
+def parse_twig(text: str) -> TwigQuery:
+    """Parse ``text`` into a :class:`TwigQuery`.
+
+    Raises :class:`~repro.errors.ParseError` on malformed syntax.
+    """
+    cursor = _Cursor(text)
+    root_axis = _parse_axis(cursor)
+    if root_axis is None:
+        raise ParseError("query must start with '/' or '//'", position=0)
+    root = _parse_step(cursor)
+    tail = root
+    while not cursor.eof():
+        axis = _parse_axis(cursor)
+        if axis is None:
+            raise ParseError("expected '/', '//' or end of query",
+                             position=cursor.pos)
+        nxt = _parse_step(cursor)
+        tail.add(axis, nxt)
+        tail = nxt
+    return TwigQuery(root_axis, root, tail)

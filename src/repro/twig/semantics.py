@@ -1,0 +1,144 @@
+"""Twig query evaluation over :class:`~repro.xmltree.tree.XTree` documents.
+
+Semantics: an *embedding* of a query ``q`` into a tree ``t`` maps every
+query node to a tree node such that labels are compatible (``*`` matches
+anything), child edges map to parent/child pairs, descendant edges map to
+proper ancestor/descendant pairs, and the query root maps to the document
+root when the root axis is ``/`` (anywhere when ``//``).  The answer of the
+query is the set of images of the selected node over all embeddings.
+
+The evaluation is the classic two-pass dynamic programme:
+
+1. *Bottom-up*: for each query node, the set of tree nodes at which its
+   subtree pattern embeds (``O(|q| * |t| * depth)``).
+2. *Top-down*: restrict each candidate set to nodes reachable within a full
+   embedding; the answer is the restricted set of the selected node.
+
+Both passes exploit that tree patterns decompose: sibling branches embed
+independently, so existence of a full embedding factorises exactly.
+"""
+
+from __future__ import annotations
+
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+
+class _TreeIndex:
+    """Flat index over a document: ids, parents, ancestor lists."""
+
+    def __init__(self, tree: XTree) -> None:
+        self.tree = tree
+        self.nodes: list[XNode] = list(tree.nodes())
+        self.index: dict[int, int] = {id(n): i for i, n in enumerate(self.nodes)}
+        self.parent: list[int | None] = [None] * len(self.nodes)
+        self.children: list[list[int]] = [[] for _ in self.nodes]
+        for i, n in enumerate(self.nodes):
+            for child in n.children:
+                j = self.index[id(child)]
+                self.parent[j] = i
+                self.children[i].append(j)
+
+    def ancestors(self, i: int) -> list[int]:
+        """Proper ancestors of node ``i`` (nearest first)."""
+        out: list[int] = []
+        p = self.parent[i]
+        while p is not None:
+            out.append(p)
+            p = self.parent[p]
+        return out
+
+    def descendants(self, i: int) -> list[int]:
+        """Proper descendants of node ``i``."""
+        out: list[int] = []
+        stack = list(self.children[i])
+        while stack:
+            j = stack.pop()
+            out.append(j)
+            stack.extend(self.children[j])
+        return out
+
+
+def _label_matches(query_label: str, tree_label: str) -> bool:
+    return query_label == "*" or query_label == tree_label
+
+
+def _bottom_up(query_root: TwigNode, idx: _TreeIndex) -> dict[int, set[int]]:
+    """Candidate sets: query node id -> tree indices where its subtree embeds."""
+    cand: dict[int, set[int]] = {}
+    # Post-order over the query.
+    order: list[TwigNode] = []
+    stack = [query_root]
+    while stack:
+        n = stack.pop()
+        order.append(n)
+        stack.extend(child for _, child in n.branches)
+    for qnode in reversed(order):
+        base = {
+            i for i, t in enumerate(idx.nodes)
+            if _label_matches(qnode.label, t.label)
+        }
+        for axis, qchild in qnode.branches:
+            child_cand = cand[id(qchild)]
+            if axis is Axis.CHILD:
+                allowed = {idx.parent[j] for j in child_cand
+                           if idx.parent[j] is not None}
+            else:
+                allowed = set()
+                for j in child_cand:
+                    allowed.update(idx.ancestors(j))
+            base &= allowed
+            if not base:
+                break
+        cand[id(qnode)] = base
+    return cand
+
+
+def _top_down(query: TwigQuery, idx: _TreeIndex,
+              cand: dict[int, set[int]]) -> dict[int, set[int]]:
+    """Reachable sets: query node id -> tree indices usable in full embeddings."""
+    reach: dict[int, set[int]] = {}
+    root_cand = cand[id(query.root)]
+    if query.root_axis is Axis.CHILD:
+        root_reach = root_cand & {idx.index[id(idx.tree.root)]}
+    else:
+        root_reach = set(root_cand)
+    reach[id(query.root)] = root_reach
+
+    stack: list[TwigNode] = [query.root]
+    while stack:
+        qnode = stack.pop()
+        here = reach[id(qnode)]
+        for axis, qchild in qnode.branches:
+            if axis is Axis.CHILD:
+                allowed: set[int] = set()
+                for i in here:
+                    allowed.update(idx.children[i])
+            else:
+                allowed = set()
+                for i in here:
+                    allowed.update(idx.descendants(i))
+            reach[id(qchild)] = cand[id(qchild)] & allowed
+            stack.append(qchild)
+    return reach
+
+
+def evaluate(query: TwigQuery, tree: XTree) -> list[XNode]:
+    """All document nodes selected by ``query`` on ``tree`` (document order)."""
+    idx = _TreeIndex(tree)
+    cand = _bottom_up(query.root, idx)
+    if not cand[id(query.root)]:
+        return []
+    reach = _top_down(query, idx, cand)
+    answer = sorted(reach[id(query.selected)])
+    return [idx.nodes[i] for i in answer]
+
+
+def selects(query: TwigQuery, tree: XTree, target: XNode) -> bool:
+    """Does ``query`` select precisely the node ``target`` of ``tree``?"""
+    return any(n is target for n in evaluate(query, tree))
+
+
+def matches_boolean(query: TwigQuery, tree: XTree) -> bool:
+    """Boolean satisfaction: does any embedding of ``query`` exist?"""
+    return bool(evaluate(query, tree))

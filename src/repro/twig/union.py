@@ -1,0 +1,104 @@
+"""Unions of twig queries — the paper's proposed richer language.
+
+Section 2: "We also plan to address the intractability of the consistency
+by considering richer query languages e.g., unions of twig queries for
+which testing consistency is trivial but learnability remains an open
+question."
+
+Why consistency is trivial here: a twig ``q`` selects an annotated node
+``(t, n)`` iff ``q`` generalises the example's *canonical query*, so every
+union consistent with the positives generalises (disjunct-wise) the union
+of the positives' canonical queries.  That union is therefore the least
+consistent hypothesis — the examples admit *any* consistent union iff it
+already avoids every negative, a polynomial check
+(:func:`union_consistent`).
+
+Learnability is the open question; :mod:`repro.learning.union_learner`
+contributes the natural greedy answer (merge canonical queries while
+consistency survives).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.twig.ast import TwigQuery
+from repro.twig.embedding import contains
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XNode, XTree
+
+
+class UnionTwigQuery:
+    """A finite union of twig queries (selected-node semantics)."""
+
+    __slots__ = ("disjuncts",)
+
+    def __init__(self, disjuncts: Iterable[TwigQuery]) -> None:
+        self.disjuncts = tuple(disjuncts)
+        if not self.disjuncts:
+            raise ValueError("a union query needs at least one disjunct")
+
+    def evaluate(self, tree: XTree) -> list[XNode]:
+        """Union of the disjuncts' answers, in document order."""
+        order = {id(n): i for i, n in enumerate(tree.nodes())}
+        seen: set[int] = set()
+        answers: list[XNode] = []
+        for disjunct in self.disjuncts:
+            for n in evaluate(disjunct, tree):
+                if id(n) not in seen:
+                    seen.add(id(n))
+                    answers.append(n)
+        answers.sort(key=lambda n: order[id(n)])
+        return answers
+
+    def selects(self, tree: XTree, node: XNode) -> bool:
+        return any(n is node for n in self.evaluate(tree))
+
+    def size(self) -> int:
+        return sum(d.size() for d in self.disjuncts)
+
+    def simplified(self) -> "UnionTwigQuery":
+        """Drop disjuncts contained in another disjunct."""
+        kept: list[TwigQuery] = []
+        for i, d in enumerate(self.disjuncts):
+            absorbed = False
+            for j, e in enumerate(self.disjuncts):
+                if i == j:
+                    continue
+                if contains(d, e) and not (contains(e, d) and j > i):
+                    absorbed = True
+                    break
+            if not absorbed:
+                kept.append(d)
+        return UnionTwigQuery(kept)
+
+    def to_xpath(self) -> str:
+        return " | ".join(d.to_xpath() for d in self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionTwigQuery({self.to_xpath()!r})"
+
+
+def union_consistent(
+    positives: Sequence[tuple[XTree, XNode]],
+    negatives: Sequence[tuple[XTree, XNode]],
+) -> UnionTwigQuery | None:
+    """The paper's 'trivial' consistency test for unions of twigs.
+
+    Returns the least consistent union (the union of the positives'
+    canonical queries) or ``None`` when no union of twigs is consistent —
+    which happens exactly when some positive's canonical query already
+    selects a negative (every generalisation then selects it too).
+    Polynomial time.
+    """
+    from repro.twig.generator import canonical_query_for_node
+
+    canonicals = [canonical_query_for_node(t, n) for t, n in positives]
+    candidate = UnionTwigQuery(canonicals)
+    for tree, node in negatives:
+        if candidate.selects(tree, node):
+            return None
+    return candidate

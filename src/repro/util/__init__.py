@@ -1,0 +1,7 @@
+"""Shared utilities: seeded RNG helpers, ASCII tables, interval arithmetic."""
+
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.util.intervals import Interval, INF
+
+__all__ = ["make_rng", "format_table", "Interval", "INF"]

@@ -1,0 +1,100 @@
+"""Integer intervals with an infinite upper bound.
+
+Multiplicities (``1``, ``?``, ``+``, ``*``) denote intervals over the
+naturals; schema containment reduces to interval-sum inclusion, so the
+interval arithmetic lives here where both the schema and graph packages can
+share it.
+
+``INF`` is a singleton sentinel ordered above every integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class _Infinity:
+    """Positive infinity for interval upper bounds (singleton ``INF``)."""
+
+    _instance: "_Infinity | None" = None
+
+    def __new__(cls) -> "_Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "INF"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __hash__(self) -> int:
+        return hash("repro-INF")
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __le__(self, other: object) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __gt__(self, other: object) -> bool:
+        return not isinstance(other, _Infinity)
+
+    def __ge__(self, other: object) -> bool:
+        return True
+
+    def __add__(self, other: "int | _Infinity") -> "_Infinity":
+        return self
+
+    def __radd__(self, other: "int | _Infinity") -> "_Infinity":
+        return self
+
+
+INF = _Infinity()
+
+Bound = Union[int, _Infinity]
+
+
+def _add(a: Bound, b: Bound) -> Bound:
+    if isinstance(a, _Infinity) or isinstance(b, _Infinity):
+        return INF
+    return a + b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A contiguous integer interval ``[lo, hi]``, ``hi`` possibly ``INF``."""
+
+    lo: int
+    hi: Bound
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"interval lower bound must be >= 0, got {self.lo}")
+        if not isinstance(self.hi, _Infinity) and self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def __contains__(self, n: int) -> bool:
+        return self.lo <= n and (isinstance(self.hi, _Infinity) or n <= self.hi)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        """Minkowski sum: achievable totals of two independent counts."""
+        return Interval(self.lo + other.lo, _add(self.hi, other.hi))
+
+    def issubset(self, other: "Interval") -> bool:
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    @property
+    def bounded(self) -> bool:
+        return not isinstance(self.hi, _Infinity)
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+ZERO_INTERVAL = Interval(0, 0)

@@ -1,0 +1,28 @@
+"""Deterministic random number generation.
+
+All stochastic components of the library (generators, strategies, PAC
+sampling) accept either an integer seed or an existing ``random.Random``
+instance; :func:`make_rng` normalises both into a ``random.Random``.
+Determinism matters here: every benchmark in the paper reproduction must be
+re-runnable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+RngLike = int | random.Random | None
+
+
+def make_rng(seed: RngLike = None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or ``None``.
+
+    ``None`` yields a fixed default seed (0) rather than entropy from the
+    OS — reproducibility is the default in this library, opt *out* by passing
+    your own seeded instance.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        seed = 0
+    return random.Random(seed)

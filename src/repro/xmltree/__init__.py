@@ -1,0 +1,26 @@
+"""Semi-structured (XML) substrate: unordered node-labelled trees.
+
+The paper's twig queries and multiplicity schemas both deliberately ignore
+sibling order ("this order is not taken into account by the twig queries"),
+so the central data structure is an *unordered* labelled tree.  Documents are
+still parsed from / serialised to ordinary ordered XML text; order is simply
+not significant for equality, evaluation, or schema membership.
+
+Attributes are modelled as children labelled ``@name`` whose text holds the
+attribute value — the classic encoding that lets twig queries navigate into
+attributes with the same machinery as elements.
+"""
+
+from repro.xmltree.tree import XNode, XTree, node, trees_equal, canonical_form
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize_xml
+
+__all__ = [
+    "XNode",
+    "XTree",
+    "node",
+    "trees_equal",
+    "canonical_form",
+    "parse_xml",
+    "serialize_xml",
+]

@@ -1,0 +1,223 @@
+"""A small, dependency-free XML parser producing :class:`XNode` trees.
+
+Supports the fragment of XML needed by the paper's workloads: elements,
+attributes (encoded as ``@name`` children), text content, self-closing tags,
+comments, processing instructions, CDATA, and the five predefined entities.
+Namespaces are treated literally (the prefix stays part of the label).
+
+The parser is a straightforward recursive-descent scanner over the input
+string.  It reports :class:`~repro.errors.ParseError` with a character
+position on malformed input, and validates tag nesting.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.xmltree.tree import XNode
+
+_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character-level cursor over the XML text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise ParseError(f"expected {token!r}", position=self.pos)
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def read_until(self, token: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise ParseError(f"unterminated construct, missing {token!r}",
+                             position=self.pos)
+        chunk = self.text[self.pos:end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in _NAME_START:
+            raise ParseError("expected a name", position=self.pos)
+        self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+
+def _decode_entities(raw: str, position: int) -> str:
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise ParseError("unterminated entity reference",
+                             position=position + i)
+        name = raw[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise ParseError(f"unknown entity &{name};", position=position + i)
+        i = end + 1
+    return "".join(out)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs, and doctype declarations."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->")
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>")
+        elif scanner.startswith("<!DOCTYPE") or scanner.startswith("<!doctype"):
+            # Consume until the matching '>' (internal subsets use brackets).
+            depth = 0
+            while not scanner.eof():
+                ch = scanner.text[scanner.pos]
+                scanner.pos += 1
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+            else:
+                raise ParseError("unterminated DOCTYPE", position=scanner.pos)
+        else:
+            return
+
+
+def _parse_attributes(scanner: _Scanner) -> list[tuple[str, str]]:
+    attrs: list[tuple[str, str]] = []
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof():
+            raise ParseError("unterminated start tag", position=scanner.pos)
+        if scanner.peek() in (">", "/"):
+            return attrs
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise ParseError("attribute value must be quoted",
+                             position=scanner.pos)
+        scanner.pos += 1
+        start = scanner.pos
+        raw = scanner.read_until(quote)
+        attrs.append((name, _decode_entities(raw, start)))
+
+
+def _parse_element(scanner: _Scanner) -> XNode:
+    scanner.expect("<")
+    label = scanner.read_name()
+    attrs = _parse_attributes(scanner)
+    element = XNode(label)
+    for attr_name, attr_value in attrs:
+        element.add(XNode("@" + attr_name, text=attr_value))
+
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return element
+    scanner.expect(">")
+
+    text_parts: list[str] = []
+    while True:
+        if scanner.eof():
+            raise ParseError(f"unterminated element <{label}>",
+                             position=scanner.pos)
+        if scanner.startswith("</"):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != label:
+                raise ParseError(
+                    f"mismatched closing tag </{closing}> for <{label}>",
+                    position=scanner.pos,
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            break
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->")
+        elif scanner.startswith("<![CDATA["):
+            scanner.pos += 9
+            text_parts.append(scanner.read_until("]]>"))
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>")
+        elif scanner.peek() == "<":
+            element.add(_parse_element(scanner))
+        else:
+            start = scanner.pos
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                raise ParseError(f"unterminated element <{label}>",
+                                 position=scanner.pos)
+            raw = scanner.text[scanner.pos:end]
+            scanner.pos = end
+            text_parts.append(_decode_entities(raw, start))
+
+    text = "".join(text_parts).strip()
+    if text:
+        element.text = text
+    return element
+
+
+def parse_xml(text: str) -> XNode:
+    """Parse an XML document string into an :class:`XNode` tree.
+
+    Raises :class:`~repro.errors.ParseError` on malformed input or trailing
+    content after the root element.
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise ParseError("expected a root element", position=scanner.pos)
+    root = _parse_element(scanner)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise ParseError("trailing content after root element",
+                         position=scanner.pos)
+    return root

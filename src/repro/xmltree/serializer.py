@@ -1,0 +1,61 @@
+"""Serialise :class:`XNode` trees back to XML text.
+
+``@name`` children are emitted as attributes (the inverse of the parser's
+encoding); everything else becomes nested elements.  Text with markup
+characters is escaped with the predefined entities, so
+``parse_xml(serialize_xml(t))`` is the identity on unordered trees.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.tree import XNode
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def _escape(value: str, table: list[tuple[str, str]]) -> str:
+    for raw, entity in table:
+        value = value.replace(raw, entity)
+    return value
+
+
+def _serialize_node(n: XNode, out: list[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    attrs = [c for c in n.children if c.label.startswith("@")]
+    elements = [c for c in n.children if not c.label.startswith("@")]
+
+    attr_text = "".join(
+        f' {a.label[1:]}="{_escape(a.text or "", _ATTR_ESCAPES)}"' for a in attrs
+    )
+    if not elements and n.text is None:
+        out.append(f"{pad}<{n.label}{attr_text}/>")
+        return
+    if not elements:
+        body = _escape(n.text or "", _TEXT_ESCAPES)
+        out.append(f"{pad}<{n.label}{attr_text}>{body}</{n.label}>")
+        return
+
+    out.append(f"{pad}<{n.label}{attr_text}>")
+    if n.text is not None:
+        text_pad = "  " * (indent + 1) if pretty else ""
+        out.append(f"{text_pad}{_escape(n.text, _TEXT_ESCAPES)}")
+    for child in elements:
+        _serialize_node(child, out, indent + 1, pretty)
+    out.append(f"{pad}</{n.label}>")
+
+
+def serialize_xml(root, *, pretty: bool = True,
+                  declaration: bool = False) -> str:
+    """Render a node (or a whole :class:`XTree`) as XML text.
+
+    ``pretty`` adds two-space indentation and newlines; ``declaration``
+    prefixes the standard ``<?xml ...?>`` header.
+    """
+    if hasattr(root, "root"):  # accept XTree for convenience
+        root = root.root
+    out: list[str] = []
+    if declaration:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>')
+    _serialize_node(root, out, 0, pretty)
+    return ("\n" if pretty else "").join(out)

@@ -1,0 +1,167 @@
+"""Unordered node-labelled trees — the document model for twig learning.
+
+:class:`XNode` is a mutable tree node with a label, optional text, and
+children.  :class:`XTree` wraps a root node and provides whole-document
+operations (node enumeration, lookup by stable id, statistics).
+
+Design notes
+------------
+* Sibling order is preserved for serialisation aesthetics but is *not*
+  semantically meaningful: :func:`trees_equal` and :func:`canonical_form`
+  compare trees up to sibling permutation, matching the unordered data model
+  of the paper's schema formalisms.
+* Nodes carry no parent pointer by default; :class:`XTree` computes a parent
+  map lazily so that plain nodes stay cheap to build in generators and tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Optional
+
+
+class XNode:
+    """A tree node with a ``label``, optional ``text``, and ``children``."""
+
+    __slots__ = ("label", "text", "children")
+
+    def __init__(
+        self,
+        label: str,
+        children: Optional[list["XNode"]] = None,
+        text: Optional[str] = None,
+    ) -> None:
+        if not label:
+            raise ValueError("node label must be a non-empty string")
+        self.label = label
+        self.text = text
+        self.children: list[XNode] = list(children) if children else []
+
+    def add(self, child: "XNode") -> "XNode":
+        """Append ``child`` and return it (enables fluent tree building)."""
+        self.children.append(child)
+        return child
+
+    def iter(self) -> Iterator["XNode"]:
+        """Yield this node and all descendants, depth-first, pre-order."""
+        stack = [self]
+        while stack:
+            current = stack.pop()
+            yield current
+            # reversed() keeps pre-order left-to-right for readability.
+            stack.extend(reversed(current.children))
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter())
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def labels(self) -> set[str]:
+        """The set of labels occurring in the subtree."""
+        return {n.label for n in self.iter()}
+
+    def find_first(self, label: str) -> Optional["XNode"]:
+        """First node (pre-order) in the subtree with the given label."""
+        for n in self.iter():
+            if n.label == label:
+                return n
+        return None
+
+    def find_all(self, label: str) -> list["XNode"]:
+        """All nodes in the subtree with the given label, pre-order."""
+        return [n for n in self.iter() if n.label == label]
+
+    def copy(self) -> "XNode":
+        """Deep copy of the subtree."""
+        return XNode(self.label, [c.copy() for c in self.children], self.text)
+
+    def __repr__(self) -> str:
+        parts = [self.label]
+        if self.text is not None:
+            parts.append(f"text={self.text!r}")
+        if self.children:
+            parts.append(f"{len(self.children)} children")
+        return f"<XNode {' '.join(parts)}>"
+
+
+def node(label: str, *children: XNode, text: Optional[str] = None) -> XNode:
+    """Convenience builder: ``node("a", node("b"), text="x")``."""
+    return XNode(label, list(children), text)
+
+
+class XTree:
+    """A document: a root :class:`XNode` plus whole-tree conveniences."""
+
+    def __init__(self, root: XNode) -> None:
+        self.root = root
+        self._parents: dict[int, Optional[XNode]] | None = None
+
+    def nodes(self) -> Iterator[XNode]:
+        return self.root.iter()
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+    def _parent_map(self) -> dict[int, Optional[XNode]]:
+        if self._parents is None:
+            parents: dict[int, Optional[XNode]] = {id(self.root): None}
+            for n in self.root.iter():
+                for child in n.children:
+                    parents[id(child)] = n
+            self._parents = parents
+        return self._parents
+
+    def parent(self, n: XNode) -> Optional[XNode]:
+        """Parent of ``n`` in this tree (``None`` for the root).
+
+        The parent map is computed once and cached; mutate the tree through
+        a fresh :class:`XTree` if structure changes.
+        """
+        try:
+            return self._parent_map()[id(n)]
+        except KeyError:
+            raise ValueError("node does not belong to this tree") from None
+
+    def path_to_root(self, n: XNode) -> list[XNode]:
+        """Nodes from ``n`` up to and including the root."""
+        path = [n]
+        current = self.parent(n)
+        while current is not None:
+            path.append(current)
+            current = self.parent(current)
+        return path
+
+    def invalidate(self) -> None:
+        """Drop cached structure after a mutation."""
+        self._parents = None
+
+    def copy(self) -> "XTree":
+        return XTree(self.root.copy())
+
+    def __repr__(self) -> str:
+        return f"<XTree root={self.root.label!r} size={self.size()}>"
+
+
+def canonical_form(n: XNode) -> tuple:
+    """A hashable canonical form invariant under sibling permutation.
+
+    Two nodes have equal canonical forms iff their subtrees are equal as
+    unordered trees (labels and text included).  Every component is kept
+    sortable (text ``None`` is encoded as a flag + empty string) so child
+    forms can be ordered deterministically.
+    """
+    child_forms = sorted(canonical_form(c) for c in n.children)
+    return (n.label, n.text is None, n.text or "", tuple(child_forms))
+
+
+def trees_equal(a: XNode, b: XNode) -> bool:
+    """Unordered-tree equality (labels, text, multiset of child subtrees)."""
+    return canonical_form(a) == canonical_form(b)

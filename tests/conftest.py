@@ -1,0 +1,133 @@
+"""Shared fixtures, builders, and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+LABELS = ("a", "b", "c", "d")
+
+
+# ---------------------------------------------------------------------------
+# Deterministic builders
+# ---------------------------------------------------------------------------
+
+
+def xml(text: str) -> XTree:
+    """Parse helper used across tests."""
+    from repro.xmltree.parser import parse_xml
+
+    return XTree(parse_xml(text))
+
+
+@pytest.fixture
+def people_doc() -> XTree:
+    return xml(
+        "<site><people>"
+        "<person><name>ada</name><phone>1</phone></person>"
+        "<person><name>bob</name><homepage>h</homepage></person>"
+        "<person><name>cyd</name><phone>2</phone><homepage>h</homepage>"
+        "</person>"
+        "</people></site>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def xnode_trees(draw, max_depth: int = 4, max_children: int = 3) -> XNode:
+    """Random small documents over a fixed alphabet."""
+    label = draw(st.sampled_from(LABELS))
+    node = XNode(label)
+    if max_depth > 1:
+        n_children = draw(st.integers(0, max_children))
+        for _ in range(n_children):
+            node.add(draw(xnode_trees(max_depth=max_depth - 1,
+                                      max_children=max_children)))
+    if draw(st.booleans()):
+        node.text = draw(st.sampled_from(("x", "y", "zz")))
+    return node
+
+
+@st.composite
+def twig_queries(draw, max_depth: int = 3) -> TwigQuery:
+    """Random anchored twig queries over the same alphabet."""
+
+    def pattern(depth: int, incoming_desc: bool) -> TwigNode:
+        wildcard_ok = not incoming_desc
+        if wildcard_ok and draw(st.booleans()) and draw(st.booleans()):
+            label = "*"
+        else:
+            label = draw(st.sampled_from(LABELS))
+        n = TwigNode(label)
+        if depth > 1:
+            for _ in range(draw(st.integers(0, 2))):
+                axis = draw(st.sampled_from((Axis.CHILD, Axis.DESC)))
+                child = pattern(depth - 1, axis is Axis.DESC)
+                n.add(axis, child)
+        return n
+
+    root_axis = draw(st.sampled_from((Axis.CHILD, Axis.DESC)))
+    root = pattern(max_depth, root_axis is Axis.DESC)
+    selected = draw(st.sampled_from(list(root.iter())))
+    return TwigQuery(root_axis, root, selected)
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (naive, obviously-correct)
+# ---------------------------------------------------------------------------
+
+
+def naive_twig_answers(query: TwigQuery, tree: XTree) -> set[int]:
+    """Brute-force twig evaluation by enumerating all embeddings.
+
+    Exponential; used to cross-check the DP evaluator on small inputs.
+    """
+    nodes = list(tree.nodes())
+    parents: dict[int, XNode | None] = {id(tree.root): None}
+    for n in nodes:
+        for c in n.children:
+            parents[id(c)] = n
+
+    def is_descendant(d: XNode, a: XNode) -> bool:
+        cur = parents[id(d)]
+        while cur is not None:
+            if cur is a:
+                return True
+            cur = parents[id(cur)]
+        return False
+
+    query_nodes = list(query.nodes())
+    answers: set[int] = set()
+    for assignment in itertools.product(nodes, repeat=len(query_nodes)):
+        mapping = dict(zip((id(q) for q in query_nodes), assignment))
+
+        def ok() -> bool:
+            root_img = mapping[id(query.root)]
+            if query.root_axis is Axis.CHILD and root_img is not tree.root:
+                return False
+            for q in query_nodes:
+                img = mapping[id(q)]
+                if q.label != "*" and q.label != img.label:
+                    return False
+                for axis, qc in q.branches:
+                    child_img = mapping[id(qc)]
+                    if axis is Axis.CHILD:
+                        if parents[id(child_img)] is not img:
+                            return False
+                    else:
+                        if not is_descendant(child_img, img):
+                            return False
+            return True
+
+        if ok():
+            answers.add(id(mapping[id(query.selected)]))
+    return answers

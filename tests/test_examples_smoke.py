@@ -1,0 +1,44 @@
+"""Smoke tests: the runnable examples actually run."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "learned query : /site/people/person[phone]/name" in out
+    assert "['eve']" in out
+
+
+def test_interactive_join(capsys):
+    out = run_example("interactive_join.py", capsys)
+    assert "hidden goal predicate" in out
+    for strategy in ("random", "lattice", "halving"):
+        assert strategy in out
+
+
+def test_cross_model_exchange(capsys):
+    out = run_example("cross_model_exchange.py", capsys)
+    assert "1 relational->XML (publish)" in out
+    assert "4 graph->XML (publish)" in out
+
+
+def test_geo_paths(capsys):
+    out = run_example("geo_paths.py", capsys)
+    assert "learned path query" in out
+    assert "<paths>" in out
+
+
+@pytest.mark.slow
+def test_schema_aware_learning(capsys):
+    out = run_example("schema_aware_learning.py", capsys)
+    assert "schema-aware" in out

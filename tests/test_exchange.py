@@ -1,0 +1,121 @@
+"""Cross-model exchange: publish/shred pipelines, mappings, Figure 1."""
+
+from repro.exchange.mapping import (
+    learn_relational_to_xml_mapping,
+    learn_xml_to_relational_mapping,
+    shredding_mapping,
+)
+from repro.exchange.publish import (
+    graph_paths_to_xml,
+    grouped_relational_to_xml,
+    relational_to_xml,
+)
+from repro.exchange.scenarios import run_all_scenarios
+from repro.exchange.shred import (
+    relational_to_xml_roundtrip,
+    xml_to_rdf,
+    xml_to_relational,
+)
+from repro.graphdb.geo import make_geo_graph
+from repro.learning.join_learner import PairExample
+from repro.learning.protocol import NodeExample, TwigOracle
+from repro.relational.database import Database
+from repro.relational.generator import employees_departments
+from repro.relational.predicates import predicate_selects
+from repro.twig.parse import parse_twig
+from repro.xmltree.tree import XTree, trees_equal
+
+from .conftest import xml
+
+
+def test_relational_to_xml_shape():
+    emp, _ = employees_departments(people=3, rng=0)
+    doc = relational_to_xml(emp)
+    assert doc.root.label == "emp"
+    rows = [c for c in doc.root.children if c.label == "row"]
+    assert len(rows) == 3
+    assert {c.label for c in rows[0].children} == \
+        {"eid", "ename", "dept_id", "salary"}
+
+
+def test_grouped_publishing():
+    emp, _ = employees_departments(people=6, departments=2, rng=0)
+    doc = grouped_relational_to_xml(emp, "dept_id")
+    groups = [c for c in doc.root.children if c.label == "group"]
+    assert 1 <= len(groups) <= 2
+    for g in groups:
+        assert any(c.label == "@key" for c in g.children)
+
+
+def test_shred_roundtrip():
+    doc = xml("<a><b x='1'>t</b><c><d/></c></a>")
+    db = xml_to_relational(doc)
+    rebuilt = relational_to_xml_roundtrip(db)
+    assert trees_equal(rebuilt.root, doc.root)
+
+
+def test_shred_attribute_tables():
+    doc = xml("<a><b x='1'/><b x='2' y='3'/></a>")
+    db = xml_to_relational(doc, attribute_tables=True)
+    assert "b" in db
+    assert set(db["b"].attributes) == {"id", "x", "y"}
+    assert len(db["b"]) == 2
+
+
+def test_xml_to_rdf_triples():
+    doc = xml("<a><b>t</b></a>")
+    ts = xml_to_rdf(doc)
+    assert ("n0", "label", "a") in ts
+    assert ("n1", "text", "t") in ts
+    assert ("n0", "b", "n1") in ts
+
+
+def test_learned_xml_mapping_extracts():
+    goal = parse_twig("/site/people/person/name")
+    oracle = TwigOracle(goal)
+    doc = xml("<site><people><person><name>ada</name></person>"
+              "<person><name>bob</name></person></people></site>")
+    examples = [NodeExample(doc, n) for n in oracle.annotate(doc)]
+    mapping = learn_xml_to_relational_mapping(examples)
+    rel = mapping.apply(doc)
+    assert len(rel) == 2
+    assert {row[2] for row in rel} == {"ada", "bob"}
+
+
+def test_learned_relational_mapping_publishes():
+    emp, dept = employees_departments(people=6, departments=2, rng=1)
+    goal = frozenset({("dept_id", "did")})
+    examples = [
+        PairExample(lr, rr, predicate_selects(emp, dept, lr, rr, goal))
+        for lr in emp for rr in dept
+    ]
+    mapping = learn_relational_to_xml_mapping(emp, dept, examples)
+    doc = mapping.apply(Database.of(emp, dept))
+    assert isinstance(doc, XTree)
+    rows = [c for c in doc.root.children if c.label == "row"]
+    assert len(rows) == 6  # every employee joins its department
+
+
+def test_shredding_mapping_object():
+    doc = xml("<a><b/></a>")
+    mapping = shredding_mapping()
+    db = mapping.apply(doc)
+    assert len(db["edge"]) == 2
+
+
+def test_graph_paths_to_xml():
+    g = make_geo_graph(rng=1)
+    doc = graph_paths_to_xml(g, [("city_0_0", "city_1_0")])
+    paths = [c for c in doc.root.children if c.label == "path"]
+    assert len(paths) == 1
+    labels = [c.label for c in paths[0].children]
+    assert labels.count("node") == 2
+    assert labels.count("edge") == 1
+
+
+def test_figure1_all_scenarios_run():
+    reports = run_all_scenarios(rng=0)
+    assert len(reports) == 4
+    for report in reports:
+        assert report.target_size > 0
+        assert report.questions >= 1

@@ -1,0 +1,117 @@
+"""Failure injection: malformed inputs must raise crisp library errors,
+never crash with bare Python exceptions deep in the stack."""
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    LearningError,
+    ParseError,
+    RelationalError,
+    ReproError,
+    SchemaError,
+)
+from repro.graphdb.graph import Graph
+from repro.learning.join_learner import learn_join
+from repro.learning.semijoin_learner import check_semijoin_consistency, LeftExample
+from repro.relational.joins import equi_join
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.schema.dme import parse_dme
+from repro.schema.dms import DMS
+from repro.twig.parse import parse_twig
+from repro.xmltree.parser import parse_xml
+
+
+def test_every_error_is_a_repro_error():
+    for exc in (GraphError, LearningError, ParseError, RelationalError,
+                SchemaError):
+        assert issubclass(exc, ReproError)
+
+
+@pytest.mark.parametrize("text", [
+    "<a><b></a>",
+    "<",
+    "a",
+    "<a attr=>",
+    "<a>&broken",
+])
+def test_xml_parser_rejects_cleanly(text):
+    with pytest.raises(ParseError):
+        parse_xml(text)
+
+
+@pytest.mark.parametrize("text", [
+    "", "b", "/", "/a[[b]]", "/a[b", "/a//", "/a/*bad*",
+])
+def test_twig_parser_rejects_cleanly(text):
+    with pytest.raises(ParseError):
+        parse_twig(text)
+
+
+@pytest.mark.parametrize("text", [
+    "a |", "(a|a)",
+])
+def test_dme_parser_rejects_cleanly(text):
+    with pytest.raises((ParseError, SchemaError)):
+        parse_dme(text)
+
+
+def test_dme_duplicate_across_atoms():
+    with pytest.raises(SchemaError):
+        parse_dme("a || a?")
+
+
+def test_schema_text_without_arrow():
+    with pytest.raises(SchemaError):
+        DMS.from_text("root: a\nbroken line")
+
+
+def test_join_on_missing_attribute():
+    r = Relation(RelationSchema("r", ("a",)), [(1,)])
+    s = Relation(RelationSchema("s", ("b",)), [(1,)])
+    with pytest.raises(RelationalError):
+        equi_join(r, s, [("nope", "b")])
+
+
+def test_learn_join_without_examples():
+    r = Relation(RelationSchema("r", ("a",)), [(1,)])
+    s = Relation(RelationSchema("s", ("b",)), [(1,)])
+    with pytest.raises(LearningError):
+        learn_join(r, s, [])
+
+
+def test_semijoin_empty_right_relation_handled():
+    left = Relation(RelationSchema("l", ("a",)), [(1,)])
+    right = Relation(RelationSchema("r", ("b",)), [])
+    result = check_semijoin_consistency(left, right,
+                                        [LeftExample((1,), True)])
+    assert result.consistent is False
+
+
+def test_graph_bad_lookups():
+    g = Graph()
+    g.add_edge("a", "x", "b")
+    with pytest.raises(GraphError):
+        g.out_neighbours("missing")
+    with pytest.raises(GraphError):
+        g.edge_properties("a", "y", "b")
+    with pytest.raises(GraphError):
+        g.add_edge("a", "", "b")
+
+
+def test_relation_bad_arity_message_names_schema():
+    schema = RelationSchema("emp", ("a", "b"))
+    try:
+        Relation(schema, [(1,)])
+    except RelationalError as e:
+        assert "emp" in str(e)
+    else:  # pragma: no cover
+        pytest.fail("expected RelationalError")
+
+
+def test_parse_error_exposes_position():
+    try:
+        parse_twig("/a[")
+    except ParseError as e:
+        assert e.position is not None

@@ -1,0 +1,92 @@
+"""The graph substrate: construction, adjacency, properties."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphdb.graph import Graph
+from repro.graphdb.geo import make_geo_graph
+
+
+def small_graph():
+    g = Graph()
+    g.add_edge("p", "knows", "q", since=2001)
+    g.add_edge("q", "knows", "r")
+    g.add_edge("p", "likes", "r")
+    g.add_vertex("p", name="pat")
+    return g
+
+
+def test_vertices_and_edges():
+    g = small_graph()
+    assert set(g.vertices()) == {"p", "q", "r"}
+    assert g.n_edges() == 3
+    assert g.labels() == {"knows", "likes"}
+
+
+def test_adjacency():
+    g = small_graph()
+    assert g.out_neighbours("p") == {"q", "r"}
+    assert g.out_neighbours("p", "knows") == {"q"}
+    assert g.in_neighbours("r") == {"q", "p"}
+    assert g.in_neighbours("r", "likes") == {"p"}
+
+
+def test_out_edges_iteration():
+    g = small_graph()
+    assert sorted(g.out_edges("p")) == [("knows", "q"), ("likes", "r")]
+
+
+def test_properties():
+    g = small_graph()
+    assert g.vertex_properties("p") == {"name": "pat"}
+    assert g.edge_properties("p", "knows", "q") == {"since": 2001}
+
+
+def test_unknown_lookups_raise():
+    g = small_graph()
+    with pytest.raises(GraphError):
+        g.out_neighbours("zzz")
+    with pytest.raises(GraphError):
+        g.vertex_properties("zzz")
+    with pytest.raises(GraphError):
+        g.edge_properties("p", "knows", "r")
+
+
+def test_parallel_labels_kept_distinct():
+    g = Graph()
+    g.add_edge("a", "x", "b")
+    g.add_edge("a", "y", "b")
+    assert g.n_edges() == 2
+    assert g.out_neighbours("a", "x") == {"b"}
+
+
+def test_empty_label_rejected():
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.add_edge("a", "", "b")
+
+
+def test_networkx_export():
+    g = small_graph()
+    nx_graph = g.to_networkx()
+    assert nx_graph.number_of_nodes() == 3
+    assert nx_graph.number_of_edges() == 3
+
+
+def test_geo_graph_shape():
+    g = make_geo_graph(rng=0)
+    assert g.n_vertices() == 20  # 5 x 4 grid
+    assert g.labels() <= {"highway", "national", "local", "train"}
+    # Roads are bidirectional.
+    for edge in g.edges():
+        assert edge.src in g.out_neighbours(edge.dst, edge.label)
+    # Distances recorded on every edge.
+    for edge in g.edges():
+        assert "distance" in edge.properties
+
+
+def test_geo_graph_deterministic():
+    g1 = make_geo_graph(rng=42)
+    g2 = make_geo_graph(rng=42)
+    assert sorted((e.src, e.label, e.dst) for e in g1.edges()) == \
+        sorted((e.src, e.label, e.dst) for e in g2.edges())

@@ -1,0 +1,89 @@
+"""Cross-checks between the RPQ evaluator and path enumeration, plus
+schema-membership properties under document mutation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb.graph import Graph
+from repro.graphdb.nfa import compile_regex
+from repro.graphdb.regex import parse_regex
+from repro.graphdb.rpq import enumerate_paths, evaluate_rpq
+from repro.schema.corpus import library_schema
+from repro.schema.generation import generate_valid_tree
+
+ALPHABET = ("x", "y")
+
+
+@st.composite
+def small_graphs(draw, max_nodes=5, max_edges=8):
+    n = draw(st.integers(2, max_nodes))
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    n_edges = draw(st.integers(1, max_edges))
+    for _ in range(n_edges):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 1))
+        label = draw(st.sampled_from(ALPHABET))
+        if src != dst:
+            g.add_edge(src, label, dst)
+    return g
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), st.sampled_from([
+    "x", "x.y", "x*", "(x|y)+", "x.(x|y)*", "y.y",
+]))
+def test_rpq_agrees_with_path_enumeration(graph, regex_text):
+    """Pairs found by the product construction == pairs with a witness
+    path (up to the enumeration length bound, restricted to simple paths
+    — so enumeration may only miss, never add)."""
+    regex = parse_regex(regex_text)
+    nfa = compile_regex(regex)
+    rpq_pairs = evaluate_rpq(regex, graph)
+    for source in graph.vertices():
+        for target in graph.vertices():
+            if source == target:
+                continue  # empty-word pairs have no enumerated witness
+            witnessed = any(
+                nfa.accepts(word)
+                for _, word in enumerate_paths(graph, source, target,
+                                               max_length=4)
+            )
+            if witnessed:
+                assert (source, target) in rpq_pairs
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_rpq_star_is_reflexive(graph):
+    pairs = evaluate_rpq(parse_regex("x*"), graph)
+    for v in graph.vertices():
+        assert (v, v) in pairs
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_schema_membership_mutation(seed):
+    """A valid document stays valid under order shuffles (unordered
+    semantics) and usually breaks under label corruption."""
+    rng = random.Random(seed)
+    schema = library_schema()
+    doc = generate_valid_tree(schema, rng=rng.randrange(10 ** 9),
+                              max_depth=6, growth=0.7)
+    assert schema.accepts(doc)
+
+    # Shuffling sibling order never invalidates.
+    shuffled = doc.copy()
+    for n in shuffled.nodes():
+        rng.shuffle(n.children)
+    assert schema.accepts(shuffled)
+
+    # Renaming a node to a label unknown to the schema always invalidates.
+    corrupted = doc.copy()
+    nodes = list(corrupted.nodes())
+    victim = rng.choice(nodes)
+    victim.label = "__alien__"
+    assert not schema.accepts(corrupted)

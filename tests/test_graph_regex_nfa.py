@@ -1,0 +1,116 @@
+"""Regex parsing and NFA semantics, cross-checked against Python's re."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.graphdb.nfa import compile_regex
+from repro.graphdb.regex import (
+    Concat,
+    Epsilon,
+    Label,
+    Star,
+    Union,
+    parse_regex,
+    plus,
+    optional,
+)
+
+ALPHABET = ("h", "n", "l", "t")
+
+
+def test_parse_simple():
+    r = parse_regex("highway")
+    assert r == Label("highway")
+
+
+def test_parse_concat_union_star():
+    r = parse_regex("a.b|c*")
+    assert isinstance(r, Union)
+    assert r.left == Concat(Label("a"), Label("b"))
+    assert r.right == Star(Label("c"))
+
+
+def test_parse_parens_and_postfix():
+    r = parse_regex("(a|b)+.c?")
+    nfa = compile_regex(r)
+    assert nfa.accepts(("a", "c"))
+    assert nfa.accepts(("b", "a"))
+    assert not nfa.accepts(("c",))
+
+
+def test_parse_epsilon():
+    assert parse_regex("()") == Epsilon()
+    assert compile_regex(parse_regex("()")).accepts(())
+
+
+def test_parse_errors():
+    for bad in ("", "(", "a|", "a..b", "a)"):
+        with pytest.raises(ParseError):
+            parse_regex(bad)
+
+
+def test_accepts_basic():
+    nfa = compile_regex(parse_regex("a.b*"))
+    assert nfa.accepts(("a",))
+    assert nfa.accepts(("a", "b", "b"))
+    assert not nfa.accepts(("b",))
+    assert not nfa.accepts(())
+
+
+def test_plus_and_optional_helpers():
+    assert compile_regex(plus(Label("a"))).accepts(("a", "a"))
+    assert not compile_regex(plus(Label("a"))).accepts(())
+    assert compile_regex(optional(Label("a"))).accepts(())
+
+
+@st.composite
+def regexes(draw, depth: int = 3):
+    if depth == 0 or draw(st.booleans()):
+        return Label(draw(st.sampled_from(ALPHABET)))
+    kind = draw(st.sampled_from(("concat", "union", "star")))
+    if kind == "concat":
+        return Concat(draw(regexes(depth=depth - 1)),
+                      draw(regexes(depth=depth - 1)))
+    if kind == "union":
+        return Union(draw(regexes(depth=depth - 1)),
+                     draw(regexes(depth=depth - 1)))
+    return Star(draw(regexes(depth=depth - 1)))
+
+
+def _to_python_re(r) -> str:
+    if isinstance(r, Epsilon):
+        return "(?:)"
+    if isinstance(r, Label):
+        return re.escape(r.name)
+    if isinstance(r, Concat):
+        return f"(?:{_to_python_re(r.left)}{_to_python_re(r.right)})"
+    if isinstance(r, Union):
+        return f"(?:{_to_python_re(r.left)}|{_to_python_re(r.right)})"
+    if isinstance(r, Star):
+        return f"(?:{_to_python_re(r.inner)})*"
+    raise TypeError(type(r))
+
+
+@settings(max_examples=60, deadline=None)
+@given(regexes(), st.lists(st.sampled_from(ALPHABET), max_size=6))
+def test_nfa_agrees_with_python_re(regex, word):
+    # Single-character labels make word concatenation unambiguous.
+    nfa = compile_regex(regex)
+    pattern = re.compile(_to_python_re(regex) + r"\Z")
+    assert nfa.accepts(tuple(word)) == bool(pattern.match("".join(word)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_string_rendering_reparses(regex):
+    rendered = str(regex)
+    assert compile_regex(parse_regex(rendered)).accepts is not None
+    # Semantic check on a few probe words:
+    nfa1 = compile_regex(regex)
+    nfa2 = compile_regex(parse_regex(rendered))
+    for word in [(), ("h",), ("h", "n"), ("l", "l", "l")]:
+        assert nfa1.accepts(word) == nfa2.accepts(word)

@@ -1,0 +1,94 @@
+"""Learning chains of joins across many relations."""
+
+import pytest
+
+from repro.errors import InconsistentExamplesError, LearningError
+from repro.learning.chain_learner import (
+    ChainExample,
+    ChainVersionSpace,
+    chain_selects,
+    chain_universe,
+    learn_join_chain,
+    predicate_to_chain,
+)
+from repro.relational.joins import join_chain
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+EMP = Relation(RelationSchema("emp", ("eid", "dept")),
+               [(1, 10), (2, 20), (3, 10)])
+DEPT = Relation(RelationSchema("dept", ("did", "city")),
+                [(10, 500), (20, 600)])
+CITY = Relation(RelationSchema("city", ("cid", "country")),
+                [(500, 1), (600, 2), (700, 1)])
+
+RELS = [EMP, DEPT, CITY]
+GOAL = frozenset({((0, "dept"), (1, "did")), ((1, "city"), (2, "cid"))})
+
+
+def all_examples():
+    return [
+        ChainExample((r1, r2, r3), chain_selects(RELS, (r1, r2, r3), GOAL))
+        for r1 in EMP for r2 in DEPT for r3 in CITY
+    ]
+
+
+def test_universe_spans_all_relation_pairs():
+    universe = chain_universe(RELS)
+    assert ((0, "dept"), (1, "did")) in universe
+    assert ((1, "city"), (2, "cid")) in universe
+    assert ((0, "eid"), (2, "country")) in universe
+
+
+def test_learn_recovers_goal_semantics():
+    theta = learn_join_chain(RELS, all_examples())
+    assert GOAL <= theta
+    for r1 in EMP:
+        for r2 in DEPT:
+            for r3 in CITY:
+                assert chain_selects(RELS, (r1, r2, r3), theta) == \
+                    chain_selects(RELS, (r1, r2, r3), GOAL)
+
+
+def test_consistency_and_errors():
+    with pytest.raises(LearningError):
+        learn_join_chain(RELS, [ChainExample(
+            (next(iter(EMP)), next(iter(DEPT)), next(iter(CITY))), False)])
+    rows = (next(iter(EMP)), next(iter(DEPT)), next(iter(CITY)))
+    with pytest.raises(InconsistentExamplesError):
+        learn_join_chain(RELS, [ChainExample(rows, True),
+                                ChainExample(rows, False)])
+
+
+def test_arity_checked():
+    space = ChainVersionSpace(RELS)
+    with pytest.raises(LearningError):
+        space.add(ChainExample((next(iter(EMP)),), True))
+    with pytest.raises(LearningError):
+        ChainVersionSpace([EMP])
+
+
+def test_implied_labels():
+    space = ChainVersionSpace(RELS)
+    for ex in all_examples():
+        if ex.positive:
+            space.add(ex)
+    assert space.is_consistent()
+    # A positive combination is implied positive once Theta settled.
+    positive_rows = next(e.rows for e in all_examples() if e.positive)
+    assert space.implied_positive(positive_rows)
+
+
+def test_predicate_to_chain_executes():
+    theta = learn_join_chain(RELS, all_examples())
+    # Keep only the goal pairs for execution (Theta may carry accidental
+    # extras that are semantically equivalent on this instance).
+    steps = predicate_to_chain(RELS, GOAL)
+    result = join_chain(RELS, steps)
+    expected = {
+        r1 + r2 + r3
+        for r1 in EMP for r2 in DEPT for r3 in CITY
+        if chain_selects(RELS, (r1, r2, r3), GOAL)
+    }
+    assert {row for row in result} == expected
+    assert theta  # learned predicate available for the same pipeline

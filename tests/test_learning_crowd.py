@@ -1,0 +1,48 @@
+"""Crowdsourcing cost accounting."""
+
+import pytest
+
+from repro.learning.crowd import CostedSession, CrowdBudget
+from repro.learning.interactive import InteractiveJoinSession, LatticeStrategy
+from repro.learning.protocol import SessionStats
+from repro.relational.generator import make_join_instance
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        CrowdBudget(cost_per_hit=-1)
+    with pytest.raises(ValueError):
+        CrowdBudget(redundancy=0)
+
+
+def test_costs_scale_with_questions_and_redundancy():
+    stats = SessionStats(questions=10, implied_positive=5,
+                         implied_negative=15)
+    single = CrowdBudget(cost_per_hit=0.10)
+    tripled = CrowdBudget(cost_per_hit=0.10, redundancy=3)
+    assert single.cost_of(stats) == pytest.approx(1.0)
+    assert tripled.cost_of(stats) == pytest.approx(3.0)
+    assert single.saved_by_propagation(stats) == pytest.approx(2.0)
+
+
+def test_costed_session_economics():
+    stats = SessionStats(questions=5, implied_positive=45,
+                         implied_negative=50)
+    session = CostedSession(stats, pool_size=100,
+                            budget=CrowdBudget(cost_per_hit=0.05))
+    assert session.spent == pytest.approx(0.25)
+    assert session.naive_cost == pytest.approx(5.0)
+    assert session.savings_percent == pytest.approx(95.0)
+    assert "95% saved" in session.report()
+
+
+def test_interactive_session_costing_end_to_end():
+    """The paper's equivalence: fewer interactions == less money."""
+    inst = make_join_instance(rng=4, goal_pairs=2, left_rows=12,
+                              right_rows=12, domain=6)
+    result = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                    strategy=LatticeStrategy(),
+                                    max_pool=120, rng=1).run()
+    costed = CostedSession(result.stats, result.pool_size, CrowdBudget())
+    assert costed.spent < costed.naive_cost
+    assert costed.savings_percent > 50

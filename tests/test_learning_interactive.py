@@ -1,0 +1,77 @@
+"""Interactive join sessions: convergence, propagation, strategy ordering."""
+
+import pytest
+
+from repro.learning.interactive import (
+    HalvingStrategy,
+    InteractiveJoinSession,
+    LatticeStrategy,
+    RandomStrategy,
+)
+from repro.errors import LearningError
+from repro.relational.generator import make_join_instance
+from repro.relational.predicates import predicate_selects
+
+
+def run_session(strategy, seed=3, **kwargs):
+    inst = make_join_instance(rng=seed, goal_pairs=2, left_rows=12,
+                              right_rows=12, domain=6)
+    session = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                     strategy=strategy, max_pool=100,
+                                     rng=seed, **kwargs)
+    return inst, session.run()
+
+
+@pytest.mark.parametrize("strategy", [
+    RandomStrategy(rng=1),
+    LatticeStrategy(),
+    HalvingStrategy(),
+])
+def test_session_learns_equivalent_predicate(strategy):
+    inst, result = run_session(strategy)
+    learned = result.predicate
+    for lrow in inst.left:
+        for rrow in inst.right:
+            assert predicate_selects(inst.left, inst.right, lrow, rrow,
+                                     learned) == \
+                predicate_selects(inst.left, inst.right, lrow, rrow,
+                                  inst.goal)
+
+
+def test_all_pool_pairs_resolved():
+    _, result = run_session(LatticeStrategy())
+    resolved = (result.stats.questions + result.stats.implied_positive
+                + result.stats.implied_negative)
+    assert resolved == result.pool_size
+
+
+def test_propagation_saves_labels():
+    """The whole point of the framework: far fewer questions than pairs."""
+    _, result = run_session(LatticeStrategy())
+    assert result.stats.questions < result.pool_size / 2
+    assert result.stats.labels_saved > 0
+
+
+def test_smart_strategies_beat_random_on_average():
+    totals = {"random": 0, "lattice": 0}
+    for seed in range(5):
+        _, random_result = run_session(RandomStrategy(rng=seed), seed=seed)
+        _, lattice_result = run_session(LatticeStrategy(), seed=seed)
+        totals["random"] += random_result.stats.questions
+        totals["lattice"] += lattice_result.stats.questions
+    assert totals["lattice"] <= totals["random"]
+
+
+def test_max_questions_enforced():
+    inst = make_join_instance(rng=5, goal_pairs=2, left_rows=12,
+                              right_rows=12, domain=6)
+    session = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                     strategy=RandomStrategy(rng=0),
+                                     max_pool=100, rng=5)
+    with pytest.raises(LearningError):
+        session.run(max_questions=1)
+
+
+def test_interaction_rate():
+    _, result = run_session(HalvingStrategy())
+    assert 0 < result.interaction_rate <= 1

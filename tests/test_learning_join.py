@@ -1,0 +1,133 @@
+"""Join learning: version-space invariants and the PTIME consistency check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InconsistentExamplesError, LearningError
+from repro.learning.join_learner import (
+    JoinVersionSpace,
+    PairExample,
+    PairStatus,
+    check_join_consistency,
+    learn_join,
+)
+from repro.relational.generator import make_join_instance
+from repro.relational.predicates import predicate_selects
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+R = Relation(RelationSchema("r", ("a", "b")),
+             [(1, 1), (1, 2), (2, 2), (3, 1)])
+S = Relation(RelationSchema("s", ("c", "d")),
+             [(1, 1), (2, 1), (2, 2), (9, 9)])
+
+
+def label_all(goal):
+    return [
+        PairExample(lr, rr, predicate_selects(R, S, lr, rr, goal))
+        for lr in R for rr in S
+    ]
+
+
+def test_learn_recovers_goal_with_full_labels():
+    goal = frozenset({("a", "c")})
+    result = learn_join(R, S, label_all(goal))
+    # Most specific consistent hypothesis contains the goal.
+    assert goal <= result.predicate
+    # And selects exactly the same pairs on the instance.
+    for lr in R:
+        for rr in S:
+            assert predicate_selects(R, S, lr, rr, result.predicate) == \
+                predicate_selects(R, S, lr, rr, goal)
+
+
+def test_learn_two_pair_goal():
+    goal = frozenset({("a", "c"), ("b", "d")})
+    result = learn_join(R, S, label_all(goal))
+    for lr in R:
+        for rr in S:
+            assert predicate_selects(R, S, lr, rr, result.predicate) == \
+                predicate_selects(R, S, lr, rr, goal)
+
+
+def test_requires_positive():
+    with pytest.raises(LearningError):
+        learn_join(R, S, [PairExample((1, 1), (1, 1), False)])
+
+
+def test_inconsistency_detected():
+    # Same pair labelled both ways is inconsistent.
+    examples = [PairExample((1, 1), (1, 1), True),
+                PairExample((1, 1), (1, 1), False)]
+    assert not check_join_consistency(R, S, examples)
+    with pytest.raises(InconsistentExamplesError):
+        learn_join(R, S, examples)
+
+
+def test_consistency_is_theta_max_check():
+    space = JoinVersionSpace(R, S)
+    space.add(PairExample((1, 1), (1, 1), True))
+    assert space.is_consistent()
+    # A negative agreeing on everything Theta has kills consistency.
+    space.add(PairExample((1, 1), (1, 1), False))
+    assert not space.is_consistent()
+
+
+def test_implied_positive_status():
+    space = JoinVersionSpace(R, S)
+    space.add(PairExample((1, 1), (1, 1), True))  # agrees on everything
+    space.add(PairExample((1, 2), (1, 1), True))  # kills b=c and b=d
+    assert space.theta_max == frozenset({("a", "c"), ("a", "d")})
+    # (2,2)-(2,2) agrees on all four pairs, a superset of Theta: implied.
+    assert space.status((2, 2), (2, 2)) is PairStatus.IMPLIED_POSITIVE
+
+
+def test_implied_negative_status():
+    space = JoinVersionSpace(R, S)
+    space.add(PairExample((1, 1), (1, 1), True))
+    space.add(PairExample((1, 2), (2, 2), False))  # agree on b=d only? ...
+    negative_eq = space.negative_eqs[0]
+    # Any unlabeled pair whose candidate set is inside the negative's
+    # agreement is implied negative.
+    for lr in R:
+        for rr in S:
+            if space.theta_max & space.eq(lr, rr) <= negative_eq:
+                assert space.status(lr, rr) is PairStatus.IMPLIED_NEGATIVE
+
+
+def test_consistent_hypotheses_enumeration():
+    space = JoinVersionSpace(R, S)
+    space.add(PairExample((1, 1), (1, 1), True))
+    hypotheses = list(space.consistent_hypotheses(limit=100))
+    assert frozenset() in hypotheses           # empty predicate consistent
+    assert space.theta_max in hypotheses       # most specific one too
+    # Sizes are non-increasing (most specific first).
+    sizes = [len(h) for h in hypotheses]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_version_space_invariants_random(seed):
+    inst = make_join_instance(rng=seed, left_rows=8, right_rows=8,
+                              goal_pairs=1, domain=4)
+    space = JoinVersionSpace(inst.left, inst.right)
+    pairs = [(lr, rr) for lr in inst.left for rr in inst.right]
+    for lr, rr in pairs[:30]:
+        label = predicate_selects(inst.left, inst.right, lr, rr, inst.goal)
+        space.add(PairExample(lr, rr, label))
+    # Oracle labels are always consistent...
+    assert space.is_consistent()
+    # ...the goal is below Theta...
+    assert inst.goal <= space.theta_max
+    # ...and statuses are sound: implied-positive pairs are goal-selected,
+    # implied-negative pairs are goal-rejected.
+    for lr, rr in pairs[30:60]:
+        status = space.status(lr, rr)
+        goal_label = predicate_selects(inst.left, inst.right, lr, rr,
+                                       inst.goal)
+        if status is PairStatus.IMPLIED_POSITIVE:
+            assert goal_label
+        elif status is PairStatus.IMPLIED_NEGATIVE:
+            assert not goal_label

@@ -1,0 +1,83 @@
+"""The PAC (approximate) twig learner."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.pac import pac_learn_twig, sample_complexity
+from repro.learning.protocol import NodeExample
+from repro.schema.corpus import library_schema
+from repro.schema.generation import generate_valid_tree
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+from repro.util.rng import make_rng
+
+
+def test_sample_complexity_monotone():
+    base = sample_complexity(0.1, 0.1, size_bound=6, alphabet_size=10)
+    assert base > 0
+    assert sample_complexity(0.05, 0.1, size_bound=6,
+                             alphabet_size=10) > base
+    assert sample_complexity(0.1, 0.01, size_bound=6,
+                             alphabet_size=10) > base
+    assert sample_complexity(0.1, 0.1, size_bound=12,
+                             alphabet_size=10) > base
+
+
+def test_sample_complexity_validates():
+    with pytest.raises(ValueError):
+        sample_complexity(0, 0.1, size_bound=3, alphabet_size=3)
+    with pytest.raises(ValueError):
+        sample_complexity(0.1, 1.5, size_bound=3, alphabet_size=3)
+    with pytest.raises(ValueError):
+        sample_complexity(0.1, 0.1, size_bound=0, alphabet_size=3)
+
+
+def _make_sampler(goal_text, seed=0):
+    """Samples (tree, node, label) from random valid library documents."""
+    goal = parse_twig(goal_text)
+    rng = make_rng(seed)
+    schema = library_schema()
+
+    def sample() -> NodeExample:
+        while True:
+            doc = generate_valid_tree(schema, rng=rng.randrange(10 ** 9),
+                                      max_depth=6, growth=0.6)
+            nodes = list(doc.nodes())
+            target = rng.choice(nodes)
+            positive = any(n is target for n in evaluate(goal, doc))
+            # Bias towards positives so the sample is informative.
+            if positive or rng.random() < 0.3:
+                return NodeExample(doc, target, positive)
+
+    return sample, goal
+
+
+def test_pac_learner_low_empirical_error():
+    sample, goal = _make_sampler("/library/book/title")
+    result = pac_learn_twig(sample, epsilon=0.25, delta=0.25,
+                            size_bound=4, alphabet_size=8,
+                            max_examples=40, budget=64)
+    assert result.empirical_error <= 0.25
+    assert result.n_examples <= 40
+
+
+def test_pac_learner_realizable_consistent():
+    sample, goal = _make_sampler("/library/book/author", seed=3)
+    result = pac_learn_twig(sample, epsilon=0.2, delta=0.2,
+                            size_bound=4, alphabet_size=8,
+                            max_examples=30, budget=64)
+    # The goal is in the class: the learner should fit the sample well.
+    assert result.empirical_error <= 0.2
+
+
+def test_pac_learner_needs_positives():
+    schema = library_schema()
+    rng = make_rng(0)
+
+    def all_negative() -> NodeExample:
+        doc = generate_valid_tree(schema, rng=rng.randrange(10 ** 9),
+                                  max_depth=5)
+        return NodeExample(doc, doc.root, positive=False)
+
+    with pytest.raises(LearningError):
+        pac_learn_twig(all_negative, max_examples=10)

@@ -1,0 +1,86 @@
+"""Schema-aware pruning — the E3 optimisation."""
+
+from repro.learning.protocol import TwigOracle
+from repro.learning.schema_aware import (
+    learn_twig_schema_aware,
+    prune_schema_implied,
+)
+from repro.schema.dms import DMS
+from repro.schema.generation import generate_valid_tree
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+
+S = DMS.from_text("""
+root: a
+a -> b || c?
+b -> d
+c -> epsilon
+d -> epsilon
+""")
+
+
+def q(text):
+    return parse_twig(text)
+
+
+def test_implied_filter_removed():
+    result = prune_schema_implied(q("/a[b]/c"), S)
+    assert result.query == q("/a/c")
+    assert result.filters_removed == 1
+    assert result.size_after < result.size_before
+
+
+def test_implied_deep_filter_removed():
+    result = prune_schema_implied(q("/a[b/d]/c"), S)
+    assert result.query == q("/a/c")
+
+
+def test_informative_filter_kept():
+    result = prune_schema_implied(q("/a[c]/b"), S)
+    assert result.query == q("/a[c]/b")
+    assert result.filters_removed == 0
+
+
+def test_nested_filter_partial_pruning():
+    # [b[d]] at a: b implied AND d implied inside b -> whole filter goes.
+    result = prune_schema_implied(q("/a[b[d]]/c"), S)
+    assert result.query == q("/a/c")
+
+
+def test_spine_untouched():
+    # b and d are implied, but they are the spine: must stay.
+    result = prune_schema_implied(q("/a/b/d"), S)
+    assert result.query == q("/a/b/d")
+
+
+def test_pruning_preserves_answers_on_valid_docs():
+    query = q("/a[b[d]]/c")
+    pruned = prune_schema_implied(query, S).query
+    for seed in range(20):
+        doc = generate_valid_tree(S, rng=seed, max_depth=4)
+        before = [id(n) for n in evaluate(query, doc)]
+        after = [id(n) for n in evaluate(pruned, doc)]
+        assert before == after
+
+
+def test_reduction_percent():
+    result = prune_schema_implied(q("/a[b][b/d]/c"), S)
+    assert 0 < result.reduction_percent < 100
+
+
+def test_learn_schema_aware_end_to_end():
+    goal = q("/a/c")
+    oracle = TwigOracle(goal)
+    docs, seed = [], 0
+    while len(docs) < 3:
+        d = generate_valid_tree(S, rng=seed, max_depth=4, growth=0.8)
+        seed += 1
+        if oracle.annotate(d):
+            docs.append(d)
+    examples = []
+    for d in docs:
+        examples.extend((d, n) for n in oracle.annotate(d))
+    plain, pruned = learn_twig_schema_aware(examples, S)
+    # The plain learner keeps the implied [b] skeleton; pruning drops it.
+    assert pruned.size_after <= plain.query.size()
+    assert pruned.query == goal

@@ -1,0 +1,121 @@
+"""Semijoin learning: exact search, greedy approximation, the hardness gap."""
+
+import pytest
+
+from repro.errors import InconsistentExamplesError
+from repro.learning.semijoin_learner import (
+    LeftExample,
+    check_semijoin_consistency,
+    greedy_semijoin,
+    learn_semijoin,
+    witness_sets,
+)
+from repro.relational.joins import semijoin
+from repro.relational.predicates import comparable_pairs
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+L = Relation(RelationSchema("l", ("a", "b")),
+             [(1, 1), (1, 2), (2, 2), (5, 5)])
+RGT = Relation(RelationSchema("r", ("c", "d")),
+               [(1, 1), (2, 1), (9, 9)])
+
+
+def oracle_examples(goal, rows=None):
+    selected = semijoin(L, RGT, goal).tuples
+    rows = rows if rows is not None else sorted(L.tuples)
+    return [LeftExample(row, row in selected) for row in rows]
+
+
+def test_witness_sets_maximal_only():
+    uni = comparable_pairs(L, RGT)
+    ws = witness_sets(L, RGT, (1, 1), uni)
+    # No witness is a strict subset of another.
+    for w in ws:
+        assert not any(w < other for other in ws)
+
+
+def test_exact_consistency_on_oracle_labels():
+    goal = frozenset({("a", "c")})
+    result = check_semijoin_consistency(L, RGT, oracle_examples(goal))
+    assert result.consistent is True
+    learned = result.predicate
+    assert semijoin(L, RGT, learned).tuples == semijoin(L, RGT, goal).tuples
+
+
+def test_exact_detects_inconsistency():
+    examples = [LeftExample((1, 1), True), LeftExample((1, 1), False)]
+    result = check_semijoin_consistency(L, RGT, examples)
+    assert result.consistent is False
+    with pytest.raises(InconsistentExamplesError):
+        learn_semijoin(L, RGT, examples)
+
+
+def test_positive_with_no_witness_inconsistent():
+    empty = Relation(RGT.schema, [])
+    result = check_semijoin_consistency(L, empty,
+                                        [LeftExample((1, 1), True)])
+    assert result.consistent is False
+
+
+def test_negatives_only():
+    # Universe predicate must not select the negative.
+    examples = [LeftExample((5, 5), False)]
+    result = check_semijoin_consistency(L, RGT, examples)
+    assert result.consistent is True
+
+
+def test_budget_exhaustion_reported():
+    goal = frozenset({("a", "c")})
+    result = check_semijoin_consistency(L, RGT, oracle_examples(goal),
+                                        budget=1)
+    assert result.consistent is None
+    assert result.budget_exhausted
+
+
+def test_greedy_on_consistent_instance_ignores_nothing():
+    goal = frozenset({("a", "c")})
+    result = greedy_semijoin(L, RGT, oracle_examples(goal))
+    assert result.n_ignored == 0
+    assert semijoin(L, RGT, result.predicate).tuples == \
+        semijoin(L, RGT, goal).tuples
+
+
+def test_greedy_ignores_conflicting_positive():
+    # (5,5) has only the empty witness set; labelling it positive while a
+    # negative also matches everything forces the greedy learner to drop it.
+    examples = [
+        LeftExample((1, 1), True),
+        LeftExample((5, 5), True),
+        LeftExample((2, 2), False),
+    ]
+    exact = check_semijoin_consistency(L, RGT, examples)
+    greedy = greedy_semijoin(L, RGT, examples)
+    if exact.consistent:
+        # If exact finds a predicate, greedy may still drop annotations —
+        # but it must produce a predicate consistent with the negatives.
+        pass
+    selected = semijoin(L, RGT, greedy.predicate).tuples
+    assert (2, 2) not in selected
+
+
+def test_exact_explores_more_nodes_with_more_positives():
+    """The shape of the hardness gap: node counts grow with positives."""
+    big_left = Relation(
+        RelationSchema("l", ("a", "b", "c")),
+        [(i % 3, (i // 3) % 3, i % 2) for i in range(18)],
+    )
+    big_right = Relation(
+        RelationSchema("r", ("x", "y", "z")),
+        [(i % 3, i % 2, (i // 2) % 3) for i in range(12)],
+    )
+    goal = frozenset({("a", "x"), ("b", "z")})
+    selected = semijoin(big_left, big_right, goal).tuples
+    rows = sorted(big_left.tuples)
+    nodes = []
+    for k in (2, 4, 6):
+        examples = [LeftExample(r, r in selected) for r in rows[:k]]
+        result = check_semijoin_consistency(big_left, big_right, examples)
+        assert result.consistent is not None
+        nodes.append(result.nodes_explored)
+    assert nodes[0] <= nodes[-1]

@@ -1,0 +1,148 @@
+"""The positive-only twig learner: convergence and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LearningError
+from repro.learning.protocol import NodeExample, TwigOracle
+from repro.learning.twig_learner import (
+    learn_twig,
+    learn_twig_incremental,
+)
+from repro.twig.anchored import is_anchored
+from repro.twig.embedding import equivalent
+from repro.twig.generator import random_twig
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+from repro.schema.corpus import library_schema
+from repro.schema.generation import generate_valid_tree
+
+from .conftest import xml
+
+
+def oracle_examples(goal_text, docs):
+    oracle = TwigOracle(parse_twig(goal_text))
+    out = []
+    for d in docs:
+        out.extend((d, n) for n in oracle.annotate(d))
+    return out
+
+
+def test_requires_positive_example():
+    with pytest.raises(LearningError):
+        learn_twig([])
+
+
+def test_rejects_negative_example(people_doc):
+    neg = NodeExample(people_doc, people_doc.root, positive=False)
+    with pytest.raises(LearningError):
+        learn_twig([neg])
+
+
+def test_single_example_is_canonical(people_doc):
+    oracle = TwigOracle(parse_twig("/site/people/person[phone]/name"))
+    target = oracle.annotate(people_doc)[0]
+    learned = learn_twig([(people_doc, target)])
+    # One example: the most specific query.  It selects the annotated node
+    # (and possibly structurally richer twins, e.g. cyd who has phone AND
+    # homepage), but never a node lacking the example's structure (bob).
+    answers = evaluate(learned.query, people_doc)
+    assert any(n is target for n in answers)
+    bob_name = [n for n in people_doc.nodes()
+                if n.label == "name" and n.text == "bob"][0]
+    assert not any(n is bob_name for n in answers)
+
+
+def test_two_documents_converge():
+    goal = "/site/people/person[phone]/name"
+    d1 = xml("<site><people><person><name>a</name><phone>1</phone></person>"
+             "<person><name>b</name><homepage>h</homepage></person>"
+             "</people></site>")
+    d2 = xml("<site><people><person><name>c</name><phone>2</phone>"
+             "<address>x</address></person></people>"
+             "<regions><item><name>n</name></item></regions></site>")
+    learned = learn_twig(oracle_examples(goal, [d1, d2]))
+    assert equivalent(learned.query, parse_twig(goal))
+
+
+def test_learned_query_selects_all_positives():
+    goal = "/site/people/person/name"
+    docs = [
+        xml("<site><people><person><name>a</name></person></people></site>"),
+        xml("<site><people><person><name>b</name><phone>1</phone></person>"
+            "</people><open/></site>"),
+    ]
+    examples = oracle_examples(goal, docs)
+    learned = learn_twig(examples)
+    for tree, node in examples:
+        assert any(n is node for n in evaluate(learned.query, tree))
+
+
+def test_incremental_matches_batch():
+    goal = "/site/people/person/name"
+    docs = [
+        xml("<site><people><person><name>a</name></person></people></site>"),
+        xml("<site><people><person><name>b</name><phone>1</phone></person>"
+            "</people></site>"),
+    ]
+    examples = oracle_examples(goal, docs)
+    increments = list(learn_twig_incremental(examples))
+    assert len(increments) == len(examples)
+    assert increments[-1].query == learn_twig(examples).query
+
+
+def test_result_always_anchored():
+    goal = "//person//name"
+    docs = [
+        xml("<site><people><person><x><name>a</name></x></person>"
+            "</people></site>"),
+        xml("<site><people><person><name>b</name></person></people></site>"),
+    ]
+    learned = learn_twig(oracle_examples(goal, docs))
+    assert is_anchored(learned.query)
+
+
+def test_library_goal_converges_in_two_documents():
+    """The paper's 'generally two' claim on a simple document class."""
+    schema = library_schema()
+    goal = parse_twig("/library/book[author/born]/title")
+    oracle = TwigOracle(goal)
+    docs, seed = [], 0
+    while len(docs) < 2:
+        d = generate_valid_tree(schema, rng=seed, max_depth=6, growth=0.6)
+        seed += 1
+        if oracle.annotate(d):
+            docs.append(d)
+    examples = []
+    for d in docs:
+        examples.extend((d, n) for n in oracle.annotate(d))
+    learned = learn_twig(examples)
+    tests = [generate_valid_tree(schema, rng=1000 + i, max_depth=6,
+                                 growth=0.6) for i in range(10)]
+    for t in tests:
+        got = [id(n) for n in evaluate(learned.query, t)]
+        want = [id(n) for n in evaluate(goal, t)]
+        assert got == want
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_random_goal_learnable_on_library(seed):
+    """Oracle-labelled examples from random anchored goals are fitted by a
+    hypothesis that never misses a positive."""
+    schema = library_schema()
+    goal = random_twig(
+        ["library", "book", "title", "author", "name", "year"],
+        spine_length=2, rng=seed)
+    oracle = TwigOracle(goal)
+    docs = [generate_valid_tree(schema, rng=seed * 31 + i, max_depth=6,
+                                growth=0.5) for i in range(4)]
+    examples = []
+    for d in docs:
+        examples.extend((d, n) for n in oracle.annotate(d))
+    if not examples:
+        return  # goal unsatisfiable on this corpus: nothing to learn
+    learned = learn_twig(examples)
+    for tree, node in examples:
+        assert any(n is node for n in evaluate(learned.query, tree))

@@ -1,0 +1,137 @@
+"""Consistency checking with negative examples."""
+
+import pytest
+
+from repro.errors import InconsistentExamplesError
+from repro.learning.protocol import NodeExample
+from repro.learning.twig_negative import (
+    check_consistency,
+    learn_twig_with_negatives,
+)
+from repro.twig.semantics import evaluate
+
+from .conftest import xml
+
+
+def _name_nodes(doc):
+    return [n for n in doc.nodes() if n.label == "name"]
+
+
+def test_consistent_when_negative_distinguishable(people_doc):
+    names = _name_nodes(people_doc)
+    # positive: ada (person with phone); negative: bob (homepage only).
+    examples = [
+        NodeExample(people_doc, names[0], True),
+        NodeExample(people_doc, names[1], False),
+    ]
+    result = check_consistency(examples)
+    assert result.consistent is True
+    assert result.query is not None
+    answers = evaluate(result.query, people_doc)
+    assert any(n is names[0] for n in answers)
+    assert not any(n is names[1] for n in answers)
+
+
+def test_inconsistent_identical_contexts():
+    doc = xml("<a><b><c/></b><b><c/></b></a>")
+    cs = [n for n in doc.nodes() if n.label == "c"]
+    examples = [
+        NodeExample(doc, cs[0], True),
+        NodeExample(doc, cs[1], False),
+    ]
+    result = check_consistency(examples)
+    # The two c nodes are structurally indistinguishable: no twig can
+    # separate them.
+    assert result.consistent is False
+    assert result.exhausted
+
+
+def test_positive_only_always_consistent(people_doc):
+    names = _name_nodes(people_doc)
+    examples = [NodeExample(people_doc, n, True) for n in names]
+    result = check_consistency(examples)
+    assert result.consistent is True
+
+
+def test_learn_raises_on_inconsistency():
+    doc = xml("<a><b><c/></b><b><c/></b></a>")
+    cs = [n for n in doc.nodes() if n.label == "c"]
+    examples = [
+        NodeExample(doc, cs[0], True),
+        NodeExample(doc, cs[1], False),
+    ]
+    with pytest.raises(InconsistentExamplesError):
+        learn_twig_with_negatives(examples)
+
+
+def test_first_candidate_can_prove_inconsistency():
+    # The first candidate is the canonical query of the first positive; if
+    # it already selects a negative, every generalisation does too, so one
+    # explored candidate suffices for a definitive False.
+    doc = xml("<a><b><c/></b><b><c/></b></a>")
+    cs = [n for n in doc.nodes() if n.label == "c"]
+    examples = [
+        NodeExample(doc, cs[0], True),
+        NodeExample(doc, cs[1], False),
+    ]
+    result = check_consistency(examples, budget=1)
+    assert result.consistent is False
+    assert result.candidates_tried == 1
+
+
+def test_truncated_search_is_inconclusive():
+    # With branching=1 only the cheapest alignment is tried; when it hits
+    # the negative, the truncated search must answer None, never False.
+    d = xml("<a>"
+            "<x><c>p1</c></x>"
+            "<x><x><c>p2</c></x></x>"
+            "<y><c>n</c></y>"
+            "</a>")
+    cs = [n for n in d.nodes() if n.label == "c"]
+    examples = [
+        NodeExample(d, cs[0], True),
+        NodeExample(d, cs[1], True),
+        NodeExample(d, cs[2], False),
+    ]
+    result = check_consistency(examples, budget=256, branching=1)
+    assert result.consistent in (None, True)
+    if result.consistent is None:
+        assert not result.exhausted
+    # The full search (generous branching) must find the witness.
+    assert check_consistency(examples, budget=256,
+                             branching=8).consistent is True
+
+
+def test_negative_in_other_document():
+    d1 = xml("<a><b><c>x</c></b></a>")
+    d2 = xml("<a><z><c>y</c></z></a>")
+    c1 = d1.root.children[0].children[0]
+    c2 = d2.root.children[0].children[0]
+    examples = [NodeExample(d1, c1, True), NodeExample(d2, c2, False)]
+    result = check_consistency(examples)
+    assert result.consistent is True
+    assert not any(n is c2 for n in evaluate(result.query, d2))
+
+
+def test_alternative_alignment_rescues_consistency():
+    """The cheapest generalisation may hit a negative while another
+    alignment avoids it — the search must find the alternative."""
+    # positives: c under a/x and a/x/x (differing depth), so the cheapest
+    # lgg uses //; negative: c under a/y also matched by //c.
+    d = xml("<a>"
+            "<x><c>p1</c></x>"
+            "<x><x><c>p2</c></x></x>"
+            "<y><c>n</c></y>"
+            "</a>")
+    cs = [n for n in d.nodes() if n.label == "c"]
+    examples = [
+        NodeExample(d, cs[0], True),
+        NodeExample(d, cs[1], True),
+        NodeExample(d, cs[2], False),
+    ]
+    result = check_consistency(examples, budget=256, branching=8)
+    assert result.consistent is True
+    answers = evaluate(result.query, d)
+    assert any(n is cs[0] for n in answers)
+    assert any(n is cs[1] for n in answers)
+    assert not any(n is cs[2] for n in answers)

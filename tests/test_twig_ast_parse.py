@@ -1,0 +1,109 @@
+"""Twig AST construction, spine, copying, and concrete syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.twig.parse import parse_twig
+
+
+def test_parse_simple_path():
+    q = parse_twig("/a/b/c")
+    assert q.root_axis is Axis.CHILD
+    assert [n.label for _, n in q.spine()] == ["a", "b", "c"]
+    assert q.selected.label == "c"
+
+
+def test_parse_descendant_axes():
+    q = parse_twig("//a//b")
+    assert q.root_axis is Axis.DESC
+    axes = [axis for axis, _ in q.spine()]
+    assert axes == [Axis.DESC, Axis.DESC]
+
+
+def test_parse_filters():
+    q = parse_twig("/a[b][c/d]/e")
+    root = q.root
+    assert root.label == "a"
+    assert len(root.branches) == 3  # two filters + spine continuation
+    assert q.selected.label == "e"
+
+
+def test_parse_descendant_filter():
+    q = parse_twig("/a[.//k]/b")
+    filter_axis, filter_node = q.root.branches[0]
+    assert filter_axis is Axis.DESC
+    assert filter_node.label == "k"
+
+
+def test_parse_wildcard():
+    q = parse_twig("/a/*/c")
+    assert [n.label for _, n in q.spine()] == ["a", "*", "c"]
+
+
+def test_parse_nested_filters():
+    q = parse_twig("/a[b[c][d]]/e")
+    _, b = q.root.branches[0]
+    assert b.label == "b"
+    assert sorted(c.label for _, c in b.branches) == ["c", "d"]
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "a/b", "/a[", "/a]", "/a[]", "//", "/a/"):
+        with pytest.raises(ParseError):
+            parse_twig(bad)
+
+
+def test_to_xpath_roundtrip():
+    for text in (
+        "/a/b/c",
+        "//a//b",
+        "/a[b][c/d]/e",
+        "/a[.//k]/b",
+        "/a/*/c",
+        "/site/people/person[profile/gender][profile/age]/name",
+        "/a[b[c][d]]/e",
+    ):
+        q = parse_twig(text)
+        assert parse_twig(q.to_xpath()) == q
+
+
+def test_query_equality_ignores_branch_order():
+    q1 = parse_twig("/a[b][c]/d")
+    q2 = parse_twig("/a[c][b]/d")
+    assert q1 == q2
+    assert hash(q1) == hash(q2)
+
+
+def test_query_equality_tracks_selected():
+    q1 = parse_twig("/a/b")
+    q2 = parse_twig("/a[b]/b")  # same shape? no: extra filter
+    assert q1 != q2
+
+
+def test_selected_must_be_in_pattern():
+    root = TwigNode("a")
+    stray = TwigNode("b")
+    with pytest.raises(ValueError):
+        TwigQuery(Axis.CHILD, root, stray)
+
+
+def test_copy_preserves_selected_identity():
+    q = parse_twig("/a/b[c]/d")
+    c = q.copy()
+    assert c == q
+    assert c.selected is not q.selected
+    assert c.selected.label == "d"
+    assert c.root.contains_node(c.selected)
+
+
+def test_spine_of_selected_root():
+    root = TwigNode("a")
+    q = TwigQuery(Axis.CHILD, root, root)
+    assert q.spine() == [(Axis.CHILD, root)]
+
+
+def test_size_and_depth():
+    q = parse_twig("/a[b/c]/d")
+    assert q.size() == 4
+    assert q.depth() == 3

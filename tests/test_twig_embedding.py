@@ -1,0 +1,87 @@
+"""Containment via embeddings: soundness and the exact canonical-model test."""
+
+from hypothesis import given, settings
+
+from repro.twig.embedding import contains, contains_exact, embeds, equivalent
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XTree
+
+from .conftest import twig_queries, xnode_trees
+
+
+def q(text):
+    return parse_twig(text)
+
+
+def test_reflexive():
+    query = q("/a[b]/c")
+    assert contains(query, query)
+    assert equivalent(query, query)
+
+
+def test_child_contained_in_descendant():
+    assert contains(q("/a/b"), q("/a//b"))
+    assert not contains(q("/a//b"), q("/a/b"))
+
+
+def test_label_contained_in_wildcard():
+    assert contains(q("/a/b"), q("/a/*"))
+    assert not contains(q("/a/*"), q("/a/b"))
+
+
+def test_filter_dropping_generalises():
+    assert contains(q("/a[x]/b"), q("/a/b"))
+    assert not contains(q("/a/b"), q("/a[x]/b"))
+
+
+def test_rooted_contained_in_floating():
+    assert contains(q("/a/b"), q("//b"))
+    assert not contains(q("//b"), q("/a/b"))
+
+
+def test_selected_node_matters():
+    # Same shape, different selected node: no containment either way.
+    assert not contains(q("/a/b"), q("/a[b]"))
+    assert not contains(q("/a[b]"), q("/a/b"))
+
+
+def test_deep_descendant_composition():
+    assert contains(q("/a/b/c/d"), q("/a//d"))
+    assert contains(q("/a/b/c/d"), q("//c/d"))
+    assert not contains(q("/a//d"), q("/a/b/c/d"))
+
+
+def test_embeds_is_directional():
+    assert embeds(q("//b"), q("/a/b"))
+    assert not embeds(q("/a/b"), q("//b"))
+
+
+def test_exact_agrees_on_simple_cases():
+    assert contains_exact(q("/a/b"), q("/a//b"))
+    assert not contains_exact(q("/a//b"), q("/a/b"))
+    assert contains_exact(q("/a[x]/b"), q("/a/b"))
+
+
+def test_exact_wildcard_chain():
+    # /a/*/c is contained in /a//c.
+    assert contains_exact(q("/a/*/c"), q("/a//c"))
+    assert not contains_exact(q("/a//c"), q("/a/*/c"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(twig_queries(max_depth=2), twig_queries(max_depth=2))
+def test_homomorphism_sound_for_exact_containment(q1, q2):
+    if contains(q1, q2):
+        assert contains_exact(q1, q2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(twig_queries(max_depth=2), twig_queries(max_depth=2),
+       xnode_trees(max_depth=3, max_children=2))
+def test_containment_respected_on_documents(q1, q2, tree):
+    if contains(q1, q2):
+        doc = XTree(tree)
+        a1 = {id(n) for n in evaluate(q1, doc)}
+        a2 = {id(n) for n in evaluate(q2, doc)}
+        assert a1 <= a2

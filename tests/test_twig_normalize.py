@@ -1,0 +1,96 @@
+"""Minimisation: removes redundancy, preserves semantics."""
+
+from hypothesis import given, settings
+
+from repro.twig.embedding import equivalent
+from repro.twig.normalize import (
+    branch_implies,
+    bool_embeds_at,
+    minimize,
+)
+from repro.twig.ast import Axis
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XTree
+
+from .conftest import twig_queries, xnode_trees
+
+
+def q(text):
+    return parse_twig(text)
+
+
+def test_duplicate_filter_removed():
+    m = minimize(q("/a[b][b]/c"))
+    assert m == q("/a[b]/c")
+
+
+def test_subsumed_filter_removed():
+    # [b] is implied by [b/c].
+    m = minimize(q("/a[b][b/c]/d"))
+    assert m == q("/a[b/c]/d")
+
+
+def test_wildcard_filter_subsumed_by_label():
+    m = minimize(q("/a[*][b]/c"))
+    assert m == q("/a[b]/c")
+
+
+def test_descendant_filter_subsumed_by_child_chain():
+    # [.//c] implied by [b/c].
+    m = minimize(q("/a[.//c][b/c]/d"))
+    assert m == q("/a[b/c]/d")
+
+
+def test_spine_justifies_filter_removal():
+    # Filter [b] implied by the spine going through b.
+    m = minimize(q("/a[b]/b/c"))
+    assert m == q("/a/b/c")
+
+
+def test_spine_never_removed():
+    m = minimize(q("/a/b"))
+    assert m == q("/a/b")
+
+
+def test_incomparable_filters_kept():
+    m = minimize(q("/a[b][c]/d"))
+    assert m == q("/a[b][c]/d")
+
+
+def test_bool_embeds_at_basics():
+    pattern = q("/b[c]").root
+    target = q("/b[c][d]").root
+    assert bool_embeds_at(pattern, target)
+    assert not bool_embeds_at(target, pattern)
+
+
+def test_branch_implies_axis_rules():
+    strong = (Axis.CHILD, q("/b/c").root)
+    weak_child = (Axis.CHILD, q("/b").root)
+    weak_desc = (Axis.DESC, q("/c").root)
+    assert branch_implies(strong, weak_child)
+    assert branch_implies(strong, weak_desc)
+    # A descendant branch cannot imply a child branch.
+    assert not branch_implies((Axis.DESC, q("/b").root), weak_child)
+
+
+@settings(max_examples=30, deadline=None)
+@given(twig_queries(max_depth=3))
+def test_minimize_preserves_equivalence(query):
+    assert equivalent(minimize(query), query)
+
+
+@settings(max_examples=30, deadline=None)
+@given(twig_queries(max_depth=3), xnode_trees(max_depth=3, max_children=2))
+def test_minimize_preserves_answers(query, tree):
+    doc = XTree(tree)
+    before = {id(n) for n in evaluate(query, doc)}
+    after = {id(n) for n in evaluate(minimize(query), doc)}
+    assert before == after
+
+
+@settings(max_examples=30, deadline=None)
+@given(twig_queries(max_depth=3))
+def test_minimize_never_grows(query):
+    assert minimize(query).size() <= query.size()

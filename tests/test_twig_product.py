@@ -1,0 +1,94 @@
+"""The product construction: generalisation and least-ness properties."""
+
+from hypothesis import given, settings
+
+from repro.twig.anchored import anchor_repair
+from repro.twig.embedding import contains
+from repro.twig.normalize import minimize
+from repro.twig.parse import parse_twig
+from repro.twig.product import iter_alignments, iter_products, product
+from repro.twig.semantics import evaluate
+from repro.xmltree.tree import XTree
+
+from .conftest import twig_queries, xnode_trees
+
+
+def q(text):
+    return parse_twig(text)
+
+
+def test_product_of_identical_queries():
+    query = q("/a[b]/c")
+    assert minimize(product(query, query, practical=False)) == query
+
+
+def test_skip_generalisation():
+    # The motivating example: /a/c and /a/b/c generalise to /a//c.
+    p = product(q("/a/c"), q("/a/b/c"))
+    assert p == q("/a//c")
+
+
+def test_label_mismatch_becomes_wildcard():
+    p = product(q("/a/x/c"), q("/a/y/c"), practical=False)
+    assert p == q("/a/*/c")
+
+
+def test_filters_intersect():
+    p = product(q("/a[b][x]/c"), q("/a[b][y]/c"))
+    assert p == q("/a[b]/c")
+
+
+def test_descendant_root_alignment():
+    p = product(q("//b"), q("/a/b"))
+    repaired, exact = anchor_repair(p)
+    assert exact
+    assert minimize(repaired) == q("//b")
+
+
+def test_product_generalises_both_factors():
+    p1, p2 = q("/a[b/c]/d"), q("/a[b]/d")
+    prod = product(p1, p2, practical=False)
+    assert contains(p1, prod)
+    assert contains(p2, prod)
+
+
+@settings(max_examples=25, deadline=None)
+@given(twig_queries(max_depth=2), twig_queries(max_depth=2))
+def test_product_is_a_generalisation(p1, p2):
+    prod = product(p1, p2, practical=False)
+    assert contains(p1, prod)
+    assert contains(p2, prod)
+
+
+@settings(max_examples=20, deadline=None)
+@given(twig_queries(max_depth=2), twig_queries(max_depth=2),
+       xnode_trees(max_depth=3, max_children=2))
+def test_product_answers_contain_intersection(p1, p2, tree):
+    doc = XTree(tree)
+    prod = product(p1, p2, practical=False)
+    a1 = {id(n) for n in evaluate(p1, doc)}
+    a2 = {id(n) for n in evaluate(p2, doc)}
+    ap = {id(n) for n in evaluate(prod, doc)}
+    assert (a1 & a2) <= ap
+
+
+def test_iter_products_cost_order_and_distinctness():
+    items = list(iter_products(q("/a/x/c"), q("/a/c"), practical=False,
+                               limit=5))
+    assert items, "at least one alignment must exist"
+    assert items[0] == product(q("/a/x/c"), q("/a/c"), practical=False)
+
+
+def test_iter_alignments_end_at_selected_pair():
+    p1, p2 = q("/a/b/c"), q("/a/c")
+    for _, alignment in iter_alignments(p1, p2):
+        assert alignment[-1] == (2, 1)
+        i_seq = [i for i, _ in alignment]
+        j_seq = [j for _, j in alignment]
+        assert i_seq == sorted(i_seq) and j_seq == sorted(j_seq)
+
+
+def test_practical_mode_stays_general():
+    p = product(q("/a[b]/c"), q("/a[x]/c"), practical=True)
+    # With only distinct filter labels, practical mode drops them entirely.
+    assert p == q("/a/c")

@@ -1,0 +1,87 @@
+"""Twig evaluation: unit cases plus the naive-enumerator cross-check."""
+
+from hypothesis import given, settings
+
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate, matches_boolean, selects
+from repro.xmltree.tree import XTree
+
+from .conftest import naive_twig_answers, twig_queries, xml, xnode_trees
+
+
+def answer_texts(query_text, tree):
+    return sorted((n.text or "") for n in evaluate(parse_twig(query_text),
+                                                   tree))
+
+
+def test_child_path(people_doc):
+    assert answer_texts("/site/people/person/name", people_doc) == \
+        ["ada", "bob", "cyd"]
+
+
+def test_filter_restricts(people_doc):
+    assert answer_texts("/site/people/person[phone]/name", people_doc) == \
+        ["ada", "cyd"]
+
+
+def test_two_filters_conjunction(people_doc):
+    assert answer_texts("/site/people/person[phone][homepage]/name",
+                        people_doc) == ["cyd"]
+
+
+def test_descendant_axis(people_doc):
+    assert answer_texts("//name", people_doc) == ["ada", "bob", "cyd"]
+
+
+def test_root_axis_child_pins_document_root(people_doc):
+    assert answer_texts("/people/person/name", people_doc) == []
+    assert answer_texts("//people/person/name", people_doc) == \
+        ["ada", "bob", "cyd"]
+
+
+def test_wildcard_steps(people_doc):
+    assert answer_texts("/site/*/person/name", people_doc) == \
+        ["ada", "bob", "cyd"]
+    assert answer_texts("/*/people/*/name", people_doc) == \
+        ["ada", "bob", "cyd"]
+
+
+def test_descendant_into_filter():
+    t = xml("<a><b><c><k/></c></b><b><c/></b></a>")
+    q = parse_twig("/a/b[.//k]/c")
+    assert len(evaluate(q, t)) == 1
+
+
+def test_descendant_means_proper():
+    t = xml("<a/>")
+    assert not matches_boolean(parse_twig("/a//a"), t)
+
+
+def test_selects_specific_node(people_doc):
+    names = evaluate(parse_twig("/site/people/person[phone]/name"),
+                     people_doc)
+    assert selects(parse_twig("/site/people/person[phone]/name"),
+                   people_doc, names[0])
+    other = evaluate(parse_twig("/site/people/person/name"), people_doc)[1]
+    assert not selects(parse_twig("/site/people/person[phone]/name"),
+                       people_doc, other)
+
+
+def test_same_branch_can_share_witness():
+    # Two filters can map to the same child node.
+    t = xml("<a><b><c/><d/></b></a>")
+    assert matches_boolean(parse_twig("/a[b/c][b/d]"), t)
+
+
+def test_document_order_of_answers(people_doc):
+    texts = [n.text for n in
+             evaluate(parse_twig("/site/people/person/name"), people_doc)]
+    assert texts == ["ada", "bob", "cyd"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees(max_depth=3, max_children=2), twig_queries(max_depth=2))
+def test_dp_matches_naive_enumeration(tree, query):
+    doc = XTree(tree)
+    fast = {id(n) for n in evaluate(query, doc)}
+    assert fast == naive_twig_answers(query, doc)

@@ -1,0 +1,107 @@
+"""Unions of twig queries: semantics, trivial consistency, greedy learner."""
+
+import pytest
+
+from repro.errors import InconsistentExamplesError
+from repro.learning.protocol import NodeExample
+from repro.learning.union_learner import learn_union_twig
+from repro.twig.parse import parse_twig
+from repro.twig.union import UnionTwigQuery, union_consistent
+
+from .conftest import xml
+
+
+def q(text):
+    return parse_twig(text)
+
+
+DOC = xml(
+    "<site><people>"
+    "<person><name>ada</name><phone>1</phone></person>"
+    "<person><name>bob</name><homepage>h</homepage></person>"
+    "<person><name>cyd</name></person>"
+    "</people></site>"
+)
+
+
+def _names(*texts):
+    return [n for n in DOC.nodes() if n.label == "name" and n.text in texts]
+
+
+def test_union_evaluates_in_document_order():
+    union = UnionTwigQuery([
+        q("/site/people/person[homepage]/name"),
+        q("/site/people/person[phone]/name"),
+    ])
+    assert [n.text for n in union.evaluate(DOC)] == ["ada", "bob"]
+
+
+def test_union_dedups_overlap():
+    union = UnionTwigQuery([q("//name"), q("/site/people/person/name")])
+    assert [n.text for n in union.evaluate(DOC)] == ["ada", "bob", "cyd"]
+
+
+def test_union_requires_disjunct():
+    with pytest.raises(ValueError):
+        UnionTwigQuery([])
+
+
+def test_simplified_drops_contained():
+    union = UnionTwigQuery([q("//name"), q("/site/people/person/name")])
+    simplified = union.simplified()
+    assert len(simplified) == 1
+    assert simplified.disjuncts[0] == q("//name")
+
+
+def test_union_consistency_trivial_positive():
+    ada, bob = _names("ada"), _names("bob")
+    result = union_consistent(
+        [(DOC, ada[0])], [(DOC, bob[0])]
+    )
+    assert result is not None
+    assert result.selects(DOC, ada[0])
+    assert not result.selects(DOC, bob[0])
+
+
+def test_union_consistency_detects_impossible():
+    doc = xml("<a><b><c/></b><b><c/></b></a>")
+    cs = [n for n in doc.nodes() if n.label == "c"]
+    assert union_consistent([(doc, cs[0])], [(doc, cs[1])]) is None
+
+
+def test_learner_recovers_disjunctive_goal():
+    """XPathMark A7: person[phone or homepage]/name — inexpressible as one
+    twig, learnable as a union of two."""
+    ada, bob, cyd = (_names(t)[0] for t in ("ada", "bob", "cyd"))
+    examples = [
+        NodeExample(DOC, ada, True),
+        NodeExample(DOC, bob, True),
+        NodeExample(DOC, cyd, False),
+    ]
+    learned = learn_union_twig(examples, max_disjuncts=2)
+    assert learned.consistent
+    assert learned.query.selects(DOC, ada)
+    assert learned.query.selects(DOC, bob)
+    assert not learned.query.selects(DOC, cyd)
+    # A single-twig merge would have to select cyd too, so two disjuncts
+    # must survive.
+    assert len(learned.query) == 2
+
+
+def test_learner_merges_when_possible():
+    ada, bob = _names("ada")[0], _names("bob")[0]
+    examples = [NodeExample(DOC, ada, True), NodeExample(DOC, bob, True)]
+    learned = learn_union_twig(examples, max_disjuncts=1)
+    assert len(learned.query) == 1
+    assert learned.query.selects(DOC, ada)
+    assert learned.query.selects(DOC, bob)
+
+
+def test_learner_raises_on_trivial_inconsistency():
+    doc = xml("<a><b><c/></b><b><c/></b></a>")
+    cs = [n for n in doc.nodes() if n.label == "c"]
+    with pytest.raises(InconsistentExamplesError):
+        learn_union_twig([
+            NodeExample(doc, cs[0], True),
+            NodeExample(doc, cs[1], False),
+        ])

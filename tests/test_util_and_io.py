@@ -1,0 +1,96 @@
+"""Utilities (rng, tables, intervals) and CSV I/O."""
+
+import random
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.csv_io import load_csv, save_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.util.intervals import INF, Interval
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+
+def test_make_rng_default_deterministic():
+    assert make_rng().random() == make_rng().random()
+    assert make_rng(5).random() == make_rng(5).random()
+    assert make_rng(5).random() != make_rng(6).random()
+
+
+def test_make_rng_passthrough():
+    r = random.Random(1)
+    assert make_rng(r) is r
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "n"], [["a", 1], ["long-name", 22]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert all("|" in line for line in lines[1:2])
+
+
+def test_format_table_ragged_row_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a"], [["x", "y"]])
+
+
+def test_format_table_float_rendering():
+    out = format_table(["v"], [[1.23456]])
+    assert "1.235" in out
+
+
+def test_infinity_ordering():
+    assert INF > 10 ** 12
+    assert not (INF < 5)
+    assert INF >= INF and INF <= INF
+    assert INF == INF
+    assert INF + 5 == INF
+    assert 5 + INF == INF
+
+
+def test_interval_membership_and_subset():
+    assert 3 in Interval(1, INF)
+    assert 0 not in Interval(1, INF)
+    assert Interval(2, 3).issubset(Interval(0, INF))
+    assert Interval(1, 2).intersects(Interval(2, 5))
+    assert not Interval(1, 2).intersects(Interval(3, 5))
+
+
+def test_csv_roundtrip(tmp_path):
+    rel = Relation(RelationSchema("r", ("a", "b")),
+                   [(1, "x"), (2, "y y")])
+    path = tmp_path / "r.csv"
+    save_csv(rel, path)
+    back = load_csv(path)
+    assert back == rel
+
+
+def test_csv_coercion(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b,c\n1,2.5,three\n")
+    rel = load_csv(path)
+    row = next(iter(rel))
+    assert row == (1, 2.5, "three")
+    raw = load_csv(path, coerce_numbers=False)
+    assert next(iter(raw)) == ("1", "2.5", "three")
+
+
+def test_csv_errors(tmp_path):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(RelationalError):
+        load_csv(empty)
+    ragged = tmp_path / "ragged.csv"
+    ragged.write_text("a,b\n1\n")
+    with pytest.raises(RelationalError):
+        load_csv(ragged)
+
+
+def test_csv_custom_name(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("a\n1\n")
+    assert load_csv(path, name="custom").name == "custom"

@@ -1,0 +1,102 @@
+"""Unit tests for the hand-written XML parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xmltree.parser import parse_xml
+
+
+def test_simple_element():
+    root = parse_xml("<a/>")
+    assert root.label == "a"
+    assert root.children == []
+    assert root.text is None
+
+
+def test_nested_elements_and_text():
+    root = parse_xml("<a><b>hello</b><c/></a>")
+    assert [c.label for c in root.children] == ["b", "c"]
+    assert root.children[0].text == "hello"
+
+
+def test_attributes_become_at_children():
+    root = parse_xml('<a id="1" kind="x"/>')
+    labels = {c.label: c.text for c in root.children}
+    assert labels == {"@id": "1", "@kind": "x"}
+
+
+def test_entities_decoded():
+    root = parse_xml("<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>")
+    assert root.text == "x & y <z> AB"
+
+
+def test_attribute_entities():
+    root = parse_xml('<a t="&quot;q&quot;"/>')
+    assert root.children[0].text == '"q"'
+
+
+def test_comments_and_pi_skipped():
+    root = parse_xml(
+        "<?xml version='1.0'?><!-- hi --><a><!-- in --><b/><?pi data?></a>"
+    )
+    assert [c.label for c in root.children] == ["b"]
+
+
+def test_doctype_skipped():
+    root = parse_xml("<!DOCTYPE site SYSTEM 'x.dtd' [<!ELEMENT a (b)>]><a/>")
+    assert root.label == "a"
+
+
+def test_cdata():
+    root = parse_xml("<a><![CDATA[<raw & stuff>]]></a>")
+    assert root.text == "<raw & stuff>"
+
+
+def test_whitespace_only_text_ignored():
+    root = parse_xml("<a>\n   <b/>\n</a>")
+    assert root.text is None
+
+
+def test_mismatched_tags_rejected():
+    with pytest.raises(ParseError):
+        parse_xml("<a><b></a></b>")
+
+
+def test_unterminated_rejected():
+    with pytest.raises(ParseError):
+        parse_xml("<a><b>")
+
+
+def test_trailing_content_rejected():
+    with pytest.raises(ParseError):
+        parse_xml("<a/><b/>")
+
+
+def test_unknown_entity_rejected():
+    with pytest.raises(ParseError):
+        parse_xml("<a>&nope;</a>")
+
+
+def test_missing_root_rejected():
+    with pytest.raises(ParseError):
+        parse_xml("   ")
+
+
+def test_unquoted_attribute_rejected():
+    with pytest.raises(ParseError):
+        parse_xml("<a id=1/>")
+
+
+def test_error_carries_position():
+    try:
+        parse_xml("<a>&nope;</a>")
+    except ParseError as e:
+        assert e.position is not None
+    else:  # pragma: no cover
+        pytest.fail("expected ParseError")
+
+
+def test_namespace_prefix_kept_literal():
+    root = parse_xml("<ns:a><ns:b/></ns:a>")
+    assert root.label == "ns:a"
+    assert root.children[0].label == "ns:b"

@@ -1,0 +1,44 @@
+"""Property: parse(serialize(t)) equals t as an unordered tree."""
+
+from hypothesis import given, settings
+
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize_xml
+from repro.xmltree.tree import node, trees_equal
+
+from .conftest import xnode_trees
+
+
+@settings(max_examples=60, deadline=None)
+@given(xnode_trees())
+def test_roundtrip_unordered_equality(tree):
+    text = serialize_xml(tree)
+    assert trees_equal(parse_xml(text), tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees())
+def test_roundtrip_compact_mode(tree):
+    text = serialize_xml(tree, pretty=False)
+    assert trees_equal(parse_xml(text), tree)
+
+
+def test_escaping_roundtrip():
+    t = node("a", node("b", text="5 < 6 & 7 > 2"))
+    assert trees_equal(parse_xml(serialize_xml(t)), t)
+
+
+def test_attribute_roundtrip():
+    t = node("a", node("@id", text='va"l'), node("b"))
+    assert trees_equal(parse_xml(serialize_xml(t)), t)
+
+
+def test_declaration_emitted():
+    text = serialize_xml(node("a"), declaration=True)
+    assert text.startswith("<?xml")
+    assert trees_equal(parse_xml(text), node("a"))
+
+
+def test_mixed_text_and_children():
+    t = node("a", node("b"), text="hello")
+    assert trees_equal(parse_xml(serialize_xml(t)), t)

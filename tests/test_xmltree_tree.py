@@ -1,0 +1,97 @@
+"""Unit tests for the unordered tree model."""
+
+import pytest
+
+from repro.xmltree.tree import XNode, XTree, canonical_form, node, trees_equal
+
+
+def test_node_requires_label():
+    with pytest.raises(ValueError):
+        XNode("")
+
+
+def test_builder_and_size():
+    t = node("a", node("b", node("c")), node("b"))
+    assert t.size() == 4
+    assert t.depth() == 3
+    assert t.labels() == {"a", "b", "c"}
+
+
+def test_add_returns_child():
+    root = XNode("a")
+    child = root.add(XNode("b"))
+    assert child.label == "b"
+    assert root.children == [child]
+
+
+def test_iter_preorder():
+    t = node("a", node("b", node("c")), node("d"))
+    assert [n.label for n in t.iter()] == ["a", "b", "c", "d"]
+
+
+def test_find_first_and_all():
+    t = node("a", node("b", node("c")), node("b"))
+    assert t.find_first("b") is t.children[0]
+    assert len(t.find_all("b")) == 2
+    assert t.find_first("zzz") is None
+
+
+def test_copy_is_deep():
+    t = node("a", node("b"))
+    c = t.copy()
+    c.children[0].label = "changed"
+    assert t.children[0].label == "b"
+
+
+def test_unordered_equality():
+    t1 = node("a", node("b"), node("c"))
+    t2 = node("a", node("c"), node("b"))
+    assert trees_equal(t1, t2)
+    assert canonical_form(t1) == canonical_form(t2)
+
+
+def test_unordered_equality_respects_multiplicity():
+    t1 = node("a", node("b"), node("b"))
+    t2 = node("a", node("b"))
+    assert not trees_equal(t1, t2)
+
+
+def test_text_matters_for_equality():
+    assert not trees_equal(node("a", text="x"), node("a", text="y"))
+    assert trees_equal(node("a", text="x"), node("a", text="x"))
+
+
+def test_tree_parent_map():
+    inner = node("c")
+    t = XTree(node("a", node("b", inner)))
+    b = t.root.children[0]
+    assert t.parent(t.root) is None
+    assert t.parent(b) is t.root
+    assert t.parent(inner) is b
+
+
+def test_tree_parent_unknown_node():
+    t = XTree(node("a"))
+    with pytest.raises(ValueError):
+        t.parent(node("b"))
+
+
+def test_path_to_root():
+    inner = node("c")
+    t = XTree(node("a", node("b", inner)))
+    labels = [n.label for n in t.path_to_root(inner)]
+    assert labels == ["c", "b", "a"]
+
+
+def test_tree_copy_independent():
+    t = XTree(node("a", node("b")))
+    c = t.copy()
+    c.root.children[0].label = "z"
+    assert t.root.children[0].label == "b"
+
+
+def test_invalidate_recomputes_parents():
+    t = XTree(node("a"))
+    extra = t.root.add(XNode("b"))
+    t.invalidate()
+    assert t.parent(extra) is t.root
