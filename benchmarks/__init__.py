@@ -1,0 +1,6 @@
+"""Benchmark suite package.
+
+Makes ``benchmarks/`` a proper package so ``from .conftest import
+record_report`` resolves when a benchmark module is run directly
+(``pytest benchmarks/bench_e1_examples_to_convergence.py``).
+"""

@@ -19,13 +19,13 @@ import statistics
 import pytest
 
 from repro.datasets.xmark import generate_xmark
+from repro.engine import evaluate, reset_engine
 from repro.learning.protocol import TwigOracle
 from repro.learning.schema_aware import prune_schema_implied
 from repro.learning.twig_learner import learn_twig
 from repro.schema.corpus import library_schema, xmark_schema
 from repro.schema.generation import generate_valid_tree
 from repro.twig.parse import parse_twig
-from repro.twig.semantics import evaluate
 from repro.util.rng import make_rng
 from repro.util.tables import format_table
 
@@ -94,6 +94,8 @@ def docs_to_convergence(kind: str, goal_text: str, seed: int) -> int | None:
     ("xmark", XMARK_GOALS),
 ])
 def test_e1_convergence_table(kind, goals, benchmark):
+    reset_engine()  # cold engine: the run reports first-session behaviour
+
     def run() -> list[tuple]:
         rows = []
         for goal_text in goals:

@@ -13,11 +13,11 @@ from collections import Counter
 
 from repro.datasets.xmark import generate_xmark
 from repro.datasets.xpathmark import xpathmark_suite
+from repro.engine import evaluate, reset_engine
 from repro.learning.protocol import TwigOracle
 from repro.learning.schema_aware import prune_schema_implied
 from repro.learning.twig_learner import learn_twig
 from repro.schema.corpus import xmark_schema
-from repro.twig.semantics import evaluate
 from repro.util.rng import make_rng
 from repro.util.tables import format_table
 
@@ -60,6 +60,7 @@ def try_learn(goal, seed=0) -> bool:
 
 
 def test_e2_coverage_table(benchmark):
+    reset_engine()  # cold engine: the sweep reports first-session behaviour
     suite = xpathmark_suite()
 
     def run():

@@ -1,0 +1,127 @@
+"""Engine cache microbenchmark — repeated evaluation over a fixed document.
+
+The interactive learners' hot path: evaluate a (small, slowly-changing)
+workload of queries against the *same* XMark document again and again.
+The naive path rebuilds the full tree index per call; the engine builds it
+once and serves repeats from the canonical-query result cache.  The
+acceptance bar for this PR: warm engine rounds at least 5x faster than the
+uncached seed path, with byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.xmark import generate_xmark
+from repro.engine import get_engine, reset_engine
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate, evaluate_naive
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+WORKLOAD = (
+    "/site/people/person/name",
+    "/site/people/person[phone]/name",
+    "/site/people/person[profile/gender][profile/age]/name",
+    "//closed_auction/date",
+    "/site/closed_auctions/closed_auction[annotation]/price",
+    "//person[homepage]/name",
+    "/site/*/person/name",
+    "//keyword",
+)
+ROUNDS = 20
+
+
+def _run_workload(evaluator, doc, queries) -> list[tuple[int, ...]]:
+    return [tuple(id(n) for n in evaluator(q, doc)) for q in queries]
+
+
+def test_engine_cache_speedup(benchmark):
+    doc = generate_xmark(scale=0.1, rng=7)
+    queries = [parse_twig(text) for text in WORKLOAD]
+
+    # Correctness first: engine answers byte-identical to the seed path.
+    reset_engine()
+    assert _run_workload(evaluate, doc, queries) == \
+        _run_workload(evaluate_naive, doc, queries)
+
+    # Uncached seed path: every round rebuilds the index per query.
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        _run_workload(evaluate_naive, doc, queries)
+    naive_per_round = (time.perf_counter() - start) / ROUNDS
+
+    # Engine: one cold round (index + first evaluation), then warm rounds.
+    reset_engine()
+    start = time.perf_counter()
+    _run_workload(evaluate, doc, queries)
+    cold_round = time.perf_counter() - start
+
+    warm_rounds = benchmark.pedantic(
+        lambda: _run_workload(evaluate, doc, queries),
+        rounds=ROUNDS, iterations=1)
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        _run_workload(evaluate, doc, queries)
+    warm_per_round = (time.perf_counter() - start) / ROUNDS
+    assert warm_rounds is not None
+
+    speedup = naive_per_round / warm_per_round if warm_per_round else float("inf")
+    stats = get_engine().stats()
+    table = format_table(
+        ["path", "ms / workload round"],
+        [
+            ("naive (index rebuilt per call)", f"{naive_per_round * 1e3:.3f}"),
+            ("engine, cold (build index)", f"{cold_round * 1e3:.3f}"),
+            ("engine, warm (cache hits)", f"{warm_per_round * 1e3:.3f}"),
+            ("warm speedup vs naive", f"{speedup:.1f}x"),
+            ("twig cache hits/misses",
+             f"{stats['twig_query_hits']}/{stats['twig_query_misses']}"),
+        ],
+        title=(f"engine cache: {len(WORKLOAD)} XMark queries x {ROUNDS} "
+               f"rounds over one fixed document (|t|={doc.size()})"),
+    )
+    record_report("ENGINE-cache repeated evaluation", table)
+
+    # The PR's acceptance bar: second-and-later evaluations >= 5x faster.
+    assert speedup >= 5.0, (
+        f"warm engine rounds only {speedup:.1f}x faster than the naive path")
+
+
+def test_engine_rpq_cache_speedup(benchmark):
+    from repro.graphdb.geo import make_geo_graph
+    from repro.graphdb.regex import parse_regex
+    from repro.graphdb.rpq import evaluate_rpq, evaluate_rpq_naive
+
+    graph = make_geo_graph(rng=3, width=8, height=6)
+    query = parse_regex("highway+.(national|local)?")
+
+    reset_engine()
+    assert evaluate_rpq(query, graph) == evaluate_rpq_naive(query, graph)
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        evaluate_rpq_naive(query, graph)
+    naive_per_call = (time.perf_counter() - start) / ROUNDS
+
+    pairs = benchmark(lambda: evaluate_rpq(query, graph))
+    assert pairs
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        evaluate_rpq(query, graph)
+    warm_per_call = (time.perf_counter() - start) / ROUNDS
+
+    speedup = naive_per_call / warm_per_call if warm_per_call else float("inf")
+    table = format_table(
+        ["path", "ms / evaluate_rpq"],
+        [
+            ("naive (product BFS per call)", f"{naive_per_call * 1e3:.3f}"),
+            ("engine, warm (reachability memo)", f"{warm_per_call * 1e3:.3f}"),
+            ("warm speedup vs naive", f"{speedup:.1f}x"),
+        ],
+        title=f"engine cache: RPQ over geo graph {graph!r}",
+    )
+    record_report("ENGINE-cache-rpq repeated evaluation", table)
+    assert speedup >= 5.0, f"warm RPQ only {speedup:.1f}x faster"

@@ -2,7 +2,10 @@
 
 ``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; this
 shim lets ``python setup.py develop`` (and legacy pip fallback) work in the
-offline environment.
+offline environment.  All package metadata — name, version, and the
+``src/`` package-dir mapping — lives in ``pyproject.toml``; setuptools
+reads it from there, so the bare ``setup()`` call now installs a usable
+``repro`` package.
 """
 from setuptools import setup
 

@@ -38,6 +38,13 @@ from repro.errors import (
     RelationalError,
     GraphError,
 )
+from repro.engine import (
+    Engine,
+    IndexedDocument,
+    IndexedGraph,
+    get_engine,
+    reset_engine,
+)
 from repro.xmltree import XNode, XTree, node, parse_xml, serialize_xml
 from repro.twig import (
     Axis,
@@ -87,6 +94,9 @@ __all__ = [
     "ReproError", "ParseError", "SchemaError", "SchemaViolation",
     "InconsistentExamplesError", "LearningError", "EvaluationError",
     "RelationalError", "GraphError",
+    # evaluation engine
+    "Engine", "IndexedDocument", "IndexedGraph",
+    "get_engine", "reset_engine",
     # xml substrate
     "XNode", "XTree", "node", "parse_xml", "serialize_xml",
     # twig queries

@@ -1,0 +1,75 @@
+"""Bounded caches used throughout the evaluation engine.
+
+A single, deliberately small primitive: :class:`LRUCache`, an
+insertion-ordered dict with least-recently-*used* eviction and hit/miss
+counters.  Every memoisation site in the engine (query results, compiled
+NFAs, reachability sets, agreement sets) goes through this class so cache
+behaviour is uniform, bounded, and observable via :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A least-recently-used mapping with a fixed capacity.
+
+    ``maxsize=None`` disables eviction (unbounded — only for caches whose
+    key space is known to be small).  ``get`` refreshes recency; ``put``
+    inserts and evicts the coldest entry once the capacity is exceeded.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses")
+
+    def __init__(self, maxsize: int | None = 256) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None)")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Any:
+        """Memoise ``compute()`` under ``key`` (values may not be None)."""
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._data), "hits": self.hits,
+                "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return (f"<LRUCache size={len(self._data)}/{self.maxsize} "
+                f"hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,189 @@
+"""The shared evaluation engine: one index per data instance, reused by all.
+
+:class:`Engine` owns a weak map from live documents/graphs to their
+one-time indexes (:class:`~repro.engine.document.IndexedDocument`,
+:class:`~repro.engine.graph.IndexedGraph`) and the graph-independent NFA /
+word-acceptance memos.  Indexes die with their data instance — the maps are
+keyed weakly by object identity, so a garbage-collected tree never pins its
+index and a recycled ``id()`` can never alias a stale one.
+
+A module-level engine (:func:`get_engine`) backs the public
+``repro.twig.semantics.evaluate`` and ``repro.graphdb.rpq.evaluate_rpq``
+wrappers, so every existing call site gains per-instance caching without a
+signature change.  :func:`reset_engine` drops all cached state (used by
+benchmarks to measure cold paths); :meth:`Engine.invalidate` drops the
+index of a single instance after an in-place mutation.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Sequence
+
+from repro.engine.cache import LRUCache
+from repro.engine.document import IndexedDocument
+from repro.engine.graph import IndexedGraph, compile_query, query_key
+from repro.graphdb.graph import Graph, VertexId
+from repro.graphdb.nfa import NFA
+from repro.twig.ast import TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+Word = tuple[str, ...]
+
+
+class Engine:
+    """Caches per-instance indexes and serves memoised query evaluation."""
+
+    def __init__(self, *, max_cached_queries: int = 256,
+                 max_graph_results: int = 1024) -> None:
+        self.max_cached_queries = max_cached_queries
+        self.max_graph_results = max_graph_results
+        self._documents: "weakref.WeakKeyDictionary[XTree, IndexedDocument]" \
+            = weakref.WeakKeyDictionary()
+        self._graphs: "weakref.WeakKeyDictionary[Graph, IndexedGraph]" \
+            = weakref.WeakKeyDictionary()
+        self._nfas = LRUCache(512)
+        self._word_accepts = LRUCache(8192)
+
+    # ------------------------------------------------------------------
+    # Index acquisition
+    # ------------------------------------------------------------------
+    def document(self, tree: XTree) -> IndexedDocument:
+        """The (cached) structural index of ``tree``.
+
+        A stale index — the tree's version moved past the indexed one via
+        ``XTree.invalidate()`` — is rebuilt transparently.
+        """
+        index = self._documents.get(tree)
+        if index is None or index.version != getattr(tree, "_version", 0):
+            index = IndexedDocument(
+                tree, max_cached_queries=self.max_cached_queries)
+            self._documents[tree] = index
+        return index
+
+    def graph(self, graph: Graph) -> IndexedGraph:
+        """The (cached) adjacency index of ``graph``.
+
+        Graph mutators bump the graph's version, so an index made stale by
+        ``add_vertex``/``add_edge`` is rebuilt transparently.
+        """
+        index = self._graphs.get(graph)
+        if index is None or index.version != getattr(graph, "_version", 0):
+            index = IndexedGraph(
+                graph, max_cached_results=self.max_graph_results,
+                nfa_cache=self._nfas)
+            self._graphs[graph] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Twig evaluation
+    # ------------------------------------------------------------------
+    def evaluate_twig(self, query: TwigQuery, tree: XTree) -> list[XNode]:
+        """Nodes of ``tree`` selected by ``query``, in document order."""
+        return self.document(tree).evaluate(query)
+
+    def selects(self, query: TwigQuery, tree: XTree, target: XNode) -> bool:
+        """Does ``query`` select precisely ``target`` in ``tree``?"""
+        return any(n is target for n in self.evaluate_twig(query, tree))
+
+    def matches_boolean(self, query: TwigQuery, tree: XTree) -> bool:
+        """Boolean satisfaction: does any embedding of ``query`` exist?"""
+        return bool(self.evaluate_twig(query, tree))
+
+    def canonical_query(self, tree: XTree, node: XNode) -> TwigQuery:
+        """Most specific twig selecting ``node`` in ``tree`` (cached)."""
+        return self.document(tree).canonical_query(node)
+
+    # ------------------------------------------------------------------
+    # Graph / path-query evaluation
+    # ------------------------------------------------------------------
+    def evaluate_rpq(self, query, graph: Graph,
+                     sources: Sequence[VertexId] | None = None,
+                     ) -> set[tuple[VertexId, VertexId]]:
+        """All ``(source, target)`` pairs linked by a query-matching path."""
+        return self.graph(graph).evaluate_rpq(query, sources)
+
+    def nfa(self, query) -> NFA:
+        """The compiled NFA of ``query`` (cached; NFAs pass through)."""
+        if isinstance(query, NFA):
+            return query
+        return self._nfas.get_or_compute(query_key(query),
+                                         lambda: compile_query(query))
+
+    def accepts(self, query, word: Sequence[str]) -> bool:
+        """Does the query language contain ``word``?  Memoised."""
+        key = (query_key(query), tuple(word))
+        cached = self._word_accepts.get(key)
+        if cached is None:
+            cached = self.nfa(query).accepts(tuple(word))
+            self._word_accepts.put(key, cached)
+        return cached
+
+    def words_between(self, graph: Graph, source: VertexId,
+                      target: VertexId, *, max_length: int = 12,
+                      limit: int | None = None) -> list[Word]:
+        """Distinct simple-path label words between two vertices (cached)."""
+        return self.graph(graph).words_between(source, target,
+                                               max_length=max_length,
+                                               limit=limit)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self, instance: XTree | Graph) -> None:
+        """Drop the cached index of one instance (after a mutation)."""
+        if isinstance(instance, XTree):
+            self._documents.pop(instance, None)
+        elif isinstance(instance, Graph):
+            self._graphs.pop(instance, None)
+        else:
+            raise TypeError(
+                f"cannot invalidate {type(instance).__name__}: expected "
+                "an XTree or a Graph")
+
+    def reset(self) -> None:
+        """Drop every cached index and memo."""
+        self._documents.clear()
+        self._graphs.clear()
+        self._nfas.clear()
+        self._word_accepts.clear()
+
+    def stats(self) -> dict[str, object]:
+        """Aggregate cache statistics (for reports and benchmarks)."""
+        doc_stats = [d.cache_stats() for d in self._documents.values()]
+        graph_stats = [g.cache_stats() for g in self._graphs.values()]
+        return {
+            "documents": len(doc_stats),
+            "graphs": len(graph_stats),
+            "twig_query_hits": sum(s["hits"] for s in doc_stats),
+            "twig_query_misses": sum(s["misses"] for s in doc_stats),
+            "rpq_source_hits": sum(s["hits"] for s in graph_stats),
+            "rpq_source_misses": sum(s["misses"] for s in graph_stats),
+            "nfa_cache": self._nfas.stats(),
+            "word_accepts": self._word_accepts.stats(),
+        }
+
+
+_ENGINE = Engine()
+
+
+def get_engine() -> Engine:
+    """The process-wide shared engine backing the module-level wrappers."""
+    return _ENGINE
+
+
+def reset_engine() -> None:
+    """Clear the shared engine's caches (cold-start for benchmarks)."""
+    _ENGINE.reset()
+
+
+def evaluate(query: TwigQuery, tree: XTree) -> list[XNode]:
+    """Engine-backed twig evaluation (same contract as the naive one)."""
+    return _ENGINE.evaluate_twig(query, tree)
+
+
+def evaluate_rpq(query, graph: Graph,
+                 sources: Sequence[VertexId] | None = None,
+                 ) -> set[tuple[VertexId, VertexId]]:
+    """Engine-backed RPQ evaluation (same contract as the naive one)."""
+    return _ENGINE.evaluate_rpq(query, graph, sources)

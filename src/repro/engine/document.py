@@ -1,0 +1,208 @@
+"""Per-document evaluation index: build once, evaluate many queries.
+
+:class:`IndexedDocument` wraps an :class:`~repro.xmltree.tree.XTree` with
+the structures every twig evaluation needs but the naive evaluator rebuilds
+per call:
+
+* a pre-order node array plus a ``last_descendant`` array, giving O(1)
+  ancestor/descendant interval tests (a node's proper descendants are
+  exactly the contiguous pre-order slice ``i+1 .. last_descendant[i]``);
+* parent/children arrays for the child axis;
+* a label -> node-set inverted index, so the bottom-up pass only touches
+  label-compatible nodes instead of scanning the whole document;
+* an LRU-bounded query-result cache keyed by the query's canonical form,
+  so the repeated evaluations an interactive learner performs against a
+  fixed document after every user interaction cost one dict lookup;
+* a canonical-query cache (the learner's per-node "most specific query"),
+  served as defensive copies because learners rewrite patterns in place.
+
+The index snapshot carries the tree's version: ``XTree.invalidate()`` (the
+hook the parent-map cache already required after a mutation) bumps it, and
+the engine rebuilds a stale index transparently on the next evaluation.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.engine.cache import LRUCache
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+
+class IndexedDocument:
+    """One-time structural index over a document, plus result caches."""
+
+    def __init__(self, tree: XTree, *, max_cached_queries: int = 256) -> None:
+        # Weak back-reference: the engine maps trees to indexes weakly, so
+        # a strong ref here would keep every indexed tree alive forever.
+        self._tree = weakref.ref(tree)
+        self.version = getattr(tree, "_version", 0)
+        # Pre-order node array: XNode.iter() is depth-first pre-order, so a
+        # subtree occupies a contiguous index range.
+        self.nodes: list[XNode] = list(tree.nodes())
+        n = len(self.nodes)
+        self.index: dict[int, int] = {id(x): i for i, x in
+                                      enumerate(self.nodes)}
+        self.parent: list[int | None] = [None] * n
+        self.children: list[list[int]] = [[] for _ in range(n)]
+        for i, x in enumerate(self.nodes):
+            for child in x.children:
+                j = self.index[id(child)]
+                self.parent[j] = i
+                self.children[i].append(j)
+        # last_descendant[i] = highest pre-order index inside i's subtree.
+        self.last_descendant: list[int] = list(range(n))
+        for i in range(n - 1, -1, -1):
+            if self.children[i]:
+                self.last_descendant[i] = \
+                    self.last_descendant[self.children[i][-1]]
+        by_label: dict[str, list[int]] = {}
+        for i, x in enumerate(self.nodes):
+            by_label.setdefault(x.label, []).append(i)
+        self._label_sets: dict[str, frozenset[int]] = {
+            label: frozenset(idxs) for label, idxs in by_label.items()
+        }
+        self._all_nodes: frozenset[int] = frozenset(range(n))
+        self._query_cache = LRUCache(max_cached_queries)
+        self._canonical_cache: dict[int, TwigQuery] = {}
+
+    @property
+    def tree(self) -> XTree:
+        tree = self._tree()
+        if tree is None:
+            raise ReferenceError("the indexed document has been collected")
+        return tree
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def order_of(self, node: XNode) -> int:
+        """Document (pre-order) position of ``node``."""
+        try:
+            return self.index[id(node)]
+        except KeyError:
+            raise ValueError("node does not belong to this document") \
+                from None
+
+    def is_ancestor(self, a: int, d: int) -> bool:
+        """Is node ``a`` a proper ancestor of node ``d``?  O(1)."""
+        return a < d <= self.last_descendant[a]
+
+    def candidates(self, label: str) -> frozenset[int]:
+        """Indices of nodes a query node with ``label`` can map to."""
+        if label == "*":
+            return self._all_nodes
+        return self._label_sets.get(label, frozenset())
+
+    # ------------------------------------------------------------------
+    # Indexed twig evaluation (same two-pass DP as the naive evaluator,
+    # with the label index replacing full scans and interval arithmetic
+    # replacing ancestor/descendant list walks).
+    # ------------------------------------------------------------------
+    def _ancestors_of_set(self, tree_nodes: set[int]) -> set[int]:
+        """Union of proper-ancestor chains; shared prefixes walked once."""
+        out: set[int] = set()
+        for j in tree_nodes:
+            p = self.parent[j]
+            while p is not None and p not in out:
+                out.add(p)
+                p = self.parent[p]
+        return out
+
+    def _descendants_of_set(self, tree_nodes: set[int]) -> set[int]:
+        """Union of descendant intervals; nested intervals merged away."""
+        out: set[int] = set()
+        covered_up_to = -1
+        for i in sorted(tree_nodes):
+            lo = max(i + 1, covered_up_to + 1)
+            hi = self.last_descendant[i]
+            if hi >= lo:
+                out.update(range(lo, hi + 1))
+                covered_up_to = max(covered_up_to, hi)
+        return out
+
+    def _bottom_up(self, query_root: TwigNode) -> dict[int, set[int]]:
+        cand: dict[int, set[int]] = {}
+        order: list[TwigNode] = []
+        stack = [query_root]
+        while stack:
+            q = stack.pop()
+            order.append(q)
+            stack.extend(child for _, child in q.branches)
+        for qnode in reversed(order):
+            base = set(self.candidates(qnode.label))
+            for axis, qchild in qnode.branches:
+                if not base:
+                    break
+                child_cand = cand[id(qchild)]
+                if axis is Axis.CHILD:
+                    allowed = {self.parent[j] for j in child_cand
+                               if self.parent[j] is not None}
+                else:
+                    allowed = self._ancestors_of_set(child_cand)
+                base &= allowed
+            cand[id(qnode)] = base
+        return cand
+
+    def _top_down(self, query: TwigQuery,
+                  cand: dict[int, set[int]]) -> set[int]:
+        reach: dict[int, set[int]] = {}
+        root_cand = cand[id(query.root)]
+        if query.root_axis is Axis.CHILD:
+            reach[id(query.root)] = root_cand & {0}
+        else:
+            reach[id(query.root)] = set(root_cand)
+        stack: list[TwigNode] = [query.root]
+        while stack:
+            qnode = stack.pop()
+            here = reach[id(qnode)]
+            for axis, qchild in qnode.branches:
+                if axis is Axis.CHILD:
+                    allowed: set[int] = set()
+                    for i in here:
+                        allowed.update(self.children[i])
+                else:
+                    allowed = self._descendants_of_set(here)
+                reach[id(qchild)] = cand[id(qchild)] & allowed
+                stack.append(qchild)
+        return reach[id(query.selected)]
+
+    def _answer_indices(self, query: TwigQuery) -> tuple[int, ...]:
+        cand = self._bottom_up(query.root)
+        if not cand[id(query.root)]:
+            return ()
+        return tuple(sorted(self._top_down(query, cand)))
+
+    def evaluate(self, query: TwigQuery) -> list[XNode]:
+        """Nodes selected by ``query``, in document order (memoised)."""
+        key = query.canonical()
+        indices = self._query_cache.get_or_compute(
+            key, lambda: self._answer_indices(query))
+        return [self.nodes[i] for i in indices]
+
+    # ------------------------------------------------------------------
+    # Canonical queries (the learner's per-example starting point)
+    # ------------------------------------------------------------------
+    def canonical_query(self, node: XNode) -> TwigQuery:
+        """Most specific twig selecting ``node``; cached, copied on return.
+
+        The copy is defensive: learners mutate hypotheses in place, and the
+        first hypothesis *is* the canonical query of the first example.
+        """
+        from repro.twig.generator import canonical_query_for_node
+
+        key = self.order_of(node)
+        cached = self._canonical_cache.get(key)
+        if cached is None:
+            cached = canonical_query_for_node(self.tree, node)
+            self._canonical_cache[key] = cached
+        return cached.copy()
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        return self._query_cache.stats()
+
+    def __repr__(self) -> str:
+        return (f"<IndexedDocument |t|={len(self.nodes)} "
+                f"cache={self._query_cache!r}>")

@@ -1,0 +1,182 @@
+"""Per-graph evaluation index: adjacency snapshots plus RPQ memoisation.
+
+:class:`IndexedGraph` wraps a :class:`~repro.graphdb.graph.Graph` with the
+state the interactive path learners recompute on every call:
+
+* materialised forward and reverse adjacency lists (the ``Graph`` API
+  exposes iterators that re-walk nested dicts per call);
+* a compiled-NFA cache — ``PathQuery``/``Regex`` values hash structurally,
+  raw ``NFA`` objects hash by identity and are pinned by the cache entry,
+  so recycled ``id()`` values can never alias a stale entry;
+* a per-``(query, source)`` product-automaton reachability memo serving
+  ``evaluate_rpq`` (the same BFS as the naive evaluator, run at most once
+  per source per query);
+* a memo for the simple-path word enumeration that seeds every interactive
+  graph session (word *acceptance* is graph-independent and memoised on the
+  :class:`~repro.engine.core.Engine` itself).
+
+The snapshot carries the graph's version, which every ``Graph`` mutator
+bumps — the engine rebuilds a stale index transparently on the next call.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from collections.abc import Hashable, Sequence
+
+from repro.engine.cache import LRUCache
+from repro.graphdb.graph import Graph, VertexId
+from repro.graphdb.nfa import NFA, compile_regex
+from repro.graphdb.regex import Regex
+
+Word = tuple[str, ...]
+
+
+def query_key(query: "Regex | NFA | object") -> Hashable:
+    """Cache key for a path query.
+
+    ``Regex`` nodes are frozen dataclasses and ``PathQuery`` hashes by
+    canonical form, so equal queries share entries.  A raw ``NFA`` is its
+    own key (identity hash): the cache then holds a strong reference to it,
+    which keeps the identity stable for the life of the entry.
+    """
+    return query
+
+
+def compile_query(query: "Regex | NFA | object") -> NFA:
+    """Compile any supported query form to an NFA (no caching here)."""
+    if isinstance(query, NFA):
+        return query
+    if isinstance(query, Regex):
+        return compile_regex(query)
+    to_nfa = getattr(query, "nfa", None)
+    if callable(to_nfa):
+        return to_nfa()
+    raise TypeError(f"cannot compile {type(query).__name__} to an NFA")
+
+
+class IndexedGraph:
+    """One-time adjacency snapshot over a graph, plus RPQ result caches."""
+
+    def __init__(self, graph: Graph, *, max_cached_results: int = 1024,
+                 nfa_cache: LRUCache | None = None) -> None:
+        # Weak back-reference: see IndexedDocument — a strong ref would
+        # pin the weakly-keyed engine map entry forever.
+        self._graph = weakref.ref(graph)
+        self.version = getattr(graph, "_version", 0)
+        self.vertices: list[VertexId] = list(graph.vertices())
+        self.adjacency: dict[VertexId, list[tuple[str, VertexId]]] = {
+            v: list(graph.out_edges(v)) for v in self.vertices
+        }
+        self.reverse: dict[VertexId, list[tuple[str, VertexId]]] = {
+            v: [] for v in self.vertices
+        }
+        for src, targets in self.adjacency.items():
+            for label, dst in targets:
+                self.reverse[dst].append((label, src))
+        # Usually the Engine's shared compiled-NFA cache, so the same
+        # query is compiled once per process, not once per graph.
+        self._nfas = nfa_cache if nfa_cache is not None else LRUCache(256)
+        self._reachable = LRUCache(max_cached_results)
+        self._words = LRUCache(128)
+
+    @property
+    def graph(self) -> Graph:
+        graph = self._graph()
+        if graph is None:
+            raise ReferenceError("the indexed graph has been collected")
+        return graph
+
+    def in_edges(self, v: VertexId) -> list[tuple[str, VertexId]]:
+        """Incoming ``(label, source)`` edges of ``v`` (reverse adjacency).
+
+        The seam for target-anchored evaluation: answering "which vertices
+        reach ``v``?" runs the product BFS backwards over this snapshot.
+        """
+        try:
+            return list(self.reverse[v])
+        except KeyError:
+            from repro.errors import GraphError
+
+            raise GraphError(f"unknown vertex {v!r}") from None
+
+    # ------------------------------------------------------------------
+    def nfa_for(self, query: "Regex | NFA | object") -> NFA:
+        if isinstance(query, NFA):
+            return query
+        return self._nfas.get_or_compute(query_key(query),
+                                         lambda: compile_query(query))
+
+    # ------------------------------------------------------------------
+    # RPQ evaluation: the textbook product BFS, memoised per source.
+    # ------------------------------------------------------------------
+    def _reachable_from(self, nfa: NFA, key: Hashable,
+                        source: VertexId) -> frozenset[VertexId]:
+        cached = self._reachable.get((key, source))
+        if cached is not None:
+            return cached
+        if source not in self.adjacency:
+            from repro.errors import GraphError
+
+            raise GraphError(f"unknown vertex {source!r}")
+        targets: set[VertexId] = set()
+        initial = (source, nfa.initial())
+        seen = {initial}
+        queue = deque([initial])
+        step_memo: dict[tuple[frozenset[int], str], frozenset[int]] = {}
+        while queue:
+            vertex, states = queue.popleft()
+            if nfa.is_accepting(states):
+                targets.add(vertex)
+            for label, neighbour in self.adjacency[vertex]:
+                step_key = (states, label)
+                next_states = step_memo.get(step_key)
+                if next_states is None:
+                    next_states = nfa.step(states, label)
+                    step_memo[step_key] = next_states
+                if not next_states:
+                    continue
+                item = (neighbour, next_states)
+                if item not in seen:
+                    seen.add(item)
+                    queue.append(item)
+        result = frozenset(targets)
+        self._reachable.put((key, source), result)
+        return result
+
+    def evaluate_rpq(self, query: "Regex | NFA | object",
+                     sources: Sequence[VertexId] | None = None,
+                     ) -> set[tuple[VertexId, VertexId]]:
+        """All ``(source, target)`` pairs linked by a query-matching path."""
+        nfa = self.nfa_for(query)
+        key = query_key(query)
+        start_vertices = list(sources) if sources is not None \
+            else self.vertices
+        result: set[tuple[VertexId, VertexId]] = set()
+        for source in start_vertices:
+            for target in self._reachable_from(nfa, key, source):
+                result.add((source, target))
+        return result
+
+    # ------------------------------------------------------------------
+    def words_between(self, source: VertexId, target: VertexId, *,
+                      max_length: int = 12,
+                      limit: int | None = None) -> list[Word]:
+        """Distinct simple-path label words, shortest first (memoised)."""
+        from repro.graphdb.rpq import enumerate_words
+
+        key = (source, target, max_length, limit)
+        words = self._words.get_or_compute(
+            key, lambda: tuple(enumerate_words(self.graph, source, target,
+                                               max_length=max_length,
+                                               limit=limit)))
+        return list(words)
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        return self._reachable.stats()
+
+    def __repr__(self) -> str:
+        return (f"<IndexedGraph |V|={len(self.vertices)} "
+                f"reach={self._reachable!r}>")

@@ -26,7 +26,8 @@ from repro.graphdb.regex import (
     parse_regex,
 )
 from repro.graphdb.nfa import NFA, compile_regex
-from repro.graphdb.rpq import evaluate_rpq, find_paths, enumerate_words
+from repro.graphdb.rpq import (evaluate_rpq, evaluate_rpq_naive,
+                               find_paths, enumerate_words)
 from repro.graphdb.pathquery import PathAtom, PathQuery
 from repro.graphdb.geo import make_geo_graph
 from repro.graphdb.rdf import TripleStore, graph_to_triples
@@ -43,6 +44,7 @@ __all__ = [
     "NFA",
     "compile_regex",
     "evaluate_rpq",
+    "evaluate_rpq_naive",
     "find_paths",
     "enumerate_words",
     "PathAtom",

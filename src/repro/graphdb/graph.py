@@ -37,6 +37,9 @@ class Graph:
         self._in: dict[VertexId, dict[str, set[VertexId]]] = {}
         self._edge_props: dict[tuple[VertexId, str, VertexId],
                                dict[str, object]] = {}
+        # Bumped by every structural mutation; external index caches
+        # (repro.engine) compare it to detect staleness.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -45,6 +48,7 @@ class Graph:
         self._vertices.setdefault(v, {}).update(properties)
         self._out.setdefault(v, {})
         self._in.setdefault(v, {})
+        self._version += 1
 
     def add_edge(self, src: VertexId, label: str, dst: VertexId,
                  **properties: object) -> None:
@@ -55,6 +59,7 @@ class Graph:
         self._out[src].setdefault(label, set()).add(dst)
         self._in[dst].setdefault(label, set()).add(src)
         self._edge_props.setdefault((src, label, dst), {}).update(properties)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Introspection

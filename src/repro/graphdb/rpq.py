@@ -29,7 +29,23 @@ def _as_nfa(query: Regex | NFA) -> NFA:
 def evaluate_rpq(query: Regex | NFA, graph: Graph,
                  sources: list[VertexId] | None = None,
                  ) -> set[tuple[VertexId, VertexId]]:
-    """All ``(source, target)`` pairs linked by a query-matching path."""
+    """All ``(source, target)`` pairs linked by a query-matching path.
+
+    Served by the shared engine: the graph's adjacency is indexed once,
+    the query NFA is compiled once, and per-source reachability is
+    memoised across the repeated calls interactive learners make.  Graph
+    mutators bump the graph's version, so the engine reindexes a mutated
+    graph transparently on the next call.
+    """
+    from repro.engine.core import get_engine
+
+    return get_engine().evaluate_rpq(query, graph, sources)
+
+
+def evaluate_rpq_naive(query: Regex | NFA, graph: Graph,
+                       sources: list[VertexId] | None = None,
+                       ) -> set[tuple[VertexId, VertexId]]:
+    """Single-shot product BFS, no caching (the reference path)."""
     nfa = _as_nfa(query)
     result: set[tuple[VertexId, VertexId]] = set()
     start_vertices = list(sources) if sources is not None \

@@ -23,10 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.graphdb.graph import Graph, VertexId
 from repro.graphdb.pathquery import PathQuery
-from repro.graphdb.rpq import enumerate_words
 from repro.learning.path_learner import lgg_path, normalize
 from repro.learning.protocol import SessionStats
 from repro.learning.workload import WorkloadPriors
@@ -65,9 +65,14 @@ class InteractivePathSession:
         self.graph = graph
         self.goal = goal
         self.priors = priors
-        self.candidates = enumerate_words(graph, source, target,
-                                          max_length=max_length,
-                                          limit=max_candidates)
+        # Engine-served: the candidate enumeration is cached per
+        # (graph, endpoints), so repeated sessions on the same instance
+        # (e.g. priors-vs-no-priors comparisons) pay for it once, and all
+        # acceptance checks below share cached compiled NFAs.
+        self._engine = get_engine()
+        self.candidates = self._engine.words_between(
+            graph, source, target, max_length=max_length,
+            limit=max_candidates)
         if not self.candidates:
             raise LearningError(
                 f"no paths between {source!r} and {target!r} within "
@@ -75,12 +80,15 @@ class InteractivePathSession:
             )
 
     # ------------------------------------------------------------------
+    def _accepts(self, query: PathQuery, word: Word) -> bool:
+        return self._engine.accepts(query, word)
+
     def _implied_negative(self, hypothesis: PathQuery | None, word: Word,
                           negatives: list[Word]) -> bool:
         if hypothesis is None:
             return False
         widened = lgg_path(hypothesis, normalize(PathQuery.of_word(word)))
-        return any(widened.accepts(neg) for neg in negatives)
+        return any(self._accepts(widened, neg) for neg in negatives)
 
     def _rank(self, words: list[Word]) -> list[Word]:
         if self.priors is not None:
@@ -98,7 +106,7 @@ class InteractivePathSession:
         while True:
             informative = []
             for word in pending:
-                if hypothesis is not None and hypothesis.accepts(word):
+                if hypothesis is not None and self._accepts(hypothesis, word):
                     continue
                 if self._implied_negative(hypothesis, word, negatives):
                     continue
@@ -112,7 +120,7 @@ class InteractivePathSession:
             word = self._rank(informative)[0]
             pending.remove(word)
             stats.questions += 1
-            if self.goal.accepts(word):
+            if self._accepts(self.goal, word):
                 positive = normalize(PathQuery.of_word(word))
                 hypothesis = positive if hypothesis is None \
                     else lgg_path(hypothesis, positive)
@@ -124,7 +132,7 @@ class InteractivePathSession:
                 negatives.append(word)
 
         for word in pending:
-            if hypothesis is not None and hypothesis.accepts(word):
+            if hypothesis is not None and self._accepts(hypothesis, word):
                 stats.implied_positive += 1
             elif self._implied_negative(hypothesis, word, negatives):
                 stats.implied_negative += 1

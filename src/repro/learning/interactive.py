@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.engine import LRUCache
 from repro.errors import LearningError
 from repro.learning.join_learner import (
     JoinVersionSpace,
@@ -148,7 +149,11 @@ class InteractiveJoinSession:
         if max_pool is not None and len(pool) > max_pool:
             pool = r.sample(pool, max_pool)
         self.pool = pool
-        self.space = JoinVersionSpace(left, right)
+        # Agreement sets are pure in (left_row, right_row) and re-queried
+        # for every pending pair on every round — serve them from an
+        # engine cache sized to the pool's pair universe.
+        self.space = JoinVersionSpace(
+            left, right, eq_cache=LRUCache(max(4 * len(pool), 1024)))
 
     def _answer(self, pair: Pair) -> bool:
         lrow, rrow = pair

@@ -64,7 +64,8 @@ class JoinVersionSpace:
     """
 
     def __init__(self, left: Relation, right: Relation,
-                 universe: Iterable[AttributePair] | None = None) -> None:
+                 universe: Iterable[AttributePair] | None = None,
+                 eq_cache=None) -> None:
         self.left = left
         self.right = right
         self.universe: frozenset[AttributePair] = (
@@ -74,11 +75,21 @@ class JoinVersionSpace:
         self.theta_max: frozenset[AttributePair] = self.universe
         self.negative_eqs: list[frozenset[AttributePair]] = []
         self.n_positives = 0
+        # Optional engine cache (repro.engine.LRUCache-compatible) for
+        # agreement sets: eq() is a pure function of the fixed relations
+        # and universe, and interactive strategies re-query the same pairs
+        # every round.
+        self._eq_cache = eq_cache
 
     # ------------------------------------------------------------------
     def eq(self, left_row: Row, right_row: Row) -> JoinPredicate:
-        return agreement_pairs(self.left, self.right, left_row, right_row,
-                               self.universe)
+        if self._eq_cache is None:
+            return agreement_pairs(self.left, self.right, left_row,
+                                   right_row, self.universe)
+        return self._eq_cache.get_or_compute(
+            (left_row, right_row),
+            lambda: agreement_pairs(self.left, self.right, left_row,
+                                    right_row, self.universe))
 
     def add(self, example: PairExample) -> None:
         agreement = self.eq(example.left_row, example.right_row)

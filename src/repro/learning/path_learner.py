@@ -168,8 +168,14 @@ def check_path_consistency(
     (another alignment might succeed) — the same search/hardness structure
     as twig consistency.
     """
+    from repro.engine import get_engine
+
     learned = learn_path_query(positives)
-    violated = [tuple(w) for w in negatives if learned.query.accepts(w)]
+    # Engine-served acceptance: the hypothesis NFA is compiled once and
+    # word verdicts are memoised across consistency re-checks.
+    engine = get_engine()
+    violated = [tuple(w) for w in negatives
+                if engine.accepts(learned.query, tuple(w))]
     if violated:
         return PathConsistency(False, None, violated)
     return PathConsistency(True, learned.query, [])

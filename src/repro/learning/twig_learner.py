@@ -18,11 +18,11 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
+from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.learning.protocol import NodeExample
 from repro.twig.anchored import anchor_repair, is_anchored
 from repro.twig.ast import TwigQuery
-from repro.twig.generator import canonical_query_for_node
 from repro.twig.normalize import minimize
 from repro.twig.product import product
 from repro.xmltree.tree import XNode, XTree
@@ -83,7 +83,7 @@ def learn_twig(
     hypothesis: TwigQuery | None = None
     exact = True
     for tree, node in pairs:
-        canonical = canonical_query_for_node(tree, node)
+        canonical = get_engine().canonical_query(tree, node)
         if hypothesis is None:
             hypothesis = canonical
         else:
@@ -111,7 +111,7 @@ def learn_twig_incremental(
     hypothesis: TwigQuery | None = None
     exact = True
     for i, (tree, node) in enumerate(pairs, start=1):
-        canonical = canonical_query_for_node(tree, node)
+        canonical = get_engine().canonical_query(tree, node)
         if hypothesis is None:
             hypothesis = canonical
         else:

@@ -28,14 +28,13 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.learning.protocol import NodeExample
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
-from repro.twig.generator import canonical_query_for_node
 from repro.twig.normalize import minimize
 from repro.twig.product import iter_products
-from repro.twig.semantics import evaluate
 
 
 @dataclass
@@ -57,7 +56,10 @@ class ConsistencyResult:
 
 
 def _selects_example(query: TwigQuery, ex: NodeExample) -> bool:
-    return any(n is ex.node for n in evaluate(query, ex.tree))
+    # Engine-served: every candidate hypothesis in the search is checked
+    # against the same example documents, so the per-document index is
+    # built once and repeated hypotheses are cache hits.
+    return get_engine().selects(query, ex.tree, ex.node)
 
 
 def _violates_negative(query: TwigQuery,
@@ -85,7 +87,8 @@ def check_consistency(
     if not positives:
         raise LearningError("at least one positive example is required")
 
-    canonicals = [canonical_query_for_node(e.tree, e.node) for e in positives]
+    engine = get_engine()
+    canonicals = [engine.canonical_query(e.tree, e.node) for e in positives]
 
     # Depth-first over example folds; at each fold, try alignment
     # alternatives in cost order.  A candidate that already selects a

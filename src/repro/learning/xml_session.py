@@ -25,14 +25,13 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.learning.protocol import SessionStats, TwigOracle
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
-from repro.twig.generator import canonical_query_for_node
 from repro.twig.normalize import minimize
 from repro.twig.product import product
-from repro.twig.semantics import evaluate
 from repro.xmltree.tree import XNode, XTree
 
 Candidate = tuple[XTree, XNode]
@@ -78,8 +77,11 @@ class InteractiveTwigSession:
     # ------------------------------------------------------------------
     def _extend(self, hypothesis: TwigQuery | None,
                 candidate: Candidate) -> TwigQuery:
+        # The engine caches the canonical query per (document, node); the
+        # session widens a hypothesis with the same candidates repeatedly
+        # while probing implied negatives.
         tree, node = candidate
-        canonical = canonical_query_for_node(tree, node)
+        canonical = get_engine().canonical_query(tree, node)
         if hypothesis is None:
             merged = canonical
         else:
@@ -92,7 +94,7 @@ class InteractiveTwigSession:
         if hypothesis is None:
             return False
         tree, node = candidate
-        return any(n is node for n in evaluate(hypothesis, tree))
+        return get_engine().selects(hypothesis, tree, node)
 
     def _implied_negative(self, hypothesis: TwigQuery | None,
                           candidate: Candidate,

@@ -20,7 +20,8 @@ Public surface:
 
 from repro.twig.ast import Axis, TwigNode, TwigQuery
 from repro.twig.parse import parse_twig
-from repro.twig.semantics import evaluate, selects, matches_boolean
+from repro.twig.semantics import (evaluate, evaluate_naive, selects,
+                                  matches_boolean)
 from repro.twig.embedding import embeds, contains, equivalent, contains_exact
 from repro.twig.normalize import minimize
 from repro.twig.product import product
@@ -34,6 +35,7 @@ __all__ = [
     "TwigQuery",
     "parse_twig",
     "evaluate",
+    "evaluate_naive",
     "selects",
     "matches_boolean",
     "embeds",

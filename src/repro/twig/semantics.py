@@ -16,6 +16,12 @@ The evaluation is the classic two-pass dynamic programme:
 
 Both passes exploit that tree patterns decompose: sibling branches embed
 independently, so existence of a full embedding factorises exactly.
+
+:func:`evaluate` routes through the shared :mod:`repro.engine`, which
+builds the document index once per tree and memoises answers across the
+repeated evaluations interactive learners perform; :func:`evaluate_naive`
+keeps the original single-shot path (index rebuilt per call) as the
+obviously-correct reference for property tests and cold benchmarks.
 """
 
 from __future__ import annotations
@@ -124,7 +130,20 @@ def _top_down(query: TwigQuery, idx: _TreeIndex,
 
 
 def evaluate(query: TwigQuery, tree: XTree) -> list[XNode]:
-    """All document nodes selected by ``query`` on ``tree`` (document order)."""
+    """All document nodes selected by ``query`` on ``tree`` (document order).
+
+    Served by the shared engine: the tree is indexed once and repeated
+    evaluations of the same (canonical) query are cache hits.  After an
+    in-place mutation, call ``tree.invalidate()`` (as the parent-map cache
+    already required) — the engine detects the version bump and reindexes.
+    """
+    from repro.engine.core import get_engine
+
+    return get_engine().evaluate_twig(query, tree)
+
+
+def evaluate_naive(query: TwigQuery, tree: XTree) -> list[XNode]:
+    """Single-shot evaluation, index rebuilt per call (the reference path)."""
     idx = _TreeIndex(tree)
     cand = _bottom_up(query.root, idx)
     if not cand[id(query.root)]:

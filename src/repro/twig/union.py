@@ -24,7 +24,6 @@ from collections.abc import Iterable, Sequence
 
 from repro.twig.ast import TwigQuery
 from repro.twig.embedding import contains
-from repro.twig.semantics import evaluate
 from repro.xmltree.tree import XNode, XTree
 
 
@@ -39,16 +38,23 @@ class UnionTwigQuery:
             raise ValueError("a union query needs at least one disjunct")
 
     def evaluate(self, tree: XTree) -> list[XNode]:
-        """Union of the disjuncts' answers, in document order."""
-        order = {id(n): i for i, n in enumerate(tree.nodes())}
+        """Union of the disjuncts' answers, in document order.
+
+        Runs on the shared engine: one document index serves every
+        disjunct (and the document-order sort), and per-disjunct answers
+        are cache hits across repeated calls.
+        """
+        from repro.engine.core import get_engine
+
+        doc = get_engine().document(tree)
         seen: set[int] = set()
         answers: list[XNode] = []
         for disjunct in self.disjuncts:
-            for n in evaluate(disjunct, tree):
+            for n in doc.evaluate(disjunct):
                 if id(n) not in seen:
                     seen.add(id(n))
                     answers.append(n)
-        answers.sort(key=lambda n: order[id(n)])
+        answers.sort(key=doc.order_of)
         return answers
 
     def selects(self, tree: XTree, node: XNode) -> bool:

@@ -100,6 +100,9 @@ class XTree:
     def __init__(self, root: XNode) -> None:
         self.root = root
         self._parents: dict[int, Optional[XNode]] | None = None
+        # Bumped by invalidate(); external index caches (repro.engine)
+        # compare it to detect staleness without being notified.
+        self._version = 0
 
     def nodes(self) -> Iterator[XNode]:
         return self.root.iter()
@@ -140,8 +143,13 @@ class XTree:
         return path
 
     def invalidate(self) -> None:
-        """Drop cached structure after a mutation."""
+        """Drop cached structure after a mutation.
+
+        Also bumps the tree's version, which tells the shared evaluation
+        engine (:mod:`repro.engine`) to rebuild its index of this tree.
+        """
         self._parents = None
+        self._version += 1
 
     def copy(self) -> "XTree":
         return XTree(self.root.copy())

@@ -1,0 +1,6 @@
+"""Test suite package.
+
+This file makes ``tests/`` a proper package so the ``from .conftest
+import ...`` statements in test modules resolve; without it pytest imports
+the modules as top-level scripts and 13 of the 45 modules fail collection.
+"""
