@@ -16,6 +16,11 @@ them (the paper's Figure 1):
   mappings); datasets in :mod:`repro.datasets` (XMark, XPathMark,
   relational and geographic workloads).
 
+Evaluation is served by :mod:`repro.engine` (per-instance indexes and
+memoisation behind the plain ``evaluate``/``evaluate_rpq`` signatures) and
+batched/sharded by :mod:`repro.serving` (one hypothesis over many
+instances per call, with serial, thread-pool, and process-pool executors).
+
 Quickstart::
 
     from repro import parse_twig, learn_twig, TwigOracle, XTree, parse_xml
@@ -86,6 +91,14 @@ from repro.graphdb import Graph, PathQuery, parse_regex, evaluate_rpq
 from repro.learning.path_learner import learn_path_query
 from repro.learning.graph_session import InteractivePathSession
 from repro.exchange import Mapping, run_all_scenarios
+from repro.serving import (
+    BatchEvaluator,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    Workload,
+    WorkloadResult,
+)
 
 __version__ = "1.0.0"
 
@@ -119,5 +132,8 @@ __all__ = [
     "learn_path_query", "InteractivePathSession",
     # exchange
     "Mapping", "run_all_scenarios",
+    # batched serving
+    "BatchEvaluator", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+    "Workload", "WorkloadResult",
     "__version__",
 ]

@@ -44,6 +44,12 @@ Contracts
   exactly as with naive evaluation.
 * ``reset_engine()`` restores a cold engine; benchmarks use it to separate
   first-evaluation cost from steady-state cost.
+* The engine is **thread-safe**: index acquisition, invalidation, reset,
+  and every result cache are lock-guarded, so :mod:`repro.serving` can fan
+  concurrent shards out over one shared engine.  Shards evaluate against
+  immutable index snapshots, so a mutation (one atomic structural op plus
+  ``invalidate()``) or a ``reset_engine()`` landing mid-batch is observed
+  either fully before or fully after any given shard, never inside it.
 
 Typical use::
 

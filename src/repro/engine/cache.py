@@ -5,10 +5,21 @@ insertion-ordered dict with least-recently-*used* eviction and hit/miss
 counters.  Every memoisation site in the engine (query results, compiled
 NFAs, reachability sets, agreement sets) goes through this class so cache
 behaviour is uniform, bounded, and observable via :meth:`stats`.
+
+The cache is **thread-safe**: the sharded batch evaluator
+(:mod:`repro.serving`) runs concurrent shards against one shared engine,
+so every mutating operation holds an internal lock.  The capacity bound is
+enforced under that lock and therefore holds at every instant, no matter
+how many threads insert concurrently.  :meth:`get_or_compute` deliberately
+runs ``compute()`` *outside* the lock — a slow computation must not block
+unrelated keys — so two threads racing on the same cold key may both
+compute it; last write wins, which is harmless because every memoised
+value in this codebase is a pure function of its key.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -23,34 +34,41 @@ class LRUCache:
     inserts and evicts the coldest entry once the capacity is exceeded.
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses")
+    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses")
 
     def __init__(self, maxsize: int | None = 256) -> None:
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive (or None)")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if self.maxsize is not None and len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], Any]) -> Any:
-        """Memoise ``compute()`` under ``key`` (values may not be None)."""
+        """Memoise ``compute()`` under ``key`` (values may not be None).
+
+        ``compute()`` runs without the lock held; concurrent callers may
+        duplicate work on a cold key but always observe a consistent cache.
+        """
         value = self.get(key, _MISSING)
         if value is _MISSING:
             value = compute()
@@ -58,17 +76,21 @@ class LRUCache:
         return value
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> dict[str, int]:
-        return {"size": len(self._data), "hits": self.hits,
-                "misses": self.misses}
+        with self._lock:
+            return {"size": len(self._data), "hits": self.hits,
+                    "misses": self.misses}
 
     def __repr__(self) -> str:
         return (f"<LRUCache size={len(self._data)}/{self.maxsize} "

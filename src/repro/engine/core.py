@@ -13,10 +13,21 @@ wrappers, so every existing call site gains per-instance caching without a
 signature change.  :func:`reset_engine` drops all cached state (used by
 benchmarks to measure cold paths); :meth:`Engine.invalidate` drops the
 index of a single instance after an in-place mutation.
+
+The engine is **thread-safe**: :mod:`repro.serving` fans one engine out
+over concurrent shards, so index acquisition, invalidation, reset, and
+stats hold an internal lock, and all result caches are thread-safe
+:class:`~repro.engine.cache.LRUCache` instances.  Evaluation itself runs
+*outside* the engine lock against an immutable index snapshot — a shard
+that has acquired its :class:`IndexedDocument`/:class:`IndexedGraph` sees
+one consistent version of the instance for its whole lifetime, even if a
+mutation, :meth:`Engine.invalidate`, or :func:`reset_engine` lands
+mid-batch.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections.abc import Sequence
 
@@ -34,6 +45,12 @@ Word = tuple[str, ...]
 class Engine:
     """Caches per-instance indexes and serves memoised query evaluation."""
 
+    #: How many times an index rebuild is retried when a concurrent
+    #: mutation bumps the instance version *during* the build.  The last
+    #: build is served regardless (the next call rebuilds again), so this
+    #: only bounds work under a pathological mutation storm.
+    MAX_REINDEX_RETRIES = 4
+
     def __init__(self, *, max_cached_queries: int = 256,
                  max_graph_results: int = 1024) -> None:
         self.max_cached_queries = max_cached_queries
@@ -44,6 +61,15 @@ class Engine:
             = weakref.WeakKeyDictionary()
         self._nfas = LRUCache(512)
         self._word_accepts = LRUCache(8192)
+        # The engine lock guards only the instance->index (and build-lock)
+        # map accesses.  Index *builds* run outside it, under a
+        # per-instance lock — so two threads never build the same
+        # instance twice concurrently, but builds for independent
+        # instances (a cold sharded batch) proceed in parallel, and an
+        # in-flight build never blocks acquisitions of other instances.
+        self._lock = threading.RLock()
+        self._build_locks: "weakref.WeakKeyDictionary[object, threading.RLock]" \
+            = weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     # Index acquisition
@@ -54,12 +80,10 @@ class Engine:
         A stale index — the tree's version moved past the indexed one via
         ``XTree.invalidate()`` — is rebuilt transparently.
         """
-        index = self._documents.get(tree)
-        if index is None or index.version != getattr(tree, "_version", 0):
-            index = IndexedDocument(
-                tree, max_cached_queries=self.max_cached_queries)
-            self._documents[tree] = index
-        return index
+        return self._acquire(
+            tree, self._documents,
+            lambda: IndexedDocument(
+                tree, max_cached_queries=self.max_cached_queries))
 
     def graph(self, graph: Graph) -> IndexedGraph:
         """The (cached) adjacency index of ``graph``.
@@ -67,13 +91,58 @@ class Engine:
         Graph mutators bump the graph's version, so an index made stale by
         ``add_vertex``/``add_edge`` is rebuilt transparently.
         """
-        index = self._graphs.get(graph)
-        if index is None or index.version != getattr(graph, "_version", 0):
-            index = IndexedGraph(
+        return self._acquire(
+            graph, self._graphs,
+            lambda: IndexedGraph(
                 graph, max_cached_results=self.max_graph_results,
-                nfa_cache=self._nfas)
-            self._graphs[graph] = index
-        return index
+                nfa_cache=self._nfas))
+
+    def _acquire(self, instance, index_map, build):
+        """Serve a fresh index, building under a per-instance lock."""
+        with self._lock:
+            index = index_map.get(instance)
+            if index is not None and \
+                    index.version == getattr(instance, "_version", 0):
+                return index
+            build_lock = self._build_locks.get(instance)
+            if build_lock is None:
+                build_lock = self._build_locks[instance] = threading.RLock()
+        with build_lock:
+            with self._lock:  # another thread may have won the build race
+                index = index_map.get(instance)
+                if index is not None and \
+                        index.version == getattr(instance, "_version", 0):
+                    return index
+            index = self._build(instance, build)
+            with self._lock:
+                index_map[instance] = index
+            return index
+
+    def _build(self, instance, build):
+        """Build an index, retrying when a concurrent mutation tears it.
+
+        A mutation running in another thread while we snapshot can either
+        complete mid-build (the instance version moves past the one the
+        snapshot recorded) or leave the build reading a half-changed
+        structure (which surfaces as a build error).  Both are transient,
+        so both retry; a *deterministic* build failure still surfaces
+        after the retry budget, since retrying cannot fix it.
+        """
+        last_index = last_error = None
+        for _ in range(self.MAX_REINDEX_RETRIES):
+            try:
+                index = build()
+            except Exception as exc:
+                last_error = exc
+                continue
+            if index.version == getattr(instance, "_version", 0):
+                return index
+            last_index = index
+        if last_index is None:
+            raise last_error
+        # Mutation storm: serve the newest usable build (even if a later
+        # attempt failed on a torn read); the next call rebuilds.
+        return last_index
 
     # ------------------------------------------------------------------
     # Twig evaluation
@@ -133,25 +202,35 @@ class Engine:
     def invalidate(self, instance: XTree | Graph) -> None:
         """Drop the cached index of one instance (after a mutation)."""
         if isinstance(instance, XTree):
-            self._documents.pop(instance, None)
+            with self._lock:
+                self._documents.pop(instance, None)
         elif isinstance(instance, Graph):
-            self._graphs.pop(instance, None)
+            with self._lock:
+                self._graphs.pop(instance, None)
         else:
             raise TypeError(
                 f"cannot invalidate {type(instance).__name__}: expected "
                 "an XTree or a Graph")
 
     def reset(self) -> None:
-        """Drop every cached index and memo."""
-        self._documents.clear()
-        self._graphs.clear()
+        """Drop every cached index and memo.
+
+        Safe mid-batch: in-flight shards keep evaluating against the
+        snapshots they already hold; only *future* index acquisitions see
+        the cleared maps and rebuild.
+        """
+        with self._lock:
+            self._documents.clear()
+            self._graphs.clear()
+            self._build_locks.clear()
         self._nfas.clear()
         self._word_accepts.clear()
 
     def stats(self) -> dict[str, object]:
         """Aggregate cache statistics (for reports and benchmarks)."""
-        doc_stats = [d.cache_stats() for d in self._documents.values()]
-        graph_stats = [g.cache_stats() for g in self._graphs.values()]
+        with self._lock:
+            doc_stats = [d.cache_stats() for d in self._documents.values()]
+            graph_stats = [g.cache_stats() for g in self._graphs.values()]
         return {
             "documents": len(doc_stats),
             "graphs": len(graph_stats),

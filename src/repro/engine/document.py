@@ -38,19 +38,28 @@ class IndexedDocument:
         # a strong ref here would keep every indexed tree alive forever.
         self._tree = weakref.ref(tree)
         self.version = getattr(tree, "_version", 0)
-        # Pre-order node array: XNode.iter() is depth-first pre-order, so a
-        # subtree occupies a contiguous index range.
-        self.nodes: list[XNode] = list(tree.nodes())
+        # Pre-order arrays, built in ONE traversal that captures each
+        # node's children list exactly once: a concurrent atomic mutation
+        # (one list op on one node) can only move the whole snapshot
+        # before or after itself — a two-pass build could interleave the
+        # passes around the mutation and cache a mixed-version index.
+        self.nodes: list[XNode] = []
+        self.index: dict[int, int] = {}
+        self.parent: list[int | None] = []
+        self.children: list[list[int]] = []
+        stack: list[tuple[XNode, int | None]] = [(tree.root, None)]
+        while stack:
+            x, parent_ix = stack.pop()
+            i = len(self.nodes)
+            self.nodes.append(x)
+            self.index[id(x)] = i
+            self.parent.append(parent_ix)
+            self.children.append([])
+            if parent_ix is not None:
+                self.children[parent_ix].append(i)
+            # reversed() keeps pre-order left-to-right (cf. XNode.iter).
+            stack.extend((child, i) for child in reversed(list(x.children)))
         n = len(self.nodes)
-        self.index: dict[int, int] = {id(x): i for i, x in
-                                      enumerate(self.nodes)}
-        self.parent: list[int | None] = [None] * n
-        self.children: list[list[int]] = [[] for _ in range(n)]
-        for i, x in enumerate(self.nodes):
-            for child in x.children:
-                j = self.index[id(child)]
-                self.parent[j] = i
-                self.children[i].append(j)
         # last_descendant[i] = highest pre-order index inside i's subtree.
         self.last_descendant: list[int] = list(range(n))
         for i in range(n - 1, -1, -1):
@@ -174,12 +183,26 @@ class IndexedDocument:
             return ()
         return tuple(sorted(self._top_down(query, cand)))
 
-    def evaluate(self, query: TwigQuery) -> list[XNode]:
-        """Nodes selected by ``query``, in document order (memoised)."""
-        key = query.canonical()
-        indices = self._query_cache.get_or_compute(
+    def evaluate_indices(self, query: TwigQuery,
+                         key: tuple | None = None) -> tuple[int, ...]:
+        """Pre-order positions selected by ``query`` (memoised).
+
+        ``key`` is the query's canonical form, if the caller already has
+        it: the batch evaluator canonicalises a hypothesis **once** per
+        workload instead of once per (query, document) pair, and process
+        workers ship these positions back across the pickle boundary
+        (positions are stable for a fixed tree version, so the parent
+        maps them onto its own node objects).
+        """
+        if key is None:
+            key = query.canonical()
+        return self._query_cache.get_or_compute(
             key, lambda: self._answer_indices(query))
-        return [self.nodes[i] for i in indices]
+
+    def evaluate(self, query: TwigQuery,
+                 key: tuple | None = None) -> list[XNode]:
+        """Nodes selected by ``query``, in document order (memoised)."""
+        return [self.nodes[i] for i in self.evaluate_indices(query, key)]
 
     # ------------------------------------------------------------------
     # Canonical queries (the learner's per-example starting point)

@@ -30,6 +30,7 @@ from repro.graphdb.pathquery import PathQuery
 from repro.learning.path_learner import lgg_path, normalize
 from repro.learning.protocol import SessionStats
 from repro.learning.workload import WorkloadPriors
+from repro.serving import BatchEvaluator
 
 Word = tuple[str, ...]
 
@@ -61,6 +62,7 @@ class InteractivePathSession:
         priors: WorkloadPriors | None = None,
         max_length: int = 8,
         max_candidates: int = 200,
+        evaluator: BatchEvaluator | None = None,
     ) -> None:
         self.graph = graph
         self.goal = goal
@@ -70,6 +72,10 @@ class InteractivePathSession:
         # (e.g. priors-vs-no-priors comparisons) pay for it once, and all
         # acceptance checks below share cached compiled NFAs.
         self._engine = get_engine()
+        # The per-interaction acceptance scan over all pending words runs
+        # as one serving batch (same memoised answers, any executor).
+        self.evaluator = evaluator if evaluator is not None \
+            else BatchEvaluator(engine=self._engine)
         self.candidates = self._engine.words_between(
             graph, source, target, max_length=max_length,
             limit=max_candidates)
@@ -88,7 +94,7 @@ class InteractivePathSession:
         if hypothesis is None:
             return False
         widened = lgg_path(hypothesis, normalize(PathQuery.of_word(word)))
-        return any(self._accepts(widened, neg) for neg in negatives)
+        return self.evaluator.accepts_any(widened, negatives)
 
     def _rank(self, words: list[Word]) -> list[Word]:
         if self.priors is not None:
@@ -104,9 +110,12 @@ class InteractivePathSession:
         converged_at: int | None = None
 
         while True:
+            # One acceptance batch per interaction over all pending words.
+            accepted = self.evaluator.accepts_batch(hypothesis, pending) \
+                if hypothesis is not None else [False] * len(pending)
             informative = []
-            for word in pending:
-                if hypothesis is not None and self._accepts(hypothesis, word):
+            for word, acc in zip(pending, accepted):
+                if acc:
                     continue
                 if self._implied_negative(hypothesis, word, negatives):
                     continue
@@ -131,8 +140,10 @@ class InteractivePathSession:
             else:
                 negatives.append(word)
 
-        for word in pending:
-            if hypothesis is not None and self._accepts(hypothesis, word):
+        accepted = self.evaluator.accepts_batch(hypothesis, pending) \
+            if hypothesis is not None else [False] * len(pending)
+        for word, acc in zip(pending, accepted):
+            if acc:
                 stats.implied_positive += 1
             elif self._implied_negative(hypothesis, word, negatives):
                 stats.implied_negative += 1

@@ -41,6 +41,7 @@ from repro.learning.join_learner import (
 from repro.learning.protocol import SessionStats
 from repro.relational.predicates import AttributePair, predicate_selects
 from repro.relational.relation import Relation, Row
+from repro.serving import BatchEvaluator
 from repro.util.rng import RngLike, make_rng
 
 Pair = tuple[Row, Row]
@@ -138,11 +139,17 @@ class InteractiveJoinSession:
         strategy: ProposalStrategy | None = None,
         max_pool: int | None = None,
         rng: RngLike = None,
+        evaluator: BatchEvaluator | None = None,
     ) -> None:
         self.left = left
         self.right = right
         self.goal = goal
         self.strategy = strategy or LatticeStrategy()
+        # The per-interaction informativeness scan over the pending pool
+        # runs through the serving executor (order-preserving, so the
+        # proposal sequence is identical under any executor).
+        self.evaluator = evaluator if evaluator is not None \
+            else BatchEvaluator()
         r = make_rng(rng)
         pool = [(lrow, rrow) for lrow in left for rrow in right]
         pool.sort(key=repr)
@@ -164,8 +171,9 @@ class InteractiveJoinSession:
         stats = SessionStats()
         pending = list(self.pool)
         while True:
-            informative = [p for p in pending
-                           if self.space.is_informative(*p)]
+            flags = self.evaluator.map(
+                lambda pair: self.space.is_informative(*pair), pending)
+            informative = [p for p, flag in zip(pending, flags) if flag]
             if not informative:
                 break
             if max_questions is not None and stats.questions >= max_questions:

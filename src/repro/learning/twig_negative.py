@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.learning.protocol import NodeExample
+from repro.serving import BatchEvaluator
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
 from repro.twig.normalize import minimize
@@ -55,16 +56,13 @@ class ConsistencyResult:
         return self.consistent is True
 
 
-def _selects_example(query: TwigQuery, ex: NodeExample) -> bool:
-    # Engine-served: every candidate hypothesis in the search is checked
-    # against the same example documents, so the per-document index is
-    # built once and repeated hypotheses are cache hits.
-    return get_engine().selects(query, ex.tree, ex.node)
-
-
-def _violates_negative(query: TwigQuery,
-                       negatives: Sequence[NodeExample]) -> bool:
-    return any(_selects_example(query, n) for n in negatives)
+def _violates_negative(query: TwigQuery, negatives: Sequence[NodeExample],
+                       evaluator: BatchEvaluator) -> bool:
+    # Serving-batched per distinct example document, short-circuiting at
+    # the first document with a selected negative: most candidates in the
+    # search die early, so the hot DFS path must not pay for the full
+    # negative set per candidate.
+    return evaluator.selects_any(query, [(n.tree, n.node) for n in negatives])
 
 
 def check_consistency(
@@ -73,6 +71,7 @@ def check_consistency(
     budget: int = 512,
     branching: int = 8,
     practical: bool = True,
+    evaluator: BatchEvaluator | None = None,
 ) -> ConsistencyResult:
     """Is some anchored twig consistent with the labelled examples?
 
@@ -88,6 +87,8 @@ def check_consistency(
         raise LearningError("at least one positive example is required")
 
     engine = get_engine()
+    if evaluator is None:
+        evaluator = BatchEvaluator(engine=engine)
     canonicals = [engine.canonical_query(e.tree, e.node) for e in positives]
 
     # Depth-first over example folds; at each fold, try alignment
@@ -108,7 +109,7 @@ def check_consistency(
         if not repair_exact:
             space_truncated = True
         candidate = minimize(repaired)
-        if _violates_negative(candidate, negatives):
+        if _violates_negative(candidate, negatives, evaluator):
             return None
         if index == len(canonicals):
             return candidate

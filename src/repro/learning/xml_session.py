@@ -18,6 +18,12 @@ sessions:
 
 The learned query is the schema-aware-pruned hypothesis when a schema is
 supplied.
+
+The per-interaction re-evaluation — classify every pending candidate
+against the current hypothesis — runs as one :mod:`repro.serving` batch
+per round (the hypothesis is evaluated once per distinct document, not
+once per candidate), so the session accepts any executor without changing
+a single question.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from dataclasses import dataclass
 from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.learning.protocol import SessionStats, TwigOracle
+from repro.serving import BatchEvaluator
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
 from repro.twig.normalize import minimize
@@ -56,6 +63,7 @@ class InteractiveTwigSession:
         schema=None,
         max_pool: int | None = 300,
         practical: bool = True,
+        evaluator: BatchEvaluator | None = None,
     ) -> None:
         if not documents:
             raise LearningError("the session needs at least one document")
@@ -63,6 +71,8 @@ class InteractiveTwigSession:
         self.oracle = TwigOracle(goal)
         self.schema = schema
         self.practical = practical
+        self.evaluator = evaluator if evaluator is not None \
+            else BatchEvaluator()
         pool: list[Candidate] = []
         for doc in self.documents:
             for n in doc.nodes():
@@ -89,20 +99,13 @@ class InteractiveTwigSession:
         repaired, _ = anchor_repair(merged)
         return minimize(repaired)
 
-    def _selects(self, hypothesis: TwigQuery | None,
-                 candidate: Candidate) -> bool:
-        if hypothesis is None:
-            return False
-        tree, node = candidate
-        return get_engine().selects(hypothesis, tree, node)
-
     def _implied_negative(self, hypothesis: TwigQuery | None,
                           candidate: Candidate,
                           negatives: list[Candidate]) -> bool:
         if hypothesis is None or not negatives:
             return False
         widened = self._extend(hypothesis, candidate)
-        return any(self._selects(widened, neg) for neg in negatives)
+        return self.evaluator.selects_any(widened, negatives)
 
     # ------------------------------------------------------------------
     def run(self, *, max_questions: int | None = None) -> TwigSessionResult:
@@ -112,9 +115,13 @@ class InteractiveTwigSession:
         pending = list(self.pool)
 
         while True:
+            # One batch per interaction: the hypothesis is evaluated once
+            # per distinct document, then every pending candidate is
+            # classified against the cached answer sets.
+            selected = self.evaluator.selects_batch(hypothesis, pending)
             informative = [
-                c for c in pending
-                if not self._selects(hypothesis, c)
+                c for c, sel in zip(pending, selected)
+                if not sel
                 and not self._implied_negative(hypothesis, c, negatives)
             ]
             if not informative:
@@ -132,8 +139,9 @@ class InteractiveTwigSession:
             else:
                 negatives.append(candidate)
 
-        for candidate in pending:
-            if self._selects(hypothesis, candidate):
+        selected = self.evaluator.selects_batch(hypothesis, pending)
+        for candidate, sel in zip(pending, selected):
+            if sel:
                 stats.implied_positive += 1
             elif self._implied_negative(hypothesis, candidate, negatives):
                 stats.implied_negative += 1

@@ -1,0 +1,87 @@
+"""repro.serving — the batched, sharded evaluation service atop the engine.
+
+The paper's learners converge by re-evaluating an evolving hypothesis
+against *fixed* instances after every user interaction; :mod:`repro.engine`
+made one such evaluation cheap.  This package fans that seam out: because
+per-instance indexes are independent, a workload — one hypothesis over many
+documents or graphs, one instance under many queries, or any mix — slices
+into per-instance **shards** that evaluate independently and merge back in
+item order.  The interactive sessions route their per-interaction
+re-evaluation loops through this service, and executors decide where the
+shards run without changing a single answer.
+
+Architecture
+------------
+:class:`~repro.serving.workload.Workload` /
+:class:`~repro.serving.workload.WorkloadResult`
+    An ordered, immutable batch of evaluation items and its
+    position-aligned answers.  ``Workload.twig(query, documents)``,
+    ``Workload.twig_queries(queries, document)``, ``Workload.rpq(...)``,
+    ``Workload.accepts(...)`` build the common shapes; ``+`` concatenates.
+
+:class:`~repro.serving.executors.SerialExecutor`,
+:class:`~repro.serving.executors.ThreadExecutor`,
+:class:`~repro.serving.executors.ProcessExecutor`
+    Pluggable, order-preserving shard runners: inline, a persistent thread
+    pool sharing one thread-safe engine, or a persistent process pool fed
+    picklable :class:`~repro.serving.evaluator.ShardTask` records whose
+    workers return identity-free answers (pre-order positions, vertex
+    pairs, booleans).
+
+:class:`~repro.serving.evaluator.BatchEvaluator`
+    The service: shards a workload, hoists per-query work (canonical
+    forms) out of the per-item loop, runs shard chunks on the executor,
+    and decodes worker answers against its own engine's snapshots.
+
+Contracts
+---------
+* **Parity**: ``run(workload).answers[i]`` equals the serial engine call
+  for item ``i`` — same node objects, same document order — on every
+  executor.
+* **Shard snapshot consistency**: each shard resolves its instance index
+  once, so a concurrent mutation lands fully before or fully after any
+  given shard, never inside it (the process executor, which cannot share
+  snapshots with workers, detects a mid-batch mutation and raises instead
+  of decoding positions across versions).
+* **Determinism**: answers merge by item position; executor scheduling
+  cannot reorder or change results, so sessions behave identically under
+  any executor.
+
+Typical use::
+
+    from repro.serving import BatchEvaluator, ThreadExecutor, Workload
+
+    evaluator = BatchEvaluator(executor=ThreadExecutor(max_workers=4))
+    answers = evaluator.evaluate_twig_batch(hypothesis, documents)
+    flags = evaluator.selects_batch(hypothesis, candidate_nodes)
+    result = evaluator.run(Workload.twig(h1, docs) + Workload.rpq(r, graphs))
+"""
+
+from repro.serving.evaluator import BatchEvaluator, ShardTask
+from repro.serving.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadExecutor,
+)
+from repro.serving.workload import (
+    ItemKind,
+    Shard,
+    Workload,
+    WorkloadItem,
+    WorkloadResult,
+)
+
+__all__ = [
+    "BatchEvaluator",
+    "ItemKind",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "Shard",
+    "ShardExecutor",
+    "ShardTask",
+    "ThreadExecutor",
+    "Workload",
+    "WorkloadItem",
+    "WorkloadResult",
+]

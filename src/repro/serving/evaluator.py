@@ -1,0 +1,339 @@
+"""The batched, sharded evaluation service on top of the engine.
+
+:class:`BatchEvaluator` evaluates whole workloads — one hypothesis over
+many instances, one instance under many queries, or any mix — by slicing
+the workload into per-instance shards and running shard chunks on a
+pluggable :class:`~repro.serving.executors.ShardExecutor`.
+
+Correctness contracts (enforced by the parity and concurrency suites):
+
+* **Answer parity.**  ``run(workload).answers[i]`` equals the serial
+  ``engine.evaluate_twig`` / ``evaluate_rpq`` / ``accepts`` call for item
+  ``i`` — for twig items, the *same node objects* in document order, on
+  every executor.  Process workers never return node copies: they ship
+  pre-order positions, and the parent maps positions onto its own index
+  snapshot (positions are stable for a fixed tree version).
+* **Shard snapshot consistency.**  Each shard resolves its instance's
+  index exactly once, so a concurrent mutation (plus ``invalidate()``)
+  lands either entirely before or entirely after any given shard — a
+  batch never mixes two versions of one instance within a shard.  The
+  process executor cannot re-resolve a worker's snapshot, so it pins the
+  parent-side snapshot at submission and *raises* if the instance version
+  moved before decode, rather than risking positions mapped across
+  versions.
+* **Deterministic merge.**  Shard answers merge back by item position;
+  scheduling order can never reorder results.
+
+Batching also does strictly less work than the serial loop: canonical
+query forms are hoisted once per workload (not recomputed per call), and
+:meth:`BatchEvaluator.selects_batch` materialises each document's answer
+set once to classify any number of candidate nodes against it — the
+per-interaction loop the interactive sessions previously ran one
+``engine.selects`` call per candidate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine import Engine, get_engine
+from repro.graphdb.graph import Graph, VertexId
+from repro.serving.executors import SerialExecutor, ShardExecutor
+from repro.serving.workload import (
+    ItemKind,
+    Shard,
+    Word,
+    Workload,
+    WorkloadResult,
+)
+from repro.twig.ast import TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A picklable shard: everything a process worker needs, nothing more.
+
+    ``payload`` is the instance in transfer form — the document's root
+    :class:`~repro.xmltree.tree.XNode` (plain structure, no caches or
+    id-keyed maps) or the :class:`~repro.graphdb.graph.Graph` itself;
+    acceptance shards carry no instance.  Answers come back identity-free
+    (positions / vertex pairs / booleans), ready for the parent to decode
+    against its own objects.
+    """
+
+    kind: ItemKind
+    payload: object
+    queries: tuple
+    words: tuple[Word, ...] | None = None
+    sources: tuple = ()
+
+
+def _run_shard_task(task: ShardTask) -> tuple:
+    """Evaluate one shard in a worker process (identity-free answers)."""
+    engine = get_engine()  # the worker process's own engine
+    if task.kind is ItemKind.TWIG:
+        doc_index = engine.document(XTree(task.payload))
+        return tuple(doc_index.evaluate_indices(q) for q in task.queries)
+    if task.kind is ItemKind.RPQ:
+        graph_index = engine.graph(task.payload)
+        return tuple(graph_index.evaluate_rpq(q, sources)
+                     for q, sources in zip(task.queries, task.sources))
+    return tuple(engine.accepts(task.queries[0], word)
+                 for word in task.words or ())
+
+
+def _run_task_chunk(chunk: tuple[ShardTask, ...]) -> tuple:
+    """Worker entry point: one pickle round-trip per chunk, not per shard."""
+    return tuple(_run_shard_task(task) for task in chunk)
+
+
+def _pin_preorder(tree: XTree) -> tuple[int, list[XNode]]:
+    """The tree's (version, pre-order node list) in one cheap traversal.
+
+    ``XNode.iter`` pre-order is the order of
+    :class:`~repro.engine.document.IndexedDocument` (and of the worker's
+    rebuilt copy), so worker positions map onto these node objects
+    directly.
+    """
+    return getattr(tree, "_version", 0), list(tree.nodes())
+
+
+def _chunks(seq: Sequence, width: int) -> list[tuple]:
+    """Split into at most ``width`` contiguous, size-balanced chunks."""
+    n = len(seq)
+    width = max(1, min(width, n))
+    base, extra = divmod(n, width)
+    out, start = [], 0
+    for i in range(width):
+        size = base + (1 if i < extra else 0)
+        out.append(tuple(seq[start:start + size]))
+        start += size
+    return out
+
+
+class BatchEvaluator:
+    """Evaluate workloads over the engine seam, shard by shard."""
+
+    def __init__(self, *, engine: Engine | None = None,
+                 executor: ShardExecutor | None = None) -> None:
+        self.engine = engine if engine is not None else get_engine()
+        self.executor = executor if executor is not None else SerialExecutor()
+
+    # ------------------------------------------------------------------
+    # The service entry point
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload) -> WorkloadResult:
+        """Evaluate every item; answers aligned with item order."""
+        shards = workload.shards()
+        if not shards:
+            return WorkloadResult(workload, (), self.executor.name, 0)
+        if self.executor.isolated:
+            shard_answers = self._run_isolated(shards)
+        else:
+            shard_answers = self._run_shared(shards)
+        answers: list = [None] * len(workload)
+        for shard, shard_ans in zip(shards, shard_answers):
+            for position, answer in zip(shard.indices, shard_ans):
+                answers[position] = answer
+        return WorkloadResult(workload, tuple(answers), self.executor.name,
+                              len(shards))
+
+    # ------------------------------------------------------------------
+    # Shared-engine path (serial / thread executors)
+    # ------------------------------------------------------------------
+    def _run_shared(self, shards: list[Shard]) -> list[tuple]:
+        # Canonicalise each distinct twig query once per batch — the
+        # serial loop pays this on every single call.
+        twig_keys: dict[int, tuple] = {}
+        for shard in shards:
+            if shard.kind is ItemKind.TWIG:
+                for item in shard.items:
+                    if id(item.query) not in twig_keys:
+                        twig_keys[id(item.query)] = item.query.canonical()
+        engine = self.engine
+
+        def run_chunk(chunk: tuple[Shard, ...]) -> tuple:
+            return tuple(self._eval_shard(engine, s, twig_keys)
+                         for s in chunk)
+
+        chunk_results = self.executor.map(
+            run_chunk, _chunks(shards, self.executor.parallelism()))
+        return [ans for chunk in chunk_results for ans in chunk]
+
+    @staticmethod
+    def _eval_shard(engine: Engine, shard: Shard,
+                    twig_keys: dict[int, tuple]) -> tuple:
+        # One index snapshot per shard: every item in the shard sees the
+        # same version of its instance (mutation atomicity contract).
+        if shard.kind is ItemKind.TWIG:
+            doc_index = engine.document(shard.items[0].instance)
+            return tuple(
+                doc_index.evaluate(item.query, twig_keys[id(item.query)])
+                for item in shard.items)
+        if shard.kind is ItemKind.RPQ:
+            graph_index = engine.graph(shard.items[0].instance)
+            return tuple(graph_index.evaluate_rpq(item.query, item.sources)
+                         for item in shard.items)
+        return tuple(engine.accepts(item.query, item.word)
+                     for item in shard.items)
+
+    # ------------------------------------------------------------------
+    # Isolated path (process executor: picklable tasks in, positions out)
+    # ------------------------------------------------------------------
+    def _run_isolated(self, shards: list[Shard]) -> list[tuple]:
+        # Pin each twig shard's (version, pre-order nodes) *before*
+        # submission: worker positions decode against the structure that
+        # was current when the batch left, and a mutation racing the
+        # batch is detected (version moved past the pinned snapshot)
+        # instead of silently mapping positions onto different nodes.
+        # Deliberately NOT engine.document() — decode needs only the
+        # node order, and building full parent-side indexes here would
+        # duplicate exactly the work the batch ships to the workers.
+        snapshots = {
+            id(s): _pin_preorder(s.items[0].instance)
+            for s in shards if s.kind is ItemKind.TWIG
+        }
+        tasks = [self._make_task(s) for s in shards]
+        chunk_results = self.executor.map(
+            _run_task_chunk, _chunks(tasks, self.executor.parallelism()))
+        raw = [r for chunk in chunk_results for r in chunk]
+        return [self._decode(shard, shard_raw, snapshots.get(id(shard)))
+                for shard, shard_raw in zip(shards, raw)]
+
+    @staticmethod
+    def _make_task(shard: Shard) -> ShardTask:
+        queries = tuple(item.query for item in shard.items)
+        if shard.kind is ItemKind.TWIG:
+            return ShardTask(shard.kind, shard.items[0].instance.root,
+                             queries)
+        if shard.kind is ItemKind.RPQ:
+            return ShardTask(shard.kind, shard.items[0].instance, queries,
+                             sources=tuple(item.sources
+                                           for item in shard.items))
+        return ShardTask(shard.kind, None, (shard.items[0].query,),
+                         words=tuple(item.word for item in shard.items))
+
+    @staticmethod
+    def _decode(shard: Shard, raw: tuple, snapshot) -> tuple:
+        if shard.kind is not ItemKind.TWIG:
+            return raw  # vertex pairs and booleans are identity-free
+        version, nodes = snapshot
+        if version != getattr(shard.items[0].instance, "_version", 0):
+            raise RuntimeError(
+                "document mutated while a process batch was in flight; "
+                "the process executor refuses to decode positions across "
+                "versions — keep instances fixed for the duration of a "
+                "run() or use an in-process executor")
+        return tuple([nodes[i] for i in indices] for indices in raw)
+
+    # ------------------------------------------------------------------
+    # Convenience batch shapes
+    # ------------------------------------------------------------------
+    def evaluate_twig_batch(self, query: TwigQuery,
+                            documents: Sequence[XTree]) -> list[list[XNode]]:
+        """One hypothesis over many documents, in document order each."""
+        return list(self.run(Workload.twig(query, documents)).answers)
+
+    def evaluate_queries(self, queries: Sequence[TwigQuery],
+                         document: XTree) -> list[list[XNode]]:
+        """Many queries over one document (one shard, one snapshot)."""
+        return list(self.run(Workload.twig_queries(queries,
+                                                   document)).answers)
+
+    def evaluate_rpq_batch(
+        self, query: object, graphs: Sequence[Graph], *,
+        sources: Sequence[VertexId] | None = None,
+    ) -> list[set[tuple[VertexId, VertexId]]]:
+        """One path query over many graphs."""
+        return list(self.run(Workload.rpq(query, graphs,
+                                          sources=sources)).answers)
+
+    def accepts_batch(self, query: object,
+                      words: Sequence[Sequence[str]]) -> list[bool]:
+        """One path query probed with many words."""
+        return list(self.run(Workload.accepts(query, words)).answers)
+
+    def selects_batch(self, query: TwigQuery | None,
+                      candidates: Sequence[tuple[XTree, XNode]],
+                      ) -> list[bool]:
+        """Does ``query`` select each ``(document, node)`` candidate?
+
+        Evaluates the query once per *distinct* document and classifies
+        all of a document's candidates against its answer id-set — the
+        batched form of the sessions' per-candidate ``engine.selects``
+        loop (``None`` selects nothing, like an absent hypothesis).
+        """
+        if query is None or not candidates:
+            return [False] * len(candidates)
+        documents: list[XTree] = []
+        seen: set[int] = set()
+        for tree, _ in candidates:
+            if id(tree) not in seen:
+                seen.add(id(tree))
+                documents.append(tree)
+        answers = self.evaluate_twig_batch(query, documents)
+        selected: dict[int, set[int]] = {
+            id(doc): {id(n) for n in answer}
+            for doc, answer in zip(documents, answers)
+        }
+        return [id(node) in selected[id(tree)] for tree, node in candidates]
+
+    def selects_any(self, query: TwigQuery | None,
+                    candidates: Sequence[tuple[XTree, XNode]]) -> bool:
+        """Does ``query`` select *some* candidate?  Short-circuiting.
+
+        The refutation probe of the learners' inner loops: most probed
+        hypotheses are violated by an early candidate, so this evaluates
+        the query one distinct document at a time (batched classification
+        within each document) and stops at the first hit — unlike
+        :meth:`selects_batch`, which always materialises every answer.
+        """
+        if query is None:
+            return False
+        by_doc: dict[int, list[tuple[XTree, XNode]]] = {}
+        order: list[list[tuple[XTree, XNode]]] = []
+        for tree, node in candidates:
+            group = by_doc.get(id(tree))
+            if group is None:
+                group = by_doc[id(tree)] = []
+                order.append(group)
+            group.append((tree, node))
+        return any(any(self.selects_batch(query, group)) for group in order)
+
+    def accepts_any(self, query: object,
+                    words: Sequence[Sequence[str]]) -> bool:
+        """Does the query language contain *some* word?  Short-circuiting.
+
+        Serves the sessions' implied-negative probes: acceptance is
+        memoised per (query, word) on the engine, so the only win left is
+        stopping at the first accepted word — batching adds nothing here.
+        """
+        return any(self.engine.accepts(query, tuple(w)) for w in words)
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        """Order-preserving executor-backed map for arbitrary pure calls.
+
+        Serves session loops whose per-item work is not an engine query
+        (e.g. join-predicate informativeness).  Isolated executors fall
+        back to inline execution — arbitrary closures don't cross process
+        boundaries.
+        """
+        if not items:
+            return []
+        if self.executor.isolated:
+            return [fn(item) for item in items]
+
+        def run_chunk(chunk: tuple) -> tuple:
+            return tuple(fn(item) for item in chunk)
+
+        chunk_results = self.executor.map(
+            run_chunk, _chunks(items, self.executor.parallelism()))
+        return [out for chunk in chunk_results for out in chunk]
+
+    def __repr__(self) -> str:
+        return f"<BatchEvaluator executor={self.executor.name}>"

@@ -1,0 +1,165 @@
+"""Pluggable shard executors for the batch evaluation service.
+
+The :class:`~repro.serving.evaluator.BatchEvaluator` turns a workload
+into shard-chunk tasks and hands them to an executor; the executor only
+decides *where* the chunks run.  All three implementations preserve task
+order, so batch answers are deterministic regardless of scheduling:
+
+:class:`SerialExecutor`
+    Runs chunks inline.  The zero-overhead default — batching still wins
+    by amortising per-call work (query canonicalisation, answer
+    materialisation) across a shard.
+
+:class:`ThreadExecutor`
+    A persistent thread pool sharing the caller's engine, exercising the
+    engine's thread-safety.  Shards hit the shared compiled-NFA and
+    query-result caches, so repeated batches stay warm across workers.
+
+:class:`ProcessExecutor`
+    A persistent process pool for picklable shard tasks
+    (:class:`~repro.serving.evaluator.ShardTask`).  Workers evaluate
+    against their own process-local engine and ship identity-free answers
+    back (pre-order positions, vertex pairs, booleans); the parent maps
+    them onto its own objects.  Uses the ``fork`` start method where
+    available — ``spawn``/``forkserver`` re-import ``__main__`` in every
+    worker, which breaks REPL/stdin-driven callers and re-executes
+    unguarded scripts — and **spawns its workers at construction time**:
+    forking from a process whose threads (say, an in-flight
+    ``ThreadExecutor`` batch) hold an engine or cache lock would snapshot
+    the held lock into the child and deadlock it, so the fork happens
+    before this executor can possibly be part of such a batch.  Callers
+    who start their own threads before constructing executors should
+    construct the ``ProcessExecutor`` first, or pass
+    ``start_method="forkserver"`` (requires an importable ``__main__``).
+
+Executors are context managers; ``close()`` tears the pool down, and a
+closed executor refuses further ``map`` calls (construct a new one).
+Serial and thread executors construct for free; the process executor pays
+its worker fork up front, by design.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from typing import Any
+
+
+class ShardExecutor:
+    """Order-preserving ``map`` over shard-chunk tasks."""
+
+    #: True when tasks cross a process boundary and must be picklable.
+    isolated = False
+    name = "abstract"
+
+    def parallelism(self) -> int:
+        """How many chunks are worth creating (the scheduling width)."""
+        return 1
+
+    def map(self, fn: Callable[[Any], Any],
+            tasks: Sequence[Any]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} width={self.parallelism()}>"
+
+
+class SerialExecutor(ShardExecutor):
+    """Run every chunk inline, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any],
+            tasks: Sequence[Any]) -> list[Any]:
+        return [fn(t) for t in tasks]
+
+
+class ThreadExecutor(ShardExecutor):
+    """Run chunks on a persistent thread pool sharing one engine."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(8, (os.cpu_count() or 1) * 2)
+        # Created in __init__, not on first map(): a shared executor may
+        # see its first two map() calls race, and lazy creation there
+        # would construct two pools and leak one.  ThreadPoolExecutor
+        # itself starts no threads until the first submit, so this is
+        # free.
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = \
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-serving")
+
+    def parallelism(self) -> int:
+        return self.max_workers
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            raise RuntimeError("executor is closed; construct a new one")
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any],
+            tasks: Sequence[Any]) -> list[Any]:
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _noop() -> None:
+    """Picklable no-op used to force worker spawn at construction."""
+
+
+class ProcessExecutor(ShardExecutor):
+    """Run picklable chunks on a persistent process pool."""
+
+    isolated = True
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        self.max_workers = max_workers or max(2, os.cpu_count() or 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = \
+            concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context(self.start_method))
+        # Fork the workers NOW (ProcessPoolExecutor spawns them on first
+        # submit, hence the no-op): at construction time no batch of ours
+        # can be mid-flight in another thread, so no engine/cache lock
+        # can be snapshotted in a held state into the children.
+        self._pool.submit(_noop).result()
+
+    def parallelism(self) -> int:
+        return self.max_workers
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            raise RuntimeError("executor is closed; construct a new one")
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any],
+            tasks: Sequence[Any]) -> list[Any]:
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,304 @@
+"""The batch-evaluation service: batched answers must be element-for-element
+identical (same node objects, document order) to the serial engine path,
+on every executor, for any workload shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Engine
+from repro.graphdb.graph import Graph
+from repro.graphdb.pathquery import PathQuery
+from repro.graphdb.regex import parse_regex
+from repro.graphdb.rpq import evaluate_rpq_naive
+from repro.serving import (
+    BatchEvaluator,
+    ItemKind,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    Workload,
+)
+from repro.twig.parse import parse_twig
+from repro.twig.semantics import evaluate_naive
+from repro.xmltree.tree import XTree
+
+from .conftest import twig_queries, xml, xnode_trees
+
+
+def _in_process_executors():
+    return [SerialExecutor(), ThreadExecutor(3)]
+
+
+def _identical(batch, serial) -> bool:
+    return all(
+        len(a) == len(b) and all(x is y for x, y in zip(a, b))
+        for a, b in zip(batch, serial)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Property: batched twig answers == sequential engine answers, all executors
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(xnode_trees(max_depth=4, max_children=3), min_size=1,
+                max_size=4),
+       twig_queries(max_depth=3))
+def test_batch_twig_matches_sequential_engine(trees, query):
+    docs = [XTree(t) for t in trees]
+    engine = Engine()
+    serial = [engine.evaluate_twig(query, d) for d in docs]
+    for executor in _in_process_executors():
+        with executor:
+            batch = BatchEvaluator(
+                engine=engine,
+                executor=executor).evaluate_twig_batch(query, docs)
+            assert _identical(batch, serial), executor.name
+    # The naive reference agrees too (same ids, same order).
+    assert [[id(n) for n in a] for a in serial] == \
+        [[id(n) for n in evaluate_naive(query, d)] for d in docs]
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees(max_depth=4, max_children=3),
+       st.lists(twig_queries(max_depth=3), min_size=1, max_size=5))
+def test_batch_queries_over_one_document(tree, queries):
+    doc = XTree(tree)
+    engine = Engine()
+    serial = [engine.evaluate_twig(q, doc) for q in queries]
+    for executor in _in_process_executors():
+        with executor:
+            batch = BatchEvaluator(
+                engine=engine,
+                executor=executor).evaluate_queries(queries, doc)
+            assert _identical(batch, serial), executor.name
+    # One document => one shard => one index snapshot.
+    assert len(Workload.twig_queries(queries, doc).shards()) == 1
+
+
+@st.composite
+def small_graphs(draw) -> Graph:
+    g = Graph()
+    n = draw(st.integers(2, 5))
+    for v in range(n):
+        g.add_vertex(v)
+    for _ in range(draw(st.integers(0, 10))):
+        g.add_edge(draw(st.integers(0, n - 1)),
+                   draw(st.sampled_from("abc")),
+                   draw(st.integers(0, n - 1)))
+    return g
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(small_graphs(), min_size=1, max_size=3),
+       st.sampled_from(("a", "a.b", "a+", "(a|b)*", "a*.b")))
+def test_batch_rpq_matches_sequential_and_naive(graphs, regex_text):
+    query = parse_regex(regex_text)
+    engine = Engine()
+    serial = [engine.evaluate_rpq(query, g) for g in graphs]
+    assert serial == [evaluate_rpq_naive(query, g) for g in graphs]
+    for executor in _in_process_executors():
+        with executor:
+            assert BatchEvaluator(
+                engine=engine,
+                executor=executor).evaluate_rpq_batch(query, graphs) == serial
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(st.sampled_from("ab"), max_size=4), min_size=1,
+                max_size=8))
+def test_batch_accepts_matches_sequential(words):
+    query = PathQuery.parse("a+.b?")
+    engine = Engine()
+    tuples = [tuple(w) for w in words]
+    serial = [engine.accepts(query, w) for w in tuples]
+    for executor in _in_process_executors():
+        with executor:
+            assert BatchEvaluator(
+                engine=engine,
+                executor=executor).accepts_batch(query, tuples) == serial
+
+
+# ---------------------------------------------------------------------------
+# The process executor: picklable shard tasks, identity-preserving decode
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def process_executor():
+    with ProcessExecutor(2) as executor:
+        yield executor
+
+
+def test_process_executor_twig_identity(process_executor):
+    docs = [xml("<a><b><c/></b><b/></a>"),
+            xml("<a><d><b><c/></b></d><b/></a>"),
+            xml("<a/>")]
+    query = parse_twig("//b[c]")
+    engine = Engine()
+    serial = [engine.evaluate_twig(query, d) for d in docs]
+    batch = BatchEvaluator(
+        engine=engine,
+        executor=process_executor).evaluate_twig_batch(query, docs)
+    # Same *objects*: workers return pre-order positions, never copies.
+    assert _identical(batch, serial)
+
+
+def test_process_executor_mixed_workload(process_executor):
+    doc = xml("<a><b><c/></b></a>")
+    g = Graph()
+    g.add_edge("x", "a", "y")
+    g.add_edge("y", "a", "z")
+    twig_q = parse_twig("//c")
+    rpq_q = parse_regex("a+")
+    pq = PathQuery.parse("a+.b?")
+    words = [("a",), ("b",), ("a", "b")]
+    workload = Workload.twig(twig_q, [doc]) + Workload.rpq(rpq_q, [g]) \
+        + Workload.accepts(pq, words)
+    engine = Engine()
+    result = BatchEvaluator(engine=engine,
+                            executor=process_executor).run(workload)
+    assert list(result[0]) == engine.evaluate_twig(twig_q, doc)
+    assert result[1] == engine.evaluate_rpq(rpq_q, g)
+    assert list(result.answers[2:]) == [engine.accepts(pq, w) for w in words]
+    assert result.executor == "process"
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.lists(xnode_trees(max_depth=3, max_children=3), min_size=1,
+                max_size=3),
+       twig_queries(max_depth=2))
+def test_process_executor_random_parity(process_executor, trees, query):
+    docs = [XTree(t) for t in trees]
+    engine = Engine()
+    serial = [engine.evaluate_twig(query, d) for d in docs]
+    batch = BatchEvaluator(
+        engine=engine,
+        executor=process_executor).evaluate_twig_batch(query, docs)
+    assert _identical(batch, serial)
+
+
+# ---------------------------------------------------------------------------
+# Workload / result plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_process_decode_refuses_cross_version_positions():
+    """A mutation landing mid-flight must raise, never mis-map positions."""
+    from repro.serving.executors import ShardExecutor
+
+    doc = xml("<a><b><c/></b><b/></a>")
+
+    class MutatingIsolatedExecutor(ShardExecutor):
+        # Simulates the race deterministically: the mutation lands after
+        # the parent pinned its snapshot but before workers evaluate.
+        isolated = True
+        name = "mutating"
+
+        def map(self, fn, tasks):
+            doc.root.add(doc.root.children[0].copy())
+            doc.invalidate()
+            return [fn(t) for t in tasks]
+
+    evaluator = BatchEvaluator(engine=Engine(),
+                               executor=MutatingIsolatedExecutor())
+    with pytest.raises(RuntimeError, match="mutated while a process batch"):
+        evaluator.evaluate_twig_batch(parse_twig("//b"), [doc])
+
+
+def test_selects_any_and_accepts_any_match_eager_forms():
+    docs = [xml("<a><b><c/></b></a>"), xml("<a><b/></a>"), xml("<a/>")]
+    query = parse_twig("//b[c]")
+    evaluator = BatchEvaluator(engine=Engine())
+    candidates = [(d, n) for d in docs for n in d.nodes()]
+    assert evaluator.selects_any(query, candidates) == \
+        any(evaluator.selects_batch(query, candidates))
+    assert not evaluator.selects_any(query, [(docs[2], docs[2].root)])
+    assert not evaluator.selects_any(None, candidates)
+    pq = PathQuery.parse("a+.b?")
+    words = [("b",), ("a", "b"), ()]
+    assert evaluator.accepts_any(pq, words) == \
+        any(evaluator.accepts_batch(pq, words))
+    assert not evaluator.accepts_any(pq, [("b",), ()])
+
+
+def test_workload_shards_group_by_instance_in_first_seen_order():
+    d1, d2 = xml("<a><b/></a>"), xml("<a><b/><b/></a>")
+    q1, q2 = parse_twig("//b"), parse_twig("/a")
+    workload = Workload([
+        *Workload.twig(q1, [d1, d2]),
+        *Workload.twig(q2, [d1]),
+    ])
+    shards = workload.shards()
+    assert [s.kind for s in shards] == [ItemKind.TWIG, ItemKind.TWIG]
+    assert shards[0].indices == (0, 2)  # both d1 items share a shard
+    assert shards[1].indices == (1,)
+    assert shards[0].items[0].instance is d1
+    assert shards[1].items[0].instance is d2
+
+
+def test_accepts_workload_splits_into_subshards():
+    # Acceptance items share no instance snapshot, so a one-query scan
+    # over many words must spread over multiple shards (parallelisable),
+    # while answers stay aligned with word order.
+    query = PathQuery.parse("a*")
+    words = [("a",) * (i % 3) for i in range(150)]
+    workload = Workload.accepts(query, words)
+    shards = workload.shards()
+    assert len(shards) == 3  # 150 words / ACCEPTS_SHARD_SIZE=64
+    assert sorted(i for s in shards for i in s.indices) == list(range(150))
+    engine = Engine()
+    serial = [engine.accepts(query, w) for w in words]
+    for executor in _in_process_executors():
+        with executor:
+            assert BatchEvaluator(
+                engine=engine,
+                executor=executor).accepts_batch(query, words) == serial
+
+
+def test_empty_workload_and_empty_candidates():
+    evaluator = BatchEvaluator(engine=Engine())
+    result = evaluator.run(Workload())
+    assert len(result) == 0 and result.n_shards == 0
+    assert evaluator.selects_batch(parse_twig("/a"), []) == []
+    assert evaluator.selects_batch(None, []) == []
+
+
+def test_selects_batch_matches_engine_selects():
+    docs = [xml("<a><b><c/></b><b/></a>"), xml("<a><b><c/><c/></b></a>")]
+    query = parse_twig("//b[c]")
+    engine = Engine()
+    candidates = [(d, n) for d in docs for n in d.nodes()]
+    serial = [engine.selects(query, d, n) for d, n in candidates]
+    for executor in _in_process_executors():
+        with executor:
+            evaluator = BatchEvaluator(engine=engine, executor=executor)
+            assert evaluator.selects_batch(query, candidates) == serial
+            # No hypothesis selects nothing (the session's starting state).
+            assert evaluator.selects_batch(None, candidates) == \
+                [False] * len(candidates)
+
+
+def test_evaluator_map_preserves_order():
+    items = list(range(23))
+    for executor in (*_in_process_executors(), ProcessExecutor(2)):
+        with executor:
+            evaluator = BatchEvaluator(engine=Engine(), executor=executor)
+            assert evaluator.map(lambda x: x * x, items) == \
+                [x * x for x in items]
+            assert evaluator.map(lambda x: x, []) == []
+
+
+def test_workload_concatenation_and_result_alignment():
+    doc = xml("<a><b/></a>")
+    q = parse_twig("//b")
+    pq = PathQuery.parse("a")
+    workload = Workload.twig(q, [doc]) + Workload.accepts(pq, [("a",), ()])
+    assert len(workload) == 3
+    result = BatchEvaluator(engine=Engine()).run(workload)
+    assert [len(result[0]), result[1], result[2]] == [1, True, False]

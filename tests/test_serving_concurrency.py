@@ -1,0 +1,383 @@
+"""Concurrency: one shared engine hammered from many threads must stay
+consistent — no stale answers, no exceptions, bounded caches, and
+mutations/resets landing mid-batch are atomic at shard granularity.
+
+Everything here is deterministic up to thread scheduling: all RNGs are
+explicitly seeded and every assertion accepts exactly the set of outcomes
+the snapshot-consistency contract allows (pre-mutation or post-mutation,
+never a mix), so the suite needs no ordering plugins to stay stable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.engine import Engine, LRUCache, get_engine, reset_engine
+from repro.graphdb.graph import Graph
+from repro.graphdb.pathquery import PathQuery
+from repro.graphdb.regex import parse_regex
+from repro.learning.graph_session import InteractivePathSession
+from repro.learning.interactive import InteractiveJoinSession
+from repro.learning.xml_session import InteractiveTwigSession
+from repro.relational.generator import make_join_instance
+from repro.serving import (
+    BatchEvaluator,
+    ItemKind,
+    SerialExecutor,
+    ThreadExecutor,
+    Workload,
+    WorkloadItem,
+)
+from repro.twig.parse import parse_twig
+
+from .conftest import xml
+
+
+def _run_threads(workers):
+    """Start, join, and surface the first exception from any worker."""
+    errors: list[BaseException] = []
+
+    def wrap(fn):
+        def go():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                errors.append(exc)
+        return go
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+# ---------------------------------------------------------------------------
+# LRUCache under contention
+# ---------------------------------------------------------------------------
+
+
+def test_lru_cache_bound_holds_under_concurrent_inserts():
+    cache = LRUCache(maxsize=16)
+    violations: list[int] = []
+
+    def writer(seed: int):
+        rng = random.Random(seed)
+
+        def go():
+            for i in range(600):
+                cache.put((seed, i), i)
+                cache.get((seed, rng.randrange(i + 1)))
+                size = len(cache)
+                if size > 16:
+                    violations.append(size)
+        return go
+
+    _run_threads([writer(s) for s in range(6)])
+    assert not violations
+    assert len(cache) <= 16
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == 6 * 600
+
+
+def test_lru_get_or_compute_is_consistent_under_races():
+    cache = LRUCache(maxsize=64)
+    results: dict[int, list[int]] = {i: [] for i in range(8)}
+
+    def reader(seed: int):
+        rng = random.Random(seed)
+
+        def go():
+            for _ in range(400):
+                key = rng.randrange(8)
+                results[key].append(
+                    cache.get_or_compute(key, lambda k=key: k * 11))
+        return go
+
+    _run_threads([reader(s) for s in range(6)])
+    for key, values in results.items():
+        assert all(v == key * 11 for v in values)
+
+
+# ---------------------------------------------------------------------------
+# One engine, many threads: evaluate + mutate + invalidate + reset
+# ---------------------------------------------------------------------------
+
+
+def test_engine_hammer_mixed_evaluate_mutate_invalidate():
+    engine = Engine(max_cached_queries=32, max_graph_results=64)
+    docs = [xml("<a><b><c/></b><b/></a>") for _ in range(3)]
+    graphs = []
+    for _ in range(2):
+        g = Graph()
+        g.add_edge("x", "a", "y")
+        g.add_edge("y", "a", "z")
+        graphs.append(g)
+    twig_q = parse_twig("//b")
+    rpq_q = parse_regex("a+")
+
+    # Every reachable state of each instance and its answer cardinality:
+    # docs toggle between 2 and 3 <b/> children, graphs only gain edges.
+    def doc_answers(doc) -> int:
+        return len(Engine().evaluate_twig(twig_q, doc))
+
+    def evaluator(seed: int):
+        rng = random.Random(seed)
+
+        def go():
+            for _ in range(150):
+                roll = rng.random()
+                if roll < 0.45:
+                    doc = rng.choice(docs)
+                    answers = engine.evaluate_twig(twig_q, doc)
+                    assert len(answers) in (2, 3)
+                elif roll < 0.75:
+                    g = rng.choice(graphs)
+                    pairs = engine.evaluate_rpq(rpq_q, g)
+                    assert {("x", "y"), ("x", "z"), ("y", "z")} <= pairs
+                elif roll < 0.9:
+                    engine.invalidate(rng.choice(docs))
+                else:
+                    engine.accepts(PathQuery.parse("a+"), ("a", "a"))
+        return go
+
+    def mutator(seed: int):
+        rng = random.Random(seed)
+
+        def go():
+            for _ in range(40):
+                doc = rng.choice(docs)
+                root = doc.root
+                # One atomic structural op, then the mutation contract.
+                if len(root.children) > 2:
+                    root.children.pop()
+                else:
+                    root.add(root.children[0].copy())
+                doc.invalidate()
+                g = rng.choice(graphs)
+                g.add_edge("z", "a", f"w{rng.randrange(4)}")
+        return go
+
+    _run_threads([evaluator(s) for s in range(5)] + [mutator(99)])
+    # No stale answers: once quiet, the shared engine agrees with a fresh
+    # engine on every instance.
+    for doc in docs:
+        assert len(engine.evaluate_twig(twig_q, doc)) == doc_answers(doc)
+    for g in graphs:
+        assert engine.evaluate_rpq(rpq_q, g) == \
+            Engine().evaluate_rpq(rpq_q, g)
+    # Bounded caches stayed bounded.
+    for indexed in engine._documents.values():
+        assert len(indexed._query_cache) <= 32
+    assert len(engine._nfas) <= 512
+
+
+def test_concurrent_cold_acquisitions_share_one_index_per_instance():
+    # Builds run under per-instance locks: racing threads must converge
+    # on a single IndexedDocument per document, never two snapshots of
+    # the same version.
+    engine = Engine()
+    docs = [xml("<a><b/><b/></a>") for _ in range(4)]
+    seen: list[list] = [[] for _ in docs]
+
+    def acquirer(seed: int):
+        rng = random.Random(seed)
+
+        def go():
+            for _ in range(120):
+                i = rng.randrange(len(docs))
+                seen[i].append(engine.document(docs[i]))
+        return go
+
+    _run_threads([acquirer(s) for s in range(6)])
+    for doc, indexes in zip(docs, seen):
+        assert len({id(ix) for ix in indexes}) == 1
+        assert indexes[0] is engine.document(doc)
+
+
+def test_reset_engine_during_inflight_batches_is_safe():
+    """Satellite regression: reset_engine() mid-batch must not crash workers."""
+    reset_engine()
+    engine = get_engine()
+    docs = [xml("<a><b><c/></b><b/><d><b><c/></b></d></a>")
+            for _ in range(6)]
+    query = parse_twig("//b[c]")
+    expected = [[id(n) for n in engine.evaluate_twig(query, d)]
+                for d in docs]
+    stop = threading.Event()
+
+    def resetter():
+        while not stop.is_set():
+            reset_engine()
+
+    def batcher():
+        with ThreadExecutor(2) as executor:
+            evaluator = BatchEvaluator(engine=engine, executor=executor)
+            for _ in range(60):
+                answers = evaluator.evaluate_twig_batch(query, docs)
+                assert [[id(n) for n in a] for a in answers] == expected
+
+    reset_thread = threading.Thread(target=resetter)
+    reset_thread.start()
+    try:
+        _run_threads([batcher, batcher])
+    finally:
+        stop.set()
+        reset_thread.join()
+    reset_engine()
+
+
+def test_mutation_mid_batch_is_all_pre_or_all_post_per_shard():
+    """A mutation lands fully before or fully after a shard, never inside."""
+    engine = Engine()
+    doc = xml("<a><b><c/></b><b/></a>")
+    queries = [parse_twig("//b") for _ in range(24)]  # one shard, 24 items
+    pre = len(engine.evaluate_twig(queries[0], doc))
+    doc.root.add(doc.root.children[0].copy())
+    doc.invalidate()
+    post = len(engine.evaluate_twig(queries[0], doc))
+    assert pre != post
+
+    stop = threading.Event()
+
+    def toggler():
+        while not stop.is_set():
+            root = doc.root
+            if len(root.children) > 2:
+                root.children.pop()
+            else:
+                root.add(root.children[0].copy())
+            doc.invalidate()
+
+    failures: list[tuple] = []
+
+    def batcher():
+        with ThreadExecutor(2) as executor:
+            evaluator = BatchEvaluator(engine=engine, executor=executor)
+            for _ in range(80):
+                counts = {len(a) for a in
+                          evaluator.evaluate_queries(queries, doc)}
+                # All 24 answers come from one snapshot: a single count,
+                # and it is one of the two reachable states.
+                if len(counts) != 1 or not counts <= {pre, post}:
+                    failures.append(tuple(sorted(counts)))
+
+    toggle_thread = threading.Thread(target=toggler)
+    toggle_thread.start()
+    try:
+        _run_threads([batcher])
+    finally:
+        stop.set()
+        toggle_thread.join()
+    assert not failures
+
+
+def test_graph_mutation_mid_batch_is_all_pre_or_all_post_per_shard():
+    """The Graph half of the shard-atomicity contract: a growing graph's
+    RPQ batch answers come from one adjacency snapshot per shard —
+    somewhere between the base graph and the fully-grown one, and
+    identical across all items of the shard."""
+    engine = Engine()
+    g = Graph()
+    g.add_edge("x", "a", "y")
+    g.add_edge("y", "a", "z")
+    queries = [parse_regex("a+") for _ in range(16)]  # one graph, one shard
+    base_pairs = engine.evaluate_rpq(queries[0], g)
+
+    full = Graph()
+    full.add_edge("x", "a", "y")
+    full.add_edge("y", "a", "z")
+    for k in range(3):
+        full.add_edge("z", "a", f"w{k}")
+    full_pairs = Engine().evaluate_rpq(queries[0], full)
+    assert base_pairs < full_pairs
+
+    stop = threading.Event()
+
+    def grower():
+        k = 0
+        while not stop.is_set():
+            g.add_edge("z", "a", f"w{k % 3}")  # monotone growth; each call
+            k += 1                             # bumps the graph version
+
+    failures: list[object] = []
+
+    def batcher():
+        with ThreadExecutor(2) as executor:
+            evaluator = BatchEvaluator(engine=engine, executor=executor)
+            workload = Workload([
+                WorkloadItem(ItemKind.RPQ, q, g) for q in queries])
+            for _ in range(80):
+                answers = list(evaluator.run(workload).answers)
+                distinct = {frozenset(a) for a in answers}
+                if len(distinct) != 1:
+                    failures.append(("mixed shard", distinct))
+                    continue
+                snapshot = answers[0]
+                if not (base_pairs <= snapshot <= full_pairs):
+                    failures.append(("impossible state", snapshot))
+
+    grow_thread = threading.Thread(target=grower)
+    grow_thread.start()
+    try:
+        _run_threads([batcher])
+    finally:
+        stop.set()
+        grow_thread.join()
+    assert not failures
+    assert engine.evaluate_rpq(queries[0], g) == full_pairs  # no staleness
+
+
+# ---------------------------------------------------------------------------
+# Sessions are executor-invariant (deterministic question sequences)
+# ---------------------------------------------------------------------------
+
+
+def test_twig_session_identical_under_thread_executor():
+    docs = [
+        xml("<site><people><person><name>n</name><phone>1</phone></person>"
+            "<person><name>m</name></person></people></site>"),
+        xml("<site><people><person><name>o</name><phone>2</phone>"
+            "</person></people></site>"),
+    ]
+    goal = parse_twig("//person[phone]/name")
+    baseline = InteractiveTwigSession(
+        docs, goal, evaluator=BatchEvaluator(executor=SerialExecutor())).run()
+    with ThreadExecutor(3) as executor:
+        threaded = InteractiveTwigSession(
+            docs, goal,
+            evaluator=BatchEvaluator(executor=executor)).run()
+    assert threaded.query == baseline.query
+    assert threaded.stats == baseline.stats
+
+
+def test_path_session_identical_under_thread_executor():
+    g = Graph()
+    g.add_edge("s", "road", "m")
+    g.add_edge("m", "road", "t")
+    g.add_edge("s", "rail", "t")
+    g.add_edge("m", "rail", "t")
+    goal = PathQuery.parse("road+")
+    baseline = InteractivePathSession(g, "s", "t", goal).run()
+    with ThreadExecutor(3) as executor:
+        threaded = InteractivePathSession(
+            g, "s", "t", goal,
+            evaluator=BatchEvaluator(executor=executor)).run()
+    assert threaded.query == baseline.query
+    assert threaded.stats == baseline.stats
+
+
+def test_join_session_identical_under_thread_executor():
+    inst = make_join_instance(rng=3, goal_pairs=2, left_rows=8,
+                              right_rows=8, domain=5)
+    baseline = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                      max_pool=60, rng=5).run()
+    with ThreadExecutor(3) as executor:
+        threaded = InteractiveJoinSession(
+            inst.left, inst.right, inst.goal, max_pool=60, rng=5,
+            evaluator=BatchEvaluator(executor=executor)).run()
+    assert threaded.predicate == baseline.predicate
+    assert threaded.stats == baseline.stats
