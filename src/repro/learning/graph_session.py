@@ -73,7 +73,8 @@ class InteractivePathSession:
         # acceptance checks below share cached compiled NFAs.
         self._engine = get_engine()
         # The per-interaction acceptance scan over all pending words runs
-        # as one serving batch (same memoised answers, any executor).
+        # as one serving batch, consumed sub-shard by sub-shard (same
+        # memoised answers, any executor, order-independent flags).
         self.evaluator = evaluator if evaluator is not None \
             else BatchEvaluator(engine=self._engine)
         self.candidates = self._engine.words_between(
@@ -101,6 +102,26 @@ class InteractivePathSession:
             return [tuple(w) for w in self.priors.rank(words)]
         return sorted(words, key=lambda w: (len(w), w))
 
+    def _informative_flags(self, hypothesis: PathQuery | None,
+                           pending: list[Word],
+                           negatives: list[Word]) -> list[bool]:
+        """Streamed acceptance round: which pending words stay informative?
+
+        Consumes the acceptance batch sub-shard by sub-shard
+        (:meth:`~repro.serving.evaluator.BatchEvaluator.accepts_stream`),
+        running each arrived word's implied-negative probe while later
+        sub-shards are still being checked.  Flags are position-aligned,
+        so the proposal sequence never depends on shard arrival order.
+        """
+        if hypothesis is None:
+            return [True] * len(pending)
+        flags = [False] * len(pending)
+        for group in self.evaluator.accepts_stream(hypothesis, pending):
+            for position, acc in group:
+                flags[position] = not acc and not self._implied_negative(
+                    hypothesis, pending[position], negatives)
+        return flags
+
     # ------------------------------------------------------------------
     def run(self, *, max_questions: int | None = None) -> PathSessionResult:
         stats = SessionStats()
@@ -110,16 +131,10 @@ class InteractivePathSession:
         converged_at: int | None = None
 
         while True:
-            # One acceptance batch per interaction over all pending words.
-            accepted = self.evaluator.accepts_batch(hypothesis, pending) \
-                if hypothesis is not None else [False] * len(pending)
-            informative = []
-            for word, acc in zip(pending, accepted):
-                if acc:
-                    continue
-                if self._implied_negative(hypothesis, word, negatives):
-                    continue
-                informative.append(word)
+            # One acceptance batch per interaction over all pending words,
+            # consumed shard-by-shard.
+            flags = self._informative_flags(hypothesis, pending, negatives)
+            informative = [w for w, flag in zip(pending, flags) if flag]
             if not informative:
                 break
             if max_questions is not None and stats.questions >= max_questions:
@@ -140,12 +155,15 @@ class InteractivePathSession:
             else:
                 negatives.append(word)
 
-        accepted = self.evaluator.accepts_batch(hypothesis, pending) \
-            if hypothesis is not None else [False] * len(pending)
-        for word, acc in zip(pending, accepted):
-            if acc:
-                stats.implied_positive += 1
-            elif self._implied_negative(hypothesis, word, negatives):
-                stats.implied_negative += 1
+        # Final label propagation, streamed over the same sub-shards.
+        if hypothesis is not None:
+            for group in self.evaluator.accepts_stream(hypothesis, pending):
+                for position, acc in group:
+                    if acc:
+                        stats.implied_positive += 1
+                    elif self._implied_negative(hypothesis,
+                                                pending[position],
+                                                negatives):
+                        stats.implied_negative += 1
         return PathSessionResult(hypothesis, stats, len(self.candidates),
                                  converged_at)

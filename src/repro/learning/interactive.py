@@ -146,8 +146,9 @@ class InteractiveJoinSession:
         self.goal = goal
         self.strategy = strategy or LatticeStrategy()
         # The per-interaction informativeness scan over the pending pool
-        # runs through the serving executor (order-preserving, so the
-        # proposal sequence is identical under any executor).
+        # runs through the serving executor, consumed chunk-by-chunk as
+        # chunks complete; flags are reassembled by position, so the
+        # proposal sequence is identical under any executor.
         self.evaluator = evaluator if evaluator is not None \
             else BatchEvaluator()
         r = make_rng(rng)
@@ -171,8 +172,13 @@ class InteractiveJoinSession:
         stats = SessionStats()
         pending = list(self.pool)
         while True:
-            flags = self.evaluator.map(
-                lambda pair: self.space.is_informative(*pair), pending)
+            # Streamed scan: chunks of the pending pool surface as they
+            # complete, and the informative list is rebuilt in pool order.
+            flags = [False] * len(pending)
+            for group in self.evaluator.map_stream(
+                    lambda pair: self.space.is_informative(*pair), pending):
+                for position, flag in group:
+                    flags[position] = flag
             informative = [p for p, flag in zip(pending, flags) if flag]
             if not informative:
                 break

@@ -22,8 +22,13 @@ supplied.
 The per-interaction re-evaluation — classify every pending candidate
 against the current hypothesis — runs as one :mod:`repro.serving` batch
 per round (the hypothesis is evaluated once per distinct document, not
-once per candidate), so the session accepts any executor without changing
-a single question.
+once per candidate), consumed *shard-by-shard*: as each document's answer
+set arrives, that document's candidates are classified and their
+implied-negative probes run immediately, overlapping with the evaluation
+of the rest of the corpus instead of waiting on the whole batch.  The
+informative set (and with it every question asked) is assembled in pool
+order regardless of shard arrival order, so the session accepts any
+executor without changing a single question.
 """
 
 from __future__ import annotations
@@ -107,6 +112,26 @@ class InteractiveTwigSession:
         widened = self._extend(hypothesis, candidate)
         return self.evaluator.selects_any(widened, negatives)
 
+    def _informative_flags(self, hypothesis: TwigQuery | None,
+                           pending: list[Candidate],
+                           negatives: list[Candidate]) -> list[bool]:
+        """Streamed classification round: which pending candidates remain
+        informative under the current hypothesis?
+
+        Consumes the selection batch document-by-document
+        (:meth:`~repro.serving.evaluator.BatchEvaluator.selects_stream`):
+        the implied-negative probes for one document's candidates run
+        while the other documents' shards are still evaluating.  Flags
+        are position-aligned, so the result — and every question derived
+        from it — is independent of shard completion order.
+        """
+        flags = [False] * len(pending)
+        for group in self.evaluator.selects_stream(hypothesis, pending):
+            for position, sel in group:
+                flags[position] = not sel and not self._implied_negative(
+                    hypothesis, pending[position], negatives)
+        return flags
+
     # ------------------------------------------------------------------
     def run(self, *, max_questions: int | None = None) -> TwigSessionResult:
         stats = SessionStats()
@@ -117,12 +142,11 @@ class InteractiveTwigSession:
         while True:
             # One batch per interaction: the hypothesis is evaluated once
             # per distinct document, then every pending candidate is
-            # classified against the cached answer sets.
-            selected = self.evaluator.selects_batch(hypothesis, pending)
+            # classified against the answer sets, shard by shard.
             informative = [
-                c for c, sel in zip(pending, selected)
-                if not sel
-                and not self._implied_negative(hypothesis, c, negatives)
+                c for c, flag in zip(pending, self._informative_flags(
+                    hypothesis, pending, negatives))
+                if flag
             ]
             if not informative:
                 break
@@ -139,12 +163,14 @@ class InteractiveTwigSession:
             else:
                 negatives.append(candidate)
 
-        selected = self.evaluator.selects_batch(hypothesis, pending)
-        for candidate, sel in zip(pending, selected):
-            if sel:
-                stats.implied_positive += 1
-            elif self._implied_negative(hypothesis, candidate, negatives):
-                stats.implied_negative += 1
+        # Final label propagation, shard-streamed the same way.
+        for group in self.evaluator.selects_stream(hypothesis, pending):
+            for position, sel in group:
+                if sel:
+                    stats.implied_positive += 1
+                elif self._implied_negative(hypothesis, pending[position],
+                                            negatives):
+                    stats.implied_negative += 1
 
         final = hypothesis
         if final is not None and self.schema is not None:

@@ -20,8 +20,12 @@ partition disjoint label sets:
   lie inside ``M2``'s.
 
 Soundness and completeness both follow from contiguity of the achievable
-sets; :mod:`tests <tests.test_schema_containment>` cross-validate against a
-brute-force tree enumerator.
+sets; :mod:`tests <tests.test_schema_containment>` cross-validate against
+:func:`schema_contains_brute_force`, a bounded tree enumerator.  The
+enumerator is only an oracle *within its bounds* — see its docstring for
+the exact completeness conditions (tree count, depth, and the per-atom
+count cap ``extra``, which must exceed every finite upper bound of the
+right-hand schema for a missing-witness verdict to be trustworthy).
 """
 
 from __future__ import annotations
@@ -89,13 +93,43 @@ def schema_equivalent(s1: DMS, s2: DMS) -> bool:
     return schema_contains(s1, s2) and schema_contains(s2, s1)
 
 
+def max_finite_upper_bound(schema: DMS) -> int:
+    """Largest finite atom upper bound anywhere in ``schema`` (0 if none)."""
+    bounds = [
+        atom.interval.hi
+        for expr in schema.rules.values()
+        for atom in expr.atoms
+        if isinstance(atom.interval.hi, int)
+    ]
+    return max(bounds, default=0)
+
+
 def schema_contains_brute_force(s1: DMS, s2: DMS, *,
                                 max_trees: int = 2000,
-                                max_depth: int = 8) -> bool:
+                                max_depth: int = 8,
+                                extra: int | None = None) -> bool:
     """Exponential cross-check: enumerate ``s1``-valid trees, test ``s2``.
 
-    Complete only up to the enumeration bounds; used to validate the PTIME
-    algorithm in tests and the E4 benchmark.
+    The oracle is *sound and complete only within its enumeration bounds*:
+
+    * ``max_trees`` / ``max_depth`` bound how many documents and how deep
+      the enumerator looks, so a missing counterexample deeper or later
+      than the bounds yields a (bounded) false "contained" verdict;
+    * ``extra`` caps every atom's child count at ``lo + extra`` inside
+      :func:`~repro.schema.generation.enumerate_valid_trees`.  For the
+      verdict to be meaningful against ``s2``'s *finite* caps, the
+      enumeration must be able to exceed them — a witness against an atom
+      bounded by ``hi`` needs ``hi + 1`` same-atom children.  The default
+      therefore derives ``extra`` from the right-hand schema as
+      ``max_finite_upper_bound(s2) + 1``, which always suffices: every
+      left atom starts at ``lo >= 0``, so ``lo + extra`` reaches past any
+      finite right-hand cap.  (A fixed ``extra=1`` was the historical
+      unsoundness: for ``z*`` vs ``(x|z)?`` it never generated the
+      two-child witness ``a(z, z)`` and reported containment that the
+      PTIME algorithm correctly rejects.)
+
+    Used to cross-validate the PTIME algorithm in tests and the E4
+    benchmark.
     """
     from repro.schema.generation import enumerate_valid_trees
 
@@ -103,8 +137,12 @@ def schema_contains_brute_force(s1: DMS, s2: DMS, *,
         return True
     if max_depth < 1:
         raise SchemaError("max_depth must be >= 1")
+    if extra is None:
+        extra = max_finite_upper_bound(s2) + 1
+    elif extra < 0:
+        raise SchemaError("extra must be >= 0")
     return all(
         s2.accepts(tree)
         for tree in enumerate_valid_trees(s1, limit=max_trees,
-                                          max_depth=max_depth)
+                                          max_depth=max_depth, extra=extra)
     )

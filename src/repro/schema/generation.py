@@ -128,6 +128,15 @@ def enumerate_valid_trees(
     and every distribution of the count over the atom's labels is explored.
     Enumeration is depth-first with memoised per-label subtree streams and
     stops after ``limit`` documents.
+
+    The stream is exhaustive only within its bounds: no document deeper
+    than ``max_depth``, later than ``limit``, or needing more than
+    ``lo + extra`` children for some atom is ever produced.  Callers using
+    this as a cross-check oracle (schema/query containment) must pick
+    ``extra`` large enough to exceed any finite count cap they are testing
+    against — see
+    :func:`repro.schema.containment.schema_contains_brute_force`, which
+    derives a sufficient value from the right-hand schema.
     """
     core = trim(schema)
     heights = minimal_heights(core)

@@ -201,6 +201,7 @@ def query_contained_under_schema(
     max_trees: int = 500,
     max_depth: int = 8,
     random_trees: int = 100,
+    extra: int = 1,
     rng: RngLike = None,
 ) -> tuple[bool, XTree | None]:
     """Bounded test of ``q1 ⊆_S q2``.
@@ -208,13 +209,18 @@ def query_contained_under_schema(
     Searches systematically-enumerated and randomly-sampled valid documents
     for a node selected by ``q1`` but not ``q2``.  Returns ``(False,
     counterexample)`` when one is found, else ``(True, None)`` — complete
-    only up to the bounds (the problem is coNP-complete).
+    only up to the bounds (the problem is coNP-complete; ``extra`` is the
+    enumerator's per-atom count headroom over each minimum, and the random
+    half of the search probes child counts the enumeration bound misses).
     """
+    from repro.errors import SchemaError
     from repro.schema.generation import (
         enumerate_valid_trees,
         generate_valid_tree,
     )
 
+    if extra < 0:
+        raise SchemaError("extra must be >= 0")
     r = make_rng(rng)
 
     def is_counterexample(tree: XTree) -> bool:
@@ -222,7 +228,8 @@ def query_contained_under_schema(
         return any(id(n) not in selected2 for n in evaluate(q1, tree))
 
     for tree in itertools.chain(
-        enumerate_valid_trees(schema, limit=max_trees, max_depth=max_depth),
+        enumerate_valid_trees(schema, limit=max_trees,
+                              max_depth=max_depth, extra=extra),
         (generate_valid_tree(schema, rng=r, max_depth=max_depth)
          for _ in range(random_trees)),
     ):

@@ -32,6 +32,25 @@ Architecture
     The service: shards a workload, hoists per-query work (canonical
     forms) out of the per-item loop, runs shard chunks on the executor,
     and decodes worker answers against its own engine's snapshots.
+    ``run_stream`` / ``selects_stream`` / ``accepts_stream`` /
+    ``map_stream`` surface answers shard-by-shard (completion order,
+    position-tagged) instead of waiting on the whole batch — the
+    interactive sessions consume these.
+
+:class:`~repro.serving.async_evaluator.AsyncBatchEvaluator`
+    The asyncio facade: the same workloads, shards, and executors driven
+    from an event loop without blocking it; ``stream()`` is an async
+    generator of :class:`~repro.serving.workload.ShardAnswer` records and
+    ``run()`` is the deterministic ordered merge.
+
+:class:`~repro.serving.net.WorkloadServer` /
+:class:`~repro.serving.net.ServerThread` /
+:class:`~repro.serving.net.WorkloadClient`
+    The network front-end: a pickle-free length-prefixed JSON protocol
+    (:mod:`repro.serving.wire`) over ``asyncio.start_server``, streaming
+    shard frames as they complete; the blocking client decodes answers
+    onto its *own* instances (twig answers by pre-order position), so a
+    remote run is answer-identical to a local one.
 
 Contracts
 ---------
@@ -57,6 +76,7 @@ Typical use::
     result = evaluator.run(Workload.twig(h1, docs) + Workload.rpq(r, graphs))
 """
 
+from repro.serving.async_evaluator import AsyncBatchEvaluator
 from repro.serving.evaluator import BatchEvaluator, ShardTask
 from repro.serving.executors import (
     ProcessExecutor,
@@ -64,24 +84,34 @@ from repro.serving.executors import (
     ShardExecutor,
     ThreadExecutor,
 )
+from repro.serving.net import ServerThread, WorkloadClient, WorkloadServer
+from repro.serving.wire import ProtocolError, WorkloadCodec
 from repro.serving.workload import (
     ItemKind,
     Shard,
+    ShardAnswer,
     Workload,
     WorkloadItem,
     WorkloadResult,
 )
 
 __all__ = [
+    "AsyncBatchEvaluator",
     "BatchEvaluator",
     "ItemKind",
     "ProcessExecutor",
+    "ProtocolError",
     "SerialExecutor",
+    "ServerThread",
     "Shard",
+    "ShardAnswer",
     "ShardExecutor",
     "ShardTask",
     "ThreadExecutor",
     "Workload",
+    "WorkloadClient",
+    "WorkloadCodec",
     "WorkloadItem",
     "WorkloadResult",
+    "WorkloadServer",
 ]

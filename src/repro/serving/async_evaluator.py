@@ -1,0 +1,155 @@
+"""The asyncio facade over the batch-evaluation service.
+
+:class:`AsyncBatchEvaluator` accepts the same :class:`~repro.serving.workload.Workload`
+objects as the synchronous :class:`~repro.serving.evaluator.BatchEvaluator`
+and schedules the same per-shard work on the same pluggable executors —
+but from inside an event loop, without ever blocking it on evaluation:
+
+* pooled executors (thread / process) are driven through
+  ``executor.submit``; the resulting :class:`concurrent.futures.Future`
+  is bridged into the loop with :func:`asyncio.wrap_future`;
+* non-pooled executors (serial, or any custom ``map``-only executor)
+  would run the shard inline on the caller's thread, so their submission
+  is offloaded to the loop's default thread pool via
+  ``loop.run_in_executor`` instead.
+
+:meth:`AsyncBatchEvaluator.stream` is the primitive: an async generator
+yielding :class:`~repro.serving.workload.ShardAnswer` records in
+*completion* order, with at most ``executor.parallelism()`` shards in
+flight (lazy submission — a serial executor therefore yields its first
+shard before later shards have even started).  :meth:`AsyncBatchEvaluator.run`
+consumes the stream and reassembles the deterministic position-aligned
+:class:`~repro.serving.workload.WorkloadResult`, so ``await run(w)`` is
+answer-identical — same node objects, same order — to the synchronous
+``BatchEvaluator.run(w)`` on the same executor.
+
+This is the seam the network front-end (:mod:`repro.serving.net`) serves:
+one TCP connection's workloads become one evaluator stream each, and
+per-shard answers go out as frames the moment they exist.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterator, Sequence
+
+from repro.engine import Engine
+from repro.serving.evaluator import BatchEvaluator
+from repro.serving.executors import ShardExecutor
+from repro.serving.workload import ShardAnswer, Workload, WorkloadResult
+from repro.twig.ast import TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+
+class AsyncBatchEvaluator:
+    """Evaluate workloads on the executor seam from inside an event loop."""
+
+    def __init__(self, *, engine: Engine | None = None,
+                 executor: ShardExecutor | None = None,
+                 evaluator: BatchEvaluator | None = None) -> None:
+        if evaluator is not None:
+            if engine is not None or executor is not None:
+                raise ValueError(
+                    "pass either a ready BatchEvaluator or engine/executor "
+                    "parts, not both")
+            self._sync = evaluator
+        else:
+            self._sync = BatchEvaluator(engine=engine, executor=executor)
+
+    @property
+    def engine(self) -> Engine:
+        return self._sync.engine
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self._sync.executor
+
+    @property
+    def sync(self) -> BatchEvaluator:
+        """The synchronous evaluator this facade schedules through."""
+        return self._sync
+
+    # ------------------------------------------------------------------
+    # The streaming primitive
+    # ------------------------------------------------------------------
+    async def stream(self, workload: Workload) -> AsyncIterator[ShardAnswer]:
+        """Yield per-shard answers as they complete, loop never blocked.
+
+        Completion order is scheduling-dependent; the payloads are not —
+        each :class:`~repro.serving.workload.ShardAnswer` carries its item
+        positions, and reassembling by position reproduces the
+        synchronous batch answers exactly (the evaluator's parity and
+        snapshot contracts hold unchanged, including the isolated path's
+        refuse-to-decode-across-versions guard).
+        """
+        shards = workload.shards()
+        if not shards:
+            return
+        submit, decode = self._sync._shard_plan(shards)
+        width = max(1, self.executor.parallelism())
+        loop = asyncio.get_running_loop()
+        pooled = self.executor.pooled
+
+        async def run_one(i: int) -> tuple[int, tuple]:
+            if pooled:
+                raw = await asyncio.wrap_future(submit(i))
+            else:
+                # Inline executors evaluate inside submit(); keep that off
+                # the event loop thread.
+                future = await loop.run_in_executor(None, submit, i)
+                raw = future.result()
+            return i, decode(i, raw)
+
+        in_flight: set[asyncio.Task] = set()
+        next_shard = 0
+        try:
+            while next_shard < len(shards) or in_flight:
+                while next_shard < len(shards) and len(in_flight) < width:
+                    in_flight.add(
+                        asyncio.ensure_future(run_one(next_shard)))
+                    next_shard += 1
+                done, in_flight = await asyncio.wait(
+                    in_flight, return_when=asyncio.FIRST_COMPLETED)
+                for task in done:
+                    i, answers = task.result()
+                    yield ShardAnswer(i, shards[i].indices, answers)
+        finally:
+            for task in in_flight:
+                task.cancel()
+
+    # ------------------------------------------------------------------
+    # Batch shapes on top of the stream
+    # ------------------------------------------------------------------
+    async def run(self, workload: Workload) -> WorkloadResult:
+        """Deterministic ordered merge of the stream (parity with sync)."""
+        answers: list = [None] * len(workload)
+        n_shards = 0
+        async for shard_answer in self.stream(workload):
+            n_shards += 1
+            for position, answer in shard_answer:
+                answers[position] = answer
+        return WorkloadResult(workload, tuple(answers), self.executor.name,
+                              n_shards)
+
+    async def evaluate_twig_batch(
+        self, query: TwigQuery, documents: Sequence[XTree],
+    ) -> list[list[XNode]]:
+        """One hypothesis over many documents (async form)."""
+        return list((await self.run(Workload.twig(query, documents))).answers)
+
+    async def first_answer(self, workload: Workload) -> ShardAnswer:
+        """The earliest completed shard (the streamed-latency probe).
+
+        Remaining in-flight shards are cancelled where possible; answers
+        already computed are simply discarded.
+        """
+        stream = self.stream(workload)
+        try:
+            async for shard_answer in stream:
+                return shard_answer
+        finally:
+            await stream.aclose()
+        raise ValueError("workload has no shards")
+
+    def __repr__(self) -> str:
+        return f"<AsyncBatchEvaluator executor={self.executor.name}>"

@@ -24,6 +24,15 @@ Correctness contracts (enforced by the parity and concurrency suites):
 * **Deterministic merge.**  Shard answers merge back by item position;
   scheduling order can never reorder results.
 
+Two consumption shapes share those contracts: :meth:`BatchEvaluator.run`
+materialises the whole position-aligned result, and
+:meth:`BatchEvaluator.run_stream` yields each shard's answers the moment
+its future completes (``executor.submit`` per shard, lazily windowed to
+the executor's width) — the sessions' streaming classification loops and
+the async/network front-end (:mod:`repro.serving.async_evaluator`,
+:mod:`repro.serving.net`) are built on it.  Streaming only changes *when*
+answers become visible, never what they are.
+
 Batching also does strictly less work than the serial loop: canonical
 query forms are hoisted once per workload (not recomputed per call), and
 :meth:`BatchEvaluator.selects_batch` materialises each document's answer
@@ -34,7 +43,8 @@ per-interaction loop the interactive sessions previously ran one
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import concurrent.futures
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -44,6 +54,7 @@ from repro.serving.executors import SerialExecutor, ShardExecutor
 from repro.serving.workload import (
     ItemKind,
     Shard,
+    ShardAnswer,
     Word,
     Workload,
     WorkloadResult,
@@ -142,9 +153,95 @@ class BatchEvaluator:
                               len(shards))
 
     # ------------------------------------------------------------------
-    # Shared-engine path (serial / thread executors)
+    # Streaming: per-shard futures, answers in completion order
     # ------------------------------------------------------------------
-    def _run_shared(self, shards: list[Shard]) -> list[tuple]:
+    def run_stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        """Yield each shard's answers as soon as that shard completes.
+
+        Shards are submitted one future each (``executor.submit``),
+        lazily windowed to the executor's width, and surfaced in
+        *completion* order — the first answers arrive while later shards
+        are still evaluating (or, on a non-pooled executor, before later
+        shards have even been submitted).  Every yielded answer is
+        value-identical to the corresponding :meth:`run` answer;
+        reassembling by ``ShardAnswer.indices`` reproduces
+        ``run(workload).answers`` exactly.
+        """
+        shards = workload.shards()
+        if not shards:
+            return
+        submit, decode = self._shard_plan(shards)
+        for i, raw in self._stream_futures(submit, len(shards)):
+            yield ShardAnswer(i, shards[i].indices, decode(i, raw))
+
+    def _stream_futures(
+        self, submit: Callable[[int], concurrent.futures.Future],
+        count: int,
+    ) -> Iterator[tuple[int, Any]]:
+        """Lazily-windowed completion-order drive of ``count`` futures.
+
+        Submissions are capped at the executor's width, so a width-1
+        executor yields its first result before later tasks are even
+        submitted; abandoning the iterator cancels whatever is still
+        pending.  The single loop behind every synchronous streaming API.
+        """
+        width = max(1, self.executor.parallelism())
+        pending: dict[concurrent.futures.Future, int] = {}
+        next_task = 0
+        try:
+            while next_task < count or pending:
+                while next_task < count and len(pending) < width:
+                    pending[submit(next_task)] = next_task
+                    next_task += 1
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED)
+                for future in done:
+                    yield pending.pop(future), future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def _shard_plan(self, shards: list[Shard]) -> tuple[
+            Callable[[int], concurrent.futures.Future],
+            Callable[[int, tuple], tuple]]:
+        """Per-shard ``(submit, decode)`` callables for the streaming paths.
+
+        Mirrors the batch paths exactly: the shared plan hoists canonical
+        twig forms once and evaluates against the caller's engine; the
+        isolated plan pins pre-order snapshots *before* any submission and
+        decodes worker positions against them (raising on a mid-flight
+        mutation, same as :meth:`_run_isolated`).
+        """
+        if self.executor.isolated:
+            snapshots = {
+                i: _pin_preorder(shard.items[0].instance)
+                for i, shard in enumerate(shards)
+                if shard.kind is ItemKind.TWIG
+            }
+            tasks = [self._make_task(shard) for shard in shards]
+
+            def submit(i: int) -> concurrent.futures.Future:
+                return self.executor.submit(_run_shard_task, tasks[i])
+
+            def decode(i: int, raw: tuple) -> tuple:
+                return self._decode(shards[i], raw, snapshots.get(i))
+
+            return submit, decode
+
+        twig_keys = self._hoist_twig_keys(shards)
+        engine = self.engine
+
+        def submit_shared(i: int) -> concurrent.futures.Future:
+            return self.executor.submit(
+                self._eval_shard, engine, shards[i], twig_keys)
+
+        def decode_shared(i: int, raw: tuple) -> tuple:
+            return raw
+
+        return submit_shared, decode_shared
+
+    @staticmethod
+    def _hoist_twig_keys(shards: list[Shard]) -> dict[int, tuple]:
         # Canonicalise each distinct twig query once per batch — the
         # serial loop pays this on every single call.
         twig_keys: dict[int, tuple] = {}
@@ -153,6 +250,13 @@ class BatchEvaluator:
                 for item in shard.items:
                     if id(item.query) not in twig_keys:
                         twig_keys[id(item.query)] = item.query.canonical()
+        return twig_keys
+
+    # ------------------------------------------------------------------
+    # Shared-engine path (serial / thread executors)
+    # ------------------------------------------------------------------
+    def _run_shared(self, shards: list[Shard]) -> list[tuple]:
+        twig_keys = self._hoist_twig_keys(shards)
         engine = self.engine
 
         def run_chunk(chunk: tuple[Shard, ...]) -> tuple:
@@ -256,6 +360,22 @@ class BatchEvaluator:
         """One path query probed with many words."""
         return list(self.run(Workload.accepts(query, words)).answers)
 
+    def accepts_stream(
+        self, query: object, words: Sequence[Sequence[str]],
+    ) -> Iterator[list[tuple[int, bool]]]:
+        """Stream :meth:`accepts_batch` flags shard-by-shard.
+
+        Yields ``[(word_position, accepted), ...]`` groups, one per
+        acceptance sub-shard (``Workload.ACCEPTS_SHARD_SIZE`` words), as
+        each completes — the path session starts filtering a group's
+        words while later groups are still being probed.  The union of
+        all groups covers every position exactly once and equals
+        ``accepts_batch(query, words)``.
+        """
+        workload = Workload.accepts(query, words)
+        for shard_answer in self.run_stream(workload):
+            yield list(shard_answer)
+
     def selects_batch(self, query: TwigQuery | None,
                       candidates: Sequence[tuple[XTree, XNode]],
                       ) -> list[bool]:
@@ -280,6 +400,42 @@ class BatchEvaluator:
             for doc, answer in zip(documents, answers)
         }
         return [id(node) in selected[id(tree)] for tree, node in candidates]
+
+    def selects_stream(
+        self, query: TwigQuery | None,
+        candidates: Sequence[tuple[XTree, XNode]],
+    ) -> Iterator[list[tuple[int, bool]]]:
+        """Stream :meth:`selects_batch` flags document-by-document.
+
+        Yields ``[(candidate_position, selected), ...]`` groups — one per
+        distinct document, as that document's shard completes — so a
+        session can classify (and run follow-up probes on) one document's
+        candidates while the rest of the corpus is still evaluating.  The
+        union of all groups covers every candidate position exactly once,
+        and the flags equal ``selects_batch(query, candidates)``; only
+        group arrival order depends on scheduling.
+        """
+        if not candidates:
+            return
+        if query is None:
+            yield [(i, False) for i in range(len(candidates))]
+            return
+        documents: list[XTree] = []
+        positions: dict[int, list[int]] = {}
+        for i, (tree, _) in enumerate(candidates):
+            group = positions.get(id(tree))
+            if group is None:
+                positions[id(tree)] = group = []
+                documents.append(tree)
+            group.append(i)
+        workload = Workload.twig(query, documents)
+        for shard_answer in self.run_stream(workload):
+            out: list[tuple[int, bool]] = []
+            for doc_position, answer in shard_answer:
+                selected = {id(n) for n in answer}
+                for i in positions[id(documents[doc_position])]:
+                    out.append((i, id(candidates[i][1]) in selected))
+            yield out
 
     def selects_any(self, query: TwigQuery | None,
                     candidates: Sequence[tuple[XTree, XNode]]) -> bool:
@@ -334,6 +490,38 @@ class BatchEvaluator:
         chunk_results = self.executor.map(
             run_chunk, _chunks(items, self.executor.parallelism()))
         return [out for chunk in chunk_results for out in chunk]
+
+    def map_stream(self, fn: Callable[[Any], Any],
+                   items: Sequence[Any],
+                   ) -> Iterator[list[tuple[int, Any]]]:
+        """Stream :meth:`map` results chunk-by-chunk as chunks complete.
+
+        Yields ``[(item_position, fn(item)), ...]`` groups.  Chunking is
+        finer than :meth:`map`'s (4x the executor width, so even a
+        serial executor yields multiple groups) and groups arrive in
+        completion order; the union covers every position exactly once
+        with values equal to ``map(fn, items)``.  Isolated executors run
+        chunks inline, lazily — arbitrary closures don't cross process
+        boundaries, but consumers still see group-at-a-time progress.
+        """
+        items = list(items)
+        if not items:
+            return
+        n_chunks = max(1, min(len(items),
+                              4 * max(1, self.executor.parallelism())))
+        index_chunks = _chunks(range(len(items)), n_chunks)
+
+        def run_chunk(chunk: tuple[int, ...]) -> list[tuple[int, Any]]:
+            return [(i, fn(items[i])) for i in chunk]
+
+        if self.executor.isolated:
+            for chunk in index_chunks:
+                yield run_chunk(chunk)
+            return
+        for _, group in self._stream_futures(
+                lambda i: self.executor.submit(run_chunk, index_chunks[i]),
+                len(index_chunks)):
+            yield group
 
     def __repr__(self) -> str:
         return f"<BatchEvaluator executor={self.executor.name}>"

@@ -32,10 +32,23 @@ order, so batch answers are deterministic regardless of scheduling:
     construct the ``ProcessExecutor`` first, or pass
     ``start_method="forkserver"`` (requires an importable ``__main__``).
 
+Besides the batch-shaped ``map``, every executor exposes ``submit`` — one
+task in, a :class:`concurrent.futures.Future` out — which is the seam the
+streaming paths build on (:meth:`BatchEvaluator.run_stream
+<repro.serving.evaluator.BatchEvaluator.run_stream>` and the
+:class:`~repro.serving.async_evaluator.AsyncBatchEvaluator`): shard
+answers surface as each future completes instead of waiting on the whole
+``map``.  Non-pooled executors (``pooled = False``) run the task inline
+and return an already-completed future, so callers that want inline work
+off their own thread (the asyncio facade) must offload the ``submit``
+call itself.
+
 Executors are context managers; ``close()`` tears the pool down, and a
 closed executor refuses further ``map`` calls (construct a new one).
 Serial and thread executors construct for free; the process executor pays
-its worker fork up front, by design.
+its worker fork up front, by design.  Explicit ``max_workers`` must be
+positive — a zero or negative width raises :class:`ValueError` instead of
+silently falling back to the default.
 """
 
 from __future__ import annotations
@@ -47,11 +60,24 @@ from collections.abc import Callable, Sequence
 from typing import Any
 
 
+def _resolve_width(max_workers: int | None, default: int) -> int:
+    """Validate an explicit pool width; ``None`` means the default."""
+    if max_workers is None:
+        return default
+    if max_workers < 1:
+        raise ValueError(
+            f"max_workers must be a positive integer, got {max_workers!r}")
+    return max_workers
+
+
 class ShardExecutor:
-    """Order-preserving ``map`` over shard-chunk tasks."""
+    """Order-preserving ``map`` (and one-task ``submit``) over shard tasks."""
 
     #: True when tasks cross a process boundary and must be picklable.
     isolated = False
+    #: True when submit() hands the task to background workers; False when
+    #: it runs inline on the calling thread (serial and custom executors).
+    pooled = False
     name = "abstract"
 
     def parallelism(self) -> int:
@@ -61,6 +87,22 @@ class ShardExecutor:
     def map(self, fn: Callable[[Any], Any],
             tasks: Sequence[Any]) -> list[Any]:
         raise NotImplementedError
+
+    def submit(self, fn: Callable[..., Any],
+               *args: Any) -> concurrent.futures.Future:
+        """Run one task, exposing its result as a future.
+
+        The default (used by :class:`SerialExecutor` and any custom
+        executor that only implements ``map``) runs inline and returns a
+        completed future, so streaming degrades gracefully to
+        one-shard-at-a-time evaluation.
+        """
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
 
     def close(self) -> None:
         """Release pooled workers (idempotent)."""
@@ -89,9 +131,11 @@ class ThreadExecutor(ShardExecutor):
     """Run chunks on a persistent thread pool sharing one engine."""
 
     name = "thread"
+    pooled = True
 
     def __init__(self, max_workers: int | None = None) -> None:
-        self.max_workers = max_workers or min(8, (os.cpu_count() or 1) * 2)
+        self.max_workers = _resolve_width(
+            max_workers, min(8, (os.cpu_count() or 1) * 2))
         # Created in __init__, not on first map(): a shared executor may
         # see its first two map() calls race, and lazy creation there
         # would construct two pools and leak one.  ThreadPoolExecutor
@@ -114,6 +158,10 @@ class ThreadExecutor(ShardExecutor):
             tasks: Sequence[Any]) -> list[Any]:
         return list(self._ensure_pool().map(fn, tasks))
 
+    def submit(self, fn: Callable[..., Any],
+               *args: Any) -> concurrent.futures.Future:
+        return self._ensure_pool().submit(fn, *args)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -128,11 +176,13 @@ class ProcessExecutor(ShardExecutor):
     """Run picklable chunks on a persistent process pool."""
 
     isolated = True
+    pooled = True
     name = "process"
 
     def __init__(self, max_workers: int | None = None,
                  start_method: str | None = None) -> None:
-        self.max_workers = max_workers or max(2, os.cpu_count() or 1)
+        self.max_workers = _resolve_width(
+            max_workers, max(2, os.cpu_count() or 1))
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -158,6 +208,10 @@ class ProcessExecutor(ShardExecutor):
     def map(self, fn: Callable[[Any], Any],
             tasks: Sequence[Any]) -> list[Any]:
         return list(self._ensure_pool().map(fn, tasks))
+
+    def submit(self, fn: Callable[..., Any],
+               *args: Any) -> concurrent.futures.Future:
+        return self._ensure_pool().submit(fn, *args)
 
     def close(self) -> None:
         if self._pool is not None:

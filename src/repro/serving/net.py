@@ -1,0 +1,312 @@
+"""The TCP front-end: serve workloads over a socket, stream answers back.
+
+The request/response cycle on one connection::
+
+    client                                server
+      |-- workload frame ----------------->|  decode, shard, evaluate
+      |<---------------- shard frame ------|  (as each shard completes)
+      |<---------------- shard frame ------|
+      |<---------------- done frame -------|
+      |-- workload frame ----------------->|  connections are reusable
+      ...
+
+Frames are the length-prefixed JSON of :mod:`repro.serving.wire`; a
+request that fails to decode or evaluate produces an ``error`` frame
+(with the exception text) instead of killing the connection.  Because
+shard frames go out the moment the
+:class:`~repro.serving.async_evaluator.AsyncBatchEvaluator` stream
+yields them, a client sees its first answers while the server is still
+evaluating the rest of the batch — the network mirror of the in-process
+streaming contract.
+
+:class:`WorkloadServer` is the asyncio endpoint (embed it in an existing
+event loop via ``await start()`` / ``await aclose()``, or run it
+standalone with :func:`serve`).  :class:`ServerThread` runs the same
+endpoint on a background thread with its own loop — the harness the
+tests, benchmarks, and blocking callers use.  :class:`WorkloadClient` is
+the small blocking client: it keeps the original instances it sent, so
+decoded twig answers are *its own* node objects in document order —
+answer-identical to a local :class:`~repro.serving.evaluator.BatchEvaluator`
+run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from collections.abc import Iterator
+
+from repro.serving.async_evaluator import AsyncBatchEvaluator
+from repro.serving.executors import ShardExecutor
+from repro.serving.wire import (
+    ProtocolError,
+    WorkloadCodec,
+    read_frame,
+    recv_frame_blocking,
+    send_frame_blocking,
+    write_frame,
+)
+from repro.serving.workload import ShardAnswer, Workload, WorkloadResult
+
+
+class WorkloadServer:
+    """An ``asyncio.start_server`` endpoint over an async evaluator."""
+
+    def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.evaluator = evaluator if evaluator is not None \
+            else AsyncBatchEvaluator()
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        ``port=0`` (the default) binds an ephemeral port — read the
+        actual one from the return value or :attr:`port`.
+        """
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Framing is gone; report and drop the connection.
+                    write_frame(writer, {"type": "error",
+                                         "message": str(exc)})
+                    await writer.drain()
+                    break
+                if frame is None:
+                    break
+                await self._serve_request(frame, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # Loop teardown cancelled the close handshake after the
+                # request cycle already finished; the transport is being
+                # dropped with the loop, so completing quietly beats
+                # surfacing a cancellation nobody can act on.
+                pass
+
+    async def _serve_request(self, frame: object,
+                             writer: asyncio.StreamWriter) -> None:
+        codec = WorkloadCodec()
+        stream = None
+        try:
+            workload = codec.decode_workload(frame)
+            n_shards = 0
+            stream = self.evaluator.stream(workload)
+            async for shard_answer in stream:
+                write_frame(writer, codec.encode_shard_answer(
+                    workload, shard_answer))
+                await writer.drain()
+                n_shards += 1
+            write_frame(writer, {"type": "done", "n_shards": n_shards,
+                                 "executor": self.evaluator.executor.name})
+        except Exception as exc:  # noqa: BLE001 - surfaced to the peer
+            write_frame(writer, {"type": "error", "message": str(exc)})
+        finally:
+            if stream is not None:
+                # A drain() that died on a disconnected peer abandons the
+                # iteration mid-stream; closing the generator runs its
+                # cancellation path, so in-flight shards of a dead request
+                # stop occupying executor slots.
+                await stream.aclose()
+        await writer.drain()
+
+
+async def serve(*, host: str = "127.0.0.1", port: int = 0,
+                executor: ShardExecutor | None = None) -> None:
+    """Run a workload server until cancelled (module-level entry point)."""
+    server = WorkloadServer(AsyncBatchEvaluator(executor=executor),
+                            host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(f"serving workloads on {bound_host}:{bound_port}", flush=True)
+    await server.serve_forever()
+
+
+class ServerThread:
+    """A :class:`WorkloadServer` on a dedicated thread and event loop.
+
+    Lets blocking code (tests, benchmarks, a client process) stand up a
+    real TCP endpoint without owning an event loop.  Construction blocks
+    until the socket is bound; ``close()`` (or the context manager exit)
+    stops the loop and joins the thread.
+    """
+
+    def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = WorkloadServer(evaluator, host=host, port=port)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serving-net")
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stopped = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:  # noqa: BLE001 - rethrown in ctor
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stopped.wait()
+            await self.server.aclose()
+
+        asyncio.run(main())
+
+    def close(self) -> None:
+        if self._loop is not None and self._stopped is not None:
+            self._loop.call_soon_threadsafe(self._stopped.set)
+        self._thread.join()
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class WorkloadClient:
+    """The small blocking client of the workload protocol.
+
+    One instance is one TCP connection (reusable across any number of
+    requests, context-managed).  Answers decode against the *original*
+    workload objects the caller passed in — twig answers come back as the
+    caller's own node objects in document order, so a remote ``run`` is
+    answer-identical to a local ``BatchEvaluator.run`` on the same
+    workload.
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float | None = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Unread response frames of an abandoned stream() — drained before
+        # the next request so connection reuse can never desync.
+        self._pending_response = False
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "WorkloadClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _drain_pending_response(self) -> None:
+        """Discard leftover frames of an abandoned earlier ``stream()``.
+
+        Every response ends in a ``done`` or ``error`` frame, so reading
+        up to the terminator realigns the connection; the discarded
+        answers were for a request the caller walked away from.
+        """
+        while self._pending_response:
+            frame = recv_frame_blocking(self._sock)
+            if frame is None:
+                raise ProtocolError("server closed mid-response")
+            kind = frame.get("type") if isinstance(frame, dict) else None
+            if kind in ("done", "error"):
+                self._pending_response = False
+            elif kind != "shard":
+                raise ProtocolError(f"unexpected frame {frame!r}")
+
+    def stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        """Send one workload; yield decoded shard answers as frames land.
+
+        The final ``done`` frame's shard count is cross-checked against
+        the frames actually seen; an ``error`` frame raises
+        :class:`~repro.serving.wire.ProtocolError` with the server's
+        message.  Abandoning the iterator mid-stream is safe: the next
+        request on this connection first drains the rest of the old
+        response.
+        """
+        if self._sock is None:
+            raise RuntimeError("client is closed")
+        self._drain_pending_response()
+        codec = WorkloadCodec()
+        send_frame_blocking(self._sock, codec.encode_workload(workload))
+        self._pending_response = True
+        seen = 0
+        while True:
+            frame = recv_frame_blocking(self._sock)
+            if frame is None:
+                raise ProtocolError("server closed mid-response")
+            kind = frame.get("type") if isinstance(frame, dict) else None
+            if kind == "shard":
+                seen += 1
+                yield codec.decode_shard_answer(workload, frame)
+            elif kind == "done":
+                self._pending_response = False
+                if frame.get("n_shards") != seen:
+                    raise ProtocolError(
+                        f"server announced {frame.get('n_shards')} shards "
+                        f"but sent {seen}")
+                self._last_executor = frame.get("executor", "remote")
+                return
+            elif kind == "error":
+                self._pending_response = False
+                raise ProtocolError(
+                    f"server error: {frame.get('message', 'unknown')}")
+            else:
+                raise ProtocolError(f"unexpected frame {frame!r}")
+
+    def run(self, workload: Workload) -> WorkloadResult:
+        """Remote evaluation with the deterministic position-aligned merge."""
+        answers: list = [None] * len(workload)
+        n_shards = 0
+        for shard_answer in self.stream(workload):
+            n_shards += 1
+            for position, answer in shard_answer:
+                answers[position] = answer
+        executor = getattr(self, "_last_executor", "remote")
+        return WorkloadResult(workload, tuple(answers),
+                              f"remote:{executor}", n_shards)

@@ -1,0 +1,507 @@
+"""The pickle-free wire format of the serving network front-end.
+
+Framing is length-prefixed JSON: every message is a 4-byte big-endian
+unsigned length followed by that many bytes of UTF-8 JSON.  ``pickle``
+never touches a socket — deserialising a peer's pickle executes
+attacker-chosen code, so the protocol is JSON end to end, with small
+tagged codecs for the structured values JSON lacks:
+
+* **twig queries** — structural ``{label, selected, branches}`` records
+  (branch axes as ``"/"``/``"//"``), round-tripping the exact pattern
+  including which node is selected;
+* **documents** — nested ``{label, text, children}`` records preserving
+  child order, so pre-order positions on the server's rebuilt copy equal
+  pre-order positions on the client's original;
+* **path queries / regexes** — structural AST records (atoms with label
+  sets and multiplicity symbols; ``concat``/``union``/``star`` nodes),
+  not concrete syntax, so round-tripping never depends on printer/parser
+  agreement;
+* **graphs and vertex ids** — vertex/edge lists; ids may be JSON scalars
+  or (nested) tuples, encoded as ``{"__tuple__": [...]}``.
+
+Answers travel identity-free, exactly like
+:class:`~repro.serving.evaluator.ShardTask` results inside the process
+executor: twig answers as pre-order positions (the client maps them onto
+*its own* node objects), RPQ answers as vertex-id pairs, acceptance
+answers as booleans.  :class:`WorkloadDecoder` (client side) and
+:class:`WorkloadCodec` (server side) hold the per-instance position maps
+needed for that decode.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ReproError
+from repro.graphdb.graph import Graph, VertexId
+from repro.graphdb.pathquery import PathAtom, PathQuery
+from repro.graphdb.regex import Concat, Epsilon, Label, Regex, Star, Union
+from repro.schema.multiplicity import Multiplicity
+from repro.serving.workload import (
+    ItemKind,
+    ShardAnswer,
+    Workload,
+    WorkloadItem,
+)
+from repro.twig.ast import Axis, TwigNode, TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+_LENGTH = struct.Struct(">I")
+
+#: Refuse absurd frames before allocating for them (64 MiB).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """Malformed frame or unencodable/undecodable payload."""
+
+
+# ---------------------------------------------------------------------------
+# Framing: length-prefixed JSON over asyncio streams and blocking sockets
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload: Any) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES} byte cap")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+
+
+def _checked_length(prefix: bytes) -> int:
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"announced frame of {length} bytes exceeds "
+                            f"the {MAX_FRAME_BYTES} byte cap")
+    return length
+
+
+async def read_frame(reader) -> Any | None:
+    """Read one frame from an asyncio stream reader; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    try:
+        body = await reader.readexactly(_checked_length(prefix))
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+def write_frame(writer, payload: Any) -> None:
+    """Queue one frame on an asyncio stream writer (caller drains)."""
+    writer.write(encode_frame(payload))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return b""
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame_blocking(sock: socket.socket, payload: Any) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame_blocking(sock: socket.socket) -> Any | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    prefix = _recv_exactly(sock, _LENGTH.size)
+    if not prefix:
+        return None
+    return _decode_body(_recv_exactly(sock, _checked_length(prefix)))
+
+
+# ---------------------------------------------------------------------------
+# Value codecs
+# ---------------------------------------------------------------------------
+
+
+def _encode_vertex(v: VertexId) -> Any:
+    if isinstance(v, tuple):
+        return {"__tuple__": [_encode_vertex(x) for x in v]}
+    if v is None or isinstance(v, (str, int, float, bool)):
+        return v
+    raise ProtocolError(
+        f"vertex id {v!r} is not wire-encodable (scalars and tuples only)")
+
+
+def _decode_vertex(obj: Any) -> VertexId:
+    if isinstance(obj, dict):
+        try:
+            items = obj["__tuple__"]
+        except KeyError:
+            raise ProtocolError(f"malformed vertex id {obj!r}") from None
+        return tuple(_decode_vertex(x) for x in items)
+    return obj
+
+
+def _encode_tree(node: XNode) -> dict:
+    out: dict[str, Any] = {"label": node.label}
+    if node.text is not None:
+        out["text"] = node.text
+    if node.children:
+        out["children"] = [_encode_tree(c) for c in node.children]
+    return out
+
+
+def _decode_tree(obj: dict) -> XNode:
+    try:
+        node = XNode(obj["label"], text=obj.get("text"))
+        for child in obj.get("children", ()):
+            node.add(_decode_tree(child))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed document node: {exc}") from exc
+    return node
+
+
+def _encode_graph(graph: Graph) -> dict:
+    vertices = [[_encode_vertex(v), graph.vertex_properties(v)]
+                for v in graph.vertices()]
+    edges = [[_encode_vertex(e.src), e.label, _encode_vertex(e.dst),
+              dict(e.properties)] for e in graph.edges()]
+    return {"vertices": vertices, "edges": edges}
+
+
+def _decode_graph(obj: dict) -> Graph:
+    graph = Graph()
+    try:
+        for vertex, properties in obj["vertices"]:
+            graph.add_vertex(_decode_vertex(vertex), **properties)
+        for src, label, dst, properties in obj["edges"]:
+            graph.add_edge(_decode_vertex(src), label, _decode_vertex(dst),
+                           **properties)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed graph: {exc}") from exc
+    return graph
+
+
+def encode_twig_query(query: TwigQuery) -> dict:
+    def go(n: TwigNode) -> dict:
+        out: dict[str, Any] = {"label": n.label}
+        if n is query.selected:
+            out["selected"] = True
+        if n.branches:
+            out["branches"] = [[axis.value, go(child)]
+                               for axis, child in n.branches]
+        return out
+
+    return {"root_axis": query.root_axis.value, "root": go(query.root)}
+
+
+def decode_twig_query(obj: dict) -> TwigQuery:
+    selected: list[TwigNode] = []
+
+    def go(o: dict) -> TwigNode:
+        n = TwigNode(o["label"])
+        if o.get("selected"):
+            selected.append(n)
+        for axis, child in o.get("branches", ()):
+            n.add(Axis(axis), go(child))
+        return n
+
+    try:
+        root = go(obj["root"])
+        if len(selected) != 1:
+            raise ProtocolError(
+                f"twig query must mark exactly one selected node, "
+                f"got {len(selected)}")
+        return TwigQuery(Axis(obj["root_axis"]), root, selected[0])
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed twig query: {exc}") from exc
+
+
+def _encode_regex(regex: Regex) -> dict:
+    if isinstance(regex, Epsilon):
+        return {"op": "epsilon"}
+    if isinstance(regex, Label):
+        return {"op": "label", "name": regex.name}
+    if isinstance(regex, Concat):
+        return {"op": "concat", "left": _encode_regex(regex.left),
+                "right": _encode_regex(regex.right)}
+    if isinstance(regex, Union):
+        return {"op": "union", "left": _encode_regex(regex.left),
+                "right": _encode_regex(regex.right)}
+    if isinstance(regex, Star):
+        return {"op": "star", "inner": _encode_regex(regex.inner)}
+    raise ProtocolError(f"unencodable regex node {type(regex).__name__}")
+
+
+def _decode_regex(obj: dict) -> Regex:
+    try:
+        op = obj["op"]
+        if op == "epsilon":
+            return Epsilon()
+        if op == "label":
+            return Label(obj["name"])
+        if op == "concat":
+            return Concat(_decode_regex(obj["left"]),
+                          _decode_regex(obj["right"]))
+        if op == "union":
+            return Union(_decode_regex(obj["left"]),
+                         _decode_regex(obj["right"]))
+        if op == "star":
+            return Star(_decode_regex(obj["inner"]))
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed regex: {exc}") from exc
+    raise ProtocolError(f"unknown regex op {op!r}")
+
+
+def encode_path_query(query: object) -> dict:
+    """A path-shaped query: :class:`PathQuery` or raw :class:`Regex`."""
+    if isinstance(query, PathQuery):
+        return {"type": "path",
+                "atoms": [[sorted(a.labels), a.multiplicity.value]
+                          for a in query.atoms]}
+    if isinstance(query, Regex):
+        return {"type": "regex", "node": _encode_regex(query)}
+    raise ProtocolError(
+        f"unencodable path query of type {type(query).__name__}")
+
+
+def decode_path_query(obj: dict) -> object:
+    kind = obj.get("type")
+    if kind == "path":
+        try:
+            return PathQuery(
+                PathAtom(frozenset(labels), Multiplicity(mult))
+                for labels, mult in obj["atoms"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed path query: {exc}") from exc
+    if kind == "regex":
+        return _decode_regex(obj["node"])
+    raise ProtocolError(f"unknown path query type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Workload codec
+# ---------------------------------------------------------------------------
+
+
+class WorkloadCodec:
+    """Encode/decode whole workloads plus their identity-free answers.
+
+    Object identity is part of workload semantics: items sharing a
+    document share a shard and an index snapshot, and acceptance items
+    sharing a query object group into the same sub-shards.  Instances
+    *and queries* therefore travel once each, in ``instances`` /
+    ``queries`` tables, and items reference them by index — the decoded
+    workload shards exactly like the original.
+    Both ends keep per-instance pre-order node lists: the server encodes
+    twig answer nodes as positions, the client decodes positions back
+    onto its own node objects — the same identity-free trick the process
+    executor uses, stretched across the socket.
+    """
+
+    def __init__(self) -> None:
+        self._instances: list[object] = []
+        self._index_of: dict[int, int] = {}
+        self._queries: list[object] = []
+        self._query_index_of: dict[int, int] = {}
+        self._preorder: dict[int, list[XNode]] = {}
+
+    # -- encoding side ---------------------------------------------------
+    def _instance_ref(self, instance: object) -> int:
+        key = id(instance)
+        if key not in self._index_of:
+            self._index_of[key] = len(self._instances)
+            self._instances.append(instance)
+        return self._index_of[key]
+
+    def _query_ref(self, query: object, kind: ItemKind) -> int:
+        key = id(query)
+        if key not in self._query_index_of:
+            self._query_index_of[key] = len(self._queries)
+            if kind is ItemKind.TWIG:
+                encoded = {"codec": "twig",
+                           "q": encode_twig_query(query)}
+            else:
+                encoded = {"codec": "path", "q": encode_path_query(query)}
+            self._queries.append(encoded)
+        return self._query_index_of[key]
+
+    def encode_workload(self, workload: Workload) -> dict:
+        items: list[dict] = []
+        for item in workload:
+            if item.kind is ItemKind.TWIG:
+                items.append({
+                    "kind": "twig",
+                    "query": self._query_ref(item.query, item.kind),
+                    "instance": self._instance_ref(item.instance),
+                })
+            elif item.kind is ItemKind.RPQ:
+                record: dict[str, Any] = {
+                    "kind": "rpq",
+                    "query": self._query_ref(item.query, item.kind),
+                    "instance": self._instance_ref(item.instance),
+                }
+                if item.sources is not None:
+                    record["sources"] = [_encode_vertex(v)
+                                         for v in item.sources]
+                items.append(record)
+            else:
+                items.append({
+                    "kind": "accepts",
+                    "query": self._query_ref(item.query, item.kind),
+                    "word": list(item.word or ()),
+                })
+        instances: list[dict] = []
+        for instance in self._instances:
+            if isinstance(instance, XTree):
+                instances.append({"type": "tree",
+                                  "root": _encode_tree(instance.root)})
+            elif isinstance(instance, Graph):
+                instances.append({"type": "graph",
+                                  **_encode_graph(instance)})
+            else:
+                raise ProtocolError(
+                    f"unencodable instance {type(instance).__name__}")
+        return {"instances": instances, "queries": self._queries,
+                "items": items}
+
+    # -- decoding side ---------------------------------------------------
+    def decode_workload(self, obj: dict) -> Workload:
+        try:
+            instance_records = obj["instances"]
+            query_records = obj["queries"]
+            item_records = obj["items"]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed workload: {exc}") from exc
+        self._instances = []
+        for record in instance_records:
+            kind = record.get("type")
+            if kind == "tree":
+                self._instances.append(XTree(_decode_tree(record["root"])))
+            elif kind == "graph":
+                self._instances.append(_decode_graph(record))
+            else:
+                raise ProtocolError(f"unknown instance type {kind!r}")
+        self._queries = []
+        for record in query_records:
+            codec = record.get("codec") if isinstance(record, dict) else None
+            if codec == "twig":
+                self._queries.append(decode_twig_query(record["q"]))
+            elif codec == "path":
+                self._queries.append(decode_path_query(record["q"]))
+            else:
+                raise ProtocolError(f"unknown query codec {codec!r}")
+        items: list[WorkloadItem] = []
+        for record in item_records:
+            kind = record.get("kind")
+            if kind == "twig":
+                items.append(WorkloadItem(
+                    ItemKind.TWIG, self._resolve_query(record["query"]),
+                    self._resolve(record["instance"])))
+            elif kind == "rpq":
+                sources = record.get("sources")
+                items.append(WorkloadItem(
+                    ItemKind.RPQ, self._resolve_query(record["query"]),
+                    self._resolve(record["instance"]),
+                    sources=None if sources is None else tuple(
+                        _decode_vertex(v) for v in sources)))
+            elif kind == "accepts":
+                items.append(WorkloadItem(
+                    ItemKind.ACCEPTS, self._resolve_query(record["query"]),
+                    word=tuple(record["word"])))
+            else:
+                raise ProtocolError(f"unknown item kind {kind!r}")
+        return Workload(items)
+
+    def _resolve(self, index: object) -> object:
+        if not isinstance(index, int) or not (
+                0 <= index < len(self._instances)):
+            raise ProtocolError(f"dangling instance reference {index!r}")
+        return self._instances[index]
+
+    def _resolve_query(self, index: object) -> object:
+        if not isinstance(index, int) or not (
+                0 <= index < len(self._queries)):
+            raise ProtocolError(f"dangling query reference {index!r}")
+        return self._queries[index]
+
+    # -- answers ---------------------------------------------------------
+    def _positions_of(self, instance: XTree) -> dict[int, int]:
+        nodes = self._preorder_nodes(instance)
+        return {id(node): position for position, node in enumerate(nodes)}
+
+    def _preorder_nodes(self, instance: XTree) -> list[XNode]:
+        key = id(instance)
+        if key not in self._preorder:
+            self._preorder[key] = list(instance.nodes())
+        return self._preorder[key]
+
+    def encode_shard_answer(self, workload: Workload,
+                            shard_answer: ShardAnswer) -> dict:
+        """Identity-free shard frame (positions / pairs / booleans)."""
+        answers: list[Any] = []
+        for position, answer in shard_answer:
+            item = workload[position]
+            if item.kind is ItemKind.TWIG:
+                positions = self._positions_of(item.instance)
+                answers.append([positions[id(node)] for node in answer])
+            elif item.kind is ItemKind.RPQ:
+                answers.append(sorted(
+                    ([_encode_vertex(s), _encode_vertex(t)]
+                     for s, t in answer), key=repr))
+            else:
+                answers.append(bool(answer))
+        return {"type": "shard", "shard": shard_answer.shard,
+                "indices": list(shard_answer.indices), "answers": answers}
+
+    def decode_shard_answer(self, workload: Workload,
+                            obj: dict) -> ShardAnswer:
+        """Map a shard frame back onto the local workload's objects."""
+        try:
+            indices = tuple(obj["indices"])
+            raw_answers = obj["answers"]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed shard frame: {exc}") from exc
+        if len(indices) != len(raw_answers):
+            raise ProtocolError("shard frame indices/answers misaligned")
+        answers: list[Any] = []
+        for position, raw in zip(indices, raw_answers):
+            if not isinstance(position, int) or not (
+                    0 <= position < len(workload)):
+                raise ProtocolError(f"dangling item position {position!r}")
+            item = workload[position]
+            if item.kind is ItemKind.TWIG:
+                nodes = self._preorder_nodes(item.instance)
+                try:
+                    answers.append([nodes[p] for p in raw])
+                except (IndexError, TypeError) as exc:
+                    raise ProtocolError(
+                        f"twig positions out of range: {exc}") from exc
+            elif item.kind is ItemKind.RPQ:
+                answers.append({(_decode_vertex(s), _decode_vertex(t))
+                                for s, t in raw})
+            else:
+                answers.append(bool(raw))
+        return ShardAnswer(int(obj.get("shard", -1)), indices,
+                           tuple(answers))

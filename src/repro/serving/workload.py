@@ -146,6 +146,31 @@ class Workload:
 
 
 @dataclass(frozen=True)
+class ShardAnswer:
+    """One completed shard's answers, surfaced before the batch finishes.
+
+    The streaming APIs (:meth:`BatchEvaluator.run_stream
+    <repro.serving.evaluator.BatchEvaluator.run_stream>`,
+    :meth:`AsyncBatchEvaluator.stream
+    <repro.serving.async_evaluator.AsyncBatchEvaluator.stream>`, and the
+    network endpoint) yield these in *completion* order; ``indices`` are
+    the item positions in the originating workload, so any consumer can
+    reassemble the deterministic position-aligned
+    :class:`WorkloadResult` regardless of arrival order.
+    ``answers[k]`` is the answer for item ``indices[k]`` and carries the
+    exact same values ``WorkloadResult.answers`` would.
+    """
+
+    shard: int
+    indices: tuple[int, ...]
+    answers: tuple
+
+    def __iter__(self) -> Iterator[tuple[int, object]]:
+        """Iterate ``(item_position, answer)`` pairs."""
+        return iter(zip(self.indices, self.answers))
+
+
+@dataclass(frozen=True)
 class WorkloadResult:
     """Answers aligned with the workload's item order.
 

@@ -2,11 +2,12 @@
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.schema.containment import (
     dme_included,
+    max_finite_upper_bound,
     schema_contains,
     schema_contains_brute_force,
     schema_equivalent,
@@ -112,8 +113,9 @@ def _random_schema(rng: random.Random) -> DMS:
     return DMS("a", rules)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=200, deadline=None)
 @given(st.integers(0, 10_000))
+@example(56)  # regression: the oracle's old extra=1 cap missed a(z,z)
 def test_ptime_matches_brute_force(seed):
     rng = random.Random(seed)
     s1, s2 = _random_schema(rng), _random_schema(rng)
@@ -126,3 +128,39 @@ def test_ptime_matches_brute_force(seed):
         # A counterexample may need deeper trees than the brute bound, but
         # on these 4-label schemas depth 4 suffices in practice.
         assert not slow
+
+
+def test_seed56_two_child_witness_regression():
+    """The exact schema pair hypothesis seed 56 draws.
+
+    ``x``/``y`` require each other, so the left schema trims to
+    ``a -> z*`` — every ``a(z, ..., z)`` is valid.  The right schema caps
+    ``(x|z)`` at one child, so ``a(z, z)`` is the (unique minimal)
+    counterexample, and it needs *two* children of one atom: an oracle
+    whose per-atom count cap stops at ``lo + 1`` can never generate it.
+    """
+    left = s("root: a\na -> (x|z)*\nx -> y+\ny -> x\nz -> x? || y?")
+    right = s("root: a\na -> (x|z)?\nx -> epsilon\ny -> epsilon\nz -> x*")
+    assert not schema_contains(left, right)
+    # The derived default (max finite RHS bound 1, so extra=2) reaches the
+    # two-child witness; the historically hardwired extra=1 provably
+    # cannot, which is the unsoundness this pins.
+    assert not schema_contains_brute_force(left, right,
+                                           max_trees=600, max_depth=4)
+    assert schema_contains_brute_force(left, right, max_trees=600,
+                                       max_depth=4, extra=1), \
+        "extra=1 unexpectedly found a witness; update this regression"
+
+
+def test_brute_force_default_extra_exceeds_rhs_caps():
+    rhs = s("root: a\na -> (x|z)?\nx -> epsilon\ny -> epsilon\nz -> x*")
+    assert max_finite_upper_bound(rhs) == 1
+    unbounded = s("root: a\na -> x*\nx -> epsilon")
+    assert max_finite_upper_bound(unbounded) == 0
+    # extra is validated.
+    import pytest
+
+    from repro.errors import SchemaError
+
+    with pytest.raises(SchemaError):
+        schema_contains_brute_force(rhs, rhs, extra=-1)

@@ -26,18 +26,12 @@ from repro.twig.parse import parse_twig
 from repro.twig.semantics import evaluate_naive
 from repro.xmltree.tree import XTree
 
-from .conftest import twig_queries, xml, xnode_trees
+from .conftest import identical_answers, twig_queries, xml, xnode_trees
 
 
 def _in_process_executors():
     return [SerialExecutor(), ThreadExecutor(3)]
 
-
-def _identical(batch, serial) -> bool:
-    return all(
-        len(a) == len(b) and all(x is y for x, y in zip(a, b))
-        for a, b in zip(batch, serial)
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -58,7 +52,7 @@ def test_batch_twig_matches_sequential_engine(trees, query):
             batch = BatchEvaluator(
                 engine=engine,
                 executor=executor).evaluate_twig_batch(query, docs)
-            assert _identical(batch, serial), executor.name
+            assert identical_answers(batch, serial), executor.name
     # The naive reference agrees too (same ids, same order).
     assert [[id(n) for n in a] for a in serial] == \
         [[id(n) for n in evaluate_naive(query, d)] for d in docs]
@@ -76,7 +70,7 @@ def test_batch_queries_over_one_document(tree, queries):
             batch = BatchEvaluator(
                 engine=engine,
                 executor=executor).evaluate_queries(queries, doc)
-            assert _identical(batch, serial), executor.name
+            assert identical_answers(batch, serial), executor.name
     # One document => one shard => one index snapshot.
     assert len(Workload.twig_queries(queries, doc).shards()) == 1
 
@@ -146,7 +140,7 @@ def test_process_executor_twig_identity(process_executor):
         engine=engine,
         executor=process_executor).evaluate_twig_batch(query, docs)
     # Same *objects*: workers return pre-order positions, never copies.
-    assert _identical(batch, serial)
+    assert identical_answers(batch, serial)
 
 
 def test_process_executor_mixed_workload(process_executor):
@@ -180,7 +174,7 @@ def test_process_executor_random_parity(process_executor, trees, query):
     batch = BatchEvaluator(
         engine=engine,
         executor=process_executor).evaluate_twig_batch(query, docs)
-    assert _identical(batch, serial)
+    assert identical_answers(batch, serial)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,341 @@
+"""The network front-end: pickle-free framing, codec round-trips, and the
+TCP endpoint whose remote answers must be *identical* — same node objects,
+same order — to a local serial :class:`BatchEvaluator` run.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+from hypothesis import given, settings
+
+from repro.engine import Engine
+from repro.graphdb.graph import Graph
+from repro.graphdb.pathquery import PathQuery
+from repro.graphdb.regex import parse_regex
+from repro.serving import (
+    AsyncBatchEvaluator,
+    BatchEvaluator,
+    ProcessExecutor,
+    ProtocolError,
+    SerialExecutor,
+    ServerThread,
+    ThreadExecutor,
+    Workload,
+    WorkloadClient,
+    WorkloadCodec,
+)
+from repro.serving.wire import (
+    decode_path_query,
+    decode_twig_query,
+    encode_frame,
+    encode_path_query,
+    encode_twig_query,
+    recv_frame_blocking,
+    send_frame_blocking,
+)
+from repro.twig.parse import parse_twig
+from repro.xmltree.tree import XTree, trees_equal
+
+from .conftest import identical_answers, twig_queries, xml, xnode_trees
+
+
+
+def _geo_graph() -> Graph:
+    g = Graph()
+    g.add_vertex((0, 0), name="origin")
+    g.add_edge((0, 0), "road", (1, 0), distance=3)
+    g.add_edge((1, 0), "road", (2, 0))
+    g.add_edge((1, 0), "rail", (0, 0))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def test_blocking_frames_round_trip_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        payloads = [{"hello": [1, 2.5, None, True]}, [], "plain", 7]
+        for payload in payloads:
+            send_frame_blocking(left, payload)
+        for payload in payloads:
+            assert recv_frame_blocking(right) == payload
+        left.close()
+        assert recv_frame_blocking(right) is None  # clean EOF
+    finally:
+        right.close()
+
+
+def test_partial_frame_raises_protocol_error():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(encode_frame({"x": 1})[:-2])  # truncated body
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame_blocking(right)
+    finally:
+        right.close()
+
+
+def test_oversized_frame_is_refused_before_allocation():
+    left, right = socket.socketpair()
+    try:
+        left.sendall((2 ** 31 - 1).to_bytes(4, "big"))
+        left.close()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_frame_blocking(right)
+    finally:
+        right.close()
+
+
+# ---------------------------------------------------------------------------
+# Codecs
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(twig_queries(max_depth=3))
+def test_twig_query_codec_round_trips(query):
+    decoded = decode_twig_query(encode_twig_query(query))
+    assert decoded == query  # canonical() equality marks the selected node
+
+
+@settings(max_examples=40, deadline=None)
+@given(xnode_trees(max_depth=4, max_children=3))
+def test_document_codec_round_trips(tree):
+    codec = WorkloadCodec()
+    workload = Workload.twig(parse_twig("//a"), [XTree(tree)])
+    decoded = codec.decode_workload(codec.encode_workload(workload))
+    assert trees_equal(decoded[0].instance.root, tree)
+    # Sibling order is preserved exactly (positions must line up).
+    assert [n.label for n in decoded[0].instance.nodes()] == \
+        [n.label for n in tree.iter()]
+
+
+def test_path_query_and_regex_codec_round_trip():
+    pq = PathQuery.parse("road+.(rail|bus)?.ferry*")
+    assert decode_path_query(encode_path_query(pq)) == pq
+    empty = PathQuery()
+    assert decode_path_query(encode_path_query(empty)) == empty
+    for text in ("a", "a.b", "(a|b)*.c+", "a?.b"):
+        regex = parse_regex(text)
+        assert decode_path_query(encode_path_query(regex)) == regex
+
+
+def test_graph_codec_round_trips_tuple_vertices_and_properties():
+    g = _geo_graph()
+    codec = WorkloadCodec()
+    workload = Workload.rpq(parse_regex("road+"), [g],
+                            sources=[(0, 0), (1, 0)])
+    decoded = codec.decode_workload(codec.encode_workload(workload))
+    g2 = decoded[0].instance
+    assert sorted(g2.vertices(), key=repr) == sorted(g.vertices(), key=repr)
+    assert g2.vertex_properties((0, 0)) == {"name": "origin"}
+    assert g2.edge_properties((0, 0), "road", (1, 0)) == {"distance": 3}
+    assert decoded[0].sources == ((0, 0), (1, 0))
+    # The rebuilt graph answers identically.
+    engine = Engine()
+    assert engine.evaluate_rpq(decoded[0].query, g2) == \
+        engine.evaluate_rpq(parse_regex("road+"), g)
+
+
+def test_workload_codec_shares_instances_across_items():
+    doc = xml("<a><b/></a>")
+    workload = Workload.twig_queries(
+        [parse_twig("//b"), parse_twig("/a")], doc)
+    codec = WorkloadCodec()
+    encoded = codec.encode_workload(workload)
+    assert len(encoded["instances"]) == 1  # sent once, referenced twice
+    decoded = WorkloadCodec().decode_workload(encoded)
+    assert decoded[0].instance is decoded[1].instance  # one shard again
+    assert len(decoded.shards()) == 1
+
+
+@pytest.mark.parametrize("corrupt", [
+    {"instances": [], "queries": [], "items": [{"kind": "nonsense"}]},
+    {"instances": [], "queries": [],
+     "items": [{"kind": "twig", "query": 0, "instance": 0}]},
+    {"instances": [{"type": "alien"}], "queries": [], "items": []},
+    {"instances": [], "queries": [{"codec": "alien", "q": {}}], "items": []},
+    {"items": []},
+    [1, 2, 3],
+])
+def test_malformed_workloads_raise_protocol_error(corrupt):
+    with pytest.raises(ProtocolError):
+        WorkloadCodec().decode_workload(corrupt)
+
+
+def test_twig_codec_requires_exactly_one_selected_node():
+    query = parse_twig("//b[c]")
+    encoded = encode_twig_query(query)
+    encoded["root"].pop("selected", None)
+
+    def strip(node):
+        node.pop("selected", None)
+        for _, child in node.get("branches", ()):
+            strip(child)
+
+    strip(encoded["root"])
+    with pytest.raises(ProtocolError, match="exactly one selected"):
+        decode_twig_query(encoded)
+
+
+def test_shard_answer_codec_is_identity_free_but_identity_restoring():
+    docs = [xml("<a><b><c/></b><b/></a>")]
+    query = parse_twig("//b")
+    workload = Workload.twig(query, docs)
+    evaluator = BatchEvaluator(engine=Engine())
+    server_codec = WorkloadCodec()
+    client_codec = WorkloadCodec()
+    serial = evaluator.run(workload)
+    for shard_answer in evaluator.run_stream(workload):
+        frame = server_codec.encode_shard_answer(workload, shard_answer)
+        assert all(isinstance(p, int) for p in frame["answers"][0])
+        decoded = client_codec.decode_shard_answer(workload, frame)
+        for position, answer in decoded:
+            assert identical_answers([answer], [serial.answers[position]])
+
+
+# ---------------------------------------------------------------------------
+# The TCP endpoint
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def process_server():
+    # Fork the workers before any helper threads exist (executors.py
+    # documents the fork-safety contract), then put the TCP endpoint —
+    # the issue's target deployment — in front of them.
+    with ProcessExecutor(2) as executor:
+        with ServerThread(AsyncBatchEvaluator(executor=executor)) as server:
+            yield server
+
+
+def _full_workload():
+    docs = [xml("<a><b><c/></b><b/></a>"),
+            xml("<a><d><b><c/></b></d><b/></a>"),
+            xml("<a/>")]
+    g = _geo_graph()
+    return (Workload.twig(parse_twig("//b[c]"), docs)
+            + Workload.rpq(parse_regex("road+"), [g])
+            + Workload.accepts(PathQuery.parse("road+.rail?"),
+                               [("road",), ("rail",), ("road", "rail")]))
+
+
+def test_tcp_round_trip_identical_to_local_serial(process_server):
+    """The issue's acceptance bar: a workload served over TCP with the
+    process executor behind it is answer-identical — same node objects,
+    same order — to a local BatchEvaluator on the serial executor."""
+    workload = _full_workload()
+    local = BatchEvaluator(engine=Engine(),
+                           executor=SerialExecutor()).run(workload)
+    with WorkloadClient(*process_server.address) as client:
+        remote = client.run(workload)
+    assert remote.executor == "remote:process"
+    assert remote.n_shards == len(workload.shards())
+    assert identical_answers(remote.answers[:3], local.answers[:3])
+    assert remote.answers[3] == local.answers[3]
+    assert list(remote.answers[4:]) == list(local.answers[4:])
+
+
+def test_tcp_connection_is_reusable_and_streams_shards(process_server):
+    workload = _full_workload()
+    with WorkloadClient(*process_server.address) as client:
+        first_run = client.run(workload)
+        shard_answers = list(client.stream(workload))  # second request
+    assert len(shard_answers) == len(workload.shards())
+    positions = sorted(p for sa in shard_answers for p, _ in sa)
+    assert positions == list(range(len(workload)))
+    merged = [None] * len(workload)
+    for sa in shard_answers:
+        for position, answer in sa:
+            merged[position] = answer
+    assert identical_answers(merged[:3], first_run.answers[:3])
+    assert merged[3:] == list(first_run.answers[3:])
+
+
+def test_tcp_thread_backend_and_graph_sources(
+):
+    with ThreadExecutor(2) as executor:
+        with ServerThread(
+                AsyncBatchEvaluator(executor=executor)) as server:
+            g = _geo_graph()
+            workload = Workload.rpq(parse_regex("road+"), [g],
+                                    sources=[(0, 0)])
+            local = BatchEvaluator(engine=Engine()).run(workload)
+            with WorkloadClient(*server.address) as client:
+                remote = client.run(workload)
+            assert remote.answers == local.answers
+            assert remote.executor == "remote:thread"
+
+
+def test_server_reports_errors_without_dropping_connection(process_server):
+    host, port = process_server.address
+    with socket.create_connection((host, port), timeout=30.0) as sock:
+        send_frame_blocking(sock, {"instances": [], "queries": [],
+                                   "items": [{"kind": "alien"}]})
+        frame = recv_frame_blocking(sock)
+        assert frame["type"] == "error"
+        assert "alien" in frame["message"]
+        # The connection survives for a well-formed follow-up.
+        codec = WorkloadCodec()
+        workload = Workload.twig(parse_twig("//b"), [xml("<a><b/></a>")])
+        send_frame_blocking(sock, codec.encode_workload(workload))
+        frames = []
+        while True:
+            frame = recv_frame_blocking(sock)
+            frames.append(frame)
+            if frame["type"] != "shard":
+                break
+        assert [f["type"] for f in frames] == ["shard", "done"]
+
+
+def test_client_surfaces_server_error_as_protocol_error(process_server):
+    class Unencodable:
+        pass
+
+    workload = Workload.twig(parse_twig("//b"), [xml("<a><b/></a>")])
+    with WorkloadClient(*process_server.address) as client:
+        with pytest.raises(ProtocolError, match="server error"):
+            # Corrupt the encoded form by sending a raw bad frame through
+            # the client's socket, then reuse the public path.
+            send_frame_blocking(client._sock, ["not", "a", "workload"])
+            list(client.stream(workload))
+
+
+def test_abandoned_stream_does_not_desync_connection_reuse(process_server):
+    """Grabbing only the first shard (the streamed-latency pattern) and
+    walking away must leave the connection usable: the next request
+    drains the old response instead of decoding its leftovers."""
+    workload = _full_workload()
+    local = BatchEvaluator(engine=Engine(),
+                           executor=SerialExecutor()).run(workload)
+    with WorkloadClient(*process_server.address) as client:
+        stream = client.stream(workload)
+        first = next(stream)  # abandon the rest mid-response
+        assert len(first.indices) >= 1
+        # A *differently shaped* follow-up on the same connection.
+        small = Workload.twig(parse_twig("//b"), [xml("<a><b/></a>")])
+        follow_up = client.run(small)
+        assert len(follow_up) == 1 and len(follow_up[0]) == 1
+        # And a same-shaped one still gets the right answers.
+        again = client.run(workload)
+        assert identical_answers(again.answers[:3], local.answers[:3])
+        assert list(again.answers[3:]) == list(local.answers[3:])
+
+
+def test_closed_client_refuses_requests(process_server):
+    client = WorkloadClient(*process_server.address)
+    client.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        list(client.stream(Workload()))
+
+
+def test_server_thread_rejects_bad_bind():
+    with pytest.raises(OSError):
+        ServerThread(AsyncBatchEvaluator(engine=Engine()),
+                     host="203.0.113.1")  # TEST-NET, not routable locally
