@@ -1,0 +1,116 @@
+"""Interactive sessions on the backend seam — invariance + round latency.
+
+One full interactive twig session (pool scan, implied-label probes,
+question proposal, final propagation) runs against each
+:mod:`repro.learning.backend` implementation:
+
+* **LocalBackend** — direct engine calls, the serial floor;
+* **BatchedBackend** (thread executor) — the sharded serving path;
+* **RemoteBackend** — the same session, unmodified, over a real TCP
+  server (wire codec + socket + server-side evaluation per round).
+
+The *assertion* is the seam's whole point: the learned query and the
+complete question sequence (``SessionStats.asked``) are identical on all
+three.  The *numbers* are what a deployment pays for each shape — the
+per-session latency of the local, batched, and remote paths, plus the
+remote round-trip/byte accounting from ``RemoteBackend.stats()``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.xmark import generate_xmark
+from repro.engine import Engine
+from repro.learning.backend import (
+    BatchedBackend,
+    LocalBackend,
+    RemoteBackend,
+)
+from repro.learning.xml_session import InteractiveTwigSession
+from repro.serving import AsyncBatchEvaluator, ServerThread, ThreadExecutor
+from repro.twig.parse import parse_twig
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+N_DOCS = 6
+SCALE = 0.03
+GOAL = "//person[profile]/name"
+LABEL_FILTER = "name"
+MAX_POOL = 60
+ROUNDS = 5
+
+
+def _corpus():
+    return [generate_xmark(scale=SCALE, rng=700 + i) for i in range(N_DOCS)]
+
+
+def _run_session(docs, backend):
+    return InteractiveTwigSession(
+        docs, parse_twig(GOAL), label_filter=LABEL_FILTER,
+        max_pool=MAX_POOL, backend=backend).run()
+
+
+def _timed(fn, rounds=ROUNDS):
+    start = time.perf_counter()
+    for _ in range(rounds):
+        result = fn()
+    return result, (time.perf_counter() - start) / rounds
+
+
+def test_remote_session_backend_invariance_and_latency(benchmark):
+    docs = _corpus()
+    baseline, local_s = _timed(
+        lambda: _run_session(docs, LocalBackend(engine=Engine())))
+    assert baseline.query is not None
+    assert baseline.stats.questions > 0
+
+    with ThreadExecutor(4) as executor:
+        batched, batched_s = _timed(
+            lambda: _run_session(
+                docs, BatchedBackend(engine=Engine(), executor=executor)))
+    assert batched.query == baseline.query
+    assert batched.stats.asked == baseline.stats.asked
+
+    with ServerThread(AsyncBatchEvaluator(engine=Engine())) as server:
+        def remote_round():
+            with RemoteBackend(*server.address) as backend:
+                result = _run_session(docs, backend)
+                return result, backend.stats()
+
+        (remote, remote_stats), remote_s = _timed(remote_round)
+        assert remote.query == baseline.query
+        assert remote.stats.asked == baseline.stats.asked
+
+        timed = benchmark.pedantic(remote_round, rounds=ROUNDS,
+                                   iterations=1)
+        assert timed[0].stats.asked == baseline.stats.asked
+
+    rows = [
+        ("LocalBackend (direct engine)", f"{local_s * 1e3:.1f}", "1.0x"),
+        ("BatchedBackend (thread x4)", f"{batched_s * 1e3:.1f}",
+         f"{remote_s / batched_s:.1f}x vs remote"),
+        (f"RemoteBackend (TCP, {remote_stats['round_trips']} round trips, "
+         f"{remote_stats['bytes_sent'] / 1024:.0f} KiB up / "
+         f"{remote_stats['bytes_received'] / 1024:.0f} KiB down)",
+         f"{remote_s * 1e3:.1f}", f"{remote_s / local_s:.1f}x vs local"),
+    ]
+    record_report(
+        "SERVING-remote interactive session",
+        format_table(
+            ["backend", "ms / full session", "relative"], rows,
+            title=(f"one interactive twig session over {N_DOCS} XMark "
+                   f"documents (pool {MAX_POOL}, "
+                   f"{baseline.stats.questions} questions), identical "
+                   "question sequence asserted on all backends")))
+
+
+def test_local_backend_session_speed(benchmark):
+    """Cheap smoke runner: the serial-floor session on a fresh engine."""
+    docs = _corpus()[:3]
+    result = benchmark.pedantic(
+        lambda: _run_session(docs, LocalBackend(engine=Engine())),
+        rounds=1, iterations=1)
+    assert result.stats.questions > 0
+    assert result.query is not None

@@ -1,0 +1,75 @@
+"""Interactive query learning against a remote serving tier.
+
+Spins up a real TCP workload server on a background thread, then runs an
+unmodified interactive twig session against it through
+:class:`~repro.learning.backend.RemoteBackend` — every per-round
+candidate re-evaluation crosses the wire, answers decode back onto the
+client's own document nodes, and the session cannot tell the difference:
+the learned query and every question asked are identical to a local run
+(asserted below).
+
+Run with:  PYTHONPATH=src python examples/remote_learning.py
+"""
+
+from repro.engine import Engine
+from repro.learning.backend import LocalBackend, RemoteBackend
+from repro.learning.xml_session import InteractiveTwigSession
+from repro.serving import AsyncBatchEvaluator, ServerThread
+from repro.twig.parse import parse_twig
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.tree import XTree
+
+
+def corpus() -> list[XTree]:
+    return [
+        XTree(parse_xml(
+            "<site><people>"
+            "<person><name>ada</name><phone>1</phone></person>"
+            "<person><name>bob</name></person>"
+            "</people></site>")),
+        XTree(parse_xml(
+            "<site><people>"
+            "<person><name>cyd</name><phone>2</phone></person>"
+            "<person><name>dee</name><homepage>h</homepage></person>"
+            "</people></site>")),
+    ]
+
+
+def main() -> None:
+    docs = corpus()
+    goal = parse_twig("//person[phone]/name")
+
+    # The serving tier: a TCP endpoint on a background thread with its
+    # own engine (in production this is a separate process or host).
+    server_engine = Engine()
+    with ServerThread(AsyncBatchEvaluator(engine=server_engine)) as server:
+        host, port = server.address
+        print(f"workload server listening on {host}:{port}")
+
+        with RemoteBackend(host, port) as backend:
+            session = InteractiveTwigSession(docs, goal, backend=backend)
+            result = session.run()
+            print(f"learned query  : {result.query}")
+            print(f"questions asked: {result.stats.questions} "
+                  f"(+{result.stats.labels_saved} labels propagated free)")
+
+            stats = backend.stats()
+            print(f"remote traffic : {stats['round_trips']} round trips, "
+                  f"{stats['bytes_sent']} B up / "
+                  f"{stats['bytes_received']} B down")
+            engine_stats = stats["server"]["engine"]
+            print(f"server engine  : {engine_stats['document_builds']} "
+                  f"index builds, {engine_stats['twig_query_hits']} query "
+                  f"cache hits")
+
+    # The invariance contract: a local run asks the exact same questions
+    # and learns the exact same query.
+    local = InteractiveTwigSession(
+        docs, goal, backend=LocalBackend(engine=Engine())).run()
+    assert local.query == result.query
+    assert local.stats.asked == result.stats.asked
+    print("local parity   : identical query and question sequence")
+
+
+if __name__ == "__main__":
+    main()

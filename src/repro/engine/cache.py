@@ -87,6 +87,12 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without touching cached entries."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {"size": len(self._data), "hits": self.hits,

@@ -42,6 +42,24 @@ from repro.xmltree.tree import XNode, XTree
 Word = tuple[str, ...]
 
 
+def _retire_index_on_instance_death(engine_ref, kind: str, index) -> None:
+    """Finalizer callback for a dead instance (module-level on purpose:
+    a bound-method callback would strong-reference the engine and keep
+    every engine alive as long as any document it ever indexed)."""
+    engine = engine_ref()
+    if engine is not None:
+        engine._retire_index(kind, index)
+
+
+def _detach_finalizers(finalizers: set) -> None:
+    """Engine-death finalizer: release the index references held by the
+    engine's per-instance finalizers (their counters have nowhere to go
+    once the engine is gone)."""
+    for finalizer in list(finalizers):
+        finalizer.detach()
+    finalizers.clear()
+
+
 class Engine:
     """Caches per-instance indexes and serves memoised query evaluation."""
 
@@ -70,6 +88,27 @@ class Engine:
         self._lock = threading.RLock()
         self._build_locks: "weakref.WeakKeyDictionary[object, threading.RLock]" \
             = weakref.WeakKeyDictionary()
+        # One finalizer per instance, retiring the *current* index's
+        # counters when the instance dies.  Replaced on every rebuild
+        # (the old one detached first) so no dead index snapshot stays
+        # pinned through a finalizer argument.  The flat set exists so a
+        # dying *engine* can release its finalizers' index references —
+        # the weak-key map alone would die with the engine while the
+        # finalize registry kept pinning every index until its instance
+        # died.
+        self._finalizers: "weakref.WeakKeyDictionary[object, weakref.finalize]" \
+            = weakref.WeakKeyDictionary()
+        self._live_finalizers: set = set()
+        weakref.finalize(self, _detach_finalizers, self._live_finalizers)
+        # Index-build accounting: how many times an IndexedDocument /
+        # IndexedGraph was (re)built — a version bump shows up here as an
+        # extra build on the next acquisition.
+        self._index_builds = {"document": 0, "graph": 0}
+        # Hit/miss counters of per-index caches that were evicted or
+        # garbage-collected since the last reset_stats(), so aggregate
+        # totals never silently shrink when an instance dies.
+        self._retired = {"document": {"hits": 0, "misses": 0},
+                         "graph": {"hits": 0, "misses": 0}}
 
     # ------------------------------------------------------------------
     # Index acquisition
@@ -83,7 +122,8 @@ class Engine:
         return self._acquire(
             tree, self._documents,
             lambda: IndexedDocument(
-                tree, max_cached_queries=self.max_cached_queries))
+                tree, max_cached_queries=self.max_cached_queries),
+            "document")
 
     def graph(self, graph: Graph) -> IndexedGraph:
         """The (cached) adjacency index of ``graph``.
@@ -95,9 +135,10 @@ class Engine:
             graph, self._graphs,
             lambda: IndexedGraph(
                 graph, max_cached_results=self.max_graph_results,
-                nfa_cache=self._nfas))
+                nfa_cache=self._nfas),
+            "graph")
 
-    def _acquire(self, instance, index_map, build):
+    def _acquire(self, instance, index_map, build, kind):
         """Serve a fresh index, building under a per-instance lock."""
         with self._lock:
             index = index_map.get(instance)
@@ -115,8 +156,53 @@ class Engine:
                     return index
             index = self._build(instance, build)
             with self._lock:
+                stale = index_map.get(instance)
                 index_map[instance] = index
+                self._index_builds[kind] += 1
+                old_finalizer = self._finalizers.pop(instance, None)
+            # Detach before retiring: the old finalizer's strong argument
+            # reference is what would otherwise pin the replaced snapshot
+            # (pre-order arrays, label sets) for the instance's lifetime.
+            if old_finalizer is not None:
+                old_finalizer.detach()
+                with self._lock:
+                    self._live_finalizers.discard(old_finalizer)
+            if stale is not None:
+                # The replaced index takes its hit/miss history with it;
+                # fold it into the retired totals.
+                self._retire_index(kind, stale)
+            # When the instance dies, the *current* index's counters move
+            # into the retired totals too, so aggregate stats never
+            # shrink just because a document was garbage-collected (the
+            # serving tier decodes short-lived instances per request).
+            finalizer = weakref.finalize(
+                instance, _retire_index_on_instance_death,
+                weakref.ref(self), kind, index)
+            with self._lock:
+                self._finalizers[instance] = finalizer
+                self._live_finalizers.add(finalizer)
+                if len(self._live_finalizers) > 2 * (
+                        len(self._documents) + len(self._graphs) + 1):
+                    # Spent finalizers (fired or detached) are empty
+                    # husks; prune in place — the engine-death finalizer
+                    # above captured this exact set object.
+                    self._live_finalizers.difference_update(
+                        [f for f in self._live_finalizers if not f.alive])
             return index
+
+    def _retire_index(self, kind: str, index) -> None:
+        """Fold a dead/replaced index's counters into the retired totals.
+
+        Exactly once per index: the replace path and the instance-death
+        finalizer can both reach the same index.
+        """
+        with self._lock:
+            if getattr(index, "_stats_retired", False):
+                return
+            index._stats_retired = True
+            cache_stats = index.cache_stats()
+            self._retired[kind]["hits"] += cache_stats["hits"]
+            self._retired[kind]["misses"] += cache_stats["misses"]
 
     def _build(self, instance, build):
         """Build an index, retrying when a concurrent mutation tears it.
@@ -202,15 +288,25 @@ class Engine:
     def invalidate(self, instance: XTree | Graph) -> None:
         """Drop the cached index of one instance (after a mutation)."""
         if isinstance(instance, XTree):
+            kind, dropped = "document", None
             with self._lock:
-                self._documents.pop(instance, None)
+                dropped = self._documents.pop(instance, None)
+                finalizer = self._finalizers.pop(instance, None)
         elif isinstance(instance, Graph):
+            kind, dropped = "graph", None
             with self._lock:
-                self._graphs.pop(instance, None)
+                dropped = self._graphs.pop(instance, None)
+                finalizer = self._finalizers.pop(instance, None)
         else:
             raise TypeError(
                 f"cannot invalidate {type(instance).__name__}: expected "
                 "an XTree or a Graph")
+        if finalizer is not None:
+            finalizer.detach()
+            with self._lock:
+                self._live_finalizers.discard(finalizer)
+        if dropped is not None:
+            self._retire_index(kind, dropped)
 
     def reset(self) -> None:
         """Drop every cached index and memo.
@@ -220,27 +316,88 @@ class Engine:
         the cleared maps and rebuild.
         """
         with self._lock:
+            # A reset is a cold start: stats always derived from the live
+            # maps before the counters existed, so they go cold too — and
+            # the dropped indexes must not resurface in the retired
+            # totals when their instances die later.
+            for index in self._documents.values():
+                index._stats_retired = True
+            for index in self._graphs.values():
+                index._stats_retired = True
+            for finalizer in list(self._live_finalizers):
+                finalizer.detach()
+            self._live_finalizers.clear()
+            self._finalizers.clear()
             self._documents.clear()
             self._graphs.clear()
             self._build_locks.clear()
+            for kind in self._index_builds:
+                self._index_builds[kind] = 0
+            for retired in self._retired.values():
+                retired["hits"] = 0
+                retired["misses"] = 0
         self._nfas.clear()
         self._word_accepts.clear()
+        self._nfas.reset_stats()
+        self._word_accepts.reset_stats()
 
     def stats(self) -> dict[str, object]:
-        """Aggregate cache statistics (for reports and benchmarks)."""
+        """Aggregate cache + index-build statistics.
+
+        Hit/miss totals sum the per-:class:`~repro.engine.cache.LRUCache`
+        counters across every live ``IndexedDocument``/``IndexedGraph``
+        plus the retired history of replaced indexes, so a rebuild never
+        makes the numbers go backwards.  ``document_builds`` /
+        ``graph_builds`` count index (re)constructions — a version bump
+        (``XTree.invalidate()``, a ``Graph`` mutator) shows up as one
+        extra build on the next evaluation.  The result is plain
+        ints/dicts, JSON-encodable end to end (the serving tier ships it
+        over the wire ``stats`` frame).
+        """
         with self._lock:
             doc_stats = [d.cache_stats() for d in self._documents.values()]
             graph_stats = [g.cache_stats() for g in self._graphs.values()]
+            builds = dict(self._index_builds)
+            retired_doc = dict(self._retired["document"])
+            retired_graph = dict(self._retired["graph"])
         return {
             "documents": len(doc_stats),
             "graphs": len(graph_stats),
-            "twig_query_hits": sum(s["hits"] for s in doc_stats),
-            "twig_query_misses": sum(s["misses"] for s in doc_stats),
-            "rpq_source_hits": sum(s["hits"] for s in graph_stats),
-            "rpq_source_misses": sum(s["misses"] for s in graph_stats),
+            "document_builds": builds["document"],
+            "graph_builds": builds["graph"],
+            "index_builds": builds["document"] + builds["graph"],
+            "twig_query_hits":
+                sum(s["hits"] for s in doc_stats) + retired_doc["hits"],
+            "twig_query_misses":
+                sum(s["misses"] for s in doc_stats) + retired_doc["misses"],
+            "rpq_source_hits":
+                sum(s["hits"] for s in graph_stats) + retired_graph["hits"],
+            "rpq_source_misses":
+                sum(s["misses"] for s in graph_stats)
+                + retired_graph["misses"],
             "nfa_cache": self._nfas.stats(),
             "word_accepts": self._word_accepts.stats(),
         }
+
+    def reset_stats(self) -> None:
+        """Zero every counter while keeping indexes and cached answers.
+
+        The observability counterpart of :meth:`reset` (which drops the
+        caches themselves): benchmarks and the serving stats endpoint
+        call this to measure a window, not to go cold.
+        """
+        with self._lock:
+            for index in self._documents.values():
+                index.reset_cache_stats()
+            for index in self._graphs.values():
+                index.reset_cache_stats()
+            for kind in self._index_builds:
+                self._index_builds[kind] = 0
+            for retired in self._retired.values():
+                retired["hits"] = 0
+                retired["misses"] = 0
+        self._nfas.reset_stats()
+        self._word_accepts.reset_stats()
 
 
 _ENGINE = Engine()

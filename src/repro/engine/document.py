@@ -226,6 +226,9 @@ class IndexedDocument:
     def cache_stats(self) -> dict[str, int]:
         return self._query_cache.stats()
 
+    def reset_cache_stats(self) -> None:
+        self._query_cache.reset_stats()
+
     def __repr__(self) -> str:
         return (f"<IndexedDocument |t|={len(self.nodes)} "
                 f"cache={self._query_cache!r}>")

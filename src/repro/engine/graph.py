@@ -177,6 +177,10 @@ class IndexedGraph:
     def cache_stats(self) -> dict[str, int]:
         return self._reachable.stats()
 
+    def reset_cache_stats(self) -> None:
+        self._reachable.reset_stats()
+        self._words.reset_stats()
+
     def __repr__(self) -> str:
         return (f"<IndexedGraph |V|={len(self.vertices)} "
                 f"reach={self._reachable!r}>")

@@ -20,8 +20,20 @@ One learner per data model, all sharing the example/oracle vocabulary of
 * :mod:`repro.learning.interactive` — the interactive protocol: propose an
   example, ask the user, propagate uninformative labels, minimise the
   number of interactions.
+* :mod:`repro.learning.backend` — the evaluation seam all of the above
+  run through: :class:`~repro.learning.backend.LocalBackend` (direct
+  engine), :class:`~repro.learning.backend.BatchedBackend` (sharded
+  batches on pluggable executors), and
+  :class:`~repro.learning.backend.RemoteBackend` (a TCP serving tier),
+  answer-identical by contract.
 """
 
+from repro.learning.backend import (
+    BatchedBackend,
+    EvaluationBackend,
+    LocalBackend,
+    RemoteBackend,
+)
 from repro.learning.protocol import (
     NodeExample,
     TwigOracle,
@@ -33,6 +45,10 @@ from repro.learning.union_learner import LearnedUnion, learn_union_twig
 from repro.learning.chain_learner import ChainExample, learn_join_chain
 
 __all__ = [
+    "BatchedBackend",
+    "EvaluationBackend",
+    "LocalBackend",
+    "RemoteBackend",
     "NodeExample",
     "TwigOracle",
     "SessionStats",

@@ -1,0 +1,651 @@
+"""The pluggable evaluation seam every learner runs through.
+
+The paper's learning algorithms are defined purely in terms of membership
+answers — *which nodes does this hypothesis select?  does this path query
+accept this word?* — so the learning layer never needs to know **where**
+those answers are computed.  :class:`EvaluationBackend` is that seam: the
+only way learning code evaluates a hypothesis, with three interchangeable
+implementations:
+
+:class:`LocalBackend`
+    Wraps an :class:`~repro.engine.core.Engine` directly — the
+    zero-overhead serial path.  No workload plumbing, no executor: each
+    shard evaluates inline against the caller's engine (indexes and
+    memos still shared and warm).
+
+:class:`BatchedBackend`
+    Wraps a :class:`~repro.serving.evaluator.BatchEvaluator` and its
+    pluggable executor — the sessions' batched path.  Whole candidate
+    generations shard per instance and spread across serial / thread /
+    process executors; streamed shapes surface answers shard-by-shard.
+
+:class:`RemoteBackend`
+    Wraps a :class:`~repro.serving.net.WorkloadClient`, so any learner
+    or interactive session runs **unmodified** against a TCP serving
+    tier.  Remote answers decode by pre-order position onto the
+    caller's own node objects, so they are object-identical to a local
+    run — the backend-invariance contract the tests pin: the learned
+    query, the question sequence, and the returned nodes are the same
+    on every backend.
+
+Every backend exposes the same surface: the workload primitives
+(:meth:`~EvaluationBackend.evaluate_batch`, :meth:`~EvaluationBackend.stream`),
+the membership shapes learners actually call (``selects*``, ``accepts*``),
+an executor-backed :meth:`~EvaluationBackend.map` for non-engine scans
+(join-predicate agreement sets, semijoin witness sets), hypothesis
+*construction* helpers (:meth:`~EvaluationBackend.canonical_query`,
+:meth:`~EvaluationBackend.words_between` — always computed client-side:
+they build the hypothesis/pool from local data, they do not evaluate it),
+and end-to-end observability: :meth:`~EvaluationBackend.stats` reports
+batch/item counts plus backend-specific detail (engine cache hit rates
+locally, shard/executor counts batched, round-trips + bytes + live
+server-side engine stats remotely).
+
+The derived membership shapes are implemented **once**, here, on top of
+the ``run``/``stream`` primitives — so answer grouping, position
+alignment, and ``None``-hypothesis semantics are identical across
+backends by construction, not by parallel re-implementation.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
+
+from repro.engine import Engine, LRUCache, get_engine
+from repro.engine.graph import query_key
+from repro.graphdb.graph import Graph, VertexId
+from repro.serving.evaluator import (
+    BatchEvaluator,
+    classify_candidates,
+    group_candidates_by_tree,
+    stream_select_flags,
+)
+from repro.serving.executors import ShardExecutor
+from repro.serving.net import WorkloadClient
+from repro.serving.workload import (
+    ItemKind,
+    Shard,
+    ShardAnswer,
+    Workload,
+    WorkloadItem,
+    WorkloadResult,
+)
+from repro.twig.ast import TwigQuery
+from repro.xmltree.tree import XNode, XTree
+
+Word = tuple[str, ...]
+Candidate = tuple[XTree, XNode]
+
+__all__ = [
+    "BatchedBackend",
+    "EvaluationBackend",
+    "LocalBackend",
+    "RemoteBackend",
+    "Workload",
+    "as_backend",
+    "candidate_pair_flags",
+    "candidate_workload",
+    "distinct_documents",
+]
+
+
+def distinct_documents(candidates: Sequence[Candidate]) -> list[XTree]:
+    """The distinct documents of ``(tree, node)`` pairs, in order.
+
+    Thin wrapper over the serving layer's
+    :func:`~repro.serving.evaluator.group_candidates_by_tree` — one
+    grouping implementation for both layers.
+    """
+    return group_candidates_by_tree(candidates)[0]
+
+
+def candidate_workload(queries: Sequence[TwigQuery],
+                       documents: Sequence[XTree]) -> Workload:
+    """One workload for a whole candidate generation: every query over
+    every document, grouped per query — the answer for query ``k`` on
+    document ``d`` sits at position ``k * len(documents) + d``.  Built
+    in one linear pass (no quadratic ``Workload + Workload`` folding)
+    and sharded per document by the batched/remote backends.  Decode
+    the result with :func:`candidate_pair_flags`, which owns the other
+    half of the layout invariant."""
+    return Workload(WorkloadItem(ItemKind.TWIG, query, doc)
+                    for query in queries for doc in documents)
+
+
+def candidate_pair_flags(answers: Sequence, n_queries: int,
+                         documents: Sequence[XTree],
+                         pairs: Sequence[Candidate]) -> list[list[bool]]:
+    """Decode a :func:`candidate_workload` result into membership flags:
+    ``flags[k][j]`` is whether candidate query ``k`` selects
+    ``pairs[j]``.  The single consumer of the workload's query-major
+    position layout — learners never index ``answers`` directly."""
+    flags: list[list[bool]] = []
+    for k in range(n_queries):
+        block = answers[k * len(documents):(k + 1) * len(documents)]
+        flags.append(classify_candidates(pairs, documents, block))
+    return flags
+
+
+class EvaluationBackend:
+    """Where hypotheses get evaluated; the learning layer's only seam.
+
+    Subclasses implement the primitives ``_run`` / ``_stream`` (and may
+    override ``map`` / ``map_stream`` / the short-circuiting ``*_any``
+    shapes with cheaper equivalents); everything else — the selects /
+    accepts membership shapes, position-aligned grouping, ``None``
+    hypothesis semantics — is derived here once, identically for every
+    backend.  Backends are context managers; ``close()`` releases any
+    resources the backend itself constructed.
+    """
+
+    name = "abstract"
+
+    def __init__(self, *, engine: Engine | None = None) -> None:
+        #: Client-side engine for hypothesis *construction* (canonical
+        #: queries, candidate-path enumeration) — never remote.
+        self.engine = engine if engine is not None else get_engine()
+        self._batches = 0
+        self._items = 0
+        self._map_calls = 0
+
+    # ------------------------------------------------------------------
+    # Primitives (subclass responsibility)
+    # ------------------------------------------------------------------
+    def _run(self, workload: Workload) -> WorkloadResult:
+        raise NotImplementedError
+
+    def _stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        """Default: run the whole batch, then surface it shard-shaped."""
+        result = self._run(workload)
+        for i, shard in enumerate(workload.shards()):
+            yield ShardAnswer(i, shard.indices,
+                              tuple(result.answers[p] for p in shard.indices))
+
+    # ------------------------------------------------------------------
+    # The workload surface
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload) -> WorkloadResult:
+        """Evaluate every item; answers aligned with item order."""
+        self._batches += 1
+        self._items += len(workload)
+        return self._run(workload)
+
+    def evaluate_batch(self, workload: Workload) -> WorkloadResult:
+        """Protocol name for :meth:`run` — one candidate generation in,
+        position-aligned answers out (sharded per instance by the
+        batched and remote backends)."""
+        return self.run(workload)
+
+    def stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        """Yield per-shard answers as they complete (completion order)."""
+        self._batches += 1
+        self._items += len(workload)
+        return self._stream(workload)
+
+    # ------------------------------------------------------------------
+    # Twig membership shapes
+    # ------------------------------------------------------------------
+    def evaluate_twig_batch(self, query: TwigQuery,
+                            documents: Sequence[XTree]) -> list[list[XNode]]:
+        """One hypothesis over many documents, in document order each."""
+        return list(self.run(Workload.twig(query, documents)).answers)
+
+    def selects(self, query: TwigQuery | None, tree: XTree,
+                node: XNode) -> bool:
+        """Does ``query`` select precisely ``node``?  (``None``: never.)"""
+        if query is None:
+            return False
+        return self.selects_batch(query, [(tree, node)])[0]
+
+    def selects_batch(self, query: TwigQuery | None,
+                      candidates: Sequence[Candidate]) -> list[bool]:
+        """Classify each ``(document, node)`` candidate against ``query``.
+
+        The query is evaluated once per *distinct* document; all of a
+        document's candidates classify against its answer id-set.
+        """
+        if query is None or not candidates:
+            return [False] * len(candidates)
+        documents = distinct_documents(candidates)
+        answers = self.evaluate_twig_batch(query, documents)
+        return classify_candidates(candidates, documents, answers)
+
+    def selects_stream(
+        self, query: TwigQuery | None, candidates: Sequence[Candidate],
+    ) -> Iterator[list[tuple[int, bool]]]:
+        """Stream :meth:`selects_batch` flags document-by-document.
+
+        Yields ``[(candidate_position, selected), ...]`` groups as each
+        document's shard completes; the union of groups covers every
+        position exactly once with flags equal to :meth:`selects_batch`.
+        Only group arrival order depends on the backend.  One shared
+        implementation (:func:`~repro.serving.evaluator.stream_select_flags`)
+        serves this method, ``BatchEvaluator.selects_stream``, and any
+        future stream producer.
+        """
+        return stream_select_flags(self.stream, query, candidates)
+
+    def selects_any(self, query: TwigQuery | None,
+                    candidates: Sequence[Candidate]) -> bool:
+        """Does ``query`` select *some* candidate?  Short-circuiting
+        one distinct document at a time (the learners' refutation probes
+        usually die on an early document)."""
+        if query is None:
+            return False
+        documents, positions = group_candidates_by_tree(candidates)
+        return any(
+            any(self.selects_batch(query,
+                                   [candidates[i] for i in positions[id(doc)]]))
+            for doc in documents)
+
+    # ------------------------------------------------------------------
+    # Path-query membership shapes
+    # ------------------------------------------------------------------
+    def evaluate_rpq_batch(
+        self, query: object, graphs: Sequence[Graph], *,
+        sources: Sequence[VertexId] | None = None,
+    ) -> list[set[tuple[VertexId, VertexId]]]:
+        """One path query over many graphs."""
+        return list(self.run(Workload.rpq(query, graphs,
+                                          sources=sources)).answers)
+
+    def accepts(self, query: object, word: Sequence[str]) -> bool:
+        """Does the query language contain ``word``?"""
+        return self.engine.accepts(query, tuple(word))
+
+    def accepts_batch(self, query: object,
+                      words: Sequence[Sequence[str]]) -> list[bool]:
+        """One path query probed with many words."""
+        return list(self.run(Workload.accepts(query, words)).answers)
+
+    def accepts_stream(
+        self, query: object, words: Sequence[Sequence[str]],
+    ) -> Iterator[list[tuple[int, bool]]]:
+        """Stream :meth:`accepts_batch` flags sub-shard by sub-shard."""
+        for shard_answer in self.stream(Workload.accepts(query, words)):
+            yield list(shard_answer)
+
+    def accepts_any(self, query: object,
+                    words: Sequence[Sequence[str]]) -> bool:
+        """Does the query language contain *some* word?  Short-circuiting."""
+        return any(self.accepts(query, tuple(w)) for w in words)
+
+    # ------------------------------------------------------------------
+    # Executor-backed map for non-engine scans
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        """Order-preserving map for arbitrary pure per-item work."""
+        self._map_calls += 1
+        return [fn(item) for item in items]
+
+    def map_stream(self, fn: Callable[[Any], Any], items: Sequence[Any],
+                   ) -> Iterator[list[tuple[int, Any]]]:
+        """Stream :meth:`map` results group-at-a-time (position-tagged)."""
+        self._map_calls += 1
+        items = list(items)
+        if not items:
+            return
+        n_groups = min(4, len(items))
+        base, extra = divmod(len(items), n_groups)
+        start = 0
+        for g in range(n_groups):
+            size = base + (1 if g < extra else 0)
+            yield [(i, fn(items[i])) for i in range(start, start + size)]
+            start += size
+
+    # ------------------------------------------------------------------
+    # Hypothesis construction (always client-side)
+    # ------------------------------------------------------------------
+    def canonical_query(self, tree: XTree, node: XNode) -> TwigQuery:
+        """Most specific twig selecting ``node`` (cached, copied)."""
+        return self.engine.canonical_query(tree, node)
+
+    def words_between(self, graph: Graph, source: VertexId,
+                      target: VertexId, *, max_length: int = 12,
+                      limit: int | None = None) -> list[Word]:
+        """Candidate-pool enumeration for the graph sessions (cached)."""
+        return self.engine.words_between(graph, source, target,
+                                         max_length=max_length, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Backend-level counters; subclasses add their own detail."""
+        return {"backend": self.name, "batches": self._batches,
+                "items": self._items, "map_calls": self._map_calls}
+
+    def reset_stats(self) -> None:
+        self._batches = 0
+        self._items = 0
+        self._map_calls = 0
+
+    def close(self) -> None:
+        """Release resources this backend constructed (idempotent)."""
+
+    def __enter__(self) -> "EvaluationBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name}>"
+
+
+class LocalBackend(EvaluationBackend):
+    """Direct engine evaluation — the zero-overhead serial path.
+
+    Each shard evaluates inline against one index snapshot (the same
+    snapshot-per-shard contract as the serving tier, minus every layer
+    of scheduling).  The right default for one-shot learners and tests.
+    """
+
+    name = "local"
+
+    def __init__(self, engine: Engine | None = None) -> None:
+        super().__init__(engine=engine)
+
+    def _run(self, workload: Workload) -> WorkloadResult:
+        answers: list = [None] * len(workload)
+        n_shards = 0
+        for shard_answer in self._stream(workload):
+            n_shards += 1
+            for position, answer in shard_answer:
+                answers[position] = answer
+        return WorkloadResult(workload, tuple(answers), self.name, n_shards)
+
+    def _stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        for i, shard in enumerate(workload.shards()):
+            yield ShardAnswer(i, shard.indices, self._eval_shard(shard))
+
+    def _eval_shard(self, shard: Shard) -> tuple:
+        # One index snapshot per shard, exactly like the serving tier.
+        engine = self.engine
+        if shard.kind is ItemKind.TWIG:
+            doc_index = engine.document(shard.items[0].instance)
+            return tuple(doc_index.evaluate(item.query)
+                         for item in shard.items)
+        if shard.kind is ItemKind.RPQ:
+            graph_index = engine.graph(shard.items[0].instance)
+            return tuple(graph_index.evaluate_rpq(item.query, item.sources)
+                         for item in shard.items)
+        return tuple(engine.accepts(item.query, item.word)
+                     for item in shard.items)
+
+    def selects(self, query: TwigQuery | None, tree: XTree,
+                node: XNode) -> bool:
+        if query is None:
+            return False
+        return self.engine.selects(query, tree, node)
+
+    def stats(self) -> dict[str, object]:
+        return {**super().stats(), "engine": self.engine.stats()}
+
+
+class BatchedBackend(EvaluationBackend):
+    """The sharded serving path: one :class:`BatchEvaluator`, any executor.
+
+    ``BatchedBackend()`` is the interactive sessions' default (serial
+    executor, shared engine); pass ``executor=ThreadExecutor(...)`` /
+    ``ProcessExecutor(...)`` (or a ready evaluator) to spread candidate
+    generations across workers.  Ownership follows the construction
+    shape: passing ``executor=`` *parts* transfers the executor to the
+    backend (``close()`` tears it down — the inline
+    ``BatchedBackend(executor=ThreadExecutor(2))`` pattern must not leak
+    a pool), while passing a ready ``evaluator`` keeps its executor with
+    the caller (``close()`` leaves it running for other users).
+    """
+
+    name = "batched"
+
+    def __init__(self, evaluator: BatchEvaluator | None = None, *,
+                 engine: Engine | None = None,
+                 executor: ShardExecutor | None = None) -> None:
+        if evaluator is not None and (engine is not None
+                                      or executor is not None):
+            raise ValueError(
+                "pass either a ready BatchEvaluator or engine/executor "
+                "parts, not both")
+        self.evaluator = evaluator if evaluator is not None \
+            else BatchEvaluator(engine=engine, executor=executor)
+        self._own_executor = evaluator is None and executor is not None
+        super().__init__(engine=self.evaluator.engine)
+        self._shards = 0
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self.evaluator.executor
+
+    def _run(self, workload: Workload) -> WorkloadResult:
+        result = self.evaluator.run(workload)
+        self._shards += result.n_shards
+        return result
+
+    def _stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        for shard_answer in self.evaluator.run_stream(workload):
+            self._shards += 1
+            yield shard_answer
+
+    def selects_any(self, query: TwigQuery | None,
+                    candidates: Sequence[Candidate]) -> bool:
+        return self.evaluator.selects_any(query, candidates)
+
+    def accepts_any(self, query: object,
+                    words: Sequence[Sequence[str]]) -> bool:
+        return self.evaluator.accepts_any(query, words)
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Sequence[Any]) -> list[Any]:
+        self._map_calls += 1
+        return self.evaluator.map(fn, items)
+
+    def map_stream(self, fn: Callable[[Any], Any], items: Sequence[Any],
+                   ) -> Iterator[list[tuple[int, Any]]]:
+        self._map_calls += 1
+        return self.evaluator.map_stream(fn, items)
+
+    def stats(self) -> dict[str, object]:
+        return {**super().stats(), "executor": self.executor.name,
+                "shards": self._shards, "engine": self.engine.stats()}
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self._shards = 0
+
+    def close(self) -> None:
+        if self._own_executor:
+            self.executor.close()
+
+
+class RemoteBackend(EvaluationBackend):
+    """Evaluate against a TCP serving tier through workload clients.
+
+    All hypothesis *evaluation* crosses the wire; answers decode onto
+    the caller's own objects, so learners see node identity exactly as
+    they would locally.  Hypothesis construction (canonical queries,
+    pool enumeration) and :meth:`map` closures stay client-side — they
+    operate on local data and never serialise.
+
+    The backend keeps a small **connection pool**: each in-flight
+    request checks a connection out and returns it when its response
+    stream is consumed or abandoned.  The interactive sessions need this
+    — they fire implied-negative probes *while* consuming a streamed
+    classification round, i.e. nested requests during an active
+    response, which one serial connection cannot interleave.  Pool size
+    is bounded by the request nesting depth (two for every session in
+    the library).
+
+    Single-word :meth:`accepts` probes are memoised client-side (they
+    are pure in ``(query, word)``), so oracle-style repeated probes do
+    not pay a round trip each; :meth:`accepts_any` short-circuits by
+    abandoning the response stream at the first accepted word (the
+    protocol drains the remainder before that connection's next use).
+
+    Construct with ``RemoteBackend(host, port)`` (owns its connections;
+    ``close()`` closes them all) or ``RemoteBackend(client=...)`` to
+    seed the pool with a caller-managed client — ``close()`` then closes
+    only the extra connections the backend itself opened.
+    """
+
+    name = "remote"
+
+    def __init__(self, host: str | None = None, port: int | None = None, *,
+                 client: WorkloadClient | None = None,
+                 engine: Engine | None = None,
+                 timeout: float | None = 30.0) -> None:
+        self._timeout = timeout
+        if client is not None:
+            if host is not None or port is not None:
+                raise ValueError("pass host/port or a ready client, not both")
+            if client.closed:
+                raise RuntimeError(
+                    "client is closed; pass an open WorkloadClient")
+            self.client = client
+            self._own_primary = False
+            peer = client._sock.getpeername()
+            self._host, self._port = peer[0], peer[1]
+            # Extra pool connections must behave like the seeded one: a
+            # 30s default here would time out nested probes on servers
+            # the caller deliberately gave a longer (or no) deadline.
+            self._timeout = client._sock.gettimeout()
+        else:
+            if host is None or port is None:
+                raise ValueError("RemoteBackend needs host and port "
+                                 "(or a ready client)")
+            self.client = WorkloadClient(host, port, timeout=timeout)
+            self._own_primary = True
+            self._host, self._port = host, port
+        super().__init__(engine=engine)
+        self._accepts_memo = LRUCache(8192)
+        self._closed = False
+        # Every connection ever opened (for aggregate counters) and the
+        # subset currently idle (for reuse).  The primary seeds the pool.
+        self._clients: list[WorkloadClient] = [self.client]
+        self._idle: list[WorkloadClient] = [self.client]
+
+    # -- connection pool ------------------------------------------------
+    def _checkout(self) -> WorkloadClient:
+        if self._closed:
+            raise RuntimeError("backend is closed; construct a new one")
+        while self._idle:
+            client = self._idle.pop()
+            if not client.closed and not client._broken:
+                return client
+        client = WorkloadClient(self._host, self._port,
+                                timeout=self._timeout)
+        self._clients.append(client)
+        return client
+
+    def _checkin(self, client: WorkloadClient) -> None:
+        if client.closed:
+            return
+        if client._broken:
+            if client is not self.client or self._own_primary:
+                client.close()
+            return
+        self._idle.append(client)
+
+    def _run(self, workload: Workload) -> WorkloadResult:
+        client = self._checkout()
+        try:
+            return client.run(workload)
+        finally:
+            self._checkin(client)
+
+    def _stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+        client = self._checkout()
+        try:
+            yield from client.stream(workload)
+        finally:
+            # Runs on completion, on abandonment (generator close), and
+            # on error; an abandoned response drains on next checkout.
+            self._checkin(client)
+
+    def accepts(self, query: object, word: Sequence[str]) -> bool:
+        key = (query_key(query), tuple(word))
+        cached = self._accepts_memo.get(key)
+        if cached is None:
+            cached = self.accepts_batch(query, [tuple(word)])[0]
+            self._accepts_memo.put(key, cached)
+        return cached
+
+    def accepts_any(self, query: object,
+                    words: Sequence[Sequence[str]]) -> bool:
+        words = [tuple(w) for w in words]
+        for group in self.accepts_stream(query, words):
+            for position, accepted in group:
+                self._accepts_memo.put(
+                    (query_key(query), words[position]), accepted)
+            if any(accepted for _, accepted in group):
+                return True
+        return False
+
+    def stats(self) -> dict[str, object]:
+        out = {**super().stats(),
+               "connections": len(self._clients),
+               "round_trips": sum(c.requests for c in self._clients),
+               "bytes_sent": sum(c.bytes_sent for c in self._clients),
+               "bytes_received": sum(c.bytes_received
+                                     for c in self._clients)}
+        try:
+            client = self._checkout()
+            try:
+                out["server"] = client.stats()
+            finally:
+                self._checkin(client)
+        except Exception as exc:  # noqa: BLE001 - stats must stay best-effort
+            out["server"] = {"error": str(exc)}
+        return out
+
+    def close(self) -> None:
+        """Close pooled connections; further evaluation calls raise.
+
+        A caller-supplied primary client is left open (the caller owns
+        it); every connection the backend dialled itself is closed.
+        """
+        self._closed = True
+        for client in self._clients:
+            if client is self.client and not self._own_primary:
+                continue
+            client.close()
+        self._idle = []
+
+
+def as_backend(
+    backend: EvaluationBackend | None = None,
+    evaluator: BatchEvaluator | None = None,
+    *,
+    default: Callable[[], EvaluationBackend] = BatchedBackend,
+) -> EvaluationBackend:
+    """Resolve the ``backend=`` / deprecated ``evaluator=`` parameter pair.
+
+    Every learner and session funnels its parameters through here: a
+    ready backend passes through, a bare :class:`BatchEvaluator` (the
+    pre-backend signature, kept for one release) is wrapped in a
+    :class:`BatchedBackend` with a :class:`DeprecationWarning`, and
+    ``None`` falls back to ``default()`` — :class:`BatchedBackend` for
+    the interactive sessions (their historical path), and callers that
+    were previously inline-engine pass ``default=LocalBackend``.
+    """
+    if evaluator is not None:
+        if backend is not None:
+            raise ValueError(
+                "pass backend= or the deprecated evaluator=, not both")
+        warnings.warn(
+            "the evaluator= parameter is deprecated; pass "
+            "backend=BatchedBackend(evaluator) (or any EvaluationBackend)",
+            DeprecationWarning, stacklevel=3)
+        return BatchedBackend(evaluator)
+    if backend is None:
+        return default()
+    if isinstance(backend, EvaluationBackend):
+        return backend
+    if isinstance(backend, BatchEvaluator):
+        # Tolerated shorthand: a bare evaluator in the backend slot.
+        return BatchedBackend(backend)
+    raise TypeError(
+        f"backend must be an EvaluationBackend, got {type(backend).__name__}")

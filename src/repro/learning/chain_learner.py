@@ -92,17 +92,37 @@ class ChainVersionSpace:
         self.negative_eqs: list[frozenset[QualifiedPair]] = []
 
     def add(self, example: ChainExample) -> None:
+        self._fold(example, self._agreement_of(example))
+
+    def _agreement_of(self,
+                      example: ChainExample) -> frozenset[QualifiedPair]:
         if len(example.rows) != len(self.relations):
             raise LearningError(
                 f"example has {len(example.rows)} rows for "
                 f"{len(self.relations)} relations"
             )
-        agreement = chain_agreement(self.relations, example.rows,
-                                    self.universe)
+        return chain_agreement(self.relations, example.rows, self.universe)
+
+    def _fold(self, example: ChainExample,
+              agreement: frozenset[QualifiedPair]) -> None:
         if example.positive:
             self.theta_max = self.theta_max & agreement
         else:
             self.negative_eqs.append(agreement)
+
+    def add_many(self, examples: Sequence[ChainExample], *,
+                 backend=None) -> None:
+        """Fold a batch of examples; the agreement scan (the per-example
+        work, quadratic in attributes) routes through ``backend.map``
+        when a backend is supplied — same fold, same result."""
+        examples = list(examples)
+        if backend is None:
+            for example in examples:
+                self.add(example)
+            return
+        agreements = backend.map(self._agreement_of, examples)
+        for example, agreement in zip(examples, agreements):
+            self._fold(example, agreement)
 
     def is_consistent(self) -> bool:
         return all(not self.theta_max <= neg for neg in self.negative_eqs)
@@ -120,17 +140,18 @@ class ChainVersionSpace:
 def learn_join_chain(relations: Sequence[Relation],
                      examples: Sequence[ChainExample],
                      *, universe: Iterable[QualifiedPair] | None = None,
+                     backend=None,
                      ) -> frozenset[QualifiedPair]:
     """Most specific chain predicate consistent with the examples.
 
     PTIME, like the two-relation case.  Raises on inconsistency or an
-    example set without positives.
+    example set without positives.  The agreement scan routes through
+    the evaluation ``backend`` when one is supplied.
     """
     if not any(e.positive for e in examples):
         raise LearningError("chain learning needs a positive example")
     space = ChainVersionSpace(relations, universe)
-    for example in examples:
-        space.add(example)
+    space.add_many(examples, backend=backend)
     if not space.is_consistent():
         raise InconsistentExamplesError(
             "no chain-join predicate is consistent with the examples"

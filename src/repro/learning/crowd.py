@@ -10,13 +10,28 @@ the user is equivalent to minimizing the financial cost of the process."
 financial reading (cost per HIT, optional redundancy factor for majority
 voting — standard crowdsourcing practice), and prices the savings from the
 uninformative-label propagation.
+
+:func:`crowd_learn_twig` is the crowd loop itself: one interactive twig
+session driven end-to-end through a pluggable
+:class:`~repro.learning.backend.EvaluationBackend` — the deployment shape
+crowdsourced query learning assumes, where the workers answer HITs but the
+candidate re-evaluation runs on a serving tier (local, batched, or a
+remote TCP backend; the learned query, the question sequence, and the HIT
+bill are identical on all of them).
 """
 
 from __future__ import annotations
 
+import typing
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.learning.protocol import SessionStats
+
+if typing.TYPE_CHECKING:
+    from repro.learning.backend import EvaluationBackend
+    from repro.twig.ast import TwigQuery
+    from repro.xmltree.tree import XTree
 
 
 @dataclass(frozen=True)
@@ -78,3 +93,48 @@ class CostedSession:
             f"items would cost ${self.naive_cost:.2f} "
             f"({self.savings_percent:.0f}% saved)"
         )
+
+
+@dataclass
+class CrowdLearnResult:
+    """The crowd loop's outcome: the learned query plus its economics."""
+
+    query: "TwigQuery | None"
+    costed: CostedSession
+
+    @property
+    def stats(self) -> SessionStats:
+        return self.costed.stats
+
+    def report(self) -> str:
+        return self.costed.report()
+
+
+def crowd_learn_twig(
+    documents: Sequence["XTree"],
+    goal: "TwigQuery",
+    *,
+    budget: CrowdBudget | None = None,
+    backend: "EvaluationBackend | None" = None,
+    label_filter: str | None = None,
+    schema=None,
+    max_pool: int | None = 300,
+    max_questions: int | None = None,
+) -> CrowdLearnResult:
+    """Run one crowd-priced interactive twig session on any backend.
+
+    The interactive session proposes HITs, the (simulated) crowd answers
+    them, and every candidate re-evaluation crosses the evaluation
+    backend — so the same loop runs against a local engine, a batched
+    executor, or a remote serving tier, producing the same questions and
+    the same bill.
+    """
+    from repro.learning.xml_session import InteractiveTwigSession
+
+    session = InteractiveTwigSession(
+        documents, goal, label_filter=label_filter, schema=schema,
+        max_pool=max_pool, backend=backend)
+    result = session.run(max_questions=max_questions)
+    costed = CostedSession(result.stats, result.pool_size,
+                           budget if budget is not None else CrowdBudget())
+    return CrowdLearnResult(result.query, costed)

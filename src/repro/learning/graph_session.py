@@ -21,16 +21,19 @@ number of questions, with/without priors (experiment E8).
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass
 
-from repro.engine import get_engine
 from repro.errors import LearningError
 from repro.graphdb.graph import Graph, VertexId
 from repro.graphdb.pathquery import PathQuery
+from repro.learning.backend import EvaluationBackend, as_backend
 from repro.learning.path_learner import lgg_path, normalize
 from repro.learning.protocol import SessionStats
 from repro.learning.workload import WorkloadPriors
-from repro.serving import BatchEvaluator
+
+if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
+    from repro.serving import BatchEvaluator
 
 Word = tuple[str, ...]
 
@@ -62,22 +65,20 @@ class InteractivePathSession:
         priors: WorkloadPriors | None = None,
         max_length: int = 8,
         max_candidates: int = 200,
-        evaluator: BatchEvaluator | None = None,
+        backend: EvaluationBackend | None = None,
+        evaluator: "BatchEvaluator | None" = None,
     ) -> None:
         self.graph = graph
         self.goal = goal
         self.priors = priors
-        # Engine-served: the candidate enumeration is cached per
-        # (graph, endpoints), so repeated sessions on the same instance
-        # (e.g. priors-vs-no-priors comparisons) pay for it once, and all
-        # acceptance checks below share cached compiled NFAs.
-        self._engine = get_engine()
         # The per-interaction acceptance scan over all pending words runs
-        # as one serving batch, consumed sub-shard by sub-shard (same
-        # memoised answers, any executor, order-independent flags).
-        self.evaluator = evaluator if evaluator is not None \
-            else BatchEvaluator(engine=self._engine)
-        self.candidates = self._engine.words_between(
+        # as one backend batch, consumed sub-shard by sub-shard (same
+        # memoised answers, any backend/executor, order-independent
+        # flags).  The candidate enumeration is backend-served and cached
+        # per (graph, endpoints) — always client-side pool construction,
+        # even on a remote backend.
+        self.backend = as_backend(backend, evaluator)
+        self.candidates = self.backend.words_between(
             graph, source, target, max_length=max_length,
             limit=max_candidates)
         if not self.candidates:
@@ -88,14 +89,14 @@ class InteractivePathSession:
 
     # ------------------------------------------------------------------
     def _accepts(self, query: PathQuery, word: Word) -> bool:
-        return self._engine.accepts(query, word)
+        return self.backend.accepts(query, word)
 
     def _implied_negative(self, hypothesis: PathQuery | None, word: Word,
                           negatives: list[Word]) -> bool:
         if hypothesis is None:
             return False
         widened = lgg_path(hypothesis, normalize(PathQuery.of_word(word)))
-        return self.evaluator.accepts_any(widened, negatives)
+        return self.backend.accepts_any(widened, negatives)
 
     def _rank(self, words: list[Word]) -> list[Word]:
         if self.priors is not None:
@@ -108,7 +109,7 @@ class InteractivePathSession:
         """Streamed acceptance round: which pending words stay informative?
 
         Consumes the acceptance batch sub-shard by sub-shard
-        (:meth:`~repro.serving.evaluator.BatchEvaluator.accepts_stream`),
+        (:meth:`~repro.learning.backend.EvaluationBackend.accepts_stream`),
         running each arrived word's implied-negative probe while later
         sub-shards are still being checked.  Flags are position-aligned,
         so the proposal sequence never depends on shard arrival order.
@@ -116,7 +117,7 @@ class InteractivePathSession:
         if hypothesis is None:
             return [True] * len(pending)
         flags = [False] * len(pending)
-        for group in self.evaluator.accepts_stream(hypothesis, pending):
+        for group in self.backend.accepts_stream(hypothesis, pending):
             for position, acc in group:
                 flags[position] = not acc and not self._implied_negative(
                     hypothesis, pending[position], negatives)
@@ -144,6 +145,7 @@ class InteractivePathSession:
             word = self._rank(informative)[0]
             pending.remove(word)
             stats.questions += 1
+            stats.asked.append(word)
             if self._accepts(self.goal, word):
                 positive = normalize(PathQuery.of_word(word))
                 hypothesis = positive if hypothesis is None \
@@ -157,7 +159,7 @@ class InteractivePathSession:
 
         # Final label propagation, streamed over the same sub-shards.
         if hypothesis is not None:
-            for group in self.evaluator.accepts_stream(hypothesis, pending):
+            for group in self.backend.accepts_stream(hypothesis, pending):
                 for position, acc in group:
                     if acc:
                         stats.implied_positive += 1

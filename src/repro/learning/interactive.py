@@ -29,10 +29,12 @@ minimisation metric (and its crowdsourcing cost in the HIT reading).
 from __future__ import annotations
 
 import itertools
+import typing
 from dataclasses import dataclass
 
 from repro.engine import LRUCache
 from repro.errors import LearningError
+from repro.learning.backend import EvaluationBackend, as_backend
 from repro.learning.join_learner import (
     JoinVersionSpace,
     PairExample,
@@ -41,8 +43,10 @@ from repro.learning.join_learner import (
 from repro.learning.protocol import SessionStats
 from repro.relational.predicates import AttributePair, predicate_selects
 from repro.relational.relation import Relation, Row
-from repro.serving import BatchEvaluator
 from repro.util.rng import RngLike, make_rng
+
+if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
+    from repro.serving import BatchEvaluator
 
 Pair = tuple[Row, Row]
 
@@ -139,18 +143,18 @@ class InteractiveJoinSession:
         strategy: ProposalStrategy | None = None,
         max_pool: int | None = None,
         rng: RngLike = None,
-        evaluator: BatchEvaluator | None = None,
+        backend: EvaluationBackend | None = None,
+        evaluator: "BatchEvaluator | None" = None,
     ) -> None:
         self.left = left
         self.right = right
         self.goal = goal
         self.strategy = strategy or LatticeStrategy()
         # The per-interaction informativeness scan over the pending pool
-        # runs through the serving executor, consumed chunk-by-chunk as
+        # runs through the evaluation backend, consumed chunk-by-chunk as
         # chunks complete; flags are reassembled by position, so the
-        # proposal sequence is identical under any executor.
-        self.evaluator = evaluator if evaluator is not None \
-            else BatchEvaluator()
+        # proposal sequence is identical under any backend/executor.
+        self.backend = as_backend(backend, evaluator)
         r = make_rng(rng)
         pool = [(lrow, rrow) for lrow in left for rrow in right]
         pool.sort(key=repr)
@@ -175,7 +179,7 @@ class InteractiveJoinSession:
             # Streamed scan: chunks of the pending pool surface as they
             # complete, and the informative list is rebuilt in pool order.
             flags = [False] * len(pending)
-            for group in self.evaluator.map_stream(
+            for group in self.backend.map_stream(
                     lambda pair: self.space.is_informative(*pair), pending):
                 for position, flag in group:
                     flags[position] = flag
@@ -189,6 +193,7 @@ class InteractiveJoinSession:
             pair = self.strategy.choose(self.space, informative)
             answer = self._answer(pair)
             stats.questions += 1
+            stats.asked.append(repr(pair))
             self.space.add(PairExample(pair[0], pair[1], answer))
             pending.remove(pair)
         for pair in pending:

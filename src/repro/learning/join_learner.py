@@ -92,12 +92,34 @@ class JoinVersionSpace:
                                     right_row, self.universe))
 
     def add(self, example: PairExample) -> None:
-        agreement = self.eq(example.left_row, example.right_row)
+        self._fold(example, self.eq(example.left_row, example.right_row))
+
+    def _fold(self, example: PairExample,
+              agreement: frozenset[AttributePair]) -> None:
         if example.positive:
             self.theta_max = self.theta_max & agreement
             self.n_positives += 1
         else:
             self.negative_eqs.append(agreement)
+
+    def add_many(self, examples: Sequence["PairExample"], *,
+                 backend=None) -> None:
+        """Fold a batch of examples into the space.
+
+        With an evaluation backend, the agreement-set scan — the only
+        per-example work — runs through ``backend.map``, so a batched
+        backend spreads it across its executor; the fold itself is
+        order-preserving and identical to repeated :meth:`add` calls.
+        """
+        examples = list(examples)
+        if backend is None:
+            for example in examples:
+                self.add(example)
+            return
+        agreements = backend.map(
+            lambda e: self.eq(e.left_row, e.right_row), examples)
+        for example, agreement in zip(examples, agreements):
+            self._fold(example, agreement)
 
     # ------------------------------------------------------------------
     def is_consistent(self) -> bool:
@@ -154,8 +176,13 @@ class JoinLearnResult:
 def learn_join(left: Relation, right: Relation,
                examples: Sequence[PairExample],
                *, universe: Iterable[AttributePair] | None = None,
+               backend=None,
                ) -> JoinLearnResult:
     """Fit the most specific consistent join predicate.
+
+    The per-example agreement scan routes through the evaluation
+    ``backend`` when one is supplied (``backend.map``); the fold and the
+    result are identical either way.
 
     Raises :class:`~repro.errors.InconsistentExamplesError` when no
     predicate fits (detected in polynomial time), and
@@ -166,8 +193,7 @@ def learn_join(left: Relation, right: Relation,
     if not positives:
         raise LearningError("join learning needs at least one positive pair")
     space = JoinVersionSpace(left, right, universe)
-    for example in examples:
-        space.add(example)
+    space.add_many(examples, backend=backend)
     if not space.is_consistent():
         raise InconsistentExamplesError(
             "no equi-join predicate selects all positive pairs and no "
@@ -180,9 +206,9 @@ def learn_join(left: Relation, right: Relation,
 def check_join_consistency(left: Relation, right: Relation,
                            examples: Sequence[PairExample],
                            *, universe: Iterable[AttributePair] | None = None,
+                           backend=None,
                            ) -> bool:
     """The paper's PTIME consistency test for join examples."""
     space = JoinVersionSpace(left, right, universe)
-    for example in examples:
-        space.add(example)
+    space.add_many(examples, backend=backend)
     return space.is_consistent()

@@ -28,14 +28,20 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import LearningError
+from repro.learning.backend import (
+    EvaluationBackend,
+    LocalBackend,
+    as_backend,
+    candidate_pair_flags,
+    candidate_workload,
+    distinct_documents,
+)
 from repro.learning.protocol import NodeExample
 from repro.learning.twig_negative import check_consistency
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
-from repro.twig.generator import canonical_query_for_node
 from repro.twig.normalize import minimize
 from repro.twig.product import iter_products
-from repro.twig.semantics import evaluate
 
 
 def sample_complexity(epsilon: float, delta: float, *,
@@ -58,14 +64,33 @@ class PacResult:
     consistent: bool
 
 
-def _empirical_error(query: TwigQuery,
-                     examples: Sequence[NodeExample]) -> float:
-    errors = 0
-    for ex in examples:
-        selected = any(n is ex.node for n in evaluate(query, ex.tree))
-        if selected != ex.positive:
-            errors += 1
-    return errors / len(examples)
+def _empirical_errors(candidates: Sequence[TwigQuery],
+                      examples: Sequence[NodeExample],
+                      backend: EvaluationBackend) -> list[float]:
+    """Empirical error of every candidate, one backend batch for all.
+
+    The whole candidate generation crosses the seam at once — each
+    candidate evaluated once per *distinct* example document — so the
+    batched/remote backends shard the scan per document instead of
+    paying one evaluation per (candidate, example) pair.
+    """
+    if not candidates:
+        return []
+    pairs = [(ex.tree, ex.node) for ex in examples]
+    documents = distinct_documents(pairs)
+    answers = backend.evaluate_batch(
+        candidate_workload(candidates, documents)).answers
+    return [
+        sum(1 for ex, selected in zip(examples, row)
+            if selected != ex.positive) / len(examples)
+        for row in candidate_pair_flags(answers, len(candidates),
+                                        documents, pairs)
+    ]
+
+
+def _empirical_error(query: TwigQuery, examples: Sequence[NodeExample],
+                     backend: EvaluationBackend) -> float:
+    return _empirical_errors([query], examples, backend)[0]
 
 
 def pac_learn_twig(
@@ -77,12 +102,17 @@ def pac_learn_twig(
     alphabet_size: int = 20,
     budget: int = 256,
     max_examples: int | None = None,
+    backend: EvaluationBackend | None = None,
 ) -> PacResult:
     """Draw examples from ``sampler`` and fit approximately.
 
     Tries the exact consistency search first; if it is inconclusive or the
     sample is unrealizable, returns the candidate minimising empirical
     error among the generalisation lattice explored from the positives.
+    All hypothesis evaluation — the consistency search's refutation
+    probes and the fallback's empirical-error scoring — runs through the
+    evaluation ``backend`` (local engine by default); each fold step's
+    alternative beam is scored as one batch.
     """
     m = sample_complexity(epsilon, delta, size_bound=size_bound,
                           alphabet_size=alphabet_size)
@@ -96,38 +126,41 @@ def pac_learn_twig(
             "concept may have negligible mass under the sampling "
             "distribution"
         )
+    backend = as_backend(backend, default=LocalBackend)
 
-    result = check_consistency(examples, budget=budget)
+    result = check_consistency(examples, budget=budget, backend=backend)
     if result.consistent and result.query is not None:
-        return PacResult(result.query, _empirical_error(result.query,
-                                                        examples),
+        return PacResult(result.query,
+                         _empirical_error(result.query, examples, backend),
                          m, True)
 
     # Agnostic fallback: greedy fold with a small alternative beam, keep
-    # the empirically best candidate seen.
-    canonicals = [canonical_query_for_node(e.tree, e.node)
+    # the empirically best candidate seen.  Each step's beam is one
+    # candidate generation, scored in a single backend batch.
+    canonicals = [backend.canonical_query(e.tree, e.node)
                   for e in positives]
     best: TwigQuery | None = None
     best_error = float("inf")
 
-    def consider(candidate: TwigQuery) -> None:
+    def consider(candidate: TwigQuery, error: float) -> None:
         nonlocal best, best_error
-        error = _empirical_error(candidate, examples)
         if error < best_error:
             best, best_error = candidate, error
 
     hypothesis = canonicals[0]
     repaired, _ = anchor_repair(hypothesis)
-    consider(minimize(repaired))
+    first = minimize(repaired)
+    consider(first, _empirical_error(first, examples, backend))
     for canonical in canonicals[1:]:
-        alternatives = list(iter_products(hypothesis, canonical, limit=4))
-        scored = []
-        for alt in alternatives:
+        alternatives = []
+        for alt in iter_products(hypothesis, canonical, limit=4):
             alt_repaired, _ = anchor_repair(alt)
-            alt_min = minimize(alt_repaired)
-            consider(alt_min)
-            scored.append((_empirical_error(alt_min, examples), alt_min))
-        hypothesis = min(scored, key=lambda pair: pair[0])[1]
+            alternatives.append(minimize(alt_repaired))
+        errors = _empirical_errors(alternatives, examples, backend)
+        for alt_min, error in zip(alternatives, errors):
+            consider(alt_min, error)
+        hypothesis = min(zip(errors, alternatives),
+                         key=lambda pair: pair[0])[1]
 
     assert best is not None
     return PacResult(best, best_error, m, consistent=best_error == 0.0)

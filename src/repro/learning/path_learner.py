@@ -161,21 +161,27 @@ class PathConsistency:
 def check_path_consistency(
     positives: Sequence[Sequence[str]],
     negatives: Sequence[Sequence[str]],
+    *,
+    backend=None,
 ) -> PathConsistency:
     """Does the best-alignment lgg of the positives reject every negative?
 
     A ``False`` answer with this single-alignment learner is conservative
     (another alignment might succeed) — the same search/hardness structure
     as twig consistency.
+
+    The negative scan runs as one acceptance batch on the evaluation
+    ``backend`` (local engine by default): the hypothesis NFA is
+    compiled once, word verdicts are memoised, and batched/remote
+    backends probe the whole negative set in sub-shards.
     """
-    from repro.engine import get_engine
+    from repro.learning.backend import LocalBackend, as_backend
 
     learned = learn_path_query(positives)
-    # Engine-served acceptance: the hypothesis NFA is compiled once and
-    # word verdicts are memoised across consistency re-checks.
-    engine = get_engine()
-    violated = [tuple(w) for w in negatives
-                if engine.accepts(learned.query, tuple(w))]
+    backend = as_backend(backend, default=LocalBackend)
+    words = [tuple(w) for w in negatives]
+    flags = backend.accepts_batch(learned.query, words)
+    violated = [word for word, accepted in zip(words, flags) if accepted]
     if violated:
         return PathConsistency(False, None, violated)
     return PathConsistency(True, learned.query, [])

@@ -77,6 +77,12 @@ class SessionStats:
     implied_negative: int = 0
     candidates_considered: int = 0
     notes: list[str] = field(default_factory=list)
+    #: The question sequence: one hashable descriptor per question asked,
+    #: in order (document/node positions, row reprs, words — whatever the
+    #: session deems stable).  The backend-invariance suites compare
+    #: these lists across evaluation backends and executors: every
+    #: backend must make the session ask literally the same questions.
+    asked: list = field(default_factory=list)
 
     @property
     def labels_saved(self) -> int:
@@ -89,3 +95,4 @@ class SessionStats:
         self.implied_negative += other.implied_negative
         self.candidates_considered += other.candidates_considered
         self.notes.extend(other.notes)
+        self.asked.extend(other.asked)

@@ -90,12 +90,15 @@ def learn_twig_schema_aware(
     schema: DMS | DependencyGraph,
     *,
     practical: bool = True,
+    backend=None,
 ) -> tuple[LearnedTwig, SchemaAwareResult]:
     """Positive-only learning followed by schema-implied filter pruning.
 
     Returns both the plain learner's output and the pruned result, so
-    callers can report before/after sizes (experiment E3).
+    callers can report before/after sizes (experiment E3).  ``backend``
+    is the evaluation backend the underlying learner folds through
+    (schema pruning itself is pure query analysis — no evaluation).
     """
-    learned = learn_twig(examples, practical=practical)
+    learned = learn_twig(examples, practical=practical, backend=backend)
     pruned = prune_schema_implied(learned.query, schema)
     return learned, pruned

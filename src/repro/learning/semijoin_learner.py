@@ -64,6 +64,19 @@ def _selects(theta: frozenset[AttributePair],
     return any(theta <= w for w in witnesses)
 
 
+def _witness_scanner(left: Relation, right: Relation,
+                     universe: frozenset[AttributePair], backend):
+    """Batch :func:`witness_sets` over rows, backend-mapped when possible."""
+
+    def scan(rows: Sequence[Row]) -> list[list[frozenset[AttributePair]]]:
+        if backend is None:
+            return [witness_sets(left, right, row, universe) for row in rows]
+        return backend.map(
+            lambda row: witness_sets(left, right, row, universe), rows)
+
+    return scan
+
+
 @dataclass
 class SemijoinSearchResult:
     consistent: bool | None
@@ -89,6 +102,7 @@ def check_semijoin_consistency(
     *,
     universe: Iterable[AttributePair] | None = None,
     budget: int = 1_000_000,
+    backend=None,
 ) -> SemijoinSearchResult:
     """Exact consistency via branch-and-bound over witness choices.
 
@@ -97,13 +111,18 @@ def check_semijoin_consistency(
     (intersections only shrink, and ``θ ⊆ w_neg`` stays true under
     shrinking).  ``budget`` caps explored nodes; hitting it yields
     ``consistent=None``.
+
+    The per-row witness-set scans (one pass over the right relation per
+    example row — the expensive prep ahead of the search) route through
+    the evaluation ``backend`` when one is supplied.
     """
     uni = frozenset(universe) if universe is not None \
         else comparable_pairs(left, right)
     positives = [e.row for e in examples if e.positive]
     negatives = [e.row for e in examples if not e.positive]
 
-    neg_witnesses = [witness_sets(left, right, row, uni) for row in negatives]
+    scan = _witness_scanner(left, right, uni, backend)
+    neg_witnesses = scan(negatives)
 
     def violates(theta: frozenset[AttributePair]) -> bool:
         return any(_selects(theta, ws) for ws in neg_witnesses)
@@ -115,7 +134,7 @@ def check_semijoin_consistency(
         ok = not violates(uni)
         return SemijoinSearchResult(ok, uni if ok else None, 1)
 
-    pos_witnesses = [witness_sets(left, right, row, uni) for row in positives]
+    pos_witnesses = scan(positives)
     if any(not ws for ws in pos_witnesses):
         # An empty right relation offers no witness at all.
         return SemijoinSearchResult(False, None, 1)
@@ -158,10 +177,12 @@ def learn_semijoin(
     *,
     universe: Iterable[AttributePair] | None = None,
     budget: int = 1_000_000,
+    backend=None,
 ) -> frozenset[AttributePair]:
     """Exact learning; raises on inconsistency or exhausted budget."""
     result = check_semijoin_consistency(left, right, examples,
-                                        universe=universe, budget=budget)
+                                        universe=universe, budget=budget,
+                                        backend=backend)
     if result.consistent:
         assert result.predicate is not None
         return result.predicate
@@ -181,34 +202,38 @@ def greedy_semijoin(
     examples: Sequence[LeftExample],
     *,
     universe: Iterable[AttributePair] | None = None,
+    backend=None,
 ) -> GreedyResult:
     """Polynomial approximate learning (the paper's 'ignore annotations').
 
     Folds positives in input order; for each, picks the witness whose
     intersection with the running hypothesis stays consistent with all
     negatives and keeps the hypothesis as specific as possible.  A positive
-    with no such witness is *ignored* and reported.
+    with no such witness is *ignored* and reported.  Witness scans route
+    through the evaluation ``backend`` when one is supplied; the greedy
+    fold itself is order-dependent by design and unchanged.
     """
     uni = frozenset(universe) if universe is not None \
         else comparable_pairs(left, right)
+    scan = _witness_scanner(left, right, uni, backend)
     negatives = [e.row for e in examples if not e.positive]
-    neg_witnesses = [witness_sets(left, right, row, uni) for row in negatives]
+    neg_witnesses = scan(negatives)
+    positives = [e.row for e in examples if e.positive]
+    pos_witnesses = dict(zip(map(id, positives), scan(positives)))
 
     def violates(theta: frozenset[AttributePair]) -> bool:
         return any(_selects(theta, ws) for ws in neg_witnesses)
 
     theta = uni
     ignored: list[Row] = []
-    for example in examples:
-        if not example.positive:
-            continue
+    for row in positives:
         options = []
-        for witness in witness_sets(left, right, example.row, uni):
+        for witness in pos_witnesses[id(row)]:
             candidate = theta & witness
             if not violates(candidate):
                 options.append(candidate)
         if options:
             theta = max(options, key=len)
         else:
-            ignored.append(example.row)
+            ignored.append(row)
     return GreedyResult(theta, ignored)

@@ -18,8 +18,8 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
-from repro.engine import get_engine
 from repro.errors import LearningError
+from repro.learning.backend import EvaluationBackend, LocalBackend, as_backend
 from repro.learning.protocol import NodeExample
 from repro.twig.anchored import anchor_repair, is_anchored
 from repro.twig.ast import TwigQuery
@@ -67,23 +67,28 @@ def learn_twig(
     examples: Sequence[NodeExample | tuple[XTree, XNode]],
     *,
     practical: bool = True,
+    backend: EvaluationBackend | None = None,
 ) -> LearnedTwig:
     """Fit an anchored twig query to positive examples.
 
     ``examples`` are ``NodeExample`` records or bare ``(tree, node)`` pairs.
     ``practical`` selects the document-scale product mode (equal-label
-    pairing); disable it only for small hand-written patterns.
+    pairing); disable it only for small hand-written patterns.  Canonical
+    queries come from the evaluation ``backend`` (local engine by
+    default) so the fold shares its caches with whatever else runs on
+    that backend.
 
     Raises :class:`~repro.errors.LearningError` on an empty example set.
     """
     pairs = _as_pairs(examples)
     if not pairs:
         raise LearningError("at least one positive example is required")
+    backend = as_backend(backend, default=LocalBackend)
 
     hypothesis: TwigQuery | None = None
     exact = True
     for tree, node in pairs:
-        canonical = get_engine().canonical_query(tree, node)
+        canonical = backend.canonical_query(tree, node)
         if hypothesis is None:
             hypothesis = canonical
         else:
@@ -99,6 +104,7 @@ def learn_twig_incremental(
     examples: Sequence[NodeExample | tuple[XTree, XNode]],
     *,
     practical: bool = True,
+    backend: EvaluationBackend | None = None,
 ) -> Iterator[LearnedTwig]:
     """Yield the hypothesis after each successive example.
 
@@ -108,10 +114,11 @@ def learn_twig_incremental(
     sweep costs one product per example.
     """
     pairs = _as_pairs(examples)
+    backend = as_backend(backend, default=LocalBackend)
     hypothesis: TwigQuery | None = None
     exact = True
     for i, (tree, node) in enumerate(pairs, start=1):
-        canonical = get_engine().canonical_query(tree, node)
+        canonical = backend.canonical_query(tree, node)
         if hypothesis is None:
             hypothesis = canonical
         else:

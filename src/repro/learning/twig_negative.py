@@ -25,17 +25,20 @@ answer is definitive, otherwise the result is reported as inconclusive.
 
 from __future__ import annotations
 
+import typing
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.engine import get_engine
 from repro.errors import LearningError
+from repro.learning.backend import EvaluationBackend, LocalBackend, as_backend
 from repro.learning.protocol import NodeExample
-from repro.serving import BatchEvaluator
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
 from repro.twig.normalize import minimize
 from repro.twig.product import iter_products
+
+if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
+    from repro.serving import BatchEvaluator
 
 
 @dataclass
@@ -57,12 +60,12 @@ class ConsistencyResult:
 
 
 def _violates_negative(query: TwigQuery, negatives: Sequence[NodeExample],
-                       evaluator: BatchEvaluator) -> bool:
-    # Serving-batched per distinct example document, short-circuiting at
+                       backend: EvaluationBackend) -> bool:
+    # Backend-batched per distinct example document, short-circuiting at
     # the first document with a selected negative: most candidates in the
     # search die early, so the hot DFS path must not pay for the full
     # negative set per candidate.
-    return evaluator.selects_any(query, [(n.tree, n.node) for n in negatives])
+    return backend.selects_any(query, [(n.tree, n.node) for n in negatives])
 
 
 def check_consistency(
@@ -71,7 +74,8 @@ def check_consistency(
     budget: int = 512,
     branching: int = 8,
     practical: bool = True,
-    evaluator: BatchEvaluator | None = None,
+    backend: EvaluationBackend | None = None,
+    evaluator: "BatchEvaluator | None" = None,
 ) -> ConsistencyResult:
     """Is some anchored twig consistent with the labelled examples?
 
@@ -86,10 +90,8 @@ def check_consistency(
     if not positives:
         raise LearningError("at least one positive example is required")
 
-    engine = get_engine()
-    if evaluator is None:
-        evaluator = BatchEvaluator(engine=engine)
-    canonicals = [engine.canonical_query(e.tree, e.node) for e in positives]
+    backend = as_backend(backend, evaluator, default=LocalBackend)
+    canonicals = [backend.canonical_query(e.tree, e.node) for e in positives]
 
     # Depth-first over example folds; at each fold, try alignment
     # alternatives in cost order.  A candidate that already selects a
@@ -109,7 +111,7 @@ def check_consistency(
         if not repair_exact:
             space_truncated = True
         candidate = minimize(repaired)
-        if _violates_negative(candidate, negatives, evaluator):
+        if _violates_negative(candidate, negatives, backend):
             return None
         if index == len(canonicals):
             return candidate
@@ -141,6 +143,7 @@ def learn_twig_with_negatives(
     budget: int = 512,
     branching: int = 8,
     practical: bool = True,
+    backend: EvaluationBackend | None = None,
 ) -> TwigQuery:
     """Return a consistent query or raise.
 
@@ -151,7 +154,7 @@ def learn_twig_with_negatives(
     from repro.errors import InconsistentExamplesError
 
     result = check_consistency(examples, budget=budget, branching=branching,
-                               practical=practical)
+                               practical=practical, backend=backend)
     if result.consistent:
         assert result.query is not None
         return result.query

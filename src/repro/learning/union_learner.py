@@ -20,10 +20,17 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import InconsistentExamplesError, LearningError
+from repro.learning.backend import (
+    EvaluationBackend,
+    LocalBackend,
+    as_backend,
+    candidate_pair_flags,
+    candidate_workload,
+    distinct_documents,
+)
 from repro.learning.protocol import NodeExample
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
-from repro.twig.generator import canonical_query_for_node
 from repro.twig.normalize import minimize
 from repro.twig.product import product
 from repro.twig.union import UnionTwigQuery
@@ -42,9 +49,24 @@ def _merge(a: TwigQuery, b: TwigQuery, practical: bool) -> TwigQuery:
     return minimize(merged)
 
 
-def _violates(query: UnionTwigQuery,
-              negatives: Sequence[tuple[XTree, XNode]]) -> bool:
-    return any(query.selects(t, n) for t, n in negatives)
+def _violating_flags(queries: Sequence[TwigQuery],
+                     negatives: Sequence[tuple[XTree, XNode]],
+                     backend: EvaluationBackend) -> list[bool]:
+    """Which candidate queries select at least one negative example?
+
+    One workload for the whole candidate generation: every query over
+    every *distinct* negative document.  The batched/remote backends
+    shard it per document — each document's index snapshot answers all
+    candidates in one shard — instead of paying one evaluation call per
+    (candidate, negative) pair the way the old inline loop did.
+    """
+    if not queries or not negatives:
+        return [False] * len(queries)
+    documents = distinct_documents(negatives)
+    answers = backend.evaluate_batch(
+        candidate_workload(queries, documents)).answers
+    return [any(row) for row in candidate_pair_flags(
+        answers, len(queries), documents, negatives)]
 
 
 def learn_union_twig(
@@ -52,6 +74,7 @@ def learn_union_twig(
     *,
     max_disjuncts: int = 2,
     practical: bool = True,
+    backend: EvaluationBackend | None = None,
 ) -> LearnedUnion:
     """Fit a union of at most... well, *aim* for ``max_disjuncts`` twigs.
 
@@ -60,6 +83,13 @@ def learn_union_twig(
     requested (still consistent).  Raises
     :class:`~repro.errors.InconsistentExamplesError` when not even the
     union of canonical queries is consistent (the trivial test).
+
+    Every merge round evaluates its *whole* candidate generation — one
+    merged query per disjunct pair — as a single backend batch.  Kept
+    disjuncts are never re-checked: the initial consistency test and the
+    per-merge acceptance guarantee the invariant that every current
+    disjunct avoids every negative, so a trial union violates iff its
+    freshly merged disjunct does.
     """
     positives: list[tuple[XTree, XNode]] = []
     negatives: list[tuple[XTree, XNode]] = []
@@ -71,11 +101,11 @@ def learn_union_twig(
             positives.append(ex)
     if not positives:
         raise LearningError("at least one positive example is required")
+    backend = as_backend(backend, default=LocalBackend)
 
-    disjuncts = [minimize(canonical_query_for_node(t, n))
+    disjuncts = [minimize(backend.canonical_query(t, n))
                  for t, n in positives]
-    union = UnionTwigQuery(disjuncts)
-    if _violates(union, negatives):
+    if any(_violating_flags(disjuncts, negatives, backend)):
         raise InconsistentExamplesError(
             "no union of twig queries is consistent: some positive's "
             "canonical query already selects a negative"
@@ -83,22 +113,21 @@ def learn_union_twig(
 
     merges = 0
     while len(disjuncts) > max_disjuncts:
+        pairs = [(i, j) for i in range(len(disjuncts))
+                 for j in range(i + 1, len(disjuncts))]
+        candidates = [_merge(disjuncts[i], disjuncts[j], practical)
+                      for i, j in pairs]
+        violating = _violating_flags(candidates, negatives, backend)
         best: tuple[int, int, TwigQuery] | None = None
         best_saving = None
-        for i in range(len(disjuncts)):
-            for j in range(i + 1, len(disjuncts)):
-                merged = _merge(disjuncts[i], disjuncts[j], practical)
-                trial = UnionTwigQuery(
-                    [d for k, d in enumerate(disjuncts) if k not in (i, j)]
-                    + [merged]
-                )
-                if _violates(trial, negatives):
-                    continue
-                saving = (disjuncts[i].size() + disjuncts[j].size()
-                          - merged.size())
-                if best_saving is None or saving > best_saving:
-                    best_saving = saving
-                    best = (i, j, merged)
+        for (i, j), merged, violates in zip(pairs, candidates, violating):
+            if violates:
+                continue
+            saving = (disjuncts[i].size() + disjuncts[j].size()
+                      - merged.size())
+            if best_saving is None or saving > best_saving:
+                best_saving = saving
+                best = (i, j, merged)
         if best is None:
             break  # every merge would select a negative
         i, j, merged = best
@@ -107,4 +136,6 @@ def learn_union_twig(
         merges += 1
 
     result = UnionTwigQuery(disjuncts).simplified()
-    return LearnedUnion(result, merges, not _violates(result, negatives))
+    consistent = not any(_violating_flags(result.disjuncts, negatives,
+                                          backend))
+    return LearnedUnion(result, merges, consistent)

@@ -20,31 +20,37 @@ The learned query is the schema-aware-pruned hypothesis when a schema is
 supplied.
 
 The per-interaction re-evaluation — classify every pending candidate
-against the current hypothesis — runs as one :mod:`repro.serving` batch
-per round (the hypothesis is evaluated once per distinct document, not
-once per candidate), consumed *shard-by-shard*: as each document's answer
-set arrives, that document's candidates are classified and their
+against the current hypothesis — runs through the session's
+:class:`~repro.learning.backend.EvaluationBackend` as one batch per round
+(the hypothesis is evaluated once per distinct document, not once per
+candidate), consumed *shard-by-shard*: as each document's answer set
+arrives, that document's candidates are classified and their
 implied-negative probes run immediately, overlapping with the evaluation
 of the rest of the corpus instead of waiting on the whole batch.  The
 informative set (and with it every question asked) is assembled in pool
 order regardless of shard arrival order, so the session accepts any
-executor without changing a single question.
+backend — local, batched on any executor, or a remote serving tier —
+without changing a single question (``SessionStats.asked`` records the
+sequence so the invariance suites can assert exactly that).
 """
 
 from __future__ import annotations
 
+import typing
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.engine import get_engine
 from repro.errors import LearningError
+from repro.learning.backend import EvaluationBackend, as_backend
 from repro.learning.protocol import SessionStats, TwigOracle
-from repro.serving import BatchEvaluator
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
 from repro.twig.normalize import minimize
 from repro.twig.product import product
 from repro.xmltree.tree import XNode, XTree
+
+if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
+    from repro.serving import BatchEvaluator
 
 Candidate = tuple[XTree, XNode]
 
@@ -68,7 +74,8 @@ class InteractiveTwigSession:
         schema=None,
         max_pool: int | None = 300,
         practical: bool = True,
-        evaluator: BatchEvaluator | None = None,
+        backend: EvaluationBackend | None = None,
+        evaluator: "BatchEvaluator | None" = None,
     ) -> None:
         if not documents:
             raise LearningError("the session needs at least one document")
@@ -76,12 +83,17 @@ class InteractiveTwigSession:
         self.oracle = TwigOracle(goal)
         self.schema = schema
         self.practical = practical
-        self.evaluator = evaluator if evaluator is not None \
-            else BatchEvaluator()
+        self.backend = as_backend(backend, evaluator)
         pool: list[Candidate] = []
-        for doc in self.documents:
-            for n in doc.nodes():
+        # Stable question descriptors for SessionStats.asked: the node's
+        # (document position, pre-order position), identical across
+        # backends, executors, and processes.  Only pool-eligible nodes
+        # are ever asked about, so only they get a descriptor.
+        self._descriptor: dict[int, tuple[int, int]] = {}
+        for d, doc in enumerate(self.documents):
+            for p, n in enumerate(doc.nodes()):
                 if label_filter is None or n.label == label_filter:
+                    self._descriptor[id(n)] = (d, p)
                     pool.append((doc, n))
         if max_pool is not None:
             pool = pool[:max_pool]
@@ -92,11 +104,11 @@ class InteractiveTwigSession:
     # ------------------------------------------------------------------
     def _extend(self, hypothesis: TwigQuery | None,
                 candidate: Candidate) -> TwigQuery:
-        # The engine caches the canonical query per (document, node); the
+        # The backend caches the canonical query per (document, node); the
         # session widens a hypothesis with the same candidates repeatedly
         # while probing implied negatives.
         tree, node = candidate
-        canonical = get_engine().canonical_query(tree, node)
+        canonical = self.backend.canonical_query(tree, node)
         if hypothesis is None:
             merged = canonical
         else:
@@ -110,7 +122,7 @@ class InteractiveTwigSession:
         if hypothesis is None or not negatives:
             return False
         widened = self._extend(hypothesis, candidate)
-        return self.evaluator.selects_any(widened, negatives)
+        return self.backend.selects_any(widened, negatives)
 
     def _informative_flags(self, hypothesis: TwigQuery | None,
                            pending: list[Candidate],
@@ -119,14 +131,14 @@ class InteractiveTwigSession:
         informative under the current hypothesis?
 
         Consumes the selection batch document-by-document
-        (:meth:`~repro.serving.evaluator.BatchEvaluator.selects_stream`):
+        (:meth:`~repro.learning.backend.EvaluationBackend.selects_stream`):
         the implied-negative probes for one document's candidates run
         while the other documents' shards are still evaluating.  Flags
         are position-aligned, so the result — and every question derived
         from it — is independent of shard completion order.
         """
         flags = [False] * len(pending)
-        for group in self.evaluator.selects_stream(hypothesis, pending):
+        for group in self.backend.selects_stream(hypothesis, pending):
             for position, sel in group:
                 flags[position] = not sel and not self._implied_negative(
                     hypothesis, pending[position], negatives)
@@ -158,13 +170,14 @@ class InteractiveTwigSession:
             candidate = informative[0]
             pending.remove(candidate)
             stats.questions += 1
+            stats.asked.append(self._descriptor[id(candidate[1])])
             if self.oracle.label(*candidate):
                 hypothesis = self._extend(hypothesis, candidate)
             else:
                 negatives.append(candidate)
 
         # Final label propagation, shard-streamed the same way.
-        for group in self.evaluator.selects_stream(hypothesis, pending):
+        for group in self.backend.selects_stream(hypothesis, pending):
             for position, sel in group:
                 if sel:
                     stats.implied_positive += 1

@@ -112,6 +112,67 @@ def _pin_preorder(tree: XTree) -> tuple[int, list[XNode]]:
     return getattr(tree, "_version", 0), list(tree.nodes())
 
 
+def group_candidates_by_tree(
+    candidates: Sequence[tuple[XTree, XNode]],
+) -> tuple[list[XTree], dict[int, list[int]]]:
+    """Distinct documents (first-occurrence order) plus, per document,
+    the candidate positions living in it.
+
+    THE document-identity grouping of every ``selects*`` membership
+    shape — the batch evaluator here and every
+    :class:`~repro.learning.backend.EvaluationBackend` share this one
+    implementation, so grouping semantics cannot silently diverge
+    between the serving and learning layers.
+    """
+    documents: list[XTree] = []
+    positions: dict[int, list[int]] = {}
+    for i, (tree, _) in enumerate(candidates):
+        group = positions.get(id(tree))
+        if group is None:
+            positions[id(tree)] = group = []
+            documents.append(tree)
+        group.append(i)
+    return documents, positions
+
+
+def classify_candidates(candidates: Sequence[tuple[XTree, XNode]],
+                        documents: Sequence[XTree],
+                        answers: Sequence[Sequence[XNode]]) -> list[bool]:
+    """Per-candidate selection flags from per-document answer sets."""
+    selected: dict[int, set[int]] = {
+        id(doc): {id(n) for n in answer}
+        for doc, answer in zip(documents, answers)
+    }
+    return [id(node) in selected[id(tree)] for tree, node in candidates]
+
+
+def stream_select_flags(
+    stream: Callable[["Workload"], Iterator[ShardAnswer]],
+    query: TwigQuery | None,
+    candidates: Sequence[tuple[XTree, XNode]],
+) -> Iterator[list[tuple[int, bool]]]:
+    """Shared streamed classification: ``[(position, selected), ...]``
+    groups, one per distinct document, as that document's shard answer
+    arrives from ``stream`` (any ``Workload -> Iterator[ShardAnswer]``
+    callable — a local ``run_stream``, a backend stream, or a remote
+    client).  The union of groups covers every candidate position
+    exactly once; only arrival order depends on the producer.
+    """
+    if not candidates:
+        return
+    if query is None:
+        yield [(i, False) for i in range(len(candidates))]
+        return
+    documents, positions = group_candidates_by_tree(candidates)
+    for shard_answer in stream(Workload.twig(query, documents)):
+        out: list[tuple[int, bool]] = []
+        for doc_position, answer in shard_answer:
+            selected = {id(n) for n in answer}
+            for i in positions[id(documents[doc_position])]:
+                out.append((i, id(candidates[i][1]) in selected))
+        yield out
+
+
 def _chunks(seq: Sequence, width: int) -> list[tuple]:
     """Split into at most ``width`` contiguous, size-balanced chunks."""
     n = len(seq)
@@ -388,18 +449,9 @@ class BatchEvaluator:
         """
         if query is None or not candidates:
             return [False] * len(candidates)
-        documents: list[XTree] = []
-        seen: set[int] = set()
-        for tree, _ in candidates:
-            if id(tree) not in seen:
-                seen.add(id(tree))
-                documents.append(tree)
+        documents, _ = group_candidates_by_tree(candidates)
         answers = self.evaluate_twig_batch(query, documents)
-        selected: dict[int, set[int]] = {
-            id(doc): {id(n) for n in answer}
-            for doc, answer in zip(documents, answers)
-        }
-        return [id(node) in selected[id(tree)] for tree, node in candidates]
+        return classify_candidates(candidates, documents, answers)
 
     def selects_stream(
         self, query: TwigQuery | None,
@@ -415,27 +467,7 @@ class BatchEvaluator:
         and the flags equal ``selects_batch(query, candidates)``; only
         group arrival order depends on scheduling.
         """
-        if not candidates:
-            return
-        if query is None:
-            yield [(i, False) for i in range(len(candidates))]
-            return
-        documents: list[XTree] = []
-        positions: dict[int, list[int]] = {}
-        for i, (tree, _) in enumerate(candidates):
-            group = positions.get(id(tree))
-            if group is None:
-                positions[id(tree)] = group = []
-                documents.append(tree)
-            group.append(i)
-        workload = Workload.twig(query, documents)
-        for shard_answer in self.run_stream(workload):
-            out: list[tuple[int, bool]] = []
-            for doc_position, answer in shard_answer:
-                selected = {id(n) for n in answer}
-                for i in positions[id(documents[doc_position])]:
-                    out.append((i, id(candidates[i][1]) in selected))
-            yield out
+        return stream_select_flags(self.run_stream, query, candidates)
 
     def selects_any(self, query: TwigQuery | None,
                     candidates: Sequence[tuple[XTree, XNode]]) -> bool:
@@ -449,15 +481,11 @@ class BatchEvaluator:
         """
         if query is None:
             return False
-        by_doc: dict[int, list[tuple[XTree, XNode]]] = {}
-        order: list[list[tuple[XTree, XNode]]] = []
-        for tree, node in candidates:
-            group = by_doc.get(id(tree))
-            if group is None:
-                group = by_doc[id(tree)] = []
-                order.append(group)
-            group.append((tree, node))
-        return any(any(self.selects_batch(query, group)) for group in order)
+        documents, positions = group_candidates_by_tree(candidates)
+        return any(
+            any(self.selects_batch(
+                query, [candidates[i] for i in positions[id(doc)]]))
+            for doc in documents)
 
     def accepts_any(self, query: object,
                     words: Sequence[Sequence[str]]) -> bool:

@@ -12,7 +12,11 @@ The request/response cycle on one connection::
 
 Frames are the length-prefixed JSON of :mod:`repro.serving.wire`; a
 request that fails to decode or evaluate produces an ``error`` frame
-(with the exception text) instead of killing the connection.  Because
+(with the exception text) instead of killing the connection.  A
+``{"type": "stats"}`` request frame is answered with one ``stats``
+frame carrying the server engine's live cache/index statistics
+(:meth:`repro.engine.core.Engine.stats`) — the observability endpoint a
+remote learner polls through :meth:`WorkloadClient.stats`.  Because
 shard frames go out the moment the
 :class:`~repro.serving.async_evaluator.AsyncBatchEvaluator` stream
 yields them, a client sees its first answers while the server is still
@@ -43,7 +47,7 @@ from repro.serving.wire import (
     ProtocolError,
     WorkloadCodec,
     read_frame,
-    recv_frame_blocking,
+    recv_frame_counted,
     send_frame_blocking,
     write_frame,
 )
@@ -121,6 +125,16 @@ class WorkloadServer:
 
     async def _serve_request(self, frame: object,
                              writer: asyncio.StreamWriter) -> None:
+        if isinstance(frame, dict) and frame.get("type") == "stats":
+            # Observability probe: no evaluation, one reply frame with
+            # the live engine counters (cache hit rates, index builds).
+            write_frame(writer, {
+                "type": "stats",
+                "executor": self.evaluator.executor.name,
+                "engine": self.evaluator.engine.stats(),
+            })
+            await writer.drain()
+            return
         codec = WorkloadCodec()
         stream = None
         try:
@@ -200,10 +214,14 @@ class ServerThread:
         asyncio.run(main())
 
     def close(self) -> None:
-        if self._loop is not None and self._stopped is not None:
-            self._loop.call_soon_threadsafe(self._stopped.set)
+        """Stop the loop and join the thread.  Idempotent."""
+        loop, self._loop = self._loop, None
+        if loop is not None and self._stopped is not None:
+            try:
+                loop.call_soon_threadsafe(self._stopped.set)
+            except RuntimeError:
+                pass  # loop already torn down (e.g. startup failed)
         self._thread.join()
-        self._loop = None
 
     def __enter__(self) -> "ServerThread":
         return self
@@ -221,6 +239,19 @@ class WorkloadClient:
     caller's own node objects in document order, so a remote ``run`` is
     answer-identical to a local ``BatchEvaluator.run`` on the same
     workload.
+
+    The client keeps per-connection observability counters —
+    :attr:`requests`, :attr:`bytes_sent`, :attr:`bytes_received` — and
+    :meth:`stats` asks the server for its live engine statistics (cache
+    hit rates, index builds) over the ``stats`` frame.
+
+    Failure behaviour: a server-reported ``error`` frame leaves the
+    connection aligned and reusable, but a *framing* failure (truncated
+    frame, unexpected frame kind, socket error) makes the byte stream
+    unrecoverable — the client then marks itself broken, further
+    requests raise :class:`~repro.serving.wire.ProtocolError`
+    immediately instead of hanging on a desynced drain, and
+    :meth:`close` stays safe and idempotent throughout.
     """
 
     def __init__(self, host: str, port: int, *,
@@ -229,17 +260,63 @@ class WorkloadClient:
         # Unread response frames of an abandoned stream() — drained before
         # the next request so connection reuse can never desync.
         self._pending_response = False
+        # Set on framing-level failures: the connection cannot realign.
+        self._broken = False
+        #: Requests sent on this connection (workloads and stats probes).
+        self.requests = 0
+        #: Bytes written to / read from the socket, frame prefixes included.
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     def close(self) -> None:
-        if self._sock is not None:
-            self._sock.close()
-            self._sock = None
+        """Close the connection.  Idempotent; safe after any error."""
+        sock, self._sock = self._sock, None
+        self._pending_response = False
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
 
     def __enter__(self) -> "WorkloadClient":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    def _require_usable(self) -> None:
+        if self._sock is None:
+            raise RuntimeError("client is closed")
+        if self._broken:
+            raise ProtocolError(
+                "connection is unrecoverable after a protocol error; "
+                "open a new WorkloadClient")
+
+    def _send(self, payload: object) -> None:
+        try:
+            self.bytes_sent += send_frame_blocking(self._sock, payload)
+        except OSError:
+            self._broken = True
+            raise
+
+    def _recv(self) -> object | None:
+        """One counted frame; framing/socket failures break the client."""
+        try:
+            frame, n = recv_frame_counted(self._sock)
+        except (ProtocolError, OSError):
+            self._broken = True
+            raise
+        self.bytes_received += n
+        return frame
+
+    def _unrecoverable(self, message: str) -> ProtocolError:
+        self._broken = True
+        return ProtocolError(message)
 
     # ------------------------------------------------------------------
     def _drain_pending_response(self) -> None:
@@ -250,14 +327,14 @@ class WorkloadClient:
         answers were for a request the caller walked away from.
         """
         while self._pending_response:
-            frame = recv_frame_blocking(self._sock)
+            frame = self._recv()
             if frame is None:
-                raise ProtocolError("server closed mid-response")
+                raise self._unrecoverable("server closed mid-response")
             kind = frame.get("type") if isinstance(frame, dict) else None
             if kind in ("done", "error"):
                 self._pending_response = False
             elif kind != "shard":
-                raise ProtocolError(f"unexpected frame {frame!r}")
+                raise self._unrecoverable(f"unexpected frame {frame!r}")
 
     def stream(self, workload: Workload) -> Iterator[ShardAnswer]:
         """Send one workload; yield decoded shard answers as frames land.
@@ -269,17 +346,17 @@ class WorkloadClient:
         request on this connection first drains the rest of the old
         response.
         """
-        if self._sock is None:
-            raise RuntimeError("client is closed")
+        self._require_usable()
         self._drain_pending_response()
         codec = WorkloadCodec()
-        send_frame_blocking(self._sock, codec.encode_workload(workload))
+        self._send(codec.encode_workload(workload))
+        self.requests += 1
         self._pending_response = True
         seen = 0
         while True:
-            frame = recv_frame_blocking(self._sock)
+            frame = self._recv()
             if frame is None:
-                raise ProtocolError("server closed mid-response")
+                raise self._unrecoverable("server closed mid-response")
             kind = frame.get("type") if isinstance(frame, dict) else None
             if kind == "shard":
                 seen += 1
@@ -287,7 +364,7 @@ class WorkloadClient:
             elif kind == "done":
                 self._pending_response = False
                 if frame.get("n_shards") != seen:
-                    raise ProtocolError(
+                    raise self._unrecoverable(
                         f"server announced {frame.get('n_shards')} shards "
                         f"but sent {seen}")
                 self._last_executor = frame.get("executor", "remote")
@@ -297,7 +374,30 @@ class WorkloadClient:
                 raise ProtocolError(
                     f"server error: {frame.get('message', 'unknown')}")
             else:
-                raise ProtocolError(f"unexpected frame {frame!r}")
+                raise self._unrecoverable(f"unexpected frame {frame!r}")
+
+    def stats(self) -> dict:
+        """The server's live engine statistics (one ``stats`` round trip).
+
+        Returns the server's reply — ``{"executor": ..., "engine":
+        {...}}`` with the engine dict exactly as
+        :meth:`repro.engine.core.Engine.stats` reports it server-side
+        (cache hit rates, index build counts).
+        """
+        self._require_usable()
+        self._drain_pending_response()
+        self._send({"type": "stats"})
+        self.requests += 1
+        frame = self._recv()
+        if frame is None:
+            raise self._unrecoverable("server closed mid-response")
+        kind = frame.get("type") if isinstance(frame, dict) else None
+        if kind == "stats":
+            return {k: v for k, v in frame.items() if k != "type"}
+        if kind == "error":
+            raise ProtocolError(
+                f"server error: {frame.get('message', 'unknown')}")
+        raise self._unrecoverable(f"unexpected frame {frame!r}")
 
     def run(self, workload: Workload) -> WorkloadResult:
         """Remote evaluation with the deterministic position-aligned merge."""

@@ -125,16 +125,31 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame_blocking(sock: socket.socket, payload: Any) -> None:
-    sock.sendall(encode_frame(payload))
+def send_frame_blocking(sock: socket.socket, payload: Any) -> int:
+    """Send one frame; returns the number of bytes written (prefix incl.)."""
+    data = encode_frame(payload)
+    sock.sendall(data)
+    return len(data)
+
+
+def recv_frame_counted(sock: socket.socket) -> tuple[Any | None, int]:
+    """Read one frame plus its on-wire size (``(None, 0)`` on clean EOF).
+
+    The byte count feeds the remote backend's observability (bytes per
+    round trip); the payload is exactly :func:`recv_frame_blocking`'s.
+    """
+    prefix = _recv_exactly(sock, _LENGTH.size)
+    if not prefix:
+        return None, 0
+    length = _checked_length(prefix)
+    body = _recv_exactly(sock, length)
+    return _decode_body(body), _LENGTH.size + length
 
 
 def recv_frame_blocking(sock: socket.socket) -> Any | None:
     """Read one frame from a blocking socket; ``None`` on clean EOF."""
-    prefix = _recv_exactly(sock, _LENGTH.size)
-    if not prefix:
-        return None
-    return _decode_body(_recv_exactly(sock, _checked_length(prefix)))
+    payload, _ = recv_frame_counted(sock)
+    return payload
 
 
 # ---------------------------------------------------------------------------

@@ -288,3 +288,147 @@ def test_invalidate_drops_stale_graph_index():
     g.add_edge("y", "a", "z")
     engine.invalidate(g)
     assert engine.evaluate_rpq(query, g) == {("x", "z")}
+
+
+# ---------------------------------------------------------------------------
+# Observability: stats() aggregation and reset_stats()
+# ---------------------------------------------------------------------------
+
+
+def test_stats_count_cache_hits_and_index_builds():
+    engine = Engine()
+    doc = xml("<a><b/><b/></a>")
+    query = parse_twig("//b")
+    engine.evaluate_twig(query, doc)
+    cold = engine.stats()
+    assert cold["document_builds"] == 1
+    assert cold["twig_query_misses"] == 1
+    assert cold["twig_query_hits"] == 0
+    # A warm repeat is a pure cache hit — no rebuild, hits > 0.
+    engine.evaluate_twig(query, doc)
+    warm = engine.stats()
+    assert warm["twig_query_hits"] == 1
+    assert warm["document_builds"] == 1
+    assert warm["index_builds"] == 1
+
+
+def test_version_bump_shows_up_as_a_rebuild():
+    engine = Engine()
+    doc = xml("<a><b/></a>")
+    query = parse_twig("//b")
+    engine.evaluate_twig(query, doc)
+    engine.evaluate_twig(query, doc)
+    assert engine.stats()["document_builds"] == 1
+    doc.invalidate()  # version bump: next evaluation must reindex
+    engine.evaluate_twig(query, doc)
+    after = engine.stats()
+    assert after["document_builds"] == 2
+    # The replaced index's hit/miss history is retired, not lost.
+    assert after["twig_query_hits"] == 1
+    assert after["twig_query_misses"] == 2
+
+
+def test_graph_builds_and_rpq_counters_aggregate():
+    engine = Engine()
+    g = Graph()
+    g.add_edge("x", "a", "y")
+    query = parse_regex("a")
+    engine.evaluate_rpq(query, g)
+    engine.evaluate_rpq(query, g)
+    stats = engine.stats()
+    assert stats["graph_builds"] == 1
+    assert stats["rpq_source_hits"] > 0
+    g.add_edge("y", "a", "z")  # mutators bump the graph version
+    engine.evaluate_rpq(query, g)
+    assert engine.stats()["graph_builds"] == 2
+
+
+def test_reset_stats_zeroes_counters_but_keeps_caches():
+    engine = Engine()
+    doc = xml("<a><b/></a>")
+    query = parse_twig("//b")
+    engine.evaluate_twig(query, doc)
+    engine.evaluate_twig(query, doc)
+    engine.reset_stats()
+    zeroed = engine.stats()
+    assert zeroed["document_builds"] == 0
+    assert zeroed["twig_query_hits"] == 0
+    assert zeroed["twig_query_misses"] == 0
+    assert zeroed["documents"] == 1  # the index itself survives
+    # The next evaluation is still a warm hit (cache kept), counted anew.
+    engine.evaluate_twig(query, doc)
+    assert engine.stats() == {**zeroed, "twig_query_hits": 1}
+
+
+def test_dead_instance_counters_are_retired_not_lost():
+    import gc
+
+    engine = Engine()
+    doc = xml("<a><b/></a>")
+    query = parse_twig("//b")
+    engine.evaluate_twig(query, doc)
+    engine.evaluate_twig(query, doc)
+    del doc
+    gc.collect()
+    stats = engine.stats()
+    assert stats["documents"] == 0
+    assert stats["twig_query_hits"] == 1
+    assert stats["twig_query_misses"] == 1
+    assert stats["document_builds"] == 1
+
+
+def test_lru_reset_stats():
+    cache = LRUCache(4)
+    cache.put("k", 1)
+    cache.get("k")
+    cache.get("missing")
+    assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+    cache.reset_stats()
+    assert cache.stats() == {"size": 1, "hits": 0, "misses": 0}
+    assert cache.get("k") == 1  # entries survive a stats reset
+
+
+def test_replaced_indexes_are_not_pinned_by_stats_finalizers():
+    # Regression: the stats-retirement finalizer used to hold a strong
+    # reference to every replaced index, leaking one full snapshot per
+    # invalidate/rebuild cycle for the instance's lifetime.
+    import gc
+    import weakref
+
+    engine = Engine()
+    doc = xml("<a><b/></a>")
+    query = parse_twig("//b")
+    stale_refs = []
+    for _ in range(5):
+        engine.evaluate_twig(query, doc)
+        stale_refs.append(weakref.ref(engine._documents[doc]))
+        doc.invalidate()
+    engine.evaluate_twig(query, doc)
+    gc.collect()
+    assert all(ref() is None for ref in stale_refs), (
+        "replaced index snapshots stayed alive while the tree lives")
+    # History still aggregates across all six builds.
+    stats = engine.stats()
+    assert stats["document_builds"] == 6
+    assert stats["twig_query_misses"] == 6
+
+
+def test_short_lived_engines_are_not_pinned_by_finalizers():
+    # Regression: the instance-death finalizer used to capture a bound
+    # method, so every engine stayed alive (with its full index maps)
+    # for as long as any document it ever indexed.
+    import gc
+    import weakref
+
+    docs = [xml("<a><b/></a>") for _ in range(3)]
+    query = parse_twig("//b")
+    engine_refs = []
+    for _ in range(5):
+        engine = Engine()
+        for doc in docs:
+            engine.evaluate_twig(query, doc)
+        engine_refs.append(weakref.ref(engine))
+        del engine
+    gc.collect()
+    assert all(ref() is None for ref in engine_refs), (
+        "dead engines stayed pinned while their documents live")

@@ -38,6 +38,14 @@ def test_geo_paths(capsys):
     assert "<paths>" in out
 
 
+def test_remote_learning(capsys):
+    out = run_example("remote_learning.py", capsys)
+    assert "workload server listening on" in out
+    assert "learned query  : TwigQuery('/site/people/person[phone]/name')" \
+        in out
+    assert "local parity   : identical query and question sequence" in out
+
+
 @pytest.mark.slow
 def test_schema_aware_learning(capsys):
     out = run_example("schema_aware_learning.py", capsys)

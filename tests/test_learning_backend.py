@@ -1,0 +1,475 @@
+"""The evaluation-backend seam: every learner gets identical answers —
+same learned query, same question sequence, same node *objects* — on
+:class:`LocalBackend`, :class:`BatchedBackend` (all executors), and
+:class:`RemoteBackend` over a real TCP server.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Engine
+from repro.learning.backend import (
+    BatchedBackend,
+    EvaluationBackend,
+    LocalBackend,
+    RemoteBackend,
+    Workload,
+    as_backend,
+)
+from repro.learning.crowd import CrowdBudget, crowd_learn_twig
+from repro.learning.interactive import InteractiveJoinSession
+from repro.learning.join_learner import PairExample, learn_join
+from repro.learning.pac import pac_learn_twig
+from repro.learning.path_learner import check_path_consistency
+from repro.learning.protocol import NodeExample
+from repro.learning.semijoin_learner import LeftExample, greedy_semijoin
+from repro.learning.twig_negative import check_consistency
+from repro.learning.union_learner import learn_union_twig
+from repro.learning.xml_session import InteractiveTwigSession
+from repro.relational.generator import make_join_instance
+from repro.serving import (
+    AsyncBatchEvaluator,
+    BatchEvaluator,
+    ProcessExecutor,
+    SerialExecutor,
+    ServerThread,
+    ThreadExecutor,
+)
+from repro.twig.generator import canonical_query_for_node
+from repro.twig.parse import parse_twig
+from repro.xmltree.tree import XTree
+
+from .conftest import identical_answers, xml, xnode_trees
+
+# ---------------------------------------------------------------------------
+# The backend roster (module-scoped: one process pool, one TCP server)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def process_executor():
+    with ProcessExecutor(2) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def thread_executor():
+    with ThreadExecutor(3) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(AsyncBatchEvaluator(engine=Engine())) as server_thread:
+        yield server_thread
+
+
+@pytest.fixture
+def all_backends(thread_executor, process_executor, server):
+    """One of each: local, batched serial/thread/process, remote TCP."""
+    backends = [
+        LocalBackend(engine=Engine()),
+        BatchedBackend(engine=Engine(), executor=SerialExecutor()),
+        BatchedBackend(evaluator=BatchEvaluator(engine=Engine(),
+                                                executor=thread_executor)),
+        BatchedBackend(evaluator=BatchEvaluator(engine=Engine(),
+                                                executor=process_executor)),
+        RemoteBackend(*server.address),
+    ]
+    yield backends
+    for backend in backends:
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Raw answer parity
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(roots=st.lists(xnode_trees(), min_size=1, max_size=4),
+       data=st.data())
+def test_membership_shapes_identical_on_every_backend(roots, data):
+    docs = [XTree(r) for r in roots]
+    tree = docs[data.draw(st.integers(0, len(docs) - 1))]
+    nodes = list(tree.nodes())
+    node = nodes[data.draw(st.integers(0, len(nodes) - 1))]
+    query = canonical_query_for_node(tree, node)
+    candidates = [(doc, n) for doc in docs for n in doc.nodes()]
+
+    baseline = LocalBackend(engine=Engine())
+    base_answers = baseline.evaluate_twig_batch(query, docs)
+    base_flags = baseline.selects_batch(query, candidates)
+    assert base_flags[candidates.index((tree, node))]
+
+    with ServerThread(AsyncBatchEvaluator(engine=Engine())) as srv:
+        others = [BatchedBackend(engine=Engine()),
+                  RemoteBackend(*srv.address)]
+        for backend in others:
+            assert identical_answers(
+                backend.evaluate_twig_batch(query, docs), base_answers)
+            assert backend.selects_batch(query, candidates) == base_flags
+            streamed = [None] * len(candidates)
+            for group in backend.selects_stream(query, candidates):
+                for position, flag in group:
+                    streamed[position] = flag
+            assert streamed == base_flags
+            assert backend.selects(query, tree, node)
+            backend.close()
+
+
+def test_accepts_shapes_identical_on_every_backend(all_backends):
+    from repro.graphdb.pathquery import PathQuery
+
+    query = PathQuery.parse("road+.rail?")
+    words = [("road",), ("rail",), ("road", "road"), ("road", "rail"),
+             ("rail", "road"), ()]
+    baseline = all_backends[0]
+    base_flags = baseline.accepts_batch(query, words)
+    for backend in all_backends[1:]:
+        assert backend.accepts_batch(query, words) == base_flags
+        assert [backend.accepts(query, w) for w in words] == base_flags
+        assert backend.accepts_any(query, words) == any(base_flags)
+        assert not backend.accepts_any(query, [("rail", "rail")])
+
+
+def test_none_hypothesis_selects_nothing_everywhere(all_backends):
+    doc = xml("<a><b/><b/></a>")
+    candidates = [(doc, n) for n in doc.nodes()]
+    for backend in all_backends:
+        assert backend.selects_batch(None, candidates) == [False] * 3
+        assert not backend.selects_any(None, candidates)
+        assert not backend.selects(None, doc, doc.root)
+        groups = list(backend.selects_stream(None, candidates))
+        assert sorted(p for g in groups for p, _ in g) == [0, 1, 2]
+        assert not any(flag for g in groups for _, flag in g)
+
+
+def test_map_and_map_stream_are_order_preserving(all_backends):
+    items = list(range(23))
+    for backend in all_backends:
+        assert backend.map(lambda x: x * x, items) == [x * x for x in items]
+        merged = [None] * len(items)
+        for group in backend.map_stream(lambda x: -x, items):
+            for position, value in group:
+                merged[position] = value
+        assert merged == [-x for x in items]
+
+
+# ---------------------------------------------------------------------------
+# Sessions and learners are backend-invariant
+# ---------------------------------------------------------------------------
+
+
+def _session_docs():
+    return [
+        xml("<site><people><person><name>n</name><phone>1</phone></person>"
+            "<person><name>m</name></person></people></site>"),
+        xml("<site><people><person><name>o</name><phone>2</phone>"
+            "</person></people></site>"),
+    ]
+
+
+def test_twig_session_invariant_across_backends(all_backends):
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    baseline = InteractiveTwigSession(docs, goal,
+                                      backend=all_backends[0]).run()
+    for backend in all_backends[1:]:
+        result = InteractiveTwigSession(docs, goal, backend=backend).run()
+        assert result.query == baseline.query
+        assert result.stats == baseline.stats
+        assert result.stats.asked == baseline.stats.asked
+
+
+def test_join_session_invariant_across_backends(all_backends):
+    inst = make_join_instance(rng=3, goal_pairs=2, left_rows=6,
+                              right_rows=6, domain=5)
+    baseline = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                      max_pool=40, rng=5,
+                                      backend=all_backends[0]).run()
+    for backend in all_backends[1:]:
+        result = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                        max_pool=40, rng=5,
+                                        backend=backend).run()
+        assert result.predicate == baseline.predicate
+        assert result.stats == baseline.stats
+
+
+@settings(max_examples=10, deadline=None)
+@given(roots=st.lists(xnode_trees(max_depth=3), min_size=2, max_size=3),
+       data=st.data())
+def test_pac_learning_invariant_across_backends(roots, data):
+    """Satellite: pac_learn_twig produces identical results on every
+    backend — local, batched (thread + process pools are exercised by the
+    fixture-driven variant below), and remote."""
+    docs = [XTree(r) for r in roots]
+    tree = docs[data.draw(st.integers(0, len(docs) - 1))]
+    nodes = list(tree.nodes())
+    node = nodes[data.draw(st.integers(0, len(nodes) - 1))]
+    goal = canonical_query_for_node(tree, node)
+
+    def run(backend: EvaluationBackend):
+        rng = random.Random(7)
+        pool = [(doc, n) for doc in docs for n in doc.nodes()]
+        engine = Engine()
+        first = [(tree, node)]  # guarantee at least one positive draw
+
+        def sampler() -> NodeExample:
+            t, n = first.pop() if first else pool[rng.randrange(len(pool))]
+            return NodeExample(t, n, engine.selects(goal, t, n))
+
+        try:
+            result = pac_learn_twig(sampler, max_examples=12, budget=64,
+                                    backend=backend)
+        finally:
+            backend.close()
+        return (result.query.canonical(), result.empirical_error,
+                result.n_examples, result.consistent)
+
+    baseline = run(LocalBackend(engine=Engine()))
+    assert run(BatchedBackend(engine=Engine())) == baseline
+    with ServerThread(AsyncBatchEvaluator(engine=Engine())) as srv:
+        assert run(RemoteBackend(*srv.address)) == baseline
+
+
+def test_pac_learning_invariant_on_pooled_executors(all_backends):
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]")
+    results = []
+    for backend in all_backends:
+        rng = random.Random(11)
+        pool = [(doc, n) for doc in docs for n in doc.nodes()]
+        engine = Engine()
+
+        def sampler() -> NodeExample:
+            t, n = pool[rng.randrange(len(pool))]
+            return NodeExample(t, n, engine.selects(goal, t, n))
+
+        result = pac_learn_twig(sampler, max_examples=10, budget=64,
+                                backend=backend)
+        results.append((result.query.canonical(), result.empirical_error,
+                        result.consistent))
+    assert all(r == results[0] for r in results[1:])
+
+
+def test_crowd_loop_invariant_across_backends(all_backends):
+    """Satellite: the crowd loop — an interactive session priced as HITs
+    — asks the same questions and bills the same on every backend."""
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    budget = CrowdBudget(cost_per_hit=0.10, redundancy=3)
+    baseline = crowd_learn_twig(docs, goal, budget=budget,
+                                backend=all_backends[0])
+    for backend in all_backends[1:]:
+        result = crowd_learn_twig(docs, goal, budget=budget, backend=backend)
+        assert result.query == baseline.query
+        assert result.stats == baseline.stats
+        assert result.stats.asked == baseline.stats.asked
+        assert result.costed.spent == baseline.costed.spent
+        assert result.costed.saved == baseline.costed.saved
+    assert baseline.costed.spent == \
+        pytest.approx(baseline.stats.questions * 3 * 0.10)
+
+
+def test_consistency_union_and_path_learners_across_backends(all_backends):
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    engine = Engine()
+    examples = []
+    for doc in docs:
+        selected = {id(n) for n in engine.evaluate_twig(goal, doc)}
+        for n in doc.nodes():
+            if n.label == "name":
+                examples.append(NodeExample(doc, n, id(n) in selected))
+    baseline_consistency = check_consistency(examples,
+                                             backend=all_backends[0])
+    baseline_union = learn_union_twig(examples, backend=all_backends[0])
+    baseline_path = check_path_consistency(
+        [("road", "road"), ("road",)], [("rail",), ("road", "rail")],
+        backend=all_backends[0])
+    for backend in all_backends[1:]:
+        result = check_consistency(examples, backend=backend)
+        assert result.consistent == baseline_consistency.consistent
+        assert (result.query.canonical() ==
+                baseline_consistency.query.canonical())
+        union = learn_union_twig(examples, backend=backend)
+        assert ([d.canonical() for d in union.query.disjuncts] ==
+                [d.canonical() for d in baseline_union.query.disjuncts])
+        assert union.consistent == baseline_union.consistent
+        path = check_path_consistency(
+            [("road", "road"), ("road",)], [("rail",), ("road", "rail")],
+            backend=backend)
+        assert path.consistent == baseline_path.consistent
+        assert path.violated == baseline_path.violated
+
+
+def test_relational_learners_backend_map_parity(all_backends):
+    inst = make_join_instance(rng=13, goal_pairs=2, left_rows=6,
+                              right_rows=6, domain=4)
+    pool = [(lrow, rrow) for lrow in inst.left for rrow in inst.right]
+    examples = [
+        PairExample(lrow, rrow,
+                    bool(inst.goal <= frozenset()) or i % 3 == 0)
+        for i, (lrow, rrow) in enumerate(pool[:12])
+    ]
+    semi_examples = [LeftExample(row, i % 2 == 0)
+                     for i, row in enumerate(inst.left)]
+    try:
+        baseline_join = learn_join(inst.left, inst.right, examples)
+    except Exception as exc:  # noqa: BLE001 - parity includes failures
+        baseline_join = type(exc)
+    baseline_semi = greedy_semijoin(inst.left, inst.right, semi_examples)
+    for backend in all_backends:
+        try:
+            join = learn_join(inst.left, inst.right, examples,
+                              backend=backend)
+        except Exception as exc:  # noqa: BLE001
+            assert type(exc) is baseline_join
+        else:
+            assert join.predicate == baseline_join.predicate
+        semi = greedy_semijoin(inst.left, inst.right, semi_examples,
+                               backend=backend)
+        assert semi.predicate == baseline_semi.predicate
+        assert semi.ignored_positives == baseline_semi.ignored_positives
+
+
+# ---------------------------------------------------------------------------
+# The deprecation shim and parameter resolution
+# ---------------------------------------------------------------------------
+
+
+def test_evaluator_parameter_still_works_with_deprecation_warning():
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    baseline = InteractiveTwigSession(docs, goal,
+                                      backend=LocalBackend(Engine())).run()
+    with pytest.warns(DeprecationWarning, match="evaluator= .* deprecated"):
+        shimmed = InteractiveTwigSession(
+            docs, goal, evaluator=BatchEvaluator(engine=Engine())).run()
+    assert shimmed.query == baseline.query
+    assert shimmed.stats == baseline.stats
+
+
+def test_backend_and_evaluator_together_is_an_error():
+    with pytest.raises(ValueError, match="not both"):
+        as_backend(LocalBackend(Engine()), BatchEvaluator())
+
+
+def test_as_backend_resolution_rules():
+    backend = LocalBackend(Engine())
+    assert as_backend(backend) is backend
+    assert isinstance(as_backend(None), BatchedBackend)
+    assert isinstance(as_backend(None, default=LocalBackend), LocalBackend)
+    wrapped = as_backend(BatchEvaluator())
+    assert isinstance(wrapped, BatchedBackend)
+    with pytest.raises(TypeError, match="EvaluationBackend"):
+        as_backend("nope")
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def test_local_and_batched_stats_expose_engine_counters():
+    doc = xml("<a><b/><b/></a>")
+    query = parse_twig("//b")
+    local = LocalBackend(engine=Engine())
+    local.evaluate_twig_batch(query, [doc])
+    local.evaluate_twig_batch(query, [doc])
+    stats = local.stats()
+    assert stats["backend"] == "local"
+    assert stats["batches"] == 2 and stats["items"] == 2
+    assert stats["engine"]["twig_query_hits"] == 1
+    assert stats["engine"]["document_builds"] == 1
+
+    batched = BatchedBackend(engine=Engine())
+    batched.evaluate_twig_batch(query, [doc])
+    stats = batched.stats()
+    assert stats["backend"] == "batched"
+    assert stats["executor"] == "serial"
+    assert stats["shards"] == 1
+    assert stats["engine"]["document_builds"] == 1
+    batched.reset_stats()
+    assert batched.stats()["batches"] == 0
+    assert batched.stats()["shards"] == 0
+
+
+def test_remote_stats_report_round_trips_bytes_and_server_engine(server):
+    doc = xml("<a><b/><b/></a>")
+    query = parse_twig("//b")
+    with RemoteBackend(*server.address) as backend:
+        before = server.server.evaluator.engine.stats()["document_builds"]
+        backend.evaluate_twig_batch(query, [doc])
+        stats = backend.stats()
+        assert stats["backend"] == "remote"
+        assert stats["round_trips"] >= 1
+        assert stats["bytes_sent"] > 0 and stats["bytes_received"] > 0
+        engine_stats = stats["server"]["engine"]
+        assert engine_stats["document_builds"] == before + 1
+
+
+def test_backend_close_contracts():
+    # BatchedBackend closes an executor it constructed...
+    backend = BatchedBackend(engine=Engine(), executor=ThreadExecutor(2))
+    backend.evaluate_twig_batch(parse_twig("//b"), [xml("<a><b/></a>")])
+    backend.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        backend.executor.map(lambda c: c, [()])
+    # ...but not one the caller supplied via a ready evaluator.
+    with ThreadExecutor(2) as executor:
+        shared = BatchedBackend(
+            evaluator=BatchEvaluator(engine=Engine(), executor=executor))
+        shared.close()
+        assert executor.map(lambda c: c, [(1,)]) == [(1,)]
+
+
+def test_remote_backend_owns_or_shares_its_client(server):
+    with RemoteBackend(*server.address) as owned:
+        client = owned.client
+    with pytest.raises(RuntimeError, match="closed"):
+        client.stats()
+    from repro.serving import WorkloadClient
+
+    with WorkloadClient(*server.address) as shared_client:
+        backend = RemoteBackend(client=shared_client)
+        backend.close()  # does NOT close the caller's client
+        assert shared_client.stats()["executor"] == "serial"
+    with pytest.raises(ValueError, match="not both"):
+        RemoteBackend("h", 1, client=shared_client)
+
+
+def test_workload_reexport_builds_mixed_batches(all_backends):
+    docs = _session_docs()
+    query = parse_twig("//person/name")
+    workload = Workload.twig(query, docs)
+    baseline = all_backends[0].evaluate_batch(workload)
+    for backend in all_backends[1:]:
+        result = backend.evaluate_batch(workload)
+        assert identical_answers(result.answers, baseline.answers)
+
+
+def test_remote_backend_rejects_closed_client(server):
+    from repro.serving import WorkloadClient
+
+    client = WorkloadClient(*server.address)
+    client.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        RemoteBackend(client=client)
+
+
+def test_closed_remote_backend_refuses_instead_of_redialling(server):
+    backend = RemoteBackend(*server.address)
+    backend.evaluate_twig_batch(parse_twig("//b"), [xml("<a><b/></a>")])
+    backend.close()
+    connections = len(backend._clients)
+    with pytest.raises(RuntimeError, match="closed"):
+        backend.evaluate_twig_batch(parse_twig("//b"), [xml("<a><b/></a>")])
+    backend.close()  # idempotent
+    assert len(backend._clients) == connections  # no resurrected sockets

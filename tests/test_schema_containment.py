@@ -116,17 +116,19 @@ def _random_schema(rng: random.Random) -> DMS:
 @settings(max_examples=200, deadline=None)
 @given(st.integers(0, 10_000))
 @example(56)  # regression: the oracle's old extra=1 cap missed a(z,z)
+@example(1949)  # regression: the minimal counterexample needs depth 5
 def test_ptime_matches_brute_force(seed):
     rng = random.Random(seed)
     s1, s2 = _random_schema(rng), _random_schema(rng)
     fast = schema_contains(s1, s2)
-    slow = schema_contains_brute_force(s1, s2, max_trees=600, max_depth=4)
+    slow = schema_contains_brute_force(s1, s2, max_trees=600, max_depth=5)
     if fast:
         # PTIME containment is exact; brute force (bounded) must agree.
         assert slow
     else:
-        # A counterexample may need deeper trees than the brute bound, but
-        # on these 4-label schemas depth 4 suffices in practice.
+        # A counterexample may need deeper trees than the brute bound;
+        # depth 4 is NOT enough on these 4-label schemas (seed 1949's
+        # minimal witness is a depth-5 tree), depth 5 has no known miss.
         assert not slow
 
 
@@ -150,6 +152,25 @@ def test_seed56_two_child_witness_regression():
     assert schema_contains_brute_force(left, right, max_trees=600,
                                        max_depth=4, extra=1), \
         "extra=1 unexpectedly found a witness; update this regression"
+
+
+def test_seed1949_depth5_witness_regression():
+    """The exact schema pair hypothesis seed 1949 draws.
+
+    ``schema_contains`` correctly reports non-containment, but the
+    minimal counterexample tree is five levels deep (a chain through
+    ``x -> y+ || z`` and ``y -> (x|z)``), so a brute-force oracle bounded
+    at ``max_depth=4`` wrongly agrees with containment — the bound, not
+    the PTIME check, was at fault.
+    """
+    rng = random.Random(1949)
+    left, right = _random_schema(rng), _random_schema(rng)
+    assert not schema_contains(left, right)
+    assert not schema_contains_brute_force(left, right,
+                                           max_trees=600, max_depth=5)
+    assert schema_contains_brute_force(left, right,
+                                       max_trees=20_000, max_depth=4), \
+        "depth 4 unexpectedly found a witness; update this regression"
 
 
 def test_brute_force_default_extra_exceeds_rhs_caps():

@@ -15,6 +15,7 @@ from repro.engine import Engine
 from repro.graphdb.graph import Graph
 from repro.graphdb.pathquery import PathQuery
 from repro.graphdb.regex import parse_regex
+from repro.learning.backend import BatchedBackend
 from repro.learning.xml_session import InteractiveTwigSession
 from repro.serving import (
     AsyncBatchEvaluator,
@@ -289,11 +290,11 @@ def test_streaming_session_identical_to_batch_baseline():
                 "</people></site>")]
     goal = parse_twig("//person[phone]")
     baseline = InteractiveTwigSession(
-        docs, goal, evaluator=BatchEvaluator(engine=Engine())).run()
+        docs, goal, backend=BatchedBackend(engine=Engine())).run()
     recorder = RecordingSerialExecutor()
     streamed = InteractiveTwigSession(
         docs, goal,
-        evaluator=BatchEvaluator(engine=Engine(), executor=recorder)).run()
+        backend=BatchedBackend(engine=Engine(), executor=recorder)).run()
     assert streamed.query == baseline.query
     assert streamed.stats.questions == baseline.stats.questions
     assert streamed.stats.implied_positive == baseline.stats.implied_positive

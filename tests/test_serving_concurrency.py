@@ -17,6 +17,7 @@ from repro.engine import Engine, LRUCache, get_engine, reset_engine
 from repro.graphdb.graph import Graph
 from repro.graphdb.pathquery import PathQuery
 from repro.graphdb.regex import parse_regex
+from repro.learning.backend import BatchedBackend
 from repro.learning.graph_session import InteractivePathSession
 from repro.learning.interactive import InteractiveJoinSession
 from repro.learning.xml_session import InteractiveTwigSession
@@ -345,11 +346,11 @@ def test_twig_session_identical_under_thread_executor():
     ]
     goal = parse_twig("//person[phone]/name")
     baseline = InteractiveTwigSession(
-        docs, goal, evaluator=BatchEvaluator(executor=SerialExecutor())).run()
+        docs, goal, backend=BatchedBackend(executor=SerialExecutor())).run()
     with ThreadExecutor(3) as executor:
         threaded = InteractiveTwigSession(
             docs, goal,
-            evaluator=BatchEvaluator(executor=executor)).run()
+            backend=BatchedBackend(executor=executor)).run()
     assert threaded.query == baseline.query
     assert threaded.stats == baseline.stats
 
@@ -365,7 +366,7 @@ def test_path_session_identical_under_thread_executor():
     with ThreadExecutor(3) as executor:
         threaded = InteractivePathSession(
             g, "s", "t", goal,
-            evaluator=BatchEvaluator(executor=executor)).run()
+            backend=BatchedBackend(executor=executor)).run()
     assert threaded.query == baseline.query
     assert threaded.stats == baseline.stats
 
@@ -378,6 +379,71 @@ def test_join_session_identical_under_thread_executor():
     with ThreadExecutor(3) as executor:
         threaded = InteractiveJoinSession(
             inst.left, inst.right, inst.goal, max_pool=60, rng=5,
-            evaluator=BatchEvaluator(executor=executor)).run()
+            backend=BatchedBackend(executor=executor)).run()
     assert threaded.predicate == baseline.predicate
     assert threaded.stats == baseline.stats
+
+
+# ---------------------------------------------------------------------------
+# Sessions are backend-invariant (local / batched / remote TCP)
+# ---------------------------------------------------------------------------
+
+
+def test_sessions_identical_across_all_three_backends():
+    """The backend seam's end-to-end contract, deterministic by
+    construction (seeded RNGs, no wall-clock dependence): every session
+    asks the same questions — in the same order — and learns the same
+    query on LocalBackend, BatchedBackend, and RemoteBackend over a real
+    TCP server."""
+    from repro.learning.backend import (
+        BatchedBackend,
+        LocalBackend,
+        RemoteBackend,
+    )
+    from repro.serving import AsyncBatchEvaluator, ServerThread
+
+    docs = [
+        xml("<site><people><person><name>n</name><phone>1</phone></person>"
+            "<person><name>m</name></person></people></site>"),
+        xml("<site><people><person><name>o</name><phone>2</phone>"
+            "</person></people></site>"),
+    ]
+    twig_goal = parse_twig("//person[phone]/name")
+    g = Graph()
+    g.add_edge("s", "road", "m")
+    g.add_edge("m", "road", "t")
+    g.add_edge("s", "rail", "t")
+    g.add_edge("m", "rail", "t")
+    path_goal = PathQuery.parse("road+")
+    inst = make_join_instance(rng=3, goal_pairs=2, left_rows=8,
+                              right_rows=8, domain=5)
+
+    def run_all(backend):
+        twig = InteractiveTwigSession(docs, twig_goal,
+                                      backend=backend).run()
+        path = InteractivePathSession(g, "s", "t", path_goal,
+                                      backend=backend).run()
+        join = InteractiveJoinSession(inst.left, inst.right, inst.goal,
+                                      max_pool=60, rng=5,
+                                      backend=backend).run()
+        return twig, path, join
+
+    baseline = run_all(LocalBackend(engine=Engine()))
+    with ThreadExecutor(3) as executor:
+        batched = run_all(BatchedBackend(engine=Engine(),
+                                         executor=executor))
+    with ServerThread(AsyncBatchEvaluator(engine=Engine())) as server:
+        with RemoteBackend(*server.address) as backend:
+            remote = run_all(backend)
+
+    for twig, path, join in (batched, remote):
+        base_twig, base_path, base_join = baseline
+        assert twig.query == base_twig.query
+        assert twig.stats == base_twig.stats
+        assert twig.stats.asked == base_twig.stats.asked
+        assert path.query == base_path.query
+        assert path.stats == base_path.stats
+        assert path.stats.asked == base_path.stats.asked
+        assert join.predicate == base_join.predicate
+        assert join.stats == base_join.stats
+        assert join.stats.asked == base_join.stats.asked

@@ -339,3 +339,113 @@ def test_server_thread_rejects_bad_bind():
     with pytest.raises(OSError):
         ServerThread(AsyncBatchEvaluator(engine=Engine()),
                      host="203.0.113.1")  # TEST-NET, not routable locally
+
+
+# ---------------------------------------------------------------------------
+# Observability: the stats frame and client counters
+# ---------------------------------------------------------------------------
+
+
+def test_stats_frame_reports_live_server_engine_counters():
+    engine = Engine()
+    with ThreadExecutor(2) as executor:
+        with ServerThread(AsyncBatchEvaluator(
+                engine=engine, executor=executor)) as server:
+            with WorkloadClient(*server.address) as client:
+                before = client.stats()
+                assert before["executor"] == "thread"
+                assert before["engine"]["document_builds"] == \
+                    engine.stats()["document_builds"]
+                workload = Workload.twig(parse_twig("//b"),
+                                         [xml("<a><b/></a>")])
+                client.run(workload)
+                after = client.stats()
+                # Live server-side counters: the workload's decoded
+                # document was indexed between the two probes.
+                assert (after["engine"]["document_builds"] ==
+                        before["engine"]["document_builds"] + 1)
+                assert after["engine"] == engine.stats()
+
+
+def test_client_counts_requests_and_bytes(process_server):
+    workload = Workload.twig(parse_twig("//b"), [xml("<a><b/></a>")])
+    with WorkloadClient(*process_server.address) as client:
+        assert (client.requests, client.bytes_sent,
+                client.bytes_received) == (0, 0, 0)
+        client.run(workload)
+        assert client.requests == 1
+        sent_one, received_one = client.bytes_sent, client.bytes_received
+        assert sent_one > 0 and received_one > 0
+        client.stats()
+        assert client.requests == 2
+        assert client.bytes_sent > sent_one
+        assert client.bytes_received > received_one
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: context managers, idempotent close, broken connections
+# ---------------------------------------------------------------------------
+
+
+def test_client_close_is_idempotent(process_server):
+    client = WorkloadClient(*process_server.address)
+    assert not client.closed
+    client.close()
+    assert client.closed
+    client.close()  # second close is a no-op, not an error
+    with pytest.raises(RuntimeError, match="closed"):
+        client.stats()
+
+
+def test_client_survives_server_error_frames(process_server):
+    workload = Workload.twig(parse_twig("//b"), [xml("<a><b/></a>")])
+    g = _geo_graph()
+    # Decodes fine, fails during evaluation: unknown source vertex.
+    failing = Workload.rpq(parse_regex("road"), [g], sources=[(9, 9)])
+    with WorkloadClient(*process_server.address) as client:
+        # A server-reported error keeps the connection aligned...
+        with pytest.raises(ProtocolError, match="server error"):
+            list(client.stream(failing))
+        # ...and the very same client still serves requests and stats.
+        assert len(client.run(workload)) == 1
+        assert "engine" in client.stats()
+
+
+def test_client_marks_framing_failure_unrecoverable():
+    # A server that sends garbage instead of protocol frames.
+    bad = socket.socket()
+    bad.bind(("127.0.0.1", 0))
+    bad.listen(1)
+
+    import threading
+
+    def serve_garbage():
+        conn, _ = bad.accept()
+        conn.recv(65536)
+        conn.sendall(encode_frame(["what", "even", "is", "this"]))
+        conn.close()
+
+    thread = threading.Thread(target=serve_garbage, daemon=True)
+    thread.start()
+    client = WorkloadClient(*bad.getsockname())
+    workload = Workload.twig(parse_twig("//b"), [xml("<a><b/></a>")])
+    with pytest.raises(ProtocolError, match="unexpected frame"):
+        list(client.stream(workload))
+    # The byte stream cannot realign: further requests fail fast...
+    with pytest.raises(ProtocolError, match="unrecoverable"):
+        list(client.stream(workload))
+    with pytest.raises(ProtocolError, match="unrecoverable"):
+        client.stats()
+    # ...and close() stays safe and idempotent after the failure.
+    client.close()
+    client.close()
+    thread.join()
+    bad.close()
+
+
+def test_server_thread_close_is_idempotent():
+    server = ServerThread(AsyncBatchEvaluator(engine=Engine()))
+    with WorkloadClient(*server.address) as client:
+        assert "engine" in client.stats()
+    server.close()
+    server.close()  # second close joins an already-finished thread
