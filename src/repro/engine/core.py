@@ -249,6 +249,19 @@ class Engine:
         """Most specific twig selecting ``node`` in ``tree`` (cached)."""
         return self.document(tree).canonical_query(node)
 
+    def preorder_nodes(self, tree: XTree) -> list[XNode]:
+        """The tree's pre-order node list, served from the index snapshot.
+
+        The serving tier's answer codec encodes twig answers as pre-order
+        positions once per request; routing the enumeration through the
+        (version-checked, cached) :class:`IndexedDocument` means a warm
+        instance — e.g. one held by the content-addressed
+        :class:`~repro.serving.instance_cache.InstanceStore` — pays the
+        traversal once per version, not once per round.  Callers must
+        treat the list as read-only; it is the index's own snapshot.
+        """
+        return self.document(tree).nodes
+
     # ------------------------------------------------------------------
     # Graph / path-query evaluation
     # ------------------------------------------------------------------

@@ -49,7 +49,6 @@ backends by construction, not by parallel re-implementation.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable, Iterator, Sequence
 from typing import Any
 
@@ -64,6 +63,7 @@ from repro.serving.evaluator import (
 )
 from repro.serving.executors import ShardExecutor
 from repro.serving.net import WorkloadClient
+from repro.serving.wire import instance_fingerprint
 from repro.serving.workload import (
     ItemKind,
     Shard,
@@ -146,6 +146,13 @@ class EvaluationBackend:
         #: Client-side engine for hypothesis *construction* (canonical
         #: queries, candidate-path enumeration) — never remote.
         self.engine = engine if engine is not None else get_engine()
+        #: Content-addressing registry: digests of instances the
+        #: backend's evaluation tier already holds.  Local and batched
+        #: backends evaluate in-process against the caller's own objects,
+        #: so the registry stays empty (there is nothing to ship); the
+        #: remote backend shares one registry across its whole connection
+        #: pool, which is what makes a session ship each instance once.
+        self.known_digests: set[str] = set()
         self._batches = 0
         self._items = 0
         self._map_calls = 0
@@ -309,6 +316,20 @@ class EvaluationBackend:
         """Candidate-pool enumeration for the graph sessions (cached)."""
         return self.engine.words_between(graph, source, target,
                                          max_length=max_length, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Content addressing (no-op except on the remote tier)
+    # ------------------------------------------------------------------
+    def warm_instances(self, instances: Sequence[object]) -> dict[str, int]:
+        """Pre-register instances with the backend's evaluation tier.
+
+        A remote backend ships the full records up front (one
+        ``put_instances`` round trip), so the session's first evaluation
+        round already sends refs; locally there is nothing to ship —
+        indexes build lazily on first evaluation — and this is a no-op
+        returning zero counters, keeping the call backend-invariant.
+        """
+        return {"shipped": 0, "bytes": 0}
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -479,6 +500,15 @@ class RemoteBackend(EvaluationBackend):
     is bounded by the request nesting depth (two for every session in
     the library).
 
+    Instances are **shipped once per backend**: one
+    :attr:`~EvaluationBackend.known_digests` registry spans the whole
+    pool, so whichever pooled connection carries a round, instances the
+    server already holds travel as content-addressed refs.  The registry
+    is optimistic — a server-side eviction surfaces as one transparent
+    ``need_instances`` re-ship, never an error — and
+    :meth:`warm_instances` pre-ships a corpus so even the first round
+    sends refs.  :meth:`stats` reports the bytes the refs saved.
+
     Single-word :meth:`accepts` probes are memoised client-side (they
     are pure in ``(query, word)``), so oracle-style repeated probes do
     not pay a round trip each; :meth:`accepts_any` short-circuits by
@@ -552,18 +582,37 @@ class RemoteBackend(EvaluationBackend):
     def _run(self, workload: Workload) -> WorkloadResult:
         client = self._checkout()
         try:
-            return client.run(workload)
+            return client.run(workload, known_digests=self.known_digests)
         finally:
             self._checkin(client)
 
     def _stream(self, workload: Workload) -> Iterator[ShardAnswer]:
         client = self._checkout()
         try:
-            yield from client.stream(workload)
+            yield from client.stream(workload,
+                                     known_digests=self.known_digests)
         finally:
             # Runs on completion, on abandonment (generator close), and
             # on error; an abandoned response drains on next checkout.
             self._checkin(client)
+
+    def warm_instances(self, instances: Sequence[object]) -> dict[str, int]:
+        """Ship a corpus to the server's store before the first round."""
+        fresh: dict[str, int] = {}  # digest -> encoded size, deduplicated
+        to_ship = []
+        for instance in instances:
+            digest, size = instance_fingerprint(instance)
+            if digest not in self.known_digests and digest not in fresh:
+                fresh[digest] = size
+                to_ship.append(instance)
+        if not to_ship:
+            return {"shipped": 0, "bytes": 0}
+        client = self._checkout()
+        try:
+            shipped = client.put_instances(to_ship, self.known_digests)
+        finally:
+            self._checkin(client)
+        return {"shipped": len(shipped), "bytes": sum(fresh.values())}
 
     def accepts(self, query: object, word: Sequence[str]) -> bool:
         key = (query_key(query), tuple(word))
@@ -590,7 +639,11 @@ class RemoteBackend(EvaluationBackend):
                "round_trips": sum(c.requests for c in self._clients),
                "bytes_sent": sum(c.bytes_sent for c in self._clients),
                "bytes_received": sum(c.bytes_received
-                                     for c in self._clients)}
+                                     for c in self._clients),
+               "instances_shipped": sum(c.instances_shipped
+                                        for c in self._clients),
+               "bytes_saved": sum(c.bytes_saved for c in self._clients),
+               "known_digests": len(self.known_digests)}
         try:
             client = self._checkout()
             try:
@@ -617,29 +670,20 @@ class RemoteBackend(EvaluationBackend):
 
 def as_backend(
     backend: EvaluationBackend | None = None,
-    evaluator: BatchEvaluator | None = None,
     *,
     default: Callable[[], EvaluationBackend] = BatchedBackend,
 ) -> EvaluationBackend:
-    """Resolve the ``backend=`` / deprecated ``evaluator=`` parameter pair.
+    """Resolve the ``backend=`` parameter of every learner and session.
 
-    Every learner and session funnels its parameters through here: a
-    ready backend passes through, a bare :class:`BatchEvaluator` (the
-    pre-backend signature, kept for one release) is wrapped in a
-    :class:`BatchedBackend` with a :class:`DeprecationWarning`, and
-    ``None`` falls back to ``default()`` — :class:`BatchedBackend` for
-    the interactive sessions (their historical path), and callers that
-    were previously inline-engine pass ``default=LocalBackend``.
+    A ready backend passes through, a bare :class:`BatchEvaluator` in
+    the backend slot is wrapped in a :class:`BatchedBackend` (tolerated
+    shorthand), and ``None`` falls back to ``default()`` —
+    :class:`BatchedBackend` for the interactive sessions (their
+    historical path), and callers that were previously inline-engine
+    pass ``default=LocalBackend``.  (The transitional ``evaluator=``
+    keyword and its :class:`DeprecationWarning` shim served their one
+    release after the backend seam landed and are gone.)
     """
-    if evaluator is not None:
-        if backend is not None:
-            raise ValueError(
-                "pass backend= or the deprecated evaluator=, not both")
-        warnings.warn(
-            "the evaluator= parameter is deprecated; pass "
-            "backend=BatchedBackend(evaluator) (or any EvaluationBackend)",
-            DeprecationWarning, stacklevel=3)
-        return BatchedBackend(evaluator)
     if backend is None:
         return default()
     if isinstance(backend, EvaluationBackend):

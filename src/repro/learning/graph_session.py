@@ -21,7 +21,6 @@ number of questions, with/without priors (experiment E8).
 
 from __future__ import annotations
 
-import typing
 from dataclasses import dataclass
 
 from repro.errors import LearningError
@@ -32,8 +31,6 @@ from repro.learning.path_learner import lgg_path, normalize
 from repro.learning.protocol import SessionStats
 from repro.learning.workload import WorkloadPriors
 
-if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
-    from repro.serving import BatchEvaluator
 
 Word = tuple[str, ...]
 
@@ -66,7 +63,6 @@ class InteractivePathSession:
         max_length: int = 8,
         max_candidates: int = 200,
         backend: EvaluationBackend | None = None,
-        evaluator: "BatchEvaluator | None" = None,
     ) -> None:
         self.graph = graph
         self.goal = goal
@@ -77,7 +73,7 @@ class InteractivePathSession:
         # flags).  The candidate enumeration is backend-served and cached
         # per (graph, endpoints) — always client-side pool construction,
         # even on a remote backend.
-        self.backend = as_backend(backend, evaluator)
+        self.backend = as_backend(backend)
         self.candidates = self.backend.words_between(
             graph, source, target, max_length=max_length,
             limit=max_candidates)

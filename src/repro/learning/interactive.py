@@ -29,7 +29,6 @@ minimisation metric (and its crowdsourcing cost in the HIT reading).
 from __future__ import annotations
 
 import itertools
-import typing
 from dataclasses import dataclass
 
 from repro.engine import LRUCache
@@ -45,8 +44,6 @@ from repro.relational.predicates import AttributePair, predicate_selects
 from repro.relational.relation import Relation, Row
 from repro.util.rng import RngLike, make_rng
 
-if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
-    from repro.serving import BatchEvaluator
 
 Pair = tuple[Row, Row]
 
@@ -144,7 +141,6 @@ class InteractiveJoinSession:
         max_pool: int | None = None,
         rng: RngLike = None,
         backend: EvaluationBackend | None = None,
-        evaluator: "BatchEvaluator | None" = None,
     ) -> None:
         self.left = left
         self.right = right
@@ -154,7 +150,7 @@ class InteractiveJoinSession:
         # runs through the evaluation backend, consumed chunk-by-chunk as
         # chunks complete; flags are reassembled by position, so the
         # proposal sequence is identical under any backend/executor.
-        self.backend = as_backend(backend, evaluator)
+        self.backend = as_backend(backend)
         r = make_rng(rng)
         pool = [(lrow, rrow) for lrow in left for rrow in right]
         pool.sort(key=repr)

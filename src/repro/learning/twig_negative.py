@@ -25,7 +25,6 @@ answer is definitive, otherwise the result is reported as inconclusive.
 
 from __future__ import annotations
 
-import typing
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -37,8 +36,6 @@ from repro.twig.ast import TwigQuery
 from repro.twig.normalize import minimize
 from repro.twig.product import iter_products
 
-if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
-    from repro.serving import BatchEvaluator
 
 
 @dataclass
@@ -75,7 +72,6 @@ def check_consistency(
     branching: int = 8,
     practical: bool = True,
     backend: EvaluationBackend | None = None,
-    evaluator: "BatchEvaluator | None" = None,
 ) -> ConsistencyResult:
     """Is some anchored twig consistent with the labelled examples?
 
@@ -90,7 +86,7 @@ def check_consistency(
     if not positives:
         raise LearningError("at least one positive example is required")
 
-    backend = as_backend(backend, evaluator, default=LocalBackend)
+    backend = as_backend(backend, default=LocalBackend)
     canonicals = [backend.canonical_query(e.tree, e.node) for e in positives]
 
     # Depth-first over example folds; at each fold, try alignment

@@ -36,7 +36,6 @@ sequence so the invariance suites can assert exactly that).
 
 from __future__ import annotations
 
-import typing
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -48,9 +47,6 @@ from repro.twig.ast import TwigQuery
 from repro.twig.normalize import minimize
 from repro.twig.product import product
 from repro.xmltree.tree import XNode, XTree
-
-if typing.TYPE_CHECKING:  # the deprecated evaluator= parameter's type
-    from repro.serving import BatchEvaluator
 
 Candidate = tuple[XTree, XNode]
 
@@ -75,7 +71,6 @@ class InteractiveTwigSession:
         max_pool: int | None = 300,
         practical: bool = True,
         backend: EvaluationBackend | None = None,
-        evaluator: "BatchEvaluator | None" = None,
     ) -> None:
         if not documents:
             raise LearningError("the session needs at least one document")
@@ -83,7 +78,7 @@ class InteractiveTwigSession:
         self.oracle = TwigOracle(goal)
         self.schema = schema
         self.practical = practical
-        self.backend = as_backend(backend, evaluator)
+        self.backend = as_backend(backend)
         pool: list[Candidate] = []
         # Stable question descriptors for SessionStats.asked: the node's
         # (document position, pre-order position), identical across

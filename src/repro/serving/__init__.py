@@ -52,6 +52,15 @@ Architecture
     onto its *own* instances (twig answers by pre-order position), so a
     remote run is answer-identical to a local one.
 
+:class:`~repro.serving.instance_cache.InstanceStore`
+    The server's content-addressed instance cache: decoded documents and
+    graphs keyed by structural digest
+    (:func:`~repro.serving.wire.instance_digest`), shared across
+    connections, bounded LRU by encoded size.  Clients send ``ref``
+    records for digests the server holds — the corpus ships once, its
+    indexes stay warm, and an eviction is repaired by one
+    ``need_instances`` round trip instead of an error.
+
 Contracts
 ---------
 * **Parity**: ``run(workload).answers[i]`` equals the serial engine call
@@ -84,8 +93,19 @@ from repro.serving.executors import (
     ShardExecutor,
     ThreadExecutor,
 )
-from repro.serving.net import ServerThread, WorkloadClient, WorkloadServer
-from repro.serving.wire import ProtocolError, WorkloadCodec
+from repro.serving.instance_cache import InstanceStore
+from repro.serving.net import (
+    ServerThread,
+    ShardGate,
+    WorkloadClient,
+    WorkloadServer,
+)
+from repro.serving.wire import (
+    NeedInstances,
+    ProtocolError,
+    WorkloadCodec,
+    instance_digest,
+)
 from repro.serving.workload import (
     ItemKind,
     Shard,
@@ -98,7 +118,9 @@ from repro.serving.workload import (
 __all__ = [
     "AsyncBatchEvaluator",
     "BatchEvaluator",
+    "InstanceStore",
     "ItemKind",
+    "NeedInstances",
     "ProcessExecutor",
     "ProtocolError",
     "SerialExecutor",
@@ -106,6 +128,7 @@ __all__ = [
     "Shard",
     "ShardAnswer",
     "ShardExecutor",
+    "ShardGate",
     "ShardTask",
     "ThreadExecutor",
     "Workload",
@@ -114,4 +137,5 @@ __all__ = [
     "WorkloadItem",
     "WorkloadResult",
     "WorkloadServer",
+    "instance_digest",
 ]

@@ -72,7 +72,8 @@ class AsyncBatchEvaluator:
     # ------------------------------------------------------------------
     # The streaming primitive
     # ------------------------------------------------------------------
-    async def stream(self, workload: Workload) -> AsyncIterator[ShardAnswer]:
+    async def stream(self, workload: Workload, *,
+                     gate=None) -> AsyncIterator[ShardAnswer]:
         """Yield per-shard answers as they complete, loop never blocked.
 
         Completion order is scheduling-dependent; the payloads are not —
@@ -81,6 +82,22 @@ class AsyncBatchEvaluator:
         synchronous batch answers exactly (the evaluator's parity and
         snapshot contracts hold unchanged, including the isolated path's
         refuse-to-decode-across-versions guard).
+
+        ``gate`` is an optional admission limiter (``await acquire()`` /
+        ``release()``, FIFO — the server's shard-admission semaphore):
+        one slot is held per in-flight shard, acquired *before*
+        submission so an over-limit workload queues instead of erroring.
+        Each task releases its slot through a done-callback the moment
+        it finishes (success, failure, or cancellation) — never from
+        this consumer loop, which may itself be waiting on a slot while
+        earlier shards complete: releasing from the loop would deadlock
+        the whole server whenever the executor is wider than the gate.
+        The pending acquisition is *raced* against shard completions,
+        so a queued submission never delays the yield of an answer that
+        already exists — gating bounds concurrency, not streaming
+        latency.  Abandonment cancels the in-flight tasks (and releases
+        an acquired-but-unused slot), so a dead request cannot leak
+        admission slots.
         """
         shards = workload.shards()
         if not shards:
@@ -100,20 +117,43 @@ class AsyncBatchEvaluator:
                 raw = future.result()
             return i, decode(i, raw)
 
+        def launch(i: int) -> asyncio.Task:
+            task = asyncio.ensure_future(run_one(i))
+            if gate is not None:
+                task.add_done_callback(lambda _t: gate.release())
+            return task
+
         in_flight: set[asyncio.Task] = set()
+        acquiring: asyncio.Task | None = None
         next_shard = 0
         try:
-            while next_shard < len(shards) or in_flight:
-                while next_shard < len(shards) and len(in_flight) < width:
-                    in_flight.add(
-                        asyncio.ensure_future(run_one(next_shard)))
+            while next_shard < len(shards) or in_flight or acquiring:
+                if next_shard < len(shards) and len(in_flight) < width \
+                        and acquiring is None:
+                    if gate is None:
+                        in_flight.add(launch(next_shard))
+                        next_shard += 1
+                        continue
+                    acquiring = asyncio.ensure_future(gate.acquire())
+                wait_for = in_flight | ({acquiring} if acquiring else set())
+                done, _ = await asyncio.wait(
+                    wait_for, return_when=asyncio.FIRST_COMPLETED)
+                if acquiring is not None and acquiring.done():
+                    done.discard(acquiring)
+                    acquiring.result()  # surface acquisition failures
+                    acquiring = None
+                    in_flight.add(launch(next_shard))
                     next_shard += 1
-                done, in_flight = await asyncio.wait(
-                    in_flight, return_when=asyncio.FIRST_COMPLETED)
                 for task in done:
+                    in_flight.discard(task)
                     i, answers = task.result()
                     yield ShardAnswer(i, shards[i].indices, answers)
         finally:
+            if acquiring is not None and not acquiring.cancel() \
+                    and not acquiring.cancelled() \
+                    and acquiring.exception() is None:
+                # The slot was acquired but its shard never launched.
+                gate.release()
             for task in in_flight:
                 task.cancel()
 

@@ -44,6 +44,7 @@ per-interaction loop the interactive sessions previously ran one
 from __future__ import annotations
 
 import concurrent.futures
+from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -51,6 +52,7 @@ from typing import Any
 from repro.engine import Engine, get_engine
 from repro.graphdb.graph import Graph, VertexId
 from repro.serving.executors import SerialExecutor, ShardExecutor
+from repro.serving.wire import instance_fingerprint
 from repro.serving.workload import (
     ItemKind,
     Shard,
@@ -70,7 +72,13 @@ class ShardTask:
     ``payload`` is the instance in transfer form — the document's root
     :class:`~repro.xmltree.tree.XNode` (plain structure, no caches or
     id-keyed maps) or the :class:`~repro.graphdb.graph.Graph` itself;
-    acceptance shards carry no instance.  Answers come back identity-free
+    acceptance shards carry no instance.  ``digest`` is the instance's
+    structural content address
+    (:func:`~repro.serving.wire.instance_fingerprint`): a worker keeps a
+    small digest-keyed cache of reconstructed instances, so repeated
+    rounds over the same instance reuse the worker's warm index instead
+    of rebuilding it per batch (positions are structural, so answers off
+    the cached copy are identical).  Answers come back identity-free
     (positions / vertex pairs / booleans), ready for the parent to decode
     against its own objects.
     """
@@ -80,16 +88,68 @@ class ShardTask:
     queries: tuple
     words: tuple[Word, ...] | None = None
     sources: tuple = ()
+    digest: str | None = None
+
+
+#: Per-worker-process digest -> reconstructed instance (LRU by count).
+#: Strong references on purpose: they keep the worker engine's weak-keyed
+#: indexes alive between batches.  A plain OrderedDict rather than
+#: :class:`~repro.engine.cache.LRUCache` because the drift check below
+#: needs per-key removal, which LRUCache does not expose.
+_WORKER_INSTANCE_CAP = 64
+_worker_instances: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _worker_instance(task: ShardTask, rebuild: Callable[[], object]) -> object:
+    """The worker's canonical instance for a task (digest-cached).
+
+    Entries are *content-verified* both entering and leaving the cache:
+    ``task.digest`` was computed at task construction, but the payload
+    can drift past it — an in-process "isolated" executor hands the
+    parent's live objects straight to this function, and a real pool's
+    feeder thread pickles the payload after submission — so a payload
+    whose digest no longer matches evaluates uncached, and a cached
+    entry whose content drifted (the parent mutated the live object it
+    lent us) is dropped and rebuilt instead of silently answering for a
+    structure the caller no longer has.  The hit-path check is one memo
+    lookup (:func:`~repro.serving.wire.instance_fingerprint` caches per
+    instance version); only an actual mutation pays a re-encode.
+    """
+    if task.digest is None:
+        return rebuild()
+    instance = _worker_instances.get(task.digest)
+    if instance is not None \
+            and instance_fingerprint(instance)[0] != task.digest:
+        del _worker_instances[task.digest]
+        instance = None
+    if instance is None:
+        instance = rebuild()
+        if instance_fingerprint(instance)[0] != task.digest:
+            return instance
+        _worker_instances[task.digest] = instance
+        while len(_worker_instances) > _WORKER_INSTANCE_CAP:
+            _worker_instances.popitem(last=False)
+    else:
+        _worker_instances.move_to_end(task.digest)
+    return instance
 
 
 def _run_shard_task(task: ShardTask) -> tuple:
     """Evaluate one shard in a worker process (identity-free answers)."""
     engine = get_engine()  # the worker process's own engine
     if task.kind is ItemKind.TWIG:
-        doc_index = engine.document(XTree(task.payload))
+        # The cached tree is a *copy*: in-process isolated executors hand
+        # over the parent's live root, whose later mutations a fresh
+        # XTree wrapper (version 0) would hide from the hit-path digest
+        # check — a frozen snapshot cannot drift under its digest.  One
+        # O(n) copy per (digest, worker), amortised across every batch
+        # that hits the warm index.
+        tree = _worker_instance(task, lambda: XTree(task.payload.copy()))
+        doc_index = engine.document(tree)
         return tuple(doc_index.evaluate_indices(q) for q in task.queries)
     if task.kind is ItemKind.RPQ:
-        graph_index = engine.graph(task.payload)
+        graph = _worker_instance(task, lambda: task.payload)
+        graph_index = engine.graph(graph)
         return tuple(graph_index.evaluate_rpq(q, sources)
                      for q, sources in zip(task.queries, task.sources))
     return tuple(engine.accepts(task.queries[0], word)
@@ -372,12 +432,15 @@ class BatchEvaluator:
     def _make_task(shard: Shard) -> ShardTask:
         queries = tuple(item.query for item in shard.items)
         if shard.kind is ItemKind.TWIG:
-            return ShardTask(shard.kind, shard.items[0].instance.root,
-                             queries)
+            instance = shard.items[0].instance
+            return ShardTask(shard.kind, instance.root, queries,
+                             digest=instance_fingerprint(instance)[0])
         if shard.kind is ItemKind.RPQ:
-            return ShardTask(shard.kind, shard.items[0].instance, queries,
+            instance = shard.items[0].instance
+            return ShardTask(shard.kind, instance, queries,
                              sources=tuple(item.sources
-                                           for item in shard.items))
+                                           for item in shard.items),
+                             digest=instance_fingerprint(instance)[0])
         return ShardTask(shard.kind, None, (shard.items[0].query,),
                          words=tuple(item.word for item in shard.items))
 

@@ -1,0 +1,106 @@
+"""The server-side content-addressed instance cache.
+
+:class:`InstanceStore` maps structural digests
+(:func:`repro.serving.wire.instance_digest`) to **decoded** instances —
+one :class:`~repro.xmltree.tree.XTree` / :class:`~repro.graphdb.graph.Graph`
+object per digest, shared across connections and requests.  That single
+canonical object is the whole point: the engine's index map is weakly
+keyed by object identity, so every workload that resolves a digest to the
+stored object evaluates against the instance's *warm* index — the corpus
+is shipped once, indexed once, and reused for the rest of the session.
+
+The store is a bounded LRU over **encoded size** (the wire bytes the
+record occupied, a good proxy for index memory): a ``put`` that pushes
+the total over ``max_bytes`` evicts least-recently-used entries first.
+Eviction is always safe — in-flight requests hold strong references to
+the instances they decoded, and a later workload referencing an evicted
+digest gets a ``need_instances`` reply (the client re-ships), never an
+error.  Hit/miss/eviction counters surface through the wire ``stats``
+frame and the HTTP ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+#: Default cache budget: 256 MiB of encoded instances.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class InstanceStore:
+    """Bounded, thread-safe LRU of digest → decoded instance."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be a positive integer, got {max_bytes!r}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        # digest -> (instance, encoded_size); insertion/access order is
+        # the LRU order (least recent first).
+        self._entries: "OrderedDict[str, tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> object | None:
+        """The stored instance for ``digest`` (LRU-touched), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, digest: str, instance: object, size: int) -> None:
+        """Store one decoded instance; evicts LRU entries over budget.
+
+        Idempotent per digest (a re-put refreshes recency, keeps the
+        original object so existing index reuse is never broken).  The
+        just-inserted entry is never evicted by its own ``put`` — an
+        instance larger than the whole budget is admitted alone and ages
+        out on the next insertion.
+        """
+        with self._lock:
+            existing = self._entries.get(digest)
+            if existing is not None:
+                self._entries.move_to_end(digest)
+                return
+            self._entries[digest] = (instance, size)
+            self._bytes += size
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, old_size) = self._entries.popitem(last=False)
+                self._bytes -= old_size
+                self._evictions += 1
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """JSON-encodable counters (shipped on the wire ``stats`` frame)."""
+        with self._lock:
+            return {"instances": len(self._entries), "bytes": self._bytes,
+                    "max_bytes": self.max_bytes, "hits": self._hits,
+                    "misses": self._misses, "evictions": self._evictions}
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their history)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (f"<InstanceStore {stats['instances']} instances "
+                f"{stats['bytes']}/{stats['max_bytes']} bytes>")

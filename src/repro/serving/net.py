@@ -7,7 +7,10 @@ The request/response cycle on one connection::
       |<---------------- shard frame ------|  (as each shard completes)
       |<---------------- shard frame ------|
       |<---------------- done frame -------|
-      |-- workload frame ----------------->|  connections are reusable
+      |-- workload frame (instance refs) ->|  content-addressed round
+      |<-------- need_instances frame -----|  (only if a digest is gone)
+      |-- put_instances frame ------------->|
+      |<---------------- shard frame ------|
       ...
 
 Frames are the length-prefixed JSON of :mod:`repro.serving.wire`; a
@@ -15,13 +18,26 @@ request that fails to decode or evaluate produces an ``error`` frame
 (with the exception text) instead of killing the connection.  A
 ``{"type": "stats"}`` request frame is answered with one ``stats``
 frame carrying the server engine's live cache/index statistics
-(:meth:`repro.engine.core.Engine.stats`) — the observability endpoint a
-remote learner polls through :meth:`WorkloadClient.stats`.  Because
+(:meth:`repro.engine.core.Engine.stats`), the content-addressed
+instance-cache counters, and the shard-admission state — the
+observability endpoint a remote learner polls through
+:meth:`WorkloadClient.stats` (and, when ``stats_port`` is set, a plain
+``GET /stats`` HTTP endpoint serves the same JSON to scrapers).  Because
 shard frames go out the moment the
 :class:`~repro.serving.async_evaluator.AsyncBatchEvaluator` stream
 yields them, a client sees its first answers while the server is still
 evaluating the rest of the batch — the network mirror of the in-process
 streaming contract.
+
+Instances are content-addressed across the whole tier
+(:class:`~repro.serving.instance_cache.InstanceStore`): every decoded
+document/graph is stored by structural digest and shared across
+connections, so a session ships its corpus **once** — later rounds send
+``ref`` records, the store resolves them to the *same* decoded objects,
+and the engine serves their warm indexes instead of rebuilding per
+round.  Eviction is negotiated, never fatal: a workload referencing an
+evicted digest gets one ``need_instances`` frame, the client re-ships,
+and the request proceeds.
 
 :class:`WorkloadServer` is the asyncio endpoint (embed it in an existing
 event loop via ``await start()`` / ``await aclose()``, or run it
@@ -37,15 +53,19 @@ run.
 from __future__ import annotations
 
 import asyncio
+import json
 import socket
 import threading
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 
 from repro.serving.async_evaluator import AsyncBatchEvaluator
 from repro.serving.executors import ShardExecutor
+from repro.serving.instance_cache import InstanceStore
 from repro.serving.wire import (
+    NeedInstances,
     ProtocolError,
     WorkloadCodec,
+    instance_fingerprint,
     read_frame,
     recv_frame_counted,
     send_frame_blocking,
@@ -54,29 +74,91 @@ from repro.serving.wire import (
 from repro.serving.workload import ShardAnswer, Workload, WorkloadResult
 
 
+class ShardGate:
+    """FIFO admission control: at most ``limit`` shards in flight.
+
+    One gate per server, shared by every connection: a greedy client's
+    over-limit shard submissions *queue* on the semaphore (asyncio wakes
+    waiters first-come-first-served) instead of erroring or starving the
+    executor; interleaved with other connections' waiters, that is the
+    server's fairness floor.  ``in_flight`` is observability only.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(
+                f"max_inflight_shards must be positive, got {limit!r}")
+        self.limit = limit
+        self.in_flight = 0
+        self._semaphore = asyncio.Semaphore(limit)
+
+    async def acquire(self) -> None:
+        await self._semaphore.acquire()
+        self.in_flight += 1
+
+    def release(self) -> None:
+        self.in_flight -= 1
+        self._semaphore.release()
+
+
 class WorkloadServer:
-    """An ``asyncio.start_server`` endpoint over an async evaluator."""
+    """An ``asyncio.start_server`` endpoint over an async evaluator.
+
+    ``instance_store`` is the content-addressed instance cache (a
+    default-sized :class:`~repro.serving.instance_cache.InstanceStore`
+    when omitted; pass one to share a corpus across servers or to bound
+    its budget).  ``max_inflight_shards`` bounds concurrently evaluating
+    shards across *all* connections (queued FIFO over the limit, never
+    an error).  ``stats_port`` additionally serves ``GET /stats`` over
+    plain HTTP on that port — the same JSON as the wire ``stats`` frame,
+    scrapeable with stdlib tooling alone.
+    """
 
     def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 instance_store: InstanceStore | None = None,
+                 max_inflight_shards: int | None = None,
+                 stats_port: int | None = None) -> None:
         self.evaluator = evaluator if evaluator is not None \
             else AsyncBatchEvaluator()
         self.host = host
         self.port = port
+        self.instance_store = instance_store if instance_store is not None \
+            else InstanceStore()
+        self._gate = None if max_inflight_shards is None \
+            else ShardGate(max_inflight_shards)
+        self.stats_port = stats_port
         self._server: asyncio.base_events.Server | None = None
+        self._stats_server: asyncio.base_events.Server | None = None
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the bound ``(host, port)``.
 
         ``port=0`` (the default) binds an ephemeral port — read the
-        actual one from the return value or :attr:`port`.
+        actual one from the return value or :attr:`port`.  When
+        ``stats_port`` was given, the HTTP stats endpoint binds too
+        (``stats_port=0`` for an ephemeral one, re-read from
+        :attr:`stats_port`).
         """
         if self._server is not None:
             raise RuntimeError("server already started")
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.stats_port is not None:
+            try:
+                self._stats_server = await asyncio.start_server(
+                    self._handle_stats_http, self.host, self.stats_port)
+            except BaseException:
+                # A failed stats bind must not leak the already-bound
+                # workload listener (or leave start() unretryable).
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
+                raise
+            self.stats_port = \
+                self._stats_server.sockets[0].getsockname()[1]
         return self.host, self.port
 
     async def serve_forever(self) -> None:
@@ -87,6 +169,10 @@ class WorkloadServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        if self._stats_server is not None:
+            self._stats_server.close()
+            await self._stats_server.wait_closed()
+            self._stats_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -107,7 +193,7 @@ class WorkloadServer:
                     break
                 if frame is None:
                     break
-                await self._serve_request(frame, writer)
+                await self._serve_request(frame, reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -123,24 +209,85 @@ class WorkloadServer:
                 # surfacing a cancellation nobody can act on.
                 pass
 
+    def _stats_payload(self) -> dict:
+        """Live server state — one dict, JSON-encodable end to end."""
+        out = {
+            "executor": self.evaluator.executor.name,
+            "engine": self.evaluator.engine.stats(),
+            "instance_cache": self.instance_store.stats(),
+            "admission": {
+                "max_inflight_shards":
+                    None if self._gate is None else self._gate.limit,
+                "in_flight":
+                    0 if self._gate is None else self._gate.in_flight,
+            },
+        }
+        return out
+
+    async def _decode_negotiated(self, frame: dict, codec: WorkloadCodec,
+                                 reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter,
+                                 ) -> Workload | None:
+        """Decode a workload frame, negotiating missing instances.
+
+        A decode that trips on unknown digests answers with one
+        ``need_instances`` frame and expects exactly one ``put_instances``
+        reply; a second miss after the put is the client's bug and
+        surfaces as a server error frame (``None`` return means the
+        connection is gone and the request cycle is over).
+        """
+        try:
+            return codec.decode_workload(frame, store=self.instance_store)
+        except NeedInstances as exc:
+            write_frame(writer, {"type": "need_instances",
+                                 "digests": exc.digests})
+            await writer.drain()
+            reply = await read_frame(reader)
+            if reply is None:
+                return None
+            if not (isinstance(reply, dict)
+                    and reply.get("type") == "put_instances"):
+                raise ProtocolError(
+                    f"expected a put_instances frame after need_instances, "
+                    f"got {reply!r}")
+            codec.decode_put_instances(reply, self.instance_store)
+            # One negotiation round only: missing again means the client
+            # could not (or refused to) supply the digests it referenced.
+            return codec.decode_workload(frame, store=self.instance_store)
+
     async def _serve_request(self, frame: object,
+                             reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
-        if isinstance(frame, dict) and frame.get("type") == "stats":
+        kind = frame.get("type") if isinstance(frame, dict) else None
+        if kind == "stats":
             # Observability probe: no evaluation, one reply frame with
-            # the live engine counters (cache hit rates, index builds).
-            write_frame(writer, {
-                "type": "stats",
-                "executor": self.evaluator.executor.name,
-                "engine": self.evaluator.engine.stats(),
-            })
+            # the live engine counters (cache hit rates, index builds),
+            # instance-cache counters, and admission state.
+            write_frame(writer, {"type": "stats", **self._stats_payload()})
             await writer.drain()
             return
-        codec = WorkloadCodec()
+        if kind == "put_instances":
+            # Proactive corpus warm-up: store the records, acknowledge.
+            try:
+                stored = WorkloadCodec().decode_put_instances(
+                    frame, self.instance_store)
+                write_frame(writer, {"type": "ok", "stored": len(stored)})
+            except Exception as exc:  # noqa: BLE001 - surfaced to the peer
+                write_frame(writer, {"type": "error", "message": str(exc)})
+            await writer.drain()
+            return
+        # The codec serves pre-order enumerations from the engine's index
+        # snapshot: a store-cached instance pays the traversal once per
+        # version, not once per round.
+        codec = WorkloadCodec(preorder=self.evaluator.engine.preorder_nodes)
         stream = None
         try:
-            workload = codec.decode_workload(frame)
+            workload = await self._decode_negotiated(
+                frame, codec, reader, writer)
+            if workload is None:
+                return
             n_shards = 0
-            stream = self.evaluator.stream(workload)
+            stream = self.evaluator.stream(workload, gate=self._gate)
             async for shard_answer in stream:
                 write_frame(writer, codec.encode_shard_answer(
                     workload, shard_answer))
@@ -159,12 +306,70 @@ class WorkloadServer:
                 await stream.aclose()
         await writer.drain()
 
+    # ------------------------------------------------------------------
+    #: Whole-request read budget and header cap for the stats endpoint:
+    #: a scraper is one short GET, so anything slow or bulky is a client
+    #: bug (or a port scanner) and gets a 400, not a pinned coroutine.
+    STATS_HTTP_TIMEOUT = 10.0
+    STATS_HTTP_MAX_HEADERS = 256
+
+    async def _handle_stats_http(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """One-shot ``GET /stats`` over plain HTTP/1.0 (stdlib only)."""
+
+        async def read_request() -> bytes:
+            request_line = await reader.readline()
+            for _ in range(self.STATS_HTTP_MAX_HEADERS):
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            return request_line
+
+        try:
+            try:
+                request_line = await asyncio.wait_for(
+                    read_request(), self.STATS_HTTP_TIMEOUT)
+            except (asyncio.TimeoutError, ValueError):
+                # Stalled mid-request, or a line past the stream's
+                # buffer limit (LimitOverrunError is a ValueError).
+                status, body = "400 Bad Request", b'{"error":"bad request"}'
+            else:
+                parts = request_line.split()
+                path = parts[1].decode("latin-1", "replace") \
+                    if len(parts) >= 2 else ""
+                if len(parts) >= 2 and parts[0] == b"GET" \
+                        and path.partition("?")[0] == "/stats":
+                    status, body = "200 OK", json.dumps(
+                        self._stats_payload()).encode("utf-8")
+                else:
+                    status, body = "404 Not Found", b'{"error":"not found"}'
+            writer.write(
+                (f"HTTP/1.0 {status}\r\n"
+                 f"Content-Type: application/json\r\n"
+                 f"Content-Length: {len(body)}\r\n"
+                 f"Connection: close\r\n\r\n").encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
 
 async def serve(*, host: str = "127.0.0.1", port: int = 0,
-                executor: ShardExecutor | None = None) -> None:
-    """Run a workload server until cancelled (module-level entry point)."""
+                executor: ShardExecutor | None = None,
+                **server_options) -> None:
+    """Run a workload server until cancelled (module-level entry point).
+
+    Extra keyword options (``instance_store``, ``max_inflight_shards``,
+    ``stats_port``) pass through to :class:`WorkloadServer`.
+    """
     server = WorkloadServer(AsyncBatchEvaluator(executor=executor),
-                            host=host, port=port)
+                            host=host, port=port, **server_options)
     bound_host, bound_port = await server.start()
     print(f"serving workloads on {bound_host}:{bound_port}", flush=True)
     await server.serve_forever()
@@ -176,12 +381,16 @@ class ServerThread:
     Lets blocking code (tests, benchmarks, a client process) stand up a
     real TCP endpoint without owning an event loop.  Construction blocks
     until the socket is bound; ``close()`` (or the context manager exit)
-    stops the loop and joins the thread.
+    stops the loop and joins the thread.  Extra keyword options
+    (``instance_store``, ``max_inflight_shards``, ``stats_port``) pass
+    through to the underlying :class:`WorkloadServer`.
     """
 
     def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
-        self.server = WorkloadServer(evaluator, host=host, port=port)
+                 host: str = "127.0.0.1", port: int = 0,
+                 **server_options) -> None:
+        self.server = WorkloadServer(evaluator, host=host, port=port,
+                                     **server_options)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopped: asyncio.Event | None = None
         self._ready = threading.Event()
@@ -196,6 +405,13 @@ class ServerThread:
     @property
     def address(self) -> tuple[str, int]:
         return self.server.host, self.server.port
+
+    @property
+    def stats_address(self) -> tuple[str, int] | None:
+        """The HTTP stats endpoint's ``(host, port)``, if one is bound."""
+        if self.server.stats_port is None:
+            return None
+        return self.server.host, self.server.stats_port
 
     def _run(self) -> None:
         async def main() -> None:
@@ -267,6 +483,11 @@ class WorkloadClient:
         #: Bytes written to / read from the socket, frame prefixes included.
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Content-addressing counters: full instance records shipped,
+        #: and the approximate encoded bytes that sending refs instead of
+        #: full records saved.
+        self.instances_shipped = 0
+        self.bytes_saved = 0
 
     def close(self) -> None:
         """Close the connection.  Idempotent; safe after any error."""
@@ -333,11 +554,24 @@ class WorkloadClient:
             kind = frame.get("type") if isinstance(frame, dict) else None
             if kind in ("done", "error"):
                 self._pending_response = False
+            elif kind == "need_instances":
+                # The abandoned request died mid-negotiation; an empty
+                # put makes the server fail that request with an error
+                # frame (read next), realigning the connection.
+                self._send({"type": "put_instances", "instances": []})
             elif kind != "shard":
                 raise self._unrecoverable(f"unexpected frame {frame!r}")
 
-    def stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+    def stream(self, workload: Workload, *,
+               known_digests: set[str] | None = None,
+               ) -> Iterator[ShardAnswer]:
         """Send one workload; yield decoded shard answers as frames land.
+
+        ``known_digests`` is the caller's registry of instance digests
+        the server is believed to hold: matching instances ship as refs,
+        and digests shipped in full are added to the registry after the
+        send (optimistically — a wrong entry only ever costs the one
+        ``need_instances`` round trip this method answers transparently).
 
         The final ``done`` frame's shard count is cross-checked against
         the frames actually seen; an ``error`` frame raises
@@ -349,9 +583,14 @@ class WorkloadClient:
         self._require_usable()
         self._drain_pending_response()
         codec = WorkloadCodec()
-        self._send(codec.encode_workload(workload))
+        self._send(codec.encode_workload(workload,
+                                         known_digests=known_digests))
         self.requests += 1
         self._pending_response = True
+        self.instances_shipped += len(codec.shipped_digests)
+        self.bytes_saved += codec.bytes_saved
+        if known_digests is not None:
+            known_digests.update(codec.shipped_digests)
         seen = 0
         while True:
             frame = self._recv()
@@ -361,6 +600,24 @@ class WorkloadClient:
             if kind == "shard":
                 seen += 1
                 yield codec.decode_shard_answer(workload, frame)
+            elif kind == "need_instances":
+                # The server evicted digests we sent as refs; re-ship
+                # those full records and keep reading — answers follow.
+                digests = frame.get("digests", ())
+                try:
+                    payload = codec.encode_put_instances(digests)
+                except ProtocolError as exc:
+                    # A digest this request never encoded: peer bug.  The
+                    # server is left awaiting a put we cannot produce, so
+                    # the connection cannot realign — fail fast instead
+                    # of letting the next request hang on the drain.
+                    raise self._unrecoverable(
+                        f"server requested unknown digests: {exc}") from exc
+                self._send(payload)
+                self.instances_shipped += len(digests)
+                self.bytes_saved -= sum(
+                    instance_fingerprint(codec.instance_for(d))[1]
+                    for d in digests)
             elif kind == "done":
                 self._pending_response = False
                 if frame.get("n_shards") != seen:
@@ -375,6 +632,39 @@ class WorkloadClient:
                     f"server error: {frame.get('message', 'unknown')}")
             else:
                 raise self._unrecoverable(f"unexpected frame {frame!r}")
+
+    def put_instances(self, instances: Sequence[object],
+                      known_digests: set[str] | None = None) -> list[str]:
+        """Pre-ship instances to the server's content-addressed store.
+
+        One ``put_instances`` request, acknowledged by an ``ok`` frame;
+        returns the digests shipped and records them in
+        ``known_digests`` so later workloads send refs immediately.
+        """
+        self._require_usable()
+        self._drain_pending_response()
+        codec = WorkloadCodec()
+        digests: list[str] = []
+        for instance in instances:
+            digest = codec.register_instance(instance)
+            if digest not in digests:
+                digests.append(digest)
+        payload = codec.encode_put_instances(digests)
+        self._send(payload)
+        self.requests += 1
+        self.instances_shipped += len(digests)
+        frame = self._recv()
+        if frame is None:
+            raise self._unrecoverable("server closed mid-response")
+        kind = frame.get("type") if isinstance(frame, dict) else None
+        if kind == "error":
+            raise ProtocolError(
+                f"server error: {frame.get('message', 'unknown')}")
+        if kind != "ok":
+            raise self._unrecoverable(f"unexpected frame {frame!r}")
+        if known_digests is not None:
+            known_digests.update(digests)
+        return digests
 
     def stats(self) -> dict:
         """The server's live engine statistics (one ``stats`` round trip).
@@ -399,11 +689,13 @@ class WorkloadClient:
                 f"server error: {frame.get('message', 'unknown')}")
         raise self._unrecoverable(f"unexpected frame {frame!r}")
 
-    def run(self, workload: Workload) -> WorkloadResult:
+    def run(self, workload: Workload, *,
+            known_digests: set[str] | None = None) -> WorkloadResult:
         """Remote evaluation with the deterministic position-aligned merge."""
         answers: list = [None] * len(workload)
         n_shards = 0
-        for shard_answer in self.stream(workload):
+        for shard_answer in self.stream(workload,
+                                        known_digests=known_digests):
             n_shards += 1
             for position, answer in shard_answer:
                 answers[position] = answer

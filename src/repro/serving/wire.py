@@ -26,13 +26,30 @@ executor: twig answers as pre-order positions (the client maps them onto
 answers as booleans.  :class:`WorkloadDecoder` (client side) and
 :class:`WorkloadCodec` (server side) hold the per-instance position maps
 needed for that decode.
+
+Instances are **content-addressed**: every full instance record carries a
+structural digest (:func:`instance_digest` — SHA-256 over the canonical
+JSON encoding, cached per instance version), and a client that knows the
+server already holds a digest may send ``{"type": "ref", "digest": ...}``
+instead of the full record.  The handshake is eviction-safe: a workload
+referencing a digest the server no longer holds is answered with a
+``need_instances`` frame listing the missing digests, the client replies
+with one ``put_instances`` frame carrying the full records, and the
+request proceeds — a stale client guess costs one extra round trip, never
+an error.  ``put_instances`` is also a standalone request (answered with
+an ``ok`` frame), so a session can pre-ship its corpus before the first
+evaluation round.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import socket
 import struct
+import threading
+import weakref
+from collections.abc import Sequence
 from typing import Any
 
 from repro.errors import ReproError
@@ -58,6 +75,22 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 class ProtocolError(ReproError):
     """Malformed frame or unencodable/undecodable payload."""
+
+
+class NeedInstances(ProtocolError):
+    """A workload references digests the decoder's store does not hold.
+
+    Raised by :meth:`WorkloadCodec.decode_workload` when a ``ref`` record
+    cannot be resolved; the server turns it into a ``need_instances``
+    frame (negotiation), while a decode *without* a store surfaces it as
+    the protocol error it then is.
+    """
+
+    def __init__(self, digests: list[str]) -> None:
+        super().__init__(
+            f"workload references {len(digests)} unknown instance "
+            f"digest(s): {digests[:3]}{'...' if len(digests) > 3 else ''}")
+        self.digests = list(digests)
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +349,77 @@ def decode_path_query(obj: dict) -> object:
 
 
 # ---------------------------------------------------------------------------
+# Content-addressed instance records
+# ---------------------------------------------------------------------------
+
+
+def encode_instance_record(instance: object) -> dict:
+    """The full wire record of one instance (no digest field)."""
+    if isinstance(instance, XTree):
+        return {"type": "tree", "root": _encode_tree(instance.root)}
+    if isinstance(instance, Graph):
+        return {"type": "graph", **_encode_graph(instance)}
+    raise ProtocolError(f"unencodable instance {type(instance).__name__}")
+
+
+def _canonical_record_bytes(record: dict) -> bytes:
+    """The digestable form: sorted-key compact JSON, ``digest`` excluded."""
+    if "digest" in record:
+        record = {k: v for k, v in record.items() if k != "digest"}
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def record_digest(record: dict) -> tuple[str, int]:
+    """``(digest, encoded_size)`` of a wire instance record."""
+    body = _canonical_record_bytes(record)
+    return hashlib.sha256(body).hexdigest(), len(body)
+
+
+# Per-instance ``version -> (digest, size)`` memo, weakly keyed so a dead
+# corpus never pins its fingerprints.  A mutation that bumps the instance
+# version (``XTree.invalidate()``, any ``Graph`` mutator) forces a
+# re-encode on the next fingerprint, so the digest tracks structure; a
+# version bump without a structural change recomputes to the same digest
+# (and the server keeps serving its warm copy — correct either way).
+_fingerprints: "weakref.WeakKeyDictionary[object, tuple[int, str, int]]" \
+    = weakref.WeakKeyDictionary()
+_fingerprint_lock = threading.Lock()
+
+
+def _fingerprint_with_record(
+        instance: object) -> tuple[str, int, dict | None]:
+    """``(digest, size, record)`` with at most one structural encode.
+
+    On a memo hit the record is ``None`` (the memo deliberately does not
+    pin encoded corpora in memory — callers encode only when they must
+    ship); on a miss, the record built for hashing is returned so a
+    cold full-ship never encodes the same instance twice.
+    """
+    version = getattr(instance, "_version", 0)
+    with _fingerprint_lock:
+        entry = _fingerprints.get(instance)
+    if entry is not None and entry[0] == version:
+        return entry[1], entry[2], None
+    record = encode_instance_record(instance)
+    digest, size = record_digest(record)
+    with _fingerprint_lock:
+        _fingerprints[instance] = (version, digest, size)
+    return digest, size, record
+
+
+def instance_fingerprint(instance: object) -> tuple[str, int]:
+    """``(digest, encoded_size)`` of an instance, cached per version."""
+    digest, size, _ = _fingerprint_with_record(instance)
+    return digest, size
+
+
+def instance_digest(instance: object) -> str:
+    """The stable structural digest of a document or graph."""
+    return instance_fingerprint(instance)[0]
+
+
+# ---------------------------------------------------------------------------
 # Workload codec
 # ---------------------------------------------------------------------------
 
@@ -333,14 +437,43 @@ class WorkloadCodec:
     twig answer nodes as positions, the client decodes positions back
     onto its own node objects — the same identity-free trick the process
     executor uses, stretched across the socket.
+
+    Instances are content-addressed end to end.  Encoding with
+    ``known_digests`` replaces instances the peer already holds with
+    ``ref`` records (the codec tracks what it shipped, what it ref'd, and
+    the bytes the refs saved); decoding with a ``store`` (any mapping
+    with ``get(digest)``/``put(digest, instance, size)``) canonicalises
+    every record by digest, so repeated rounds resolve to **the same
+    decoded object** — which is exactly what lets the engine's weak-keyed
+    index map serve a warm index instead of rebuilding one per round.
+    ``preorder`` optionally supplies the pre-order node list from a
+    shared snapshot (the server passes
+    :meth:`repro.engine.core.Engine.preorder_nodes`) instead of
+    re-walking the tree per request.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, preorder=None) -> None:
         self._instances: list[object] = []
         self._index_of: dict[int, int] = {}
         self._queries: list[object] = []
         self._query_index_of: dict[int, int] = {}
         self._preorder: dict[int, list[XNode]] = {}
+        self._preorder_fn = preorder
+        self._instance_by_digest: dict[str, object] = {}
+        # Decode-side overlay: every digest this codec (= this request)
+        # has resolved, pinned for the request's lifetime.  It makes one
+        # negotiation round always sufficient — on a tiny store, putting
+        # a missing instance can evict *another* instance the same
+        # workload references, but the overlay still holds it — and it
+        # keeps retried decodes of one frame resolving to the same
+        # objects.
+        self._resolved_by_digest: dict[str, object] = {}
+        #: Digests shipped as full records by the last encode (in order).
+        self.shipped_digests: list[str] = []
+        #: Digests sent as refs by the last encode.
+        self.ref_digests: list[str] = []
+        #: Approximate encoded bytes the refs of the last encode saved.
+        self.bytes_saved = 0
 
     # -- encoding side ---------------------------------------------------
     def _instance_ref(self, instance: object) -> int:
@@ -362,7 +495,15 @@ class WorkloadCodec:
             self._queries.append(encoded)
         return self._query_index_of[key]
 
-    def encode_workload(self, workload: Workload) -> dict:
+    def encode_workload(self, workload: Workload, *,
+                        known_digests: set[str] | None = None) -> dict:
+        """Encode one workload; instances the peer holds become refs.
+
+        ``known_digests`` is the caller's registry of digests the peer is
+        *believed* to hold (a wrong guess is repaired by the
+        ``need_instances`` negotiation).  Full records always carry their
+        digest so the peer can store them.
+        """
         items: list[dict] = []
         for item in workload:
             if item.kind is ItemKind.TWIG:
@@ -388,21 +529,110 @@ class WorkloadCodec:
                     "word": list(item.word or ()),
                 })
         instances: list[dict] = []
+        self.shipped_digests = []
+        self.ref_digests = []
+        self.bytes_saved = 0
         for instance in self._instances:
-            if isinstance(instance, XTree):
-                instances.append({"type": "tree",
-                                  "root": _encode_tree(instance.root)})
-            elif isinstance(instance, Graph):
-                instances.append({"type": "graph",
-                                  **_encode_graph(instance)})
+            digest, size, record = _fingerprint_with_record(instance)
+            self._instance_by_digest[digest] = instance
+            if known_digests is not None and digest in known_digests:
+                instances.append({"type": "ref", "digest": digest})
+                self.ref_digests.append(digest)
+                self.bytes_saved += size
             else:
-                raise ProtocolError(
-                    f"unencodable instance {type(instance).__name__}")
+                if record is None:  # warm fingerprint, cold ship
+                    record = encode_instance_record(instance)
+                record["digest"] = digest
+                instances.append(record)
+                self.shipped_digests.append(digest)
         return {"instances": instances, "queries": self._queries,
                 "items": items}
 
+    def register_instance(self, instance: object) -> str:
+        """Make ``instance`` addressable by digest for later encodes."""
+        digest, _ = instance_fingerprint(instance)
+        self._instance_by_digest[digest] = instance
+        return digest
+
+    def instance_for(self, digest: str) -> object | None:
+        """The instance this codec knows under ``digest``, if any."""
+        return self._instance_by_digest.get(digest)
+
+    def encode_put_instances(self, digests: Sequence[str]) -> dict:
+        """One ``put_instances`` frame carrying the requested full records.
+
+        Only digests of instances this codec has encoded (full or ref)
+        can be produced — anything else is a protocol error.
+        """
+        records: list[dict] = []
+        for digest in digests:
+            instance = self._instance_by_digest.get(digest)
+            if instance is None:
+                raise ProtocolError(
+                    f"peer requested unknown instance digest {digest!r}")
+            record = encode_instance_record(instance)
+            record["digest"] = digest
+            records.append(record)
+        return {"type": "put_instances", "instances": records}
+
     # -- decoding side ---------------------------------------------------
-    def decode_workload(self, obj: dict) -> Workload:
+    @staticmethod
+    def _decode_instance_record(record: dict) -> object:
+        kind = record.get("type")
+        if kind == "tree":
+            return XTree(_decode_tree(record["root"]))
+        if kind == "graph":
+            return _decode_graph(record)
+        raise ProtocolError(f"unknown instance type {kind!r}")
+
+    def _resolve_record(self, record: dict, store) -> object:
+        """Decode one full record, canonicalised through ``store``.
+
+        The digest is *verified* against the record body before anything
+        enters the store — a client bug can cost itself wrong refs, but
+        it can never poison another session's cache entry.
+        """
+        digest = record.get("digest")
+        if store is None or digest is None:
+            return self._decode_instance_record(record)
+        cached = self._resolved_by_digest.get(digest)
+        if cached is None:
+            cached = store.get(digest)
+        if cached is not None:
+            self._resolved_by_digest[digest] = cached
+            return cached
+        actual, size = record_digest(record)
+        if actual != digest:
+            raise ProtocolError(
+                f"instance digest mismatch: announced {digest!r}, "
+                f"encoded body hashes to {actual!r}")
+        instance = self._decode_instance_record(record)
+        store.put(digest, instance, size)
+        self._resolved_by_digest[digest] = instance
+        return instance
+
+    def decode_put_instances(self, obj: dict, store) -> list[str]:
+        """Store every record of a ``put_instances`` frame; the digests."""
+        try:
+            records = obj["instances"]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed put_instances: {exc}") from exc
+        stored: list[str] = []
+        for record in records:
+            if not isinstance(record, dict) or "digest" not in record:
+                raise ProtocolError(
+                    "put_instances records must carry a digest")
+            self._resolve_record(record, store)
+            stored.append(record["digest"])
+        return stored
+
+    def decode_workload(self, obj: dict, *, store=None) -> Workload:
+        """Decode one workload frame, resolving refs through ``store``.
+
+        Raises :class:`NeedInstances` (listing every missing digest at
+        once) when a ``ref`` cannot be resolved — the server's cue to
+        negotiate, re-raised as-is on a storeless decode.
+        """
         try:
             instance_records = obj["instances"]
             query_records = obj["queries"]
@@ -410,14 +640,27 @@ class WorkloadCodec:
         except (KeyError, TypeError) as exc:
             raise ProtocolError(f"malformed workload: {exc}") from exc
         self._instances = []
+        missing: list[str] = []
         for record in instance_records:
-            kind = record.get("type")
-            if kind == "tree":
-                self._instances.append(XTree(_decode_tree(record["root"])))
-            elif kind == "graph":
-                self._instances.append(_decode_graph(record))
+            kind = record.get("type") if isinstance(record, dict) else None
+            if kind == "ref":
+                digest = record.get("digest")
+                if not isinstance(digest, str):
+                    raise ProtocolError(f"malformed instance ref {record!r}")
+                instance = self._resolved_by_digest.get(digest)
+                if instance is None and store is not None:
+                    instance = store.get(digest)
+                    if instance is not None:
+                        self._resolved_by_digest[digest] = instance
+                if instance is None:
+                    missing.append(digest)
+                self._instances.append(instance)
+            elif kind in ("tree", "graph"):
+                self._instances.append(self._resolve_record(record, store))
             else:
                 raise ProtocolError(f"unknown instance type {kind!r}")
+        if missing:
+            raise NeedInstances(missing)
         self._queries = []
         for record in query_records:
             codec = record.get("codec") if isinstance(record, dict) else None
@@ -469,7 +712,14 @@ class WorkloadCodec:
     def _preorder_nodes(self, instance: XTree) -> list[XNode]:
         key = id(instance)
         if key not in self._preorder:
-            self._preorder[key] = list(instance.nodes())
+            # With a shared snapshot supplier (the server passes the
+            # engine's indexed pre-order), repeated rounds over a cached
+            # instance reuse one enumeration instead of re-walking the
+            # tree per request.
+            if self._preorder_fn is not None:
+                self._preorder[key] = list(self._preorder_fn(instance))
+            else:
+                self._preorder[key] = list(instance.nodes())
         return self._preorder[key]
 
     def encode_shard_answer(self, workload: Workload,

@@ -340,24 +340,20 @@ def test_relational_learners_backend_map_parity(all_backends):
 
 
 # ---------------------------------------------------------------------------
-# The deprecation shim and parameter resolution
+# Parameter resolution (the deprecated evaluator= shim is gone)
 # ---------------------------------------------------------------------------
 
 
-def test_evaluator_parameter_still_works_with_deprecation_warning():
+def test_evaluator_parameter_is_removed():
+    """The one-release ``evaluator=`` deprecation window has closed: the
+    sessions reject the keyword outright, and ``as_backend`` no longer
+    accepts a second positional argument."""
     docs = _session_docs()
     goal = parse_twig("//person[phone]/name")
-    baseline = InteractiveTwigSession(docs, goal,
-                                      backend=LocalBackend(Engine())).run()
-    with pytest.warns(DeprecationWarning, match="evaluator= .* deprecated"):
-        shimmed = InteractiveTwigSession(
-            docs, goal, evaluator=BatchEvaluator(engine=Engine())).run()
-    assert shimmed.query == baseline.query
-    assert shimmed.stats == baseline.stats
-
-
-def test_backend_and_evaluator_together_is_an_error():
-    with pytest.raises(ValueError, match="not both"):
+    with pytest.raises(TypeError, match="evaluator"):
+        InteractiveTwigSession(docs, goal,
+                               evaluator=BatchEvaluator(engine=Engine()))
+    with pytest.raises(TypeError):
         as_backend(LocalBackend(Engine()), BatchEvaluator())
 
 
@@ -370,6 +366,80 @@ def test_as_backend_resolution_rules():
     assert isinstance(wrapped, BatchedBackend)
     with pytest.raises(TypeError, match="EvaluationBackend"):
         as_backend("nope")
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed instance shipping (the remote ship-once contract)
+# ---------------------------------------------------------------------------
+
+
+def test_remote_session_ships_each_instance_once(server):
+    """A warm backend pools one digest registry: the first session ships
+    the corpus, every later round (and session) sends refs, and the
+    question sequence stays pinned to the local baseline throughout."""
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    baseline = InteractiveTwigSession(
+        docs, goal, backend=LocalBackend(Engine())).run()
+    with RemoteBackend(*server.address) as backend:
+        first = InteractiveTwigSession(docs, goal, backend=backend).run()
+        assert first.query == baseline.query
+        assert first.stats.asked == baseline.stats.asked
+        stats = backend.stats()
+        assert stats["instances_shipped"] == len(docs)
+        assert stats["round_trips"] > len(docs)  # many rounds, one ship
+        assert stats["bytes_saved"] > 0
+        # The cache-hit round: a second session over the same corpus on
+        # the same backend ships nothing new and asks the same questions.
+        second = InteractiveTwigSession(docs, goal, backend=backend).run()
+        assert second.query == baseline.query
+        assert second.stats.asked == baseline.stats.asked
+        assert backend.stats()["instances_shipped"] == len(docs)
+
+
+def test_remote_session_invariant_after_eviction():
+    """A post-eviction round: the server's store is too small for the
+    corpus, so refs keep missing and the need_instances negotiation
+    re-ships — the learned query and question sequence never notice."""
+    from repro.serving import InstanceStore
+
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    baseline = InteractiveTwigSession(
+        docs, goal, backend=LocalBackend(Engine())).run()
+    store = InstanceStore(max_bytes=1)  # at most one (oversized) entry
+    with ServerThread(AsyncBatchEvaluator(engine=Engine()),
+                      instance_store=store) as evicting_server:
+        with RemoteBackend(*evicting_server.address) as backend:
+            result = InteractiveTwigSession(docs, goal,
+                                            backend=backend).run()
+            assert result.query == baseline.query
+            assert result.stats.asked == baseline.stats.asked
+            stats = backend.stats()
+            # Constant re-shipping, not constant failure.
+            assert stats["instances_shipped"] > len(docs)
+    assert store.stats()["evictions"] > 0
+
+
+def test_warm_instances_is_backend_invariant(server):
+    docs = _session_docs()
+    goal = parse_twig("//person[phone]/name")
+    local = LocalBackend(engine=Engine())
+    assert local.warm_instances(docs) == {"shipped": 0, "bytes": 0}
+    assert local.known_digests == set()
+    batched = BatchedBackend(engine=Engine())
+    assert batched.warm_instances(docs) == {"shipped": 0, "bytes": 0}
+    baseline = InteractiveTwigSession(docs, goal, backend=local).run()
+    with RemoteBackend(*server.address) as backend:
+        warmed = backend.warm_instances(docs)
+        assert warmed["shipped"] == len(docs) and warmed["bytes"] > 0
+        assert len(backend.known_digests) == len(docs)
+        # Idempotent: the registry already covers the corpus.
+        assert backend.warm_instances(docs) == {"shipped": 0, "bytes": 0}
+        result = InteractiveTwigSession(docs, goal, backend=backend).run()
+        assert result.stats.asked == baseline.stats.asked
+        # The sessions' evaluation rounds shipped nothing beyond the warm.
+        assert backend.stats()["instances_shipped"] == len(docs)
 
 
 # ---------------------------------------------------------------------------

@@ -296,3 +296,53 @@ def test_workload_concatenation_and_result_alignment():
     assert len(workload) == 3
     result = BatchEvaluator(engine=Engine()).run(workload)
     assert [len(result[0]), result[1], result[2]] == [1, True, False]
+
+
+def test_worker_instance_cache_survives_parent_mutation_of_live_objects():
+    """The digest-keyed worker cache under the nastiest aliasing shape:
+    an in-process isolated executor hands over the parent's *live*
+    objects, the parent then mutates them, and a later structurally
+    identical instance (same digest as the pre-mutation structure) must
+    get pre-mutation answers — never the mutated live object's.
+    Regression: the cache used to serve the mutated aliased graph, and a
+    fresh XTree wrapper's version hid root mutations from verification."""
+    from repro.serving.executors import ShardExecutor
+
+    class InlineIsolatedExecutor(ShardExecutor):
+        isolated = True
+        name = "inline-isolated"
+
+        def map(self, fn, tasks):
+            return [fn(t) for t in tasks]
+
+    evaluator = BatchEvaluator(engine=Engine(),
+                               executor=InlineIsolatedExecutor())
+
+    # Graph shape: cache g1 live, mutate it, then query a fresh twin.
+    def geo():
+        g = Graph()
+        g.add_edge(0, "road", 1)
+        g.add_edge(1, "road", 2)
+        return g
+
+    g1, g2 = geo(), geo()
+    query = parse_regex("road+")
+    [first] = evaluator.evaluate_rpq_batch(query, [g1])
+    assert (0, 2) in first
+    g1.add_edge(2, "road", 3)  # bumps g1's version
+    [twin] = evaluator.evaluate_rpq_batch(query, [g2])
+    assert all(3 not in pair for pair in twin), \
+        "answers leaked from the mutated aliased graph"
+    assert twin == {(0, 1), (0, 2), (1, 2)}
+
+    # Tree shape: same aliasing through a live root (no version of its
+    # own on the worker-side wrapper — the cache must hold a snapshot).
+    t1, t2 = xml("<a><b/><c/></a>"), xml("<a><b/><c/></a>")
+    twig = parse_twig("//b")
+    [nodes] = evaluator.evaluate_twig_batch(twig, [t1])
+    assert len(nodes) == 1
+    t1.root.add(t1.root.children[0].copy())  # now two <b>s in t1
+    t1.invalidate()
+    [twin_nodes] = evaluator.evaluate_twig_batch(twig, [t2])
+    assert len(twin_nodes) == 1
+    assert twin_nodes[0] is list(t2.nodes())[1]

@@ -332,3 +332,51 @@ def test_base_submit_runs_inline_and_carries_exceptions():
     failing = executor.submit(lambda: 1 / 0)
     with pytest.raises(ZeroDivisionError):
         failing.result()
+
+
+def test_gated_stream_yields_completed_shards_while_queued():
+    """The admission gate bounds concurrency, never streaming latency: a
+    completed shard's answer must be yielded even while the submission
+    of the next shard is still queued on the gate.  Deterministic via
+    hand-completed futures — no sleeps.  Regression: the submission loop
+    used to block on ``gate.acquire()`` (or keep submitting up to the
+    executor width) before collecting finished shards, so a gated server
+    degraded to near-batch latency."""
+    import concurrent.futures
+
+    from repro.serving import ShardGate, Workload
+
+    docs = [xml(f"<a><b{i}/></a>") for i in range(3)]
+    workload = Workload.twig(parse_twig("//a"), docs)
+
+    async def main():
+        with ThreadExecutor(4) as executor:
+            evaluator = AsyncBatchEvaluator(engine=Engine(),
+                                            executor=executor)
+            futures = [concurrent.futures.Future() for _ in range(3)]
+
+            def fake_plan(shards):
+                assert len(shards) == 3
+                return (lambda i: futures[i]), (lambda i, raw: raw)
+
+            evaluator.sync._shard_plan = fake_plan
+            gate = ShardGate(1)
+            stream = evaluator.stream(workload, gate=gate)
+            try:
+                # Only shard 0 fits the gate; complete it while shards
+                # 1 and 2 are still queued — its answer must arrive.
+                futures[0].set_result(("answer-0",))
+                first = await asyncio.wait_for(anext(stream), timeout=5)
+                assert first.answers == ("answer-0",)
+                assert not futures[2].done()
+                futures[1].set_result(("answer-1",))
+                second = await asyncio.wait_for(anext(stream), timeout=5)
+                assert second.answers == ("answer-1",)
+                futures[2].set_result(("answer-2",))
+                third = await asyncio.wait_for(anext(stream), timeout=5)
+                assert third.answers == ("answer-2",)
+            finally:
+                await stream.aclose()
+            assert gate.in_flight == 0
+
+    asyncio.run(main())

@@ -447,3 +447,80 @@ def test_sessions_identical_across_all_three_backends():
         assert join.predicate == base_join.predicate
         assert join.stats == base_join.stats
         assert join.stats.asked == base_join.stats.asked
+
+
+def test_eviction_under_concurrent_clients_stays_coherent():
+    """The content-addressed store hammered by concurrent clients whose
+    combined corpora cannot fit: refs keep missing, every miss negotiates
+    a re-ship, and every client's answers stay identical to a local run —
+    eviction churn is a performance event, never a correctness one."""
+    from repro.learning.backend import LocalBackend, RemoteBackend
+    from repro.serving import AsyncBatchEvaluator, InstanceStore, ServerThread
+
+    n_clients = 4
+    corpora = [
+        [xml(f"<a><b/><x{i}{j}><b/></x{i}{j}></a>") for j in range(3)]
+        for i in range(n_clients)
+    ]
+    query = parse_twig("//b")
+    local = LocalBackend(engine=Engine())
+    baselines = [
+        [local.evaluate_twig_batch(query, [doc])[0] for doc in corpus]
+        for corpus in corpora
+    ]
+    store = InstanceStore(max_bytes=150)  # a few tiny documents at most
+    with ServerThread(AsyncBatchEvaluator(engine=Engine()),
+                      instance_store=store) as server:
+        def hammer(client_index):
+            corpus = corpora[client_index]
+            expected = baselines[client_index]
+            with RemoteBackend(*server.address) as backend:
+                for _ in range(5):
+                    answers = backend.evaluate_twig_batch(query, corpus)
+                    for got, want, doc in zip(answers, expected, corpus):
+                        assert len(got) == len(want)
+                        assert all(g is w for g, w in zip(got, want)), \
+                            f"client {client_index} got foreign nodes"
+
+        _run_threads([lambda i=i: hammer(i) for i in range(n_clients)])
+    stats = store.stats()
+    assert stats["evictions"] > 0  # the corpora genuinely did not fit
+    # The budget holds (a single oversized entry is the one exception).
+    assert stats["bytes"] <= stats["max_bytes"] or stats["instances"] == 1
+
+
+def test_admission_gate_queues_fifo_and_never_errors():
+    """max_inflight_shards=1 serialises shard evaluation across every
+    connection: concurrent clients with multi-shard workloads all
+    complete with parity answers — over-limit submissions queue, they
+    never fail — and the gate drains back to zero in the stats frame."""
+    from repro.serving import (
+        AsyncBatchEvaluator,
+        ServerThread,
+        Workload,
+        WorkloadClient,
+    )
+
+    docs = [xml("<a><b/></a>"), xml("<a><b/><b/></a>"),
+            xml("<a><c><b/></c></a>")]
+    query = parse_twig("//b")
+    expected = [1, 2, 1]
+    # The executor is deliberately *wider* than the gate: the submission
+    # loop wants 4 shards in flight but only 1 slot exists, so slot
+    # release must never depend on the consumer loop making progress
+    # (regression: releasing from the consumer loop deadlocked every
+    # connection the moment width exceeded the limit).
+    with ThreadExecutor(4) as executor, \
+            ServerThread(AsyncBatchEvaluator(engine=Engine(),
+                                             executor=executor),
+                         max_inflight_shards=1) as server:
+        def one_client():
+            with WorkloadClient(*server.address) as client:
+                for _ in range(4):
+                    result = client.run(Workload.twig(query, docs))
+                    assert [len(a) for a in result.answers] == expected
+
+        _run_threads([one_client for _ in range(4)])
+        with WorkloadClient(*server.address) as client:
+            admission = client.stats()["admission"]
+    assert admission == {"max_inflight_shards": 1, "in_flight": 0}
