@@ -1,0 +1,47 @@
+"""Static-analysis throughput — the whole tree under every rule.
+
+The checker runs in CI on every push and is registered in the tier-1
+meta test, so its cost is paid constantly: this bench pins the price of
+one full ``analyze_paths(src/)`` sweep (parse every module, run all six
+rules, fold suppressions).  The acceptance bar for the CI budget: a full
+sweep of the real tree well under a second on a warm filesystem — the
+analysis job's 60s ceiling is dominated by interpreter start-up and pip,
+never by the checker itself.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import all_rules, analyze_paths
+from repro.util.tables import format_table
+
+from .conftest import record_report
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def test_analysis_full_tree_speed(benchmark):
+    report = benchmark(analyze_paths, [str(SRC)])
+    assert report.ok, report.render_text()
+    assert report.n_modules > 50
+
+
+def test_analysis_rule_breakdown(benchmark):
+    """Per-rule sweep cost over the real tree, one table for the record."""
+    rows = []
+    for rule_id in sorted(all_rules()):
+        start = time.perf_counter()
+        report = analyze_paths([str(SRC)], [rule_id])
+        elapsed = (time.perf_counter() - start) * 1000.0
+        assert report.ok, report.render_text()
+        rows.append((rule_id, f"{elapsed:.1f} ms",
+                     str(len(report.suppressed))))
+    start = time.perf_counter()
+    full = benchmark(analyze_paths, [str(SRC)])
+    elapsed = (time.perf_counter() - start) * 1000.0
+    rows.append(("ALL", f"{elapsed:.1f} ms", str(len(full.suppressed))))
+    record_report(
+        "ANALYSIS static-check sweep",
+        format_table(("rule", "sweep", "suppressed"), rows))

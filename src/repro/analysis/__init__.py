@@ -1,0 +1,34 @@
+"""Static enforcement of the repo's architectural invariants.
+
+``python -m repro.analysis src/`` parses the tree (stdlib ``ast`` only,
+nothing is imported or executed), runs every registered rule, and exits
+non-zero on violations.  See :mod:`repro.analysis.core` for the
+framework and the suppression syntax, and ``repro.analysis.rules`` for
+the invariants themselves.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Report,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_project,
+    load_project,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Report",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_project",
+    "load_project",
+    "register",
+]

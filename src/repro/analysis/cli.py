@@ -1,0 +1,62 @@
+"""Command-line front-end: ``python -m repro.analysis [paths...]``.
+
+Exit status is the contract CI relies on: 0 when the tree is clean
+(suppressed findings do not fail the run — their written reasons are
+the audit trail), 1 when any violation stands, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.core import all_rules, analyze_paths
+
+
+def _list_rules() -> str:
+    out: list[str] = []
+    for rule_id, rule in all_rules().items():
+        out.append(f"{rule_id}: {rule.title}")
+        for line in rule.rationale.split(". "):
+            line = line.strip().rstrip(".")
+            if line:
+                out.append(f"    {line}.")
+    out.append(
+        "suppress one line with: "
+        "`# repro: allow[rule-id] reason the violation is intentional`")
+    return "\n".join(out)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically check the repo's architectural invariants")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--rules", metavar="ID[,ID...]",
+                        help="run only these rule ids")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every registered rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()] \
+        if args.rules else None
+    try:
+        report = analyze_paths(args.paths, rule_ids)
+    except (FileNotFoundError, KeyError) as exc:
+        parser.error(str(exc))  # exits 2
+        raise AssertionError("unreachable") from exc
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1

@@ -1,0 +1,389 @@
+"""The static-analysis framework: modules, rules, findings, suppression.
+
+The checker is ``ast``-based and dependency-free: it parses every Python
+file under the given paths (nothing is imported or executed), hands the
+parsed modules to a registry of :class:`Rule` objects, and reports
+:class:`Finding` records.  Each rule pins one *architectural invariant*
+the test suite can only probe pointwise — the backend seam, lock
+discipline, async purity, wire-codec completeness, exception hygiene,
+resource lifecycle — so a many-file refactor that silently violates a
+contract fails ``python -m repro.analysis src/`` (and the tier-1 meta
+test) instead of surfacing as a rare race or a backend-divergent answer.
+
+Suppression is per-line and must be justified::
+
+    risky_call()  # repro: allow[rule-id] one-line reason why this is fine
+
+A suppression comment on its own line applies to the next code line.  A
+suppression *without* a reason is itself a finding (rule id
+``suppression``) and does not suppress anything — the written reason is
+the point.
+
+Fixture files (and any file whose on-disk location does not reflect its
+intended package) can pin their dotted module name with a header
+comment::
+
+    # repro-module: repro.learning.some_learner
+
+which is how ``tests/analysis_fixtures/`` exercises path-scoped rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: ``# repro: allow[rule-id] reason`` — reason is mandatory.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9-]+)\]\s*(.*)$")
+
+#: ``# repro-module: dotted.name`` — module-name override for fixtures.
+MODULE_RE = re.compile(r"^#\s*repro-module:\s*([\w.]+)\s*$")
+
+#: Rule id of the framework's own findings about malformed suppressions.
+SUPPRESSION_RULE_ID = "suppression"
+
+#: Rule id reported for files that do not parse.
+PARSE_RULE_ID = "parse-error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}"
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One well-formed ``# repro: allow[...]`` comment."""
+
+    rule: str
+    reason: str
+    comment_line: int
+    #: The code line the suppression applies to (the comment's own line,
+    #: or the next code line for a standalone comment).
+    target_line: int
+
+
+class ModuleInfo:
+    """One parsed source file plus its comment-level annotations."""
+
+    def __init__(self, path: Path, *, display_path: str | None = None,
+                 source: str | None = None) -> None:
+        self.path = path
+        self.display_path = display_path if display_path is not None \
+            else str(path)
+        self.source = source if source is not None \
+            else path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree: ast.Module | None = ast.parse(
+                self.source, filename=self.display_path)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+        self.module = self._derive_module_name()
+        #: line number -> comment text (real comments only, via tokenize
+        #: — a ``#`` inside a string literal is not a comment and must
+        #: not carry annotations).
+        self.comments: dict[int, str] = self._collect_comments()
+        self.suppressions: list[Suppression] = []
+        self.malformed_suppressions: list[int] = []
+        self._parse_suppressions()
+        #: target line -> rule ids allowed there.
+        self.allowed: dict[int, set[str]] = {}
+        for sup in self.suppressions:
+            self.allowed.setdefault(sup.target_line, set()).add(sup.rule)
+
+    # ------------------------------------------------------------------
+    def _derive_module_name(self) -> str:
+        for line in self.lines[:10]:
+            match = MODULE_RE.match(line.strip())
+            if match:
+                return match.group(1)
+        parts = list(self.path.parts)
+        if "repro" in parts:
+            tail = parts[parts.index("repro"):]
+            if tail[-1] == "__init__.py":
+                tail = tail[:-1]
+            elif tail[-1].endswith(".py"):
+                tail[-1] = tail[-1][:-3]
+            return ".".join(tail)
+        return self.path.stem
+
+    def _collect_comments(self) -> dict[int, str]:
+        comments: dict[int, str] = {}
+        try:
+            for tok in tokenize.generate_tokens(
+                    io.StringIO(self.source).readline):
+                if tok.type == tokenize.COMMENT:
+                    comments[tok.start[0]] = tok.string
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            pass  # unparsable files already carry a parse-error finding
+        return comments
+
+    def _parse_suppressions(self) -> None:
+        for i, comment in sorted(self.comments.items()):
+            match = SUPPRESS_RE.search(comment)
+            if not match:
+                continue
+            rule, reason = match.group(1), match.group(2).strip()
+            if not reason:
+                self.malformed_suppressions.append(i)
+                continue
+            target = i
+            if self.lines[i - 1].strip().startswith("#"):
+                # Standalone comment: applies to the next code line.
+                for j in range(i + 1, len(self.lines) + 1):
+                    text = self.lines[j - 1].strip()
+                    if text and not text.startswith("#"):
+                        target = j
+                        break
+            self.suppressions.append(
+                Suppression(rule, reason, comment_line=i, target_line=target))
+
+    # ------------------------------------------------------------------
+    def finding(self, node: ast.AST | int, rule: str,
+                message: str) -> Finding:
+        """A finding anchored at an AST node (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0) + 1
+        return Finding(self.display_path, line, col, rule, message)
+
+    def comment_on(self, line: int, pattern: re.Pattern) -> re.Match | None:
+        """Match ``pattern`` against the real comment (if any) on a line."""
+        comment = self.comments.get(line)
+        return pattern.search(comment) if comment else None
+
+    def __repr__(self) -> str:
+        return f"<ModuleInfo {self.module} ({self.display_path})>"
+
+
+class Project:
+    """Every module of one analysis run, addressable by dotted name."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self._by_name: dict[str, ModuleInfo] = {}
+        for module in self.modules:
+            self._by_name.setdefault(module.module, module)
+
+    def module(self, dotted: str) -> ModuleInfo | None:
+        return self._by_name.get(dotted)
+
+    def in_package(self, prefix: str) -> list[ModuleInfo]:
+        """Modules whose dotted name is ``prefix`` or lives under it."""
+        return [m for m in self.modules
+                if m.module == prefix or m.module.startswith(prefix + ".")]
+
+
+class Rule:
+    """One enforced invariant.  Subclass, set the metadata, implement
+    :meth:`check_module` (per file) and/or :meth:`check_project` (cross
+    file), and decorate with :func:`register`."""
+
+    rule_id: str = ""
+    title: str = ""
+    #: Multi-line description shown by ``--list-rules`` (what contract
+    #: the rule pins, and what a violation means).
+    rationale: str = ""
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add the rule to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The full rule registry (importing the rule modules on first use)."""
+    from repro.analysis import rules  # noqa: F401  (registration side effect)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+# ---------------------------------------------------------------------------
+# Running an analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    n_modules: int = 0
+    rule_ids: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "modules": self.n_modules,
+            "rules": self.rule_ids,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+        }
+
+    def render_text(self, *, show_suppressed: bool = False) -> str:
+        out: list[str] = []
+        for finding in sorted(self.findings):
+            out.append(finding.format())
+        if show_suppressed:
+            for finding in sorted(self.suppressed):
+                out.append(f"{finding.format()} (suppressed)")
+        verdict = "clean" if self.ok else \
+            f"{len(self.findings)} violation(s)"
+        out.append(
+            f"repro.analysis: {verdict} across {self.n_modules} module(s), "
+            f"{len(self.rule_ids)} rule(s), "
+            f"{len(self.suppressed)} suppressed")
+        return "\n".join(out)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" not in file.parts:
+                    yield file
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+
+
+def load_project(paths: Sequence[Path | str]) -> Project:
+    return Project([ModuleInfo(p) for p in iter_python_files(paths)])
+
+
+def _framework_findings(project: Project) -> Iterator[Finding]:
+    """Findings the framework itself owns: parse errors, bad suppressions."""
+    for module in project.modules:
+        if module.parse_error is not None:
+            yield module.finding(
+                module.parse_error.lineno or 1, PARSE_RULE_ID,
+                f"file does not parse: {module.parse_error.msg}")
+        for line in module.malformed_suppressions:
+            yield module.finding(
+                line, SUPPRESSION_RULE_ID,
+                "suppression comment is missing its reason — write "
+                "`# repro: allow[rule-id] why this is intentional`")
+
+
+def analyze_project(project: Project,
+                    rule_ids: Sequence[str] | None = None) -> Report:
+    registry = all_rules()
+    if rule_ids:
+        unknown = sorted(set(rule_ids) - set(registry))
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+        rules = [registry[r] for r in rule_ids]
+    else:
+        rules = list(registry.values())
+    raw: list[Finding] = list(_framework_findings(project))
+    for rule in rules:
+        for module in project.modules:
+            if module.tree is not None:
+                raw.extend(rule.check_module(module, project))
+        raw.extend(rule.check_project(project))
+    by_path = {m.display_path: m for m in project.modules}
+    report = Report(n_modules=len(project.modules),
+                    rule_ids=[r.rule_id for r in rules])
+    for finding in sorted(set(raw)):
+        module = by_path.get(finding.path)
+        allowed = module.allowed.get(finding.line, set()) if module else set()
+        if finding.rule in allowed:
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def analyze_paths(paths: Sequence[Path | str],
+                  rule_ids: Sequence[str] | None = None) -> Report:
+    """Parse every file under ``paths`` and run the (selected) rules."""
+    return analyze_project(load_project(paths), rule_ids)
+
+
+# ---------------------------------------------------------------------------
+# Small shared AST helpers for the rule implementations
+# ---------------------------------------------------------------------------
+
+
+def is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    """``self.<attr>`` (any attribute when ``attr`` is None)."""
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and (attr is None or node.attr == attr))
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def const_strings(node: ast.AST) -> list[tuple[ast.AST, str]]:
+    """String constants in ``node`` (the node itself or tuple/list items)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node, node.value)]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: list[tuple[ast.AST, str]] = []
+        for item in node.elts:
+            if isinstance(item, ast.Constant) and isinstance(item.value, str):
+                out.append((item, item.value))
+        return out
+    return []

@@ -1,0 +1,25 @@
+"""The built-in rule set.  Importing this package registers every rule.
+
+Each module defines one :class:`~repro.analysis.core.Rule` subclass and
+decorates it with :func:`~repro.analysis.core.register`; the registry is
+what :func:`~repro.analysis.core.all_rules` (and therefore the CLI and
+the tier-1 meta test) sees.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    async_purity,
+    backend_seam,
+    exception_hygiene,
+    lock_discipline,
+    resource_lifecycle,
+    wire_codec,
+)
+
+__all__ = [
+    "async_purity",
+    "backend_seam",
+    "exception_hygiene",
+    "lock_discipline",
+    "resource_lifecycle",
+    "wire_codec",
+]

@@ -1,0 +1,106 @@
+"""Rule ``exception-hygiene``: no handler silently swallows failures.
+
+The serving tier is long-running: a swallowed exception in a connection
+handler, shard worker, or cache finalizer does not crash a test — it
+turns into a hung client, a leaked slot, or a silently wrong answer
+hours later.  The discipline in ``repro.serving`` and ``repro.engine``
+is that every broad handler does *something* observable with the error.
+
+Concretely, inside those two packages:
+
+* a bare ``except:`` is always a violation — it catches
+  ``KeyboardInterrupt``/``SystemExit`` too and hides the name of what
+  it swallowed;
+* an ``except Exception:`` / ``except BaseException:`` handler must
+  either re-raise (a ``raise`` statement anywhere in the handler), or
+  bind the exception (``as exc``) and actually *use* the bound name —
+  encode it onto the wire, log it, store it on a future.  A broad
+  handler whose body never mentions the error it caught is a swallow.
+
+Narrow handlers (``except KeyError:`` etc.) are out of scope: catching
+a specific exception is a statement of intent in itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Project, Rule, register
+
+#: Packages where the discipline is enforced.
+SCOPED_PACKAGES = ("repro.serving", "repro.engine")
+
+#: Exception names considered "broad" when caught.
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    return any(module.module == pkg or module.module.startswith(pkg + ".")
+               for pkg in SCOPED_PACKAGES)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if isinstance(t, ast.Name):
+        return t.id in BROAD_NAMES
+    if isinstance(t, ast.Attribute):
+        return t.attr in BROAD_NAMES
+    return False
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _handler_uses_name(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Name) and node.id == handler.name \
+                and isinstance(node.ctx, ast.Load):
+            return True
+    return False
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    rule_id = "exception-hygiene"
+    title = "broad except handlers re-raise or use the caught exception"
+    rationale = (
+        "In repro.serving and repro.engine a bare `except:` is forbidden, "
+        "and an `except Exception/BaseException:` must re-raise or bind "
+        "the exception as a name and use it (wire it, log it, attach it "
+        "to a future). A handler that swallows a broad catch turns server "
+        "failures into hung clients and leaked gate slots."
+    )
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if module.tree is None or not _in_scope(module):
+            return ()
+        return list(self._scan(module))
+
+    def _scan(self, module: ModuleInfo) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield module.finding(
+                    node, self.rule_id,
+                    "bare `except:` catches KeyboardInterrupt/SystemExit "
+                    "and hides what it swallowed — name the exception")
+                continue
+            if not _is_broad(node):
+                continue
+            if _handler_reraises(node) or _handler_uses_name(node):
+                continue
+            yield module.finding(
+                node, self.rule_id,
+                "broad except handler neither re-raises nor uses the "
+                "caught exception — bind it `as exc` and surface it, "
+                "or re-raise")

@@ -1,0 +1,191 @@
+"""Rule ``lock-discipline``: declared lock-guarded state stays guarded.
+
+The engine and serving tiers are thread-safe by a simple discipline:
+every piece of shared mutable state belongs to exactly one lock, and is
+only touched while that lock is held.  The discipline is *declared* in
+the source with a trailing comment on the attribute's initialising
+assignment::
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}   # guarded-by: _lock
+            self.hits = 0        # guarded-by: _lock
+
+and this rule enforces it: within the declaring class, every read or
+write of ``self._entries`` / ``self.hits`` outside a ``with self._lock:``
+block is a violation (``__init__``/``__post_init__`` are exempt — the
+object is not yet shared).  A field that is *intentionally* lock-free
+documents that fact instead::
+
+    self.in_flight = 0  # lock-free: only touched on the event loop thread
+
+A ``lock-free`` annotation without a reason is a violation too — the
+written reason is the contract.
+
+The check is lexical and conservative: passing a guarded attribute as an
+argument (e.g. handing a map reference to a helper that locks
+internally) counts as an access and needs a per-line
+``# repro: allow[lock-discipline] reason`` suppression; code inside
+nested functions/lambdas is checked as if no lock were held, because it
+may run after the enclosing ``with`` exits.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    is_self_attr,
+    register,
+)
+
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
+LOCK_FREE_RE = re.compile(r"#\s*lock-free:\s*(.*)$")
+
+#: Methods allowed to touch guarded attributes unlocked: construction
+#: happens before the object is shared.
+EXEMPT_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    title = "guarded-by annotated attributes accessed only under their lock"
+    rationale = (
+        "An attribute declared `# guarded-by: _lock` on its initialising "
+        "assignment may only be read or written inside a `with "
+        "self._lock:` block in the declaring class (init exempt). "
+        "Intentionally unsynchronised fields carry `# lock-free: reason` "
+        "instead. Pins the engine/serving thread-safety contract."
+    )
+
+    def check_module(self, module: ModuleInfo,
+                     project: Project) -> Iterable[Finding]:
+        if module.tree is None:
+            return ()
+        if not any(GUARDED_BY_RE.search(c) or LOCK_FREE_RE.search(c)
+                   for c in module.comments.values()):
+            return ()
+        return list(self._scan(module))
+
+    # ------------------------------------------------------------------
+    def _scan(self, module: ModuleInfo) -> Iterator[Finding]:
+        yield from self._check_lock_free_reasons(module)
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_lock_free_reasons(self,
+                                 module: ModuleInfo) -> Iterator[Finding]:
+        for i, comment in sorted(module.comments.items()):
+            match = LOCK_FREE_RE.search(comment)
+            if match and not match.group(1).strip():
+                yield module.finding(
+                    i, self.rule_id,
+                    "lock-free annotation is missing its reason — "
+                    "document why this field needs no lock")
+
+    # ------------------------------------------------------------------
+    def _annotation_for(self, module: ModuleInfo,
+                        node: ast.AST) -> tuple[re.Match | None, int]:
+        """The guarded-by annotation of an assignment: a trailing comment
+        on its first line, or a standalone comment on the line above
+        (multi-line declarations).  Returns (match, comment line)."""
+        line = node.lineno
+        match = module.comment_on(line, GUARDED_BY_RE)
+        if match:
+            return match, line
+        prev = line - 1
+        if prev >= 1 and module.lines[prev - 1].strip().startswith("#"):
+            match = module.comment_on(prev, GUARDED_BY_RE)
+            if match:
+                return match, prev
+        return None, line
+
+    def _guarded_attrs(self, module: ModuleInfo,
+                       cls: ast.ClassDef) -> tuple[dict[str, str],
+                                                   list[Finding]]:
+        """``attr -> lock name`` declared in this class, plus any
+        annotation comments that failed to attach to an assignment."""
+        guarded: dict[str, str] = {}
+        findings: list[Finding] = []
+        annotated_lines: set[int] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                match, comment_line = self._annotation_for(module, node)
+                if not match:
+                    continue
+                annotated_lines.add(comment_line)
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if is_self_attr(target):
+                        guarded[target.attr] = match.group(1)
+                    elif isinstance(target, ast.Name):
+                        guarded[target.id] = match.group(1)
+        first, last = cls.lineno, max(
+            getattr(n, "lineno", cls.lineno) for n in ast.walk(cls))
+        for i in range(first, last + 1):
+            if module.comment_on(i, GUARDED_BY_RE) \
+                    and i not in annotated_lines:
+                findings.append(module.finding(
+                    i, self.rule_id,
+                    "guarded-by annotation is not attached to an "
+                    "attribute assignment"))
+        return guarded, findings
+
+    def _check_class(self, module: ModuleInfo,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        guarded, orphan_findings = self._guarded_attrs(module, cls)
+        yield from orphan_findings
+        if not guarded:
+            return
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and item.name not in EXEMPT_METHODS:
+                for stmt in item.body:
+                    yield from self._walk(module, stmt, guarded,
+                                          held=frozenset())
+
+    def _walk(self, module: ModuleInfo, node: ast.AST,
+              guarded: dict[str, str],
+              held: frozenset[str]) -> Iterator[Finding]:
+        if isinstance(node, ast.With):
+            acquired = set()
+            for item in node.items:
+                expr = item.context_expr
+                yield from self._walk(module, expr, guarded, held)
+                if is_self_attr(expr):
+                    acquired.add(expr.attr)
+            inner = held | acquired
+            for child in node.body:
+                yield from self._walk(module, child, guarded, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A nested function may outlive the with-block it was
+            # defined in; check its body as if no lock were held.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                yield from self._walk(module, child, guarded, frozenset())
+            return
+        if is_self_attr(node) and node.attr in guarded \
+                and guarded[node.attr] not in held:
+            access = "write" if isinstance(node.ctx,
+                                           (ast.Store, ast.Del)) else "read"
+            yield module.finding(
+                node, self.rule_id,
+                f"{access} of self.{node.attr} outside `with "
+                f"self.{guarded[node.attr]}:` (declared guarded-by "
+                f"{guarded[node.attr]})")
+            return  # do not double-report the chain below the attribute
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(module, child, guarded, held)

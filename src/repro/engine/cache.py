@@ -40,10 +40,10 @@ class LRUCache:
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive (or None)")
         self.maxsize = maxsize
-        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
@@ -99,5 +99,6 @@ class LRUCache:
                     "misses": self.misses}
 
     def __repr__(self) -> str:
-        return (f"<LRUCache size={len(self._data)}/{self.maxsize} "
-                f"hits={self.hits} misses={self.misses}>")
+        stats = self.stats()
+        return (f"<LRUCache size={stats['size']}/{self.maxsize} "
+                f"hits={stats['hits']} misses={stats['misses']}>")

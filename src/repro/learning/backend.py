@@ -81,6 +81,7 @@ Candidate = tuple[XTree, XNode]
 __all__ = [
     "BatchedBackend",
     "EvaluationBackend",
+    "LRUCache",
     "LocalBackend",
     "RemoteBackend",
     "Workload",

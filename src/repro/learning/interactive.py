@@ -31,9 +31,12 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.engine import LRUCache
 from repro.errors import LearningError
-from repro.learning.backend import EvaluationBackend, as_backend
+from repro.learning.backend import (
+    EvaluationBackend,
+    LRUCache,
+    as_backend,
+)
 from repro.learning.join_learner import (
     JoinVersionSpace,
     PairExample,

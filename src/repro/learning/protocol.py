@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.twig.ast import TwigQuery
+# repro: allow[backend-seam] the oracle IS the simulated user: its ground
+# truth must come from the reference semantics, deliberately independent
+# of whatever EvaluationBackend the learner under test is wired to.
 from repro.twig.semantics import evaluate
 from repro.xmltree.tree import XNode, XTree
 

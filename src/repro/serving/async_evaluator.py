@@ -114,6 +114,9 @@ class AsyncBatchEvaluator:
                 # Inline executors evaluate inside submit(); keep that off
                 # the event loop thread.
                 future = await loop.run_in_executor(None, submit, i)
+                # repro: allow[async-purity] inline executors complete the
+                # future inside submit() itself, which just ran to the end
+                # in the executor thread — result() is an immediate read.
                 raw = future.result()
             return i, decode(i, raw)
 
@@ -140,12 +143,16 @@ class AsyncBatchEvaluator:
                     wait_for, return_when=asyncio.FIRST_COMPLETED)
                 if acquiring is not None and acquiring.done():
                     done.discard(acquiring)
-                    acquiring.result()  # surface acquisition failures
+                    # repro: allow[async-purity] the task is .done(); this
+                    # result() cannot wait, it only surfaces failures.
+                    acquiring.result()
                     acquiring = None
                     in_flight.add(launch(next_shard))
                     next_shard += 1
                 for task in done:
                     in_flight.discard(task)
+                    # repro: allow[async-purity] asyncio.wait returned the
+                    # task in its done set — result() is an immediate read.
                     i, answers = task.result()
                     yield ShardAnswer(i, shards[i].indices, answers)
         finally:

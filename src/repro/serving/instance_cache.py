@@ -39,11 +39,11 @@ class InstanceStore:
         self._lock = threading.Lock()
         # digest -> (instance, encoded_size); insertion/access order is
         # the LRU order (least recent first).
-        self._entries: "OrderedDict[str, tuple[object, int]]" = OrderedDict()
-        self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._entries: "OrderedDict[str, tuple[object, int]]" = OrderedDict()  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> object | None:

@@ -89,6 +89,9 @@ class ShardGate:
             raise ValueError(
                 f"max_inflight_shards must be positive, got {limit!r}")
         self.limit = limit
+        # lock-free: mutated only from acquire()/release() on the server's
+        # single event-loop thread; cross-thread readers (stats) tolerate
+        # a stale read of one int — it is observability, not accounting.
         self.in_flight = 0
         self._semaphore = asyncio.Semaphore(limit)
 

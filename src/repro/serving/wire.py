@@ -43,14 +43,15 @@ evaluation round.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 import socket
 import struct
 import threading
 import weakref
-from collections.abc import Sequence
-from typing import Any
+from collections.abc import Callable, Sequence
+from typing import Any, Protocol
 
 from repro.errors import ReproError
 from repro.graphdb.graph import Graph, VertexId
@@ -71,6 +72,27 @@ _LENGTH = struct.Struct(">I")
 
 #: Refuse absurd frames before allocating for them (64 MiB).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# The closed tag vocabularies of the protocol.  Every ``{"type": ...}`` /
+# ``{"kind": ...}`` literal constructed or compared anywhere in the
+# serving package must come from exactly one of these registries — the
+# ``wire-codec`` analysis rule enforces it, so adding a frame type means
+# adding it here first (and the registries stay the single place an
+# exhaustiveness argument has to read).
+
+#: Top-level frame ``"type"`` tags (workload request frames carry no
+#: ``type`` key — any untagged dict frame is a workload).
+FRAME_TYPES = frozenset({
+    "shard", "done", "error", "stats", "ok",
+    "need_instances", "put_instances",
+})
+
+#: Instance/query record ``"type"`` tags inside workload frames.
+RECORD_TYPES = frozenset({"tree", "graph", "ref", "path", "regex"})
+
+#: Workload item ``"kind"`` tags (the wire spelling of
+#: :class:`~repro.serving.workload.ItemKind`).
+ITEM_KINDS = frozenset({"twig", "rpq", "accepts"})
 
 
 class ProtocolError(ReproError):
@@ -93,6 +115,16 @@ class NeedInstances(ProtocolError):
         self.digests = list(digests)
 
 
+class InstanceStoreLike(Protocol):
+    """What workload decoding needs from a content-addressed store."""
+
+    def get(self, digest: str) -> object | None:
+        ...
+
+    def put(self, digest: str, instance: object, size: int) -> None:
+        ...
+
+
 # ---------------------------------------------------------------------------
 # Framing: length-prefixed JSON over asyncio streams and blocking sockets
 # ---------------------------------------------------------------------------
@@ -107,6 +139,26 @@ def encode_frame(payload: Any) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
+def decode_frame(data: bytes) -> Any:
+    """Decode one complete in-memory frame (:func:`encode_frame` inverse).
+
+    The stream and blocking readers decode incrementally off their
+    transports; this is the transport-free inverse for frames held fully
+    in memory (tests, recorded captures, loopback paths).
+    """
+    if len(data) < _LENGTH.size:
+        raise ProtocolError("truncated frame: missing length prefix")
+    length = _checked_length(data[:_LENGTH.size])
+    body = data[_LENGTH.size:]
+    if len(body) != length:
+        raise ProtocolError(f"frame length mismatch: prefix announces "
+                            f"{length} bytes, frame carries {len(body)}")
+    return _decode_body(body)
+
+
+# repro: allow[wire-codec] body-only half of the framing layer, shared by
+# the stream/blocking readers; the frame-level inverse pair is
+# encode_frame/decode_frame above.
 def _decode_body(body: bytes) -> Any:
     try:
         return json.loads(body.decode("utf-8"))
@@ -122,10 +174,8 @@ def _checked_length(prefix: bytes) -> int:
     return length
 
 
-async def read_frame(reader) -> Any | None:
+async def read_frame(reader: asyncio.StreamReader) -> Any | None:
     """Read one frame from an asyncio stream reader; ``None`` on clean EOF."""
-    import asyncio
-
     try:
         prefix = await reader.readexactly(_LENGTH.size)
     except asyncio.IncompleteReadError as exc:
@@ -139,7 +189,7 @@ async def read_frame(reader) -> Any | None:
     return _decode_body(body)
 
 
-def write_frame(writer, payload: Any) -> None:
+def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
     """Queue one frame on an asyncio stream writer (caller drains)."""
     writer.write(encode_frame(payload))
 
@@ -452,7 +502,8 @@ class WorkloadCodec:
     re-walking the tree per request.
     """
 
-    def __init__(self, *, preorder=None) -> None:
+    def __init__(self, *, preorder: Callable[[XTree], Sequence[XNode]]
+                 | None = None) -> None:
         self._instances: list[object] = []
         self._index_of: dict[int, int] = {}
         self._queries: list[object] = []
@@ -585,7 +636,8 @@ class WorkloadCodec:
             return _decode_graph(record)
         raise ProtocolError(f"unknown instance type {kind!r}")
 
-    def _resolve_record(self, record: dict, store) -> object:
+    def _resolve_record(self, record: dict,
+                        store: InstanceStoreLike | None) -> object:
         """Decode one full record, canonicalised through ``store``.
 
         The digest is *verified* against the record body before anything
@@ -611,7 +663,8 @@ class WorkloadCodec:
         self._resolved_by_digest[digest] = instance
         return instance
 
-    def decode_put_instances(self, obj: dict, store) -> list[str]:
+    def decode_put_instances(self, obj: dict,
+                             store: InstanceStoreLike | None) -> list[str]:
         """Store every record of a ``put_instances`` frame; the digests."""
         try:
             records = obj["instances"]
@@ -626,7 +679,8 @@ class WorkloadCodec:
             stored.append(record["digest"])
         return stored
 
-    def decode_workload(self, obj: dict, *, store=None) -> Workload:
+    def decode_workload(self, obj: dict, *,
+                        store: InstanceStoreLike | None = None) -> Workload:
         """Decode one workload frame, resolving refs through ``store``.
 
         Raises :class:`NeedInstances` (listing every missing digest at

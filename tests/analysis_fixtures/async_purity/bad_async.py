@@ -1,0 +1,23 @@
+# repro-module: repro.serving.bad_async
+"""Fixture: blocking calls and held locks inside async bodies."""
+
+import asyncio
+import threading
+import time
+
+
+class BadHandler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._futures = []
+
+    async def handle(self):
+        time.sleep(0.1)  # blocking dotted call: finding
+        value = self._futures[0].result()  # blocking method: finding
+        with self._lock:
+            await asyncio.sleep(0)  # await under sync lock: finding
+        return value
+
+    async def dial(self, host, port):
+        client = WorkloadClient(host, port)  # noqa: F821  blocking: finding
+        return client

@@ -1,0 +1,27 @@
+# repro-module: repro.serving.good_async
+"""Fixture: async bodies that stay pure; sync code may block freely."""
+
+import asyncio
+import time
+
+
+class GoodHandler:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def handle(self, executor, fn):
+        async with self._lock:  # async lock across await: fine
+            await asyncio.sleep(0)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(executor, fn)
+
+    def blocking_sync_path(self):
+        time.sleep(0.1)  # not an async def: fine
+        return self._lock
+
+    async def nested(self):
+        def worker():
+            # Runs on an executor thread, not the loop: fine.
+            time.sleep(0.1)
+
+        return await asyncio.get_running_loop().run_in_executor(None, worker)

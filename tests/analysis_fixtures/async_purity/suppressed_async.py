@@ -1,0 +1,11 @@
+# repro-module: repro.serving.suppressed_async
+"""Fixture: a provably non-blocking result() read, suppressed."""
+
+import asyncio
+
+
+async def first_result(tasks):
+    done, _ = await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+    task = done.pop()
+    # repro: allow[async-purity] task is in the done set; immediate read
+    return task.result()

@@ -1,0 +1,11 @@
+# repro-module: repro.learning.bad_learner
+"""Fixture: a learner that bypasses the EvaluationBackend seam four ways."""
+
+import repro.engine  # noqa: F401
+from repro.engine import Engine  # noqa: F401
+from repro.twig.semantics import evaluate  # noqa: F401
+
+
+def learn(tree, examples):
+    engine = get_engine()  # noqa: F821
+    return engine.evaluate_twig(examples[0], tree)

@@ -1,0 +1,8 @@
+# repro-module: repro.learning.good_learner
+"""Fixture: a learner that evaluates only through the backend seam."""
+
+from repro.learning.backend import EvaluationBackend, as_backend  # noqa: F401
+
+
+def learn(backend, tree, query):
+    return backend.selects(query, tree)

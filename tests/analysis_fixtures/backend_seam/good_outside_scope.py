@@ -1,0 +1,9 @@
+# repro-module: repro.benchmarks.direct
+"""Fixture: engine imports outside repro.learning.* are not the seam's
+business."""
+
+from repro.engine import Engine, get_engine  # noqa: F401
+
+
+def bench(tree, query):
+    return get_engine().evaluate_twig(query, tree)

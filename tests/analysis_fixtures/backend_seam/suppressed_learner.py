@@ -1,0 +1,9 @@
+# repro-module: repro.learning.suppressed_learner
+"""Fixture: an intentional seam bypass, suppressed with a written reason."""
+
+# repro: allow[backend-seam] fixture oracle needs the reference semantics
+from repro.twig.semantics import evaluate  # noqa: F401
+
+
+def oracle(tree, query, node):
+    return node in evaluate(query, tree)

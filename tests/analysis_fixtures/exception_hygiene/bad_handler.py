@@ -1,0 +1,23 @@
+# repro-module: repro.serving.bad_handler
+"""Fixture: handlers that swallow failures silently."""
+
+
+def serve(work):
+    try:
+        return work()
+    except:  # noqa: E722  bare except: finding
+        return None
+
+
+def poll(work):
+    try:
+        return work()
+    except Exception:  # swallowed, unbound, unused: finding
+        return None
+
+
+def drain(work):
+    try:
+        return work()
+    except BaseException as exc:  # noqa: BLE001  bound but never used: finding
+        return None

@@ -1,0 +1,24 @@
+# repro-module: repro.serving.good_handler
+"""Fixture: broad handlers that surface or re-raise what they caught."""
+
+
+def serve(work, writer):
+    try:
+        return work()
+    except Exception as exc:
+        writer.send({"type": "error", "message": str(exc)})
+        return None
+
+
+def drain(work):
+    try:
+        return work()
+    except BaseException:
+        raise
+
+
+def lookup(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:  # narrow catch is a statement of intent: fine
+        return None

@@ -1,0 +1,10 @@
+# repro-module: repro.serving.suppressed_handler
+"""Fixture: an intentional best-effort swallow, suppressed with a reason."""
+
+
+def best_effort_stats(probe):
+    try:
+        return probe()
+    # repro: allow[exception-hygiene] stats probe is best-effort by contract
+    except Exception:
+        return {}

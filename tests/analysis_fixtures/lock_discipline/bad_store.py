@@ -1,0 +1,37 @@
+# repro-module: repro.serving.bad_store
+"""Fixture: guarded attributes touched outside their lock."""
+
+import threading
+
+
+class BadStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+
+    def get(self, key):
+        self.hits += 1  # unlocked write: finding
+        return self._entries.get(key)  # unlocked read: finding
+
+    def size_unlocked(self):
+        return len(self._entries)  # unlocked read: finding
+
+    def deferred(self):
+        with self._lock:
+            # A closure may run after the with-block exits: finding.
+            return lambda: self._entries.clear()
+
+
+class OrphanAnnotation:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # guarded-by: _lock
+
+    def noop(self):
+        return None
+
+
+class MissingReason:
+    def __init__(self):
+        self.counter = 0  # lock-free:

@@ -1,0 +1,28 @@
+# repro-module: repro.serving.good_store
+"""Fixture: every guarded access under its lock; init exempt."""
+
+import threading
+
+
+class GoodStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        # guarded-by: _lock
+        self.hits = (
+            0)
+        self.limit = 8  # unannotated: free to touch anywhere
+        self.pending = 0  # lock-free: single-threaded consumer by design
+
+    def get(self, key):
+        with self._lock:
+            self.hits += 1
+            return self._entries.get(key)
+
+    def snapshot(self):
+        with self._lock:
+            entries = dict(self._entries)
+        return entries, self.limit
+
+    def bump(self):
+        self.pending += 1

@@ -1,0 +1,14 @@
+# repro-module: repro.serving.suppressed_store
+"""Fixture: an intentional unlocked access, suppressed with a reason."""
+
+import threading
+
+
+class SuppressedStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+
+    def handoff(self, helper):
+        # repro: allow[lock-discipline] passed by reference; helper locks
+        return helper(self._entries)

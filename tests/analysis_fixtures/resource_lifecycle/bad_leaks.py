@@ -1,0 +1,32 @@
+# repro-module: repro.serving.bad_leaks
+"""Fixture: closeables with no owner, or closed only on the happy path."""
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fire_and_forget(host, port):
+    WorkloadClient(host, port)  # noqa: F821  discarded: finding
+
+
+def inline_use(host, port, work):
+    return WorkloadClient(host, port).run(work)  # noqa: F821  finding
+
+
+def never_closed(host, port):
+    sock = socket.create_connection((host, port))
+    sock.sendall(b"ping")
+    data = sock.recv(4)  # sock neither escapes nor closes: finding
+    return data
+
+
+def happy_path_only(tasks, fn):
+    pool = ThreadPoolExecutor(max_workers=2)
+    results = [r for r in pool.map(fn, tasks)]
+    pool.shutdown()  # skipped if map raises: finding
+    return results
+
+
+class NoCleanup:
+    def __init__(self, host, port):
+        self._sock = socket.create_connection((host, port))  # finding

@@ -1,0 +1,37 @@
+# repro-module: repro.serving.good_leaks
+"""Fixture: every closeable owned — with blocks, finally, self + close()."""
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+
+def scoped(tasks, fn):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def closed_in_finally(host, port):
+    sock = socket.create_connection((host, port))
+    try:
+        sock.sendall(b"ping")
+        return sock.recv(4)
+    finally:
+        sock.close()
+
+
+def ownership_returned(host, port):
+    return socket.create_connection((host, port))
+
+
+def pooled(registry, host, port):
+    client = WorkloadClient(host, port)  # noqa: F821
+    registry.append(client)  # escapes into the caller's pool: fine
+    return client
+
+
+class Cleanly:
+    def __init__(self, host, port):
+        self._sock = socket.create_connection((host, port))
+
+    def close(self):
+        self._sock.close()

@@ -1,0 +1,11 @@
+# repro-module: repro.serving.suppressed_leaks
+"""Fixture: an intentionally process-lifetime resource, suppressed."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def warm_workers():
+    # repro: allow[resource-lifecycle] process-lifetime pool by design
+    pool = ThreadPoolExecutor(max_workers=1)
+    pool.submit(print, "warm")
+    return None

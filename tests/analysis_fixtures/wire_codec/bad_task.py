@@ -1,0 +1,12 @@
+# repro-module: repro.serving.evaluator
+"""Fixture evaluator: a ShardTask field that cannot cross a pickle boundary."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    kind: str
+    payload: object
+    callback: Callable[[object], object]  # unpicklable: finding

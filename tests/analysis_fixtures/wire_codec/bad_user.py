@@ -1,0 +1,11 @@
+# repro-module: repro.serving.bad_user
+"""Fixture serving module comparing against a tag no registry declares."""
+
+
+def dispatch(frame):
+    kind = frame.get("type")
+    if kind == "not_in_any_registry":  # finding
+        return None
+    if kind == "shard":  # registered in the companion wire fixture: fine
+        return frame
+    return frame

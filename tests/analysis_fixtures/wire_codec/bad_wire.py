@@ -1,0 +1,13 @@
+# repro-module: repro.serving.wire
+"""Fixture wire module: unpaired codecs, overlapping registries, rogue tag."""
+
+FRAME_TYPES = frozenset({"shard", "done"})
+RECORD_TYPES = frozenset({"tree", "shard"})  # "shard" overlaps: finding
+
+
+def encode_foo(value):  # no decode_foo: finding
+    return {"type": "frame_not_registered", "value": value}  # rogue: finding
+
+
+def decode_bar(obj):  # no encode_bar: finding
+    return obj["value"]

@@ -1,0 +1,17 @@
+# repro-module: repro.serving.wire
+"""Fixture wire module: paired codecs, disjoint registries, registered tags."""
+
+FRAME_TYPES = frozenset({"shard", "done", "error"})
+RECORD_TYPES = frozenset({"tree", "ref"})
+ITEM_KINDS = frozenset({"twig"})
+
+
+def encode_foo(value):
+    return {"type": "shard", "value": value}
+
+
+def decode_foo(obj):
+    kind = obj.get("type")
+    if kind == "done":
+        return None
+    return {"type": "ref", "digest": obj["value"]}

@@ -1,0 +1,9 @@
+# repro-module: repro.serving.wire
+"""Fixture wire module: an intentionally one-directional codec, suppressed."""
+
+FRAME_TYPES = frozenset({"shard"})
+
+
+# repro: allow[wire-codec] write-only diagnostic frame; peers never parse it
+def encode_debug(value):
+    return {"type": "shard", "debug": value}

@@ -20,6 +20,7 @@ BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 #: a smoke runner here fails test_smoke_map_covers_every_bench_module.
 SMOKE_RUNNERS = {
     "bench_ablations": "test_ablation_minimization",
+    "bench_analysis": "test_analysis_full_tree_speed",
     "bench_async_serving": "test_async_round_trip_speed",
     "bench_e1_examples_to_convergence": "test_e1_single_learning_step_speed",
     "bench_e2_xpathmark_coverage": "test_e2_learning_one_suite_query_speed",
