@@ -3,7 +3,8 @@
 The serving tier and the remote backend create real OS resources —
 sockets (``socket.create_connection``), worker pools
 (``ThreadPoolExecutor`` / ``ProcessPoolExecutor``), connections
-(``WorkloadClient``), files (``open``).  Leaking one does not fail a
+(``WorkloadClient``), fleet member subprocesses
+(``multiprocessing`` ``Process``), files (``open``).  Leaking one does not fail a
 test; it exhausts descriptors or leaves worker processes behind after
 hours of serving.  The discipline in ``repro.serving`` and
 ``repro.learning.backend`` is that every such creation has a visible
@@ -44,12 +45,15 @@ SCOPED = ("repro.serving", "repro.learning.backend")
 CLOSEABLE_DOTTED = {"socket.create_connection", "socket.socket"}
 
 #: Constructor names (bare or attribute tail) that allocate a closeable.
+#: ``Process`` covers the fleet's member subprocesses
+#: (``multiprocessing`` contexts spell the constructor ``ctx.Process``).
 CLOSEABLE_NAMES = {"ThreadPoolExecutor", "ProcessPoolExecutor",
-                   "WorkloadClient", "open"}
+                   "WorkloadClient", "Process", "open"}
 
-#: Method names that count as releasing a resource.
+#: Method names that count as releasing a resource.  ``kill``/``join``
+#: are how subprocess handles are released.
 CLOSE_CALLS = {"close", "aclose", "stop", "shutdown", "terminate",
-               "release"}
+               "release", "kill", "join"}
 
 #: A class owning a closeable must expose one of these.
 CLOSE_METHODS = {"close", "aclose", "stop", "shutdown",

@@ -520,6 +520,14 @@ class RemoteBackend(EvaluationBackend):
     ``close()`` closes them all) or ``RemoteBackend(client=...)`` to
     seed the pool with a caller-managed client — ``close()`` then closes
     only the extra connections the backend itself opened.
+
+    The peer can be a single :class:`~repro.serving.net.WorkloadServer`
+    **or** a :class:`~repro.serving.fleet.FleetRouter` — the router
+    speaks the identical protocol, so pointing a backend at a fleet
+    changes where shards evaluate and nothing else: same learned query,
+    same question sequence, same node objects.  Fleet failover and
+    member drains are invisible here too; at worst a round pays one
+    extra ``need_instances`` re-ship for a digest that moved.
     """
 
     name = "remote"
@@ -610,7 +618,8 @@ class RemoteBackend(EvaluationBackend):
             return {"shipped": 0, "bytes": 0}
         client = self._checkout()
         try:
-            shipped = client.put_instances(to_ship, self.known_digests)
+            shipped = client.put_instances(
+                to_ship, known_digests=self.known_digests)
         finally:
             self._checkin(client)
         return {"shipped": len(shipped), "bytes": sum(fresh.values())}

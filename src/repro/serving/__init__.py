@@ -87,6 +87,7 @@ Typical use::
 
 from repro.serving.async_evaluator import AsyncBatchEvaluator
 from repro.serving.evaluator import BatchEvaluator, ShardTask
+from repro.serving.fleet import Fleet, FleetRouter, RouterThread
 from repro.serving.executors import (
     ProcessExecutor,
     SerialExecutor,
@@ -95,11 +96,13 @@ from repro.serving.executors import (
 )
 from repro.serving.instance_cache import InstanceStore
 from repro.serving.net import (
+    EndpointThread,
     ServerThread,
     ShardGate,
     WorkloadClient,
     WorkloadServer,
 )
+from repro.serving.ring import HashRing
 from repro.serving.wire import (
     NeedInstances,
     ProtocolError,
@@ -118,7 +121,12 @@ from repro.serving.workload import (
 __all__ = [
     "AsyncBatchEvaluator",
     "BatchEvaluator",
+    "EndpointThread",
+    "Fleet",
+    "FleetRouter",
+    "HashRing",
     "InstanceStore",
+    "RouterThread",
     "ItemKind",
     "NeedInstances",
     "ProcessExecutor",

@@ -82,26 +82,99 @@ class ShardGate:
     waiters first-come-first-served) instead of erroring or starving the
     executor; interleaved with other connections' waiters, that is the
     server's fairness floor.  ``in_flight`` is observability only.
+
+    ``per_owner`` layers a fair-scheduling quota on top: an *owner* (one
+    connection, in the server's use) may hold at most that many slots —
+    counting both in-flight shards and submissions queued at the global
+    semaphore — so a greedy session cannot flood the FIFO queue and
+    monopolise the executor while other connections starve.  Owners are
+    opaque hashable tokens; :meth:`scoped` binds one into the zero-arg
+    ``acquire``/``release`` surface the async evaluator drives.
     """
 
-    def __init__(self, limit: int) -> None:
+    def __init__(self, limit: int, *, per_owner: int | None = None) -> None:
         if limit < 1:
             raise ValueError(
                 f"max_inflight_shards must be positive, got {limit!r}")
+        if per_owner is not None and per_owner < 1:
+            raise ValueError(
+                f"per-owner quota must be positive, got {per_owner!r}")
         self.limit = limit
+        self.per_owner = per_owner
         # lock-free: mutated only from acquire()/release() on the server's
         # single event-loop thread; cross-thread readers (stats) tolerate
         # a stale read of one int — it is observability, not accounting.
         self.in_flight = 0
         self._semaphore = asyncio.Semaphore(limit)
+        # lock-free: owner bookkeeping is touched only from acquire()/
+        # release() on the single event-loop thread.
+        self._owner_held: dict[object, int] = {}
+        self._owner_turn: dict[object, asyncio.Event] = {}
 
-    async def acquire(self) -> None:
-        await self._semaphore.acquire()
+    async def acquire(self, owner: object = None) -> None:
+        if self.per_owner is not None and owner is not None:
+            while self._owner_held.get(owner, 0) >= self.per_owner:
+                event = self._owner_turn.get(owner)
+                if event is None:
+                    event = self._owner_turn[owner] = asyncio.Event()
+                await event.wait()
+            self._owner_held[owner] = self._owner_held.get(owner, 0) + 1
+        try:
+            await self._semaphore.acquire()
+        except BaseException:
+            # Cancelled while queued: give the owner slot back and wake
+            # any same-owner waiter so the quota cannot wedge.
+            if self.per_owner is not None and owner is not None:
+                self._drop_owner_slot(owner)
+            raise
         self.in_flight += 1
 
-    def release(self) -> None:
+    def release(self, owner: object = None) -> None:
         self.in_flight -= 1
         self._semaphore.release()
+        if self.per_owner is not None and owner is not None:
+            self._drop_owner_slot(owner)
+
+    def _drop_owner_slot(self, owner: object) -> None:
+        held = self._owner_held.get(owner, 0) - 1
+        if held <= 0:
+            self._owner_held.pop(owner, None)
+        else:
+            self._owner_held[owner] = held
+        event = self._owner_turn.pop(owner, None)
+        if event is not None:
+            event.set()
+
+    def scoped(self, owner: object) -> "_ScopedGate":
+        """This gate with ``owner`` bound — the per-connection handle."""
+        return _ScopedGate(self, owner)
+
+    def owners(self) -> int:
+        """How many owners currently hold at least one slot."""
+        return len(self._owner_held)
+
+
+class _ScopedGate:
+    """A :class:`ShardGate` with an owner token pre-bound.
+
+    Presents the zero-argument ``acquire``/``release`` surface
+    :meth:`AsyncBatchEvaluator.stream
+    <repro.serving.async_evaluator.AsyncBatchEvaluator.stream>` expects,
+    while every slot it takes is accounted to its owner for the
+    per-connection fairness quota.
+    """
+
+    __slots__ = ("_gate", "_owner")
+
+    def __init__(self, gate: ShardGate, owner: object) -> None:
+        self._gate = gate
+        self._owner = owner
+
+    async def acquire(self) -> None:
+        await self._gate.acquire(self._owner)
+
+    def release(self) -> None:
+        self._gate.release(self._owner)
 
 
 class WorkloadServer:
@@ -112,15 +185,24 @@ class WorkloadServer:
     when omitted; pass one to share a corpus across servers or to bound
     its budget).  ``max_inflight_shards`` bounds concurrently evaluating
     shards across *all* connections (queued FIFO over the limit, never
-    an error).  ``stats_port`` additionally serves ``GET /stats`` over
-    plain HTTP on that port — the same JSON as the wire ``stats`` frame,
-    scrapeable with stdlib tooling alone.
+    an error); ``max_inflight_per_connection`` additionally caps how
+    many of those slots one connection may hold or queue for, so a
+    greedy session shares the executor fairly with its neighbours.
+    ``stats_port`` additionally serves ``GET /stats`` over plain HTTP on
+    that port — the same JSON as the wire ``stats`` frame, scrapeable
+    with stdlib tooling alone.
+
+    A ``drain`` frame stops the listener (new connections are refused;
+    established ones keep being served) so a fleet member can be
+    restarted without failing sessions; ``undrain`` re-binds it, and
+    ``ping`` answers ``ok`` — the health probe the fleet router uses.
     """
 
     def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  instance_store: InstanceStore | None = None,
                  max_inflight_shards: int | None = None,
+                 max_inflight_per_connection: int | None = None,
                  stats_port: int | None = None) -> None:
         self.evaluator = evaluator if evaluator is not None \
             else AsyncBatchEvaluator()
@@ -128,11 +210,22 @@ class WorkloadServer:
         self.port = port
         self.instance_store = instance_store if instance_store is not None \
             else InstanceStore()
+        if max_inflight_per_connection is not None \
+                and max_inflight_shards is None:
+            raise ValueError("max_inflight_per_connection requires "
+                             "max_inflight_shards")
         self._gate = None if max_inflight_shards is None \
-            else ShardGate(max_inflight_shards)
+            else ShardGate(max_inflight_shards,
+                           per_owner=max_inflight_per_connection)
         self.stats_port = stats_port
+        #: True once a ``drain`` frame stopped the listener.
+        self.draining = False
         self._server: asyncio.base_events.Server | None = None
         self._stats_server: asyncio.base_events.Server | None = None
+        # lock-free: connection-handler tasks register/unregister on the
+        # event-loop thread only; aclose() runs there too.
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._next_conn_token = 0  # lock-free: event-loop thread only
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -171,19 +264,55 @@ class WorkloadServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def aclose(self) -> None:
+    #: How long :meth:`aclose` waits for cancelled connection handlers
+    #: to finish before giving up on them (they are daemons of the loop
+    #: being torn down anyway — a bounded drain, never an unbounded one).
+    CLOSE_DRAIN_TIMEOUT = 5.0
+
+    async def aclose(self, *, drain_timeout: float | None = None) -> None:
+        """Stop listening and tear down in-flight connection handlers.
+
+        The listener closes first, then every live connection-handler
+        task is *cancelled* and awaited for at most ``drain_timeout``
+        seconds (:attr:`CLOSE_DRAIN_TIMEOUT` by default) — one stuck
+        client blocked mid-read can therefore never hang the close (on
+        3.12+ ``Server.wait_closed`` waits on handlers, which used to
+        wedge forever behind exactly such a client).
+        """
+        if drain_timeout is None:
+            drain_timeout = self.CLOSE_DRAIN_TIMEOUT
         if self._stats_server is not None:
             self._stats_server.close()
             await self._stats_server.wait_closed()
             self._stats_server = None
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.wait(set(self._conn_tasks),
+                                   timeout=drain_timeout)
+            try:
+                await asyncio.wait_for(self._server.wait_closed(),
+                                       drain_timeout)
+            except asyncio.TimeoutError:
+                # A handler survived cancellation within the budget; the
+                # listener socket is closed regardless, and the loop is
+                # about to be torn down with whatever is left.
+                pass
             self._server = None
 
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        # One fairness-quota owner token per connection: all of this
+        # connection's shard submissions are accounted together.
+        self._next_conn_token += 1
+        gate = None if self._gate is None \
+            else self._gate.scoped(self._next_conn_token)
         try:
             while True:
                 try:
@@ -196,10 +325,18 @@ class WorkloadServer:
                     break
                 if frame is None:
                     break
-                await self._serve_request(frame, reader, writer)
+                await self._serve_request(frame, reader, writer, gate)
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Only aclose() cancels handler tasks (shutdown path).  Exit
+            # cleanly instead of re-raising: a task left in "cancelled"
+            # state trips the stream protocol's done-callback into
+            # logging an error nobody can act on.
+            pass
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -218,11 +355,15 @@ class WorkloadServer:
             "executor": self.evaluator.executor.name,
             "engine": self.evaluator.engine.stats(),
             "instance_cache": self.instance_store.stats(),
+            "draining": self.draining,
             "admission": {
                 "max_inflight_shards":
                     None if self._gate is None else self._gate.limit,
+                "max_inflight_per_connection":
+                    None if self._gate is None else self._gate.per_owner,
                 "in_flight":
                     0 if self._gate is None else self._gate.in_flight,
+                "owners": 0 if self._gate is None else self._gate.owners(),
             },
         }
         return out
@@ -260,13 +401,56 @@ class WorkloadServer:
 
     async def _serve_request(self, frame: object,
                              reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             gate: "_ScopedGate | ShardGate | None" = None,
+                             ) -> None:
         kind = frame.get("type") if isinstance(frame, dict) else None
         if kind == "stats":
             # Observability probe: no evaluation, one reply frame with
             # the live engine counters (cache hit rates, index builds),
             # instance-cache counters, and admission state.
             write_frame(writer, {"type": "stats", **self._stats_payload()})
+            await writer.drain()
+            return
+        if kind == "ping":
+            # Health probe: alive and reading frames — that is the answer.
+            write_frame(writer, {"type": "ok", "draining": self.draining})
+            await writer.drain()
+            return
+        if kind in ("drain", "undrain") and frame.get("member") is not None:
+            # Member-targeted drains are a router concept; a single
+            # server has no ring to take members out of.
+            write_frame(writer, {
+                "type": "error",
+                "message": "this endpoint is a single WorkloadServer, "
+                           "not a fleet router — no member "
+                           f"{frame.get('member')!r} to {kind}"})
+            await writer.drain()
+            return
+        if kind == "drain":
+            # Graceful stop: close the listener (new connections refused)
+            # while every established connection keeps being served, so a
+            # fleet member can be restarted without failing sessions.
+            if self._server is not None and not self.draining:
+                self._server.close()
+                self.draining = True
+            write_frame(writer, {"type": "ok", "draining": self.draining})
+            await writer.drain()
+            return
+        if kind == "undrain":
+            # Resume accepting: re-bind the listener on the same address.
+            if self.draining:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self.host, self.port)
+                self.draining = False
+            write_frame(writer, {"type": "ok", "draining": self.draining})
+            await writer.drain()
+            return
+        if kind == "ring":
+            write_frame(writer, {
+                "type": "error",
+                "message": "this endpoint is a single WorkloadServer, "
+                           "not a fleet router — no ring to report"})
             await writer.drain()
             return
         if kind == "put_instances":
@@ -277,6 +461,14 @@ class WorkloadServer:
                 write_frame(writer, {"type": "ok", "stored": len(stored)})
             except Exception as exc:  # noqa: BLE001 - surfaced to the peer
                 write_frame(writer, {"type": "error", "message": str(exc)})
+            await writer.drain()
+            return
+        if kind is not None:
+            # Tagged frames are exhaustively handled above; an unknown
+            # tag must not be mistaken for a (type-less) workload frame.
+            write_frame(writer, {"type": "error",
+                                 "message": f"unsupported request frame "
+                                            f"type {kind!r}"})
             await writer.drain()
             return
         # The codec serves pre-order enumerations from the engine's index
@@ -290,7 +482,7 @@ class WorkloadServer:
             if workload is None:
                 return
             n_shards = 0
-            stream = self.evaluator.stream(workload, gate=self._gate)
+            stream = self.evaluator.stream(workload, gate=gate)
             async for shard_answer in stream:
                 write_frame(writer, codec.encode_shard_answer(
                     workload, shard_answer))
@@ -378,28 +570,33 @@ async def serve(*, host: str = "127.0.0.1", port: int = 0,
     await server.serve_forever()
 
 
-class ServerThread:
-    """A :class:`WorkloadServer` on a dedicated thread and event loop.
+class EndpointThread:
+    """Any async endpoint (``start()``/``aclose()``) on its own thread.
 
     Lets blocking code (tests, benchmarks, a client process) stand up a
     real TCP endpoint without owning an event loop.  Construction blocks
     until the socket is bound; ``close()`` (or the context manager exit)
-    stops the loop and joins the thread.  Extra keyword options
-    (``instance_store``, ``max_inflight_shards``, ``stats_port``) pass
-    through to the underlying :class:`WorkloadServer`.
+    stops the loop and joins the thread with a **bounded** join — a
+    close that cannot complete within its timeout raises instead of
+    hanging the caller forever behind one stuck connection (the
+    endpoint's own ``aclose`` cancels its handlers, so in practice the
+    join returns promptly).  :class:`ServerThread` runs a
+    :class:`WorkloadServer`; :class:`~repro.serving.fleet.RouterThread`
+    runs a :class:`~repro.serving.fleet.FleetRouter`.
     """
 
-    def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
-                 host: str = "127.0.0.1", port: int = 0,
-                 **server_options) -> None:
-        self.server = WorkloadServer(evaluator, host=host, port=port,
-                                     **server_options)
+    #: Default bound on the close() join.
+    JOIN_TIMEOUT = 10.0
+
+    def __init__(self, endpoint, *, thread_name: str = "repro-serving-net",
+                 ) -> None:
+        self._endpoint = endpoint
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopped: asyncio.Event | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
         self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="repro-serving-net")
+                                        name=thread_name)
         self._thread.start()
         self._ready.wait()
         if self._startup_error is not None:
@@ -407,7 +604,83 @@ class ServerThread:
 
     @property
     def address(self) -> tuple[str, int]:
-        return self.server.host, self.server.port
+        return self._endpoint.host, self._endpoint.port
+
+    def call_soon(self, fn, *args) -> None:
+        """Schedule ``fn`` on the endpoint's loop (thread-safe)."""
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("endpoint thread is not running")
+        loop.call_soon_threadsafe(fn, *args)
+
+    def run_coroutine(self, coro):
+        """Run a coroutine on the endpoint's loop; returns its result."""
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("endpoint thread is not running")
+        return asyncio.run_coroutine_threadsafe(coro, loop).result()
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stopped = asyncio.Event()
+            try:
+                await self._endpoint.start()
+            except BaseException as exc:  # noqa: BLE001 - rethrown in ctor
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stopped.wait()
+            await self._endpoint.aclose()
+
+        asyncio.run(main())
+
+    def close(self, *, timeout: float | None = None) -> None:
+        """Stop the loop and join the thread (bounded).  Idempotent.
+
+        Raises :class:`RuntimeError` if the endpoint thread is still
+        alive after ``timeout`` seconds (:attr:`JOIN_TIMEOUT` default) —
+        a close that silently hangs is strictly worse than one that
+        fails loudly with the thread name in hand.
+        """
+        if timeout is None:
+            timeout = self.JOIN_TIMEOUT
+        loop, self._loop = self._loop, None
+        if loop is not None and self._stopped is not None:
+            try:
+                loop.call_soon_threadsafe(self._stopped.set)
+            except RuntimeError:
+                pass  # loop already torn down (e.g. startup failed)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"endpoint thread {self._thread.name!r} did not exit "
+                f"within {timeout}s of close()")
+
+    def __enter__(self) -> "EndpointThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ServerThread(EndpointThread):
+    """A :class:`WorkloadServer` on a dedicated thread and event loop.
+
+    Construction blocks until the socket is bound; ``close()`` (or the
+    context manager exit) stops the loop and joins the thread.  Extra
+    keyword options (``instance_store``, ``max_inflight_shards``,
+    ``max_inflight_per_connection``, ``stats_port``) pass through to the
+    underlying :class:`WorkloadServer`.
+    """
+
+    def __init__(self, evaluator: AsyncBatchEvaluator | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 **server_options) -> None:
+        self.server = WorkloadServer(evaluator, host=host, port=port,
+                                     **server_options)
+        super().__init__(self.server)
 
     @property
     def stats_address(self) -> tuple[str, int] | None:
@@ -416,37 +689,8 @@ class ServerThread:
             return None
         return self.server.host, self.server.stats_port
 
-    def _run(self) -> None:
-        async def main() -> None:
-            self._loop = asyncio.get_running_loop()
-            self._stopped = asyncio.Event()
-            try:
-                await self.server.start()
-            except BaseException as exc:  # noqa: BLE001 - rethrown in ctor
-                self._startup_error = exc
-                self._ready.set()
-                return
-            self._ready.set()
-            await self._stopped.wait()
-            await self.server.aclose()
-
-        asyncio.run(main())
-
-    def close(self) -> None:
-        """Stop the loop and join the thread.  Idempotent."""
-        loop, self._loop = self._loop, None
-        if loop is not None and self._stopped is not None:
-            try:
-                loop.call_soon_threadsafe(self._stopped.set)
-            except RuntimeError:
-                pass  # loop already torn down (e.g. startup failed)
-        self._thread.join()
-
     def __enter__(self) -> "ServerThread":
         return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
 
 
 class WorkloadClient:
@@ -481,6 +725,10 @@ class WorkloadClient:
         self._pending_response = False
         # Set on framing-level failures: the connection cannot realign.
         self._broken = False
+        # Bumped once per request sent; a stream() iterator holds the
+        # epoch of its own request and refuses to read frames once a
+        # later request has superseded it on this connection.
+        self._request_epoch = 0
         #: Requests sent on this connection (workloads and stats probes).
         self.requests = 0
         #: Bytes written to / read from the socket, frame prefixes included.
@@ -548,8 +796,12 @@ class WorkloadClient:
 
         Every response ends in a ``done`` or ``error`` frame, so reading
         up to the terminator realigns the connection; the discarded
-        answers were for a request the caller walked away from.
+        answers were for a request the caller walked away from.  The
+        abandoned iterator is invalidated (epoch bump) so resuming it
+        raises instead of stealing the new request's frames.
         """
+        if self._pending_response:
+            self._request_epoch += 1
         while self._pending_response:
             frame = self._recv()
             if frame is None:
@@ -581,7 +833,16 @@ class WorkloadClient:
         :class:`~repro.serving.wire.ProtocolError` with the server's
         message.  Abandoning the iterator mid-stream is safe: the next
         request on this connection first drains the rest of the old
-        response.
+        response — and the abandoned iterator then raises
+        :class:`~repro.serving.wire.ProtocolError` if resumed, rather
+        than stealing the new request's frames.
+
+        The request frame is sent **eagerly**, before this method
+        returns — not on first iteration of the result.  Creating a
+        stream therefore pins its position in the request order:
+        interleaving ``stats()``/``put_instances()`` calls between
+        ``stream(...)`` and its first ``next()`` cannot reorder requests
+        or skew the :attr:`requests`/:attr:`instances_shipped` counters.
         """
         self._require_usable()
         self._drain_pending_response()
@@ -589,13 +850,26 @@ class WorkloadClient:
         self._send(codec.encode_workload(workload,
                                          known_digests=known_digests))
         self.requests += 1
+        self._request_epoch += 1
         self._pending_response = True
         self.instances_shipped += len(codec.shipped_digests)
         self.bytes_saved += codec.bytes_saved
         if known_digests is not None:
             known_digests.update(codec.shipped_digests)
+        return self._stream_frames(codec, workload, self._request_epoch)
+
+    def _stream_frames(self, codec: WorkloadCodec, workload: Workload,
+                       epoch: int) -> Iterator[ShardAnswer]:
+        """The response-reading half of :meth:`stream` (lazy by nature)."""
         seen = 0
         while True:
+            if self._request_epoch != epoch:
+                # A later request was sent on this connection; its drain
+                # consumed the rest of our response.  The connection
+                # itself is fine — only this iterator is dead.
+                raise ProtocolError(
+                    "stream superseded by a later request on this "
+                    "connection")
             frame = self._recv()
             if frame is None:
                 raise self._unrecoverable("server closed mid-response")
@@ -636,7 +910,7 @@ class WorkloadClient:
             else:
                 raise self._unrecoverable(f"unexpected frame {frame!r}")
 
-    def put_instances(self, instances: Sequence[object],
+    def put_instances(self, instances: Sequence[object], *,
                       known_digests: set[str] | None = None) -> list[str]:
         """Pre-ship instances to the server's content-addressed store.
 
@@ -677,20 +951,59 @@ class WorkloadClient:
         :meth:`repro.engine.core.Engine.stats` reports it server-side
         (cache hit rates, index build counts).
         """
+        return self._request_reply({"type": "stats"}, expect="stats")
+
+    def _request_reply(self, payload: dict, *, expect: str) -> dict:
+        """One request frame, one reply frame of kind ``expect``.
+
+        Shared by every non-streaming request (``stats`` and the fleet
+        control frames).  A server ``error`` frame raises
+        :class:`~repro.serving.wire.ProtocolError` but leaves the
+        connection aligned; any other unexpected frame breaks it.
+        """
         self._require_usable()
         self._drain_pending_response()
-        self._send({"type": "stats"})
+        self._send(payload)
         self.requests += 1
         frame = self._recv()
         if frame is None:
             raise self._unrecoverable("server closed mid-response")
         kind = frame.get("type") if isinstance(frame, dict) else None
-        if kind == "stats":
+        if kind == expect:
             return {k: v for k, v in frame.items() if k != "type"}
         if kind == "error":
             raise ProtocolError(
                 f"server error: {frame.get('message', 'unknown')}")
         raise self._unrecoverable(f"unexpected frame {frame!r}")
+
+    # ------------------------------------------------------------------
+    # Fleet control plane.  A plain WorkloadServer answers ping/drain/
+    # undrain too (ring is router-only), so health checks and rolling
+    # restarts work the same against one server or a whole fleet.
+    def ping(self) -> dict:
+        """Liveness probe; the reply carries the endpoint's drain state."""
+        return self._request_reply({"type": "ping"}, expect="ok")
+
+    def drain(self, member: str | None = None) -> dict:
+        """Graceful drain.  Against a :class:`WorkloadServer`, stop
+        accepting new connections (existing ones finish).  Against a
+        router with ``member=<id>``, take that fleet member out of the
+        ring — in-flight work finishes, new work rehashes elsewhere."""
+        payload: dict = {"type": "drain"}
+        if member is not None:
+            payload["member"] = member
+        return self._request_reply(payload, expect="ok")
+
+    def undrain(self, member: str | None = None) -> dict:
+        """Reverse :meth:`drain`: resume accepting (or re-ring a member)."""
+        payload: dict = {"type": "undrain"}
+        if member is not None:
+            payload["member"] = member
+        return self._request_reply(payload, expect="ok")
+
+    def ring(self) -> dict:
+        """A router's ring report: members, health, and digest counts."""
+        return self._request_reply({"type": "ring"}, expect="ring")
 
     def run(self, workload: Workload, *,
             known_digests: set[str] | None = None) -> WorkloadResult:

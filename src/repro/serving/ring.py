@@ -1,0 +1,97 @@
+"""Consistent hashing for the digest-aware serving fleet.
+
+:class:`HashRing` maps content digests to fleet members with the classic
+virtual-node construction: every member owns ``replicas`` points on a
+2^256 ring (SHA-256 of ``"{member}#{i}"``), and a key belongs to the
+first member point at or clockwise after the key's own hash.  Two
+properties make this the right router seat for the content-addressed
+protocol:
+
+* **Determinism** — placement depends only on member names and the digest
+  (SHA-256 end to end, no per-process salt), so every router, test, and
+  offline capacity model agrees on who owns which corpus.
+* **Minimal movement** — removing a member reassigns *only* that
+  member's keys (each to the next point clockwise); everyone else's warm
+  indexes stay exactly where they are.  That is what makes failover
+  cheap: rehash the ring, and the digest protocol re-ships just the
+  moved corpora on ``need_instances``.
+
+The ring is deliberately not thread-safe: it lives on the router's event
+loop and is only ever touched from there.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+#: Virtual nodes per member.  64 keeps the per-member key share within a
+#: few percent of uniform for single-digit fleets while membership
+#: changes stay O(replicas · log points).
+DEFAULT_REPLICAS = 64
+
+
+def _point(data: str) -> int:
+    """A position on the 2^256 ring."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest(),
+                          "big")
+
+
+class HashRing:
+    """Deterministic digest → member assignment with virtual nodes."""
+
+    def __init__(self, members: Iterable[str] = (), *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(
+                f"replicas must be a positive integer, got {replicas!r}")
+        self.replicas = replicas
+        # Sorted, parallel: _points[i] is owned by _owners[i].
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    def add(self, member: str) -> None:
+        """Insert a member's virtual nodes.  Idempotent."""
+        if member in self:
+            return
+        for i in range(self.replicas):
+            point = _point(f"{member}#{i}")
+            at = bisect.bisect_left(self._points, point)
+            self._points.insert(at, point)
+            self._owners.insert(at, member)
+
+    def remove(self, member: str) -> None:
+        """Drop a member's virtual nodes (a no-op for non-members)."""
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != member]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def node_for(self, key: str) -> str:
+        """The member owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise LookupError("hash ring has no members")
+        at = bisect.bisect_right(self._points, _point(key))
+        if at == len(self._points):  # wrap past the top of the ring
+            at = 0
+        return self._owners[at]
+
+    # ------------------------------------------------------------------
+    def members(self) -> list[str]:
+        """The current membership, sorted."""
+        return sorted(set(self._owners))
+
+    def __contains__(self, member: object) -> bool:
+        return member in self._owners
+
+    def __len__(self) -> int:
+        """Number of members (not virtual nodes)."""
+        return len(set(self._owners))
+
+    def __repr__(self) -> str:
+        return (f"<HashRing {len(self)} members × {self.replicas} "
+                f"replicas>")

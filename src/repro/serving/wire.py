@@ -81,10 +81,15 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 # exhaustiveness argument has to read).
 
 #: Top-level frame ``"type"`` tags (workload request frames carry no
-#: ``type`` key — any untagged dict frame is a workload).
+#: ``type`` key — any untagged dict frame is a workload).  ``ping`` /
+#: ``drain`` / ``undrain`` / ``ring`` are the fleet-control frames: a
+#: health probe (answered ``ok``), the graceful stop/resume of a
+#: listener or fleet member (answered ``ok``), and the ring-membership
+#: view a :class:`~repro.serving.fleet.FleetRouter` serves.
 FRAME_TYPES = frozenset({
     "shard", "done", "error", "stats", "ok",
     "need_instances", "put_instances",
+    "ping", "drain", "undrain", "ring",
 })
 
 #: Instance/query record ``"type"`` tags inside workload frames.
@@ -435,6 +440,21 @@ def record_digest(record: dict) -> tuple[str, int]:
 _fingerprints: "weakref.WeakKeyDictionary[object, tuple[int, str, int]]" \
     = weakref.WeakKeyDictionary()
 _fingerprint_lock = threading.Lock()
+
+
+def reinit_after_fork() -> None:
+    """Replace the module-level fingerprint lock with a fresh one.
+
+    A process forked while *another* thread held ``_fingerprint_lock``
+    inherits the lock in its held state — permanently, since the owning
+    thread does not exist in the child — and the first fingerprint call
+    there deadlocks.  Forked children that use the wire codecs (the
+    fleet member processes) call this first thing, before any thread
+    exists in the child, so the hazard window closes for good.  The memo
+    itself is value-cached and safe to inherit.
+    """
+    global _fingerprint_lock
+    _fingerprint_lock = threading.Lock()
 
 
 def _fingerprint_with_record(

@@ -523,4 +523,5 @@ def test_admission_gate_queues_fifo_and_never_errors():
         _run_threads([one_client for _ in range(4)])
         with WorkloadClient(*server.address) as client:
             admission = client.stats()["admission"]
-    assert admission == {"max_inflight_shards": 1, "in_flight": 0}
+    assert admission == {"max_inflight_shards": 1, "in_flight": 0,
+                         "max_inflight_per_connection": None, "owners": 0}

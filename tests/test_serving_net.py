@@ -528,7 +528,7 @@ def test_put_instances_preships_and_is_acknowledged():
         store = server.server.instance_store
         with WorkloadClient(*server.address) as client:
             registry: set[str] = set()
-            digests = client.put_instances(docs, registry)
+            digests = client.put_instances(docs, known_digests=registry)
             assert len(digests) == 2 and registry == set(digests)
             assert all(d in store for d in digests)
             baseline_shipped = client.instances_shipped
@@ -550,7 +550,9 @@ def test_stats_frame_reports_instance_cache_and_admission():
     cache = stats["instance_cache"]
     assert cache["instances"] == 1 and cache["misses"] >= 1
     assert cache["bytes"] > 0
-    assert stats["admission"] == {"max_inflight_shards": 3, "in_flight": 0}
+    assert stats["admission"] == {"max_inflight_shards": 3, "in_flight": 0,
+                                  "max_inflight_per_connection": None,
+                                  "owners": 0}
 
 
 def test_http_stats_endpoint_serves_wire_stats_json():
@@ -734,3 +736,175 @@ def test_unknown_need_instances_digest_fails_fast():
     client.close()
     thread.join()
     bad.close()
+
+
+# ---------------------------------------------------------------------------
+# Request-lifecycle regressions: eager stream send, keyword-only put,
+# prompt shutdown with stuck peers
+# ---------------------------------------------------------------------------
+
+
+def test_stream_sends_eagerly_before_first_iteration(process_server):
+    """Regression: ``stream()`` used to be a lazy generator — nothing was
+    sent until the first ``next()``, so counters lagged and interleaved
+    requests could reorder.  The request frame must be on the wire (and
+    counted) when ``stream()`` returns."""
+    docs = [xml("<a><b/></a>"), xml("<a><b/><b/></a>")]
+    workload = Workload.twig(parse_twig("//b"), docs)
+    with WorkloadClient(*process_server.address) as client:
+        stream = client.stream(workload)
+        # Sent already: request + shipped instances counted pre-iteration.
+        assert client.requests == 1
+        assert client.instances_shipped == len(docs)
+        assert list(stream)  # and the response still streams fine
+
+
+def test_superseded_stream_iterator_raises_without_breaking_connection(
+        process_server):
+    docs = [xml("<a><b/></a>"), xml("<a><b/><b/></a>")]
+    workload = Workload.twig(parse_twig("//b"), docs)
+    with WorkloadClient(*process_server.address) as client:
+        abandoned = client.stream(workload)
+        next(abandoned)  # mid-response
+        stats = client.stats()  # drains the rest of the old response
+        assert "engine" in stats
+        with pytest.raises(ProtocolError, match="superseded"):
+            next(abandoned)
+        # Only the stale iterator died — the connection is aligned.
+        local = BatchEvaluator(engine=Engine()).run(workload)
+        assert identical_answers(client.run(workload).answers, local.answers)
+
+
+def test_put_instances_requires_keyword_known_digests(process_server):
+    docs = [xml("<a><b/></a>")]
+    with WorkloadClient(*process_server.address) as client:
+        with pytest.raises(TypeError):
+            client.put_instances(docs, set())  # positional: rejected
+        assert client.put_instances(docs, known_digests=set())
+
+
+def test_server_thread_close_is_prompt_with_a_stuck_connection():
+    """Regression: ``aclose()`` awaited ``wait_closed()`` without
+    cancelling in-flight handlers and ``close()`` joined unboundedly —
+    one idle peer (connected, never sending a frame) could hang
+    shutdown forever.  Handlers are now cancelled with a bounded drain
+    and the thread join has a timeout."""
+    import time
+
+    thread = ServerThread(AsyncBatchEvaluator(engine=Engine()))
+    stuck = socket.create_connection(thread.address)
+    try:
+        # The handler is parked in read_frame() awaiting a frame that
+        # will never come; close() must not wait for it.
+        start = time.monotonic()
+        thread.close()
+        assert time.monotonic() - start < ServerThread.JOIN_TIMEOUT
+    finally:
+        stuck.close()
+
+
+# ---------------------------------------------------------------------------
+# Fair scheduling: per-connection quotas on the shard gate
+# ---------------------------------------------------------------------------
+
+
+def test_shard_gate_per_owner_quota_blocks_only_the_greedy_owner():
+    import asyncio
+
+    from repro.serving import ShardGate
+
+    async def scenario():
+        gate = ShardGate(4, per_owner=1)
+        await gate.acquire("greedy")
+        # Greedy at quota: its next acquire parks even though the global
+        # semaphore has slots free...
+        second = asyncio.ensure_future(gate.acquire("greedy"))
+        await asyncio.sleep(0)
+        assert not second.done()
+        # ...while another owner sails through.
+        await gate.acquire("other")
+        assert gate.in_flight == 2 and gate.owners() == 2
+        # Releasing greedy's slot wakes its parked waiter.
+        gate.release("greedy")
+        await asyncio.wait_for(second, timeout=5)
+        gate.release("greedy")
+        gate.release("other")
+        assert gate.in_flight == 0 and gate.owners() == 0
+
+    asyncio.run(scenario())
+
+
+def test_shard_gate_cancelled_waiter_returns_owner_slot():
+    import asyncio
+
+    from repro.serving import ShardGate
+
+    async def scenario():
+        gate = ShardGate(2, per_owner=1)
+        await gate.acquire("a")
+        parked = asyncio.ensure_future(gate.acquire("a"))
+        await asyncio.sleep(0)
+        parked.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await parked
+        # The cancelled waiter must not leak its reserved owner slot:
+        # a fresh acquire for the same owner still works after release.
+        gate.release("a")
+        await asyncio.wait_for(gate.acquire("a"), timeout=5)
+        gate.release("a")
+        assert gate.in_flight == 0 and gate.owners() == 0
+
+    asyncio.run(scenario())
+
+
+class _SleepyExecutor(SerialExecutor):
+    """Inline executor whose every shard costs a fixed latency — makes
+    admission-order effects observable without loading the CPU."""
+
+    name = "sleepy"
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def submit(self, fn, *args):
+        import time
+        time.sleep(self.delay)
+        return super().submit(fn, *args)
+
+
+def test_per_connection_quota_keeps_small_sessions_responsive():
+    """Two competing connections: a greedy 10-shard session must not
+    monopolise the gate — with ``max_inflight_per_connection=1`` a
+    one-shard request that arrives *after* it still finishes first."""
+    import threading
+    import time
+
+    greedy_docs = [xml(f"<a><b/><i>{i}</i></a>") for i in range(10)]
+    small_docs = [xml("<a><b/><i>small</i></a>")]
+    done: dict[str, float] = {}
+    started = threading.Event()
+
+    thread = ServerThread(
+        AsyncBatchEvaluator(executor=_SleepyExecutor(0.1)),
+        max_inflight_shards=2, max_inflight_per_connection=1)
+    with thread as server:
+        def greedy():
+            with WorkloadClient(*server.address) as client:
+                stream = client.stream(
+                    Workload.twig(parse_twig("//b"), greedy_docs))
+                started.set()
+                for _ in stream:
+                    pass
+                done["greedy"] = time.monotonic()
+
+        runner = threading.Thread(target=greedy)
+        runner.start()
+        assert started.wait(timeout=10)
+        with WorkloadClient(*server.address) as client:
+            client.run(Workload.twig(parse_twig("//b"), small_docs))
+            done["small"] = time.monotonic()
+        runner.join(timeout=30)
+        assert not runner.is_alive()
+    # Ordering, not absolute timing: the small session finished while
+    # the greedy one was still paying for its queue.
+    assert done["small"] < done["greedy"]
