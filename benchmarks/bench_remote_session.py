@@ -119,12 +119,21 @@ def test_remote_session_backend_invariance_and_latency(benchmark):
         # Index-build regression metric: however many sessions ran, the
         # server's store resolved every repeat round (and repeat session)
         # to the same decoded objects, so the engine built at most one
-        # index per distinct document.
+        # columnar index per distinct document.
         index_builds = server_engine.stats()["document_builds"]
         assert index_builds <= N_DOCS, (
             f"server rebuilt {index_builds} document indexes for "
             f"{N_DOCS} distinct documents — the instance cache is not "
             "reusing warm indexes")
+        # Positions end to end: the server answers straight from the
+        # warm position arrays, so one more full session must not
+        # trigger a single additional index build.
+        remote_round()
+        post_builds = server_engine.stats()["document_builds"]
+        assert post_builds == index_builds, (
+            f"a warm session grew document_builds from {index_builds} to "
+            f"{post_builds} — the positions-native serving path is "
+            "rebuilding columnar indexes instead of reusing them")
         cache = timed[1]["server"]["instance_cache"]
 
     kib_up = remote_stats["bytes_sent"] / 1024

@@ -243,16 +243,40 @@ class Engine:
     # Twig evaluation
     # ------------------------------------------------------------------
     def evaluate_twig(self, query: TwigQuery, tree: XTree) -> list[XNode]:
-        """Nodes of ``tree`` selected by ``query``, in document order."""
+        """Nodes of ``tree`` selected by ``query``, in document order.
+
+        The answer *boundary*: node objects materialise here; every
+        internal consumer below works on pre-order positions instead.
+        """
         return self.document(tree).evaluate(query)
 
+    def evaluate_twig_positions(self, query: TwigQuery,
+                                tree: XTree) -> tuple[int, ...]:
+        """Pre-order positions selected by ``query`` (memoised).
+
+        The positions-native twig path: stable for a fixed tree version,
+        so the serving tier ships these tuples across process and wire
+        boundaries and materialises nodes only on the consuming side.
+        """
+        return self.document(tree).evaluate_indices(query)
+
     def selects(self, query: TwigQuery, tree: XTree, target: XNode) -> bool:
-        """Does ``query`` select precisely ``target`` in ``tree``?"""
-        return any(n is target for n in self.evaluate_twig(query, tree))
+        """Does ``query`` select precisely ``target`` in ``tree``?
+
+        Positions-native: one position lookup plus a membership probe of
+        the memoised answer tuple — no node list is materialised.  A
+        ``target`` outside ``tree`` is never selected (identity
+        semantics, as with the naive evaluator).
+        """
+        doc = self.document(tree)
+        position = doc.index.get(id(target))
+        if position is None:
+            return False
+        return position in doc.evaluate_indices(query)
 
     def matches_boolean(self, query: TwigQuery, tree: XTree) -> bool:
         """Boolean satisfaction: does any embedding of ``query`` exist?"""
-        return bool(self.evaluate_twig(query, tree))
+        return bool(self.document(tree).evaluate_indices(query))
 
     def canonical_query(self, tree: XTree, node: XNode) -> TwigQuery:
         """Most specific twig selecting ``node`` in ``tree`` (cached)."""
@@ -261,13 +285,13 @@ class Engine:
     def preorder_nodes(self, tree: XTree) -> list[XNode]:
         """The tree's pre-order node list, served from the index snapshot.
 
-        The serving tier's answer codec encodes twig answers as pre-order
-        positions once per request; routing the enumeration through the
-        (version-checked, cached) :class:`IndexedDocument` means a warm
-        instance — e.g. one held by the content-addressed
-        :class:`~repro.serving.instance_cache.InstanceStore` — pays the
-        traversal once per version, not once per round.  Callers must
-        treat the list as read-only; it is the index's own snapshot.
+        The positions -> nodes decode table of the answer boundary:
+        anything holding position tuples (a positions-native stream, a
+        wire shard frame) maps them onto node objects through this list.
+        Routing the enumeration through the (version-checked, cached)
+        :class:`IndexedDocument` means a warm instance pays the traversal
+        once per version, not once per round.  Callers must treat the
+        list as read-only; it is the index's own snapshot.
         """
         return self.document(tree).nodes
 

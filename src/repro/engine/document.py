@@ -1,20 +1,30 @@
-"""Per-document evaluation index: build once, evaluate many queries.
+"""Per-document evaluation index: columnar arrays, build once, query many.
 
 :class:`IndexedDocument` wraps an :class:`~repro.xmltree.tree.XTree` with
 the structures every twig evaluation needs but the naive evaluator rebuilds
-per call:
+per call — stored *columnar*, as flat parallel integer arrays indexed by
+pre-order position, in the spirit of factorised/in-database learning
+(compute over a compact representation; materialise objects only at the
+boundary):
 
-* a pre-order node array plus a ``last_descendant`` array, giving O(1)
-  ancestor/descendant interval tests (a node's proper descendants are
-  exactly the contiguous pre-order slice ``i+1 .. last_descendant[i]``);
-* parent/children arrays for the child axis;
-* a label -> node-set inverted index, so the bottom-up pass only touches
-  label-compatible nodes instead of scanning the whole document;
+* ``parent`` / ``depth`` / ``last_descendant`` — one :class:`array.array`
+  slot per node.  A node's proper descendants are exactly the contiguous
+  pre-order slice ``i+1 .. last_descendant[i]``, so ancestor/descendant
+  tests are two integer comparisons and the structural joins below are
+  interval merges over sorted arrays;
+* a label -> sorted-position array inverted index (labels interned to
+  dense ids), so ``candidates(label)`` is a pre-sorted slice and the
+  bottom-up pass only touches label-compatible positions;
 * an LRU-bounded query-result cache keyed by the query's canonical form,
   so the repeated evaluations an interactive learner performs against a
   fixed document after every user interaction cost one dict lookup;
 * a canonical-query cache (the learner's per-node "most specific query"),
   served as defensive copies because learners rewrite patterns in place.
+
+Twig matching is two linear passes of merge/two-pointer loops over these
+arrays (`_bottom_up` / `_top_down`); answers travel internally as sorted
+pre-order position tuples and become :class:`~repro.xmltree.tree.XNode`
+objects only in :meth:`evaluate` / :meth:`canonical_query`.
 
 The index snapshot carries the tree's version: ``XTree.invalidate()`` (the
 hook the parent-map cache already required after a mutation) bumps it, and
@@ -24,55 +34,91 @@ the engine rebuilds a stale index transparently on the next evaluation.
 from __future__ import annotations
 
 import weakref
+from array import array
+from collections.abc import Sequence
 
 from repro.engine.cache import LRUCache
 from repro.twig.ast import Axis, TwigNode, TwigQuery
 from repro.xmltree.tree import XNode, XTree
 
 
+def _intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Merge-intersection of two strictly-increasing position sequences."""
+    out: list[int] = []
+    ia = ib = 0
+    la, lb = len(a), len(b)
+    while ia < la and ib < lb:
+        x, y = a[ia], b[ib]
+        if x == y:
+            out.append(x)
+            ia += 1
+            ib += 1
+        elif x < y:
+            ia += 1
+        else:
+            ib += 1
+    return out
+
+
 class IndexedDocument:
-    """One-time structural index over a document, plus result caches."""
+    """One-time columnar index over a document, plus result caches."""
 
     def __init__(self, tree: XTree, *, max_cached_queries: int = 256) -> None:
         # Weak back-reference: the engine maps trees to indexes weakly, so
         # a strong ref here would keep every indexed tree alive forever.
         self._tree = weakref.ref(tree)
-        self.version = getattr(tree, "_version", 0)
-        # Pre-order arrays, built in ONE traversal that captures each
+        self.version: int = getattr(tree, "_version", 0)
+        # Pre-order columns, built in ONE traversal that captures each
         # node's children list exactly once: a concurrent atomic mutation
         # (one list op on one node) can only move the whole snapshot
         # before or after itself — a two-pass build could interleave the
         # passes around the mutation and cache a mixed-version index.
-        self.nodes: list[XNode] = []
-        self.index: dict[int, int] = {}
-        self.parent: list[int | None] = []
-        self.children: list[list[int]] = []
-        stack: list[tuple[XNode, int | None]] = [(tree.root, None)]
+        # All columns are immutable after construction: shards read them
+        # concurrently with no lock (snapshot semantics).
+        nodes: list[XNode] = []
+        index: dict[int, int] = {}
+        parent = array("l")   # lock-free: immutable pre-order snapshot
+        depth = array("l")    # lock-free: immutable pre-order snapshot
+        label_ids = array("l")  # lock-free: immutable pre-order snapshot
+        label_table: dict[str, int] = {}
+        stack: list[tuple[XNode, int]] = [(tree.root, -1)]
         while stack:
             x, parent_ix = stack.pop()
-            i = len(self.nodes)
-            self.nodes.append(x)
-            self.index[id(x)] = i
-            self.parent.append(parent_ix)
-            self.children.append([])
-            if parent_ix is not None:
-                self.children[parent_ix].append(i)
+            i = len(nodes)
+            nodes.append(x)
+            index[id(x)] = i
+            parent.append(parent_ix)
+            depth.append(0 if parent_ix < 0 else depth[parent_ix] + 1)
+            label_id = label_table.setdefault(x.label, len(label_table))
+            label_ids.append(label_id)
             # reversed() keeps pre-order left-to-right (cf. XNode.iter).
             stack.extend((child, i) for child in reversed(list(x.children)))
-        n = len(self.nodes)
-        # last_descendant[i] = highest pre-order index inside i's subtree.
-        self.last_descendant: list[int] = list(range(n))
-        for i in range(n - 1, -1, -1):
-            if self.children[i]:
-                self.last_descendant[i] = \
-                    self.last_descendant[self.children[i][-1]]
-        by_label: dict[str, list[int]] = {}
-        for i, x in enumerate(self.nodes):
-            by_label.setdefault(x.label, []).append(i)
-        self._label_sets: dict[str, frozenset[int]] = {
-            label: frozenset(idxs) for label, idxs in by_label.items()
+        n = len(nodes)
+        # last_descendant[i] = highest pre-order index inside i's subtree,
+        # by propagating subtree ends to parents in reverse pre-order
+        # (parent[i] < i always holds for pre-order positions).
+        last = array("l", range(n))
+        for i in range(n - 1, 0, -1):
+            p = parent[i]
+            if last[i] > last[p]:
+                last[p] = last[i]
+        # Inverted label index: positions are appended in pre-order, so
+        # each per-label array is already sorted ascending.
+        by_label: dict[str, array[int]] = {
+            label: array("l") for label in label_table
         }
-        self._all_nodes: frozenset[int] = frozenset(range(n))
+        node_labels = [x.label for x in nodes]
+        for i in range(n):
+            by_label[node_labels[i]].append(i)
+        self.nodes: list[XNode] = nodes
+        self.index: dict[int, int] = index
+        self.parent = parent  # lock-free: immutable after __init__
+        self.depth = depth    # lock-free: immutable after __init__
+        self.label_ids = label_ids  # lock-free: immutable after __init__
+        self.last_descendant = last  # lock-free: immutable after __init__
+        self._label_table: dict[str, int] = label_table
+        self._label_positions: dict[str, array[int]] = by_label
+        self._all_positions = array("l", range(n))
         self._query_cache = LRUCache(max_cached_queries)
         self._canonical_cache: dict[int, TwigQuery] = {}
 
@@ -98,41 +144,27 @@ class IndexedDocument:
         """Is node ``a`` a proper ancestor of node ``d``?  O(1)."""
         return a < d <= self.last_descendant[a]
 
-    def candidates(self, label: str) -> frozenset[int]:
-        """Indices of nodes a query node with ``label`` can map to."""
+    def candidates(self, label: str) -> Sequence[int]:
+        """Sorted positions a query node with ``label`` can map to.
+
+        A pre-built array slice — callers must not mutate it.
+        """
         if label == "*":
-            return self._all_nodes
-        return self._label_sets.get(label, frozenset())
+            return self._all_positions
+        positions = self._label_positions.get(label)
+        return positions if positions is not None else ()
 
     # ------------------------------------------------------------------
-    # Indexed twig evaluation (same two-pass DP as the naive evaluator,
-    # with the label index replacing full scans and interval arithmetic
-    # replacing ancestor/descendant list walks).
+    # Indexed twig evaluation: the same two-pass DP as the naive
+    # evaluator, but every per-query-node candidate set is a sorted
+    # position list and every axis join is a merge / two-pointer loop
+    # over the pre-order interval columns.
     # ------------------------------------------------------------------
-    def _ancestors_of_set(self, tree_nodes: set[int]) -> set[int]:
-        """Union of proper-ancestor chains; shared prefixes walked once."""
-        out: set[int] = set()
-        for j in tree_nodes:
-            p = self.parent[j]
-            while p is not None and p not in out:
-                out.add(p)
-                p = self.parent[p]
-        return out
-
-    def _descendants_of_set(self, tree_nodes: set[int]) -> set[int]:
-        """Union of descendant intervals; nested intervals merged away."""
-        out: set[int] = set()
-        covered_up_to = -1
-        for i in sorted(tree_nodes):
-            lo = max(i + 1, covered_up_to + 1)
-            hi = self.last_descendant[i]
-            if hi >= lo:
-                out.update(range(lo, hi + 1))
-                covered_up_to = max(covered_up_to, hi)
-        return out
-
-    def _bottom_up(self, query_root: TwigNode) -> dict[int, set[int]]:
-        cand: dict[int, set[int]] = {}
+    def _bottom_up(self, query_root: TwigNode) -> dict[int, list[int]]:
+        """Sorted positions each query node can map to, children first."""
+        parent = self.parent
+        last = self.last_descendant
+        cand: dict[int, list[int]] = {}
         order: list[TwigNode] = []
         stack = [query_root]
         while stack:
@@ -140,40 +172,78 @@ class IndexedDocument:
             order.append(q)
             stack.extend(child for _, child in q.branches)
         for qnode in reversed(order):
-            base = set(self.candidates(qnode.label))
+            base = list(self.candidates(qnode.label))
             for axis, qchild in qnode.branches:
                 if not base:
                     break
                 child_cand = cand[id(qchild)]
                 if axis is Axis.CHILD:
-                    allowed = {self.parent[j] for j in child_cand
-                               if self.parent[j] is not None}
+                    parents = sorted({parent[j] for j in child_cand
+                                      if parent[j] >= 0})
+                    base = _intersect_sorted(base, parents)
                 else:
-                    allowed = self._ancestors_of_set(child_cand)
-                base &= allowed
+                    # Keep i iff its subtree interval (i, last[i]] holds
+                    # some child candidate; both lists ascend, so the
+                    # probe pointer k only ever moves forward.
+                    kept: list[int] = []
+                    k, m = 0, len(child_cand)
+                    for i in base:
+                        while k < m and child_cand[k] <= i:
+                            k += 1
+                        if k < m and child_cand[k] <= last[i]:
+                            kept.append(i)
+                    base = kept
             cand[id(qnode)] = base
         return cand
 
     def _top_down(self, query: TwigQuery,
-                  cand: dict[int, set[int]]) -> set[int]:
-        reach: dict[int, set[int]] = {}
+                  cand: dict[int, list[int]]) -> list[int]:
+        """Sorted positions each query node is *reachable* at; returns the
+        selected node's positions."""
+        parent = self.parent
+        last = self.last_descendant
+        reach: dict[int, list[int]] = {}
         root_cand = cand[id(query.root)]
         if query.root_axis is Axis.CHILD:
-            reach[id(query.root)] = root_cand & {0}
+            reach[id(query.root)] = \
+                [0] if root_cand and root_cand[0] == 0 else []
         else:
-            reach[id(query.root)] = set(root_cand)
+            reach[id(query.root)] = root_cand
         stack: list[TwigNode] = [query.root]
         while stack:
             qnode = stack.pop()
             here = reach[id(qnode)]
+            flags: bytearray | None = None
             for axis, qchild in qnode.branches:
+                child_cand = cand[id(qchild)]
                 if axis is Axis.CHILD:
-                    allowed: set[int] = set()
-                    for i in here:
-                        allowed.update(self.children[i])
+                    if flags is None:
+                        flags = bytearray(len(self.nodes))
+                        for i in here:
+                            flags[i] = 1
+                    reach[id(qchild)] = [
+                        j for j in child_cand
+                        if parent[j] >= 0 and flags[parent[j]]
+                    ]
                 else:
-                    allowed = self._descendants_of_set(here)
-                reach[id(qchild)] = cand[id(qchild)] & allowed
+                    # Sweep ``here``'s descendant intervals (i, last[i]]
+                    # left to right, merging nested/overlapping spans,
+                    # and collect the child candidates inside each.
+                    kept: list[int] = []
+                    k, m = 0, len(child_cand)
+                    covered_up_to = -1
+                    for i in here:
+                        lo = max(i + 1, covered_up_to + 1)
+                        hi = last[i]
+                        if hi < lo:
+                            continue
+                        while k < m and child_cand[k] < lo:
+                            k += 1
+                        while k < m and child_cand[k] <= hi:
+                            kept.append(child_cand[k])
+                            k += 1
+                        covered_up_to = hi
+                    reach[id(qchild)] = kept
                 stack.append(qchild)
         return reach[id(query.selected)]
 
@@ -181,7 +251,7 @@ class IndexedDocument:
         cand = self._bottom_up(query.root)
         if not cand[id(query.root)]:
             return ()
-        return tuple(sorted(self._top_down(query, cand)))
+        return tuple(self._top_down(query, cand))
 
     def evaluate_indices(self, query: TwigQuery,
                          key: tuple | None = None) -> tuple[int, ...]:
@@ -196,13 +266,19 @@ class IndexedDocument:
         """
         if key is None:
             key = query.canonical()
-        return self._query_cache.get_or_compute(
+        result: tuple[int, ...] = self._query_cache.get_or_compute(
             key, lambda: self._answer_indices(query))
+        return result
 
     def evaluate(self, query: TwigQuery,
                  key: tuple | None = None) -> list[XNode]:
-        """Nodes selected by ``query``, in document order (memoised)."""
-        return [self.nodes[i] for i in self.evaluate_indices(query, key)]
+        """Nodes selected by ``query``, in document order (memoised).
+
+        The *only* twig path that materialises node objects — everything
+        upstream computes over pre-order positions.
+        """
+        nodes = self.nodes
+        return [nodes[i] for i in self.evaluate_indices(query, key)]
 
     # ------------------------------------------------------------------
     # Canonical queries (the learner's per-example starting point)
@@ -224,7 +300,8 @@ class IndexedDocument:
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
-        return self._query_cache.stats()
+        stats: dict[str, int] = self._query_cache.stats()
+        return stats
 
     def reset_cache_stats(self) -> None:
         self._query_cache.reset_stats()

@@ -1,19 +1,32 @@
-"""Per-graph evaluation index: adjacency snapshots plus RPQ memoisation.
+"""Per-graph evaluation index: CSR adjacency, bitset RPQ, memoisation.
 
 :class:`IndexedGraph` wraps a :class:`~repro.graphdb.graph.Graph` with the
-state the interactive path learners recompute on every call:
+state the interactive path learners recompute on every call — stored
+*columnar*: vertices are interned to dense integer ids and adjacency lives
+in per-label CSR (compressed sparse row) arrays instead of dicts of tuple
+lists:
 
-* materialised forward and reverse adjacency lists (the ``Graph`` API
-  exposes iterators that re-walk nested dicts per call);
+* per-label forward CSR ``(indptr, targets)`` arrays plus a per-label,
+  per-source **bitset row** (one Python int whose bit *j* is set iff the
+  edge ``source --label--> vertices[j]`` exists), so the product BFS in
+  :meth:`_reachable_from` propagates whole frontiers with integer ``|``
+  and ``&`` instead of queueing ``(vertex, state-set)`` pairs;
+* per-label reverse CSR arrays backing :meth:`in_edges` (the seam for
+  target-anchored evaluation);
 * a compiled-NFA cache — ``PathQuery``/``Regex`` values hash structurally,
   raw ``NFA`` objects hash by identity and are pinned by the cache entry,
   so recycled ``id()`` values can never alias a stale entry;
 * a per-``(query, source)`` product-automaton reachability memo serving
-  ``evaluate_rpq`` (the same BFS as the naive evaluator, run at most once
-  per source per query);
+  ``evaluate_rpq`` — the same lazily-determinised product construction as
+  the naive evaluator, run at most once per source per query, with NFA
+  state-sets interned to dense dstate ids and one visited-bitmask per
+  dstate;
 * a memo for the simple-path word enumeration that seeds every interactive
   graph session (word *acceptance* is graph-independent and memoised on the
   :class:`~repro.engine.core.Engine` itself).
+
+Vertex ids materialise back into caller-visible ``VertexId`` values only at
+the answer boundary (:meth:`evaluate_rpq` / :meth:`in_edges`).
 
 The snapshot carries the graph's version, which every ``Graph`` mutator
 bumps — the engine rebuilds a stale index transparently on the next call.
@@ -22,7 +35,7 @@ bumps — the engine rebuilds a stale index transparently on the next call.
 from __future__ import annotations
 
 import weakref
-from collections import deque
+from array import array
 from collections.abc import Hashable, Sequence
 
 from repro.engine.cache import LRUCache
@@ -31,6 +44,10 @@ from repro.graphdb.nfa import NFA, compile_regex
 from repro.graphdb.regex import Regex
 
 Word = tuple[str, ...]
+
+#: One label's CSR slab: ``targets[indptr[i]:indptr[i+1]]`` are the dense
+#: ids adjacent to vertex ``i`` under that label.
+Csr = tuple["array[int]", "array[int]"]
 
 
 def query_key(query: "Regex | NFA | object") -> Hashable:
@@ -56,25 +73,57 @@ def compile_query(query: "Regex | NFA | object") -> NFA:
     raise TypeError(f"cannot compile {type(query).__name__} to an NFA")
 
 
+def _build_csr(pairs: Sequence[tuple[int, int]], n: int) -> Csr:
+    """CSR arrays from ``(src, dst)`` dense-id pairs over ``n`` vertices."""
+    counts = [0] * (n + 1)
+    for src, _ in pairs:
+        counts[src + 1] += 1
+    for i in range(n):
+        counts[i + 1] += counts[i]
+    indptr = array("l", counts)
+    targets = array("l", [0]) * len(pairs)
+    cursor = list(indptr[:n])
+    for src, dst in pairs:
+        targets[cursor[src]] = dst
+        cursor[src] += 1
+    return indptr, targets
+
+
 class IndexedGraph:
-    """One-time adjacency snapshot over a graph, plus RPQ result caches."""
+    """One-time CSR adjacency snapshot over a graph, plus RPQ caches."""
 
     def __init__(self, graph: Graph, *, max_cached_results: int = 1024,
                  nfa_cache: LRUCache | None = None) -> None:
         # Weak back-reference: see IndexedDocument — a strong ref would
         # pin the weakly-keyed engine map entry forever.
         self._graph = weakref.ref(graph)
-        self.version = getattr(graph, "_version", 0)
+        self.version: int = getattr(graph, "_version", 0)
         self.vertices: list[VertexId] = list(graph.vertices())
-        self.adjacency: dict[VertexId, list[tuple[str, VertexId]]] = {
-            v: list(graph.out_edges(v)) for v in self.vertices
+        n = len(self.vertices)
+        vertex_ids: dict[VertexId, int] = {
+            v: i for i, v in enumerate(self.vertices)
         }
-        self.reverse: dict[VertexId, list[tuple[str, VertexId]]] = {
-            v: [] for v in self.vertices
-        }
-        for src, targets in self.adjacency.items():
-            for label, dst in targets:
-                self.reverse[dst].append((label, src))
+        # ONE pass over the live adjacency captures every edge exactly
+        # once (same snapshot-atomicity argument as IndexedDocument's
+        # single traversal); everything below derives from this list.
+        edges: dict[str, list[tuple[int, int]]] = {}
+        for src_ix, v in enumerate(self.vertices):
+            for label, dst in graph.out_edges(v):
+                edges.setdefault(label, []).append((src_ix, vertex_ids[dst]))
+        csr: dict[str, Csr] = {}
+        rcsr: dict[str, Csr] = {}
+        adj_bits: dict[str, list[int]] = {}
+        for label, pairs in edges.items():
+            csr[label] = _build_csr(pairs, n)
+            rcsr[label] = _build_csr([(d, s) for s, d in pairs], n)
+            rows = [0] * n
+            for src_ix, dst_ix in pairs:
+                rows[src_ix] |= 1 << dst_ix
+            adj_bits[label] = rows
+        self._vertex_ids = vertex_ids  # lock-free: immutable after __init__
+        self._csr = csr        # lock-free: immutable CSR snapshot
+        self._rcsr = rcsr      # lock-free: immutable CSR snapshot
+        self._adj_bits = adj_bits  # lock-free: immutable bitset snapshot
         # Usually the Engine's shared compiled-NFA cache, so the same
         # query is compiled once per process, not once per graph.
         self._nfas = nfa_cache if nfa_cache is not None else LRUCache(256)
@@ -89,61 +138,111 @@ class IndexedGraph:
         return graph
 
     def in_edges(self, v: VertexId) -> list[tuple[str, VertexId]]:
-        """Incoming ``(label, source)`` edges of ``v`` (reverse adjacency).
+        """Incoming ``(label, source)`` edges of ``v`` (reverse CSR).
 
         The seam for target-anchored evaluation: answering "which vertices
         reach ``v``?" runs the product BFS backwards over this snapshot.
         """
         try:
-            return list(self.reverse[v])
+            ix = self._vertex_ids[v]
         except KeyError:
             from repro.errors import GraphError
 
             raise GraphError(f"unknown vertex {v!r}") from None
+        vertices = self.vertices
+        out: list[tuple[str, VertexId]] = []
+        for label, (indptr, sources) in self._rcsr.items():
+            for k in range(indptr[ix], indptr[ix + 1]):
+                out.append((label, vertices[sources[k]]))
+        return out
 
     # ------------------------------------------------------------------
     def nfa_for(self, query: "Regex | NFA | object") -> NFA:
         if isinstance(query, NFA):
             return query
-        return self._nfas.get_or_compute(query_key(query),
-                                         lambda: compile_query(query))
+        compiled: NFA = self._nfas.get_or_compute(
+            query_key(query), lambda: compile_query(query))
+        return compiled
 
     # ------------------------------------------------------------------
-    # RPQ evaluation: the textbook product BFS, memoised per source.
+    # RPQ evaluation: the textbook product BFS, memoised per source —
+    # lazily determinised (NFA state-sets interned to dense dstate ids)
+    # and run over bitset frontiers: one int per dstate holds every
+    # vertex reached at that automaton state, and a step is `|`/`&` over
+    # the per-label adjacency bitset rows.
     # ------------------------------------------------------------------
     def _reachable_from(self, nfa: NFA, key: Hashable,
                         source: VertexId) -> frozenset[VertexId]:
         cached = self._reachable.get((key, source))
         if cached is not None:
-            return cached
-        if source not in self.adjacency:
+            result: frozenset[VertexId] = cached
+            return result
+        src_ix = self._vertex_ids.get(source)
+        if src_ix is None:
             from repro.errors import GraphError
 
             raise GraphError(f"unknown vertex {source!r}")
+        adj_bits = self._adj_bits
+        # Per-call determinisation tables (the per-(query, source) LRU
+        # above amortises across calls; these amortise within one BFS).
+        dstate_of: dict[frozenset[int], int] = {}
+        dsets: list[frozenset[int]] = []
+        accepting: list[bool] = []
+        steps: list[dict[str, int]] = []
+        visited: list[int] = []
+
+        def intern(states: frozenset[int]) -> int:
+            d = dstate_of.get(states)
+            if d is None:
+                d = len(dsets)
+                dstate_of[states] = d
+                dsets.append(states)
+                accepting.append(nfa.is_accepting(states))
+                steps.append({})
+                visited.append(0)
+            return d
+
+        d0 = intern(nfa.initial())
+        visited[d0] = 1 << src_ix
+        target_bits = visited[d0] if accepting[d0] else 0
+        frontier: dict[int, int] = {d0: visited[d0]}
+        while frontier:
+            next_frontier: dict[int, int] = {}
+            for d, bits in frontier.items():
+                row = steps[d]
+                for label, rows in adj_bits.items():
+                    nd = row.get(label)
+                    if nd is None:
+                        next_states = nfa.step(dsets[d], label)
+                        nd = intern(next_states) if next_states else -1
+                        row[label] = nd
+                    if nd < 0:
+                        continue
+                    # Union the adjacency rows of every frontier vertex:
+                    # peel set bits lowest-first with `b & -b`.
+                    mask = 0
+                    b = bits
+                    while b:
+                        low = b & -b
+                        mask |= rows[low.bit_length() - 1]
+                        b ^= low
+                    new = mask & ~visited[nd]
+                    if new:
+                        visited[nd] |= new
+                        if accepting[nd]:
+                            target_bits |= new
+                        next_frontier[nd] = next_frontier.get(nd, 0) | new
+            frontier = next_frontier
+        vertices = self.vertices
         targets: set[VertexId] = set()
-        initial = (source, nfa.initial())
-        seen = {initial}
-        queue = deque([initial])
-        step_memo: dict[tuple[frozenset[int], str], frozenset[int]] = {}
-        while queue:
-            vertex, states = queue.popleft()
-            if nfa.is_accepting(states):
-                targets.add(vertex)
-            for label, neighbour in self.adjacency[vertex]:
-                step_key = (states, label)
-                next_states = step_memo.get(step_key)
-                if next_states is None:
-                    next_states = nfa.step(states, label)
-                    step_memo[step_key] = next_states
-                if not next_states:
-                    continue
-                item = (neighbour, next_states)
-                if item not in seen:
-                    seen.add(item)
-                    queue.append(item)
-        result = frozenset(targets)
-        self._reachable.put((key, source), result)
-        return result
+        b = target_bits
+        while b:
+            low = b & -b
+            targets.add(vertices[low.bit_length() - 1])
+            b ^= low
+        frozen = frozenset(targets)
+        self._reachable.put((key, source), frozen)
+        return frozen
 
     def evaluate_rpq(self, query: "Regex | NFA | object",
                      sources: Sequence[VertexId] | None = None,
@@ -167,7 +266,7 @@ class IndexedGraph:
         from repro.graphdb.rpq import enumerate_words
 
         key = (source, target, max_length, limit)
-        words = self._words.get_or_compute(
+        words: tuple[Word, ...] = self._words.get_or_compute(
             key, lambda: tuple(enumerate_words(self.graph, source, target,
                                                max_length=max_length,
                                                limit=limit)))
@@ -175,7 +274,8 @@ class IndexedGraph:
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
-        return self._reachable.stats()
+        stats: dict[str, int] = self._reachable.stats()
+        return stats
 
     def reset_cache_stats(self) -> None:
         self._reachable.reset_stats()

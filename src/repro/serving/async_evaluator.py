@@ -72,9 +72,17 @@ class AsyncBatchEvaluator:
     # ------------------------------------------------------------------
     # The streaming primitive
     # ------------------------------------------------------------------
-    async def stream(self, workload: Workload, *,
-                     gate=None) -> AsyncIterator[ShardAnswer]:
+    async def stream(self, workload: Workload, *, gate=None,
+                     positions_native: bool = False,
+                     ) -> AsyncIterator[ShardAnswer]:
         """Yield per-shard answers as they complete, loop never blocked.
+
+        ``positions_native=True`` keeps twig answers as pre-order
+        position tuples (see
+        :meth:`~repro.serving.evaluator.BatchEvaluator.run_stream`) — the
+        network server streams in this mode and encodes the positions
+        straight into shard frames, never materialising node objects
+        server-side.
 
         Completion order is scheduling-dependent; the payloads are not —
         each :class:`~repro.serving.workload.ShardAnswer` carries its item
@@ -102,7 +110,8 @@ class AsyncBatchEvaluator:
         shards = workload.shards()
         if not shards:
             return
-        submit, decode = self._sync._shard_plan(shards)
+        submit, decode = self._sync._shard_plan(
+            shards, positions_native=positions_native)
         width = max(1, self.executor.parallelism())
         loop = asyncio.get_running_loop()
         pooled = self.executor.pooled

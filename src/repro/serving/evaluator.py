@@ -276,7 +276,9 @@ class BatchEvaluator:
     # ------------------------------------------------------------------
     # Streaming: per-shard futures, answers in completion order
     # ------------------------------------------------------------------
-    def run_stream(self, workload: Workload) -> Iterator[ShardAnswer]:
+    def run_stream(self, workload: Workload, *,
+                   positions_native: bool = False,
+                   ) -> Iterator[ShardAnswer]:
         """Yield each shard's answers as soon as that shard completes.
 
         Shards are submitted one future each (``executor.submit``),
@@ -287,11 +289,18 @@ class BatchEvaluator:
         value-identical to the corresponding :meth:`run` answer;
         reassembling by ``ShardAnswer.indices`` reproduces
         ``run(workload).answers`` exactly.
+
+        ``positions_native=True`` keeps twig answers as the engine's
+        pre-order position tuples instead of materialising node lists —
+        the shape a transport that re-encodes answers as positions anyway
+        (the wire codec) consumes directly.  RPQ / acceptance answers are
+        identity-free either way and are unaffected.
         """
         shards = workload.shards()
         if not shards:
             return
-        submit, decode = self._shard_plan(shards)
+        submit, decode = self._shard_plan(
+            shards, positions_native=positions_native)
         for i, raw in self._stream_futures(submit, len(shards)):
             yield ShardAnswer(i, shards[i].indices, decode(i, raw))
 
@@ -322,7 +331,8 @@ class BatchEvaluator:
             for future in pending:
                 future.cancel()
 
-    def _shard_plan(self, shards: list[Shard]) -> tuple[
+    def _shard_plan(self, shards: list[Shard], *,
+                    positions_native: bool = False) -> tuple[
             Callable[[int], concurrent.futures.Future],
             Callable[[int, tuple], tuple]]:
         """Per-shard ``(submit, decode)`` callables for the streaming paths.
@@ -332,20 +342,39 @@ class BatchEvaluator:
         isolated plan pins pre-order snapshots *before* any submission and
         decodes worker positions against them (raising on a mid-flight
         mutation, same as :meth:`_run_isolated`).
+
+        With ``positions_native=True`` twig answers stay position tuples:
+        the shared plan evaluates via ``evaluate_indices`` (no node lists
+        built at all), and the isolated plan pins only the instance
+        *version* — worker positions pass through untouched, still
+        refusing to cross a mid-flight mutation.
         """
         if self.executor.isolated:
-            snapshots = {
-                i: _pin_preorder(shard.items[0].instance)
-                for i, shard in enumerate(shards)
-                if shard.kind is ItemKind.TWIG
-            }
             tasks = [self._make_task(shard) for shard in shards]
 
             def submit(i: int) -> concurrent.futures.Future:
                 return self.executor.submit(_run_shard_task, tasks[i])
 
-            def decode(i: int, raw: tuple) -> tuple:
-                return self._decode(shards[i], raw, snapshots.get(i))
+            if positions_native:
+                versions = {
+                    i: getattr(shard.items[0].instance, "_version", 0)
+                    for i, shard in enumerate(shards)
+                    if shard.kind is ItemKind.TWIG
+                }
+
+                def decode(i: int, raw: tuple) -> tuple:
+                    if shards[i].kind is ItemKind.TWIG:
+                        self._check_version(shards[i], versions[i])
+                    return raw
+            else:
+                snapshots = {
+                    i: _pin_preorder(shard.items[0].instance)
+                    for i, shard in enumerate(shards)
+                    if shard.kind is ItemKind.TWIG
+                }
+
+                def decode(i: int, raw: tuple) -> tuple:
+                    return self._decode(shards[i], raw, snapshots.get(i))
 
             return submit, decode
 
@@ -354,7 +383,8 @@ class BatchEvaluator:
 
         def submit_shared(i: int) -> concurrent.futures.Future:
             return self.executor.submit(
-                self._eval_shard, engine, shards[i], twig_keys)
+                self._eval_shard, engine, shards[i], twig_keys,
+                positions_native)
 
         def decode_shared(i: int, raw: tuple) -> tuple:
             return raw
@@ -390,11 +420,17 @@ class BatchEvaluator:
 
     @staticmethod
     def _eval_shard(engine: Engine, shard: Shard,
-                    twig_keys: dict[int, tuple]) -> tuple:
+                    twig_keys: dict[int, tuple],
+                    positions_native: bool = False) -> tuple:
         # One index snapshot per shard: every item in the shard sees the
         # same version of its instance (mutation atomicity contract).
         if shard.kind is ItemKind.TWIG:
             doc_index = engine.document(shard.items[0].instance)
+            if positions_native:
+                return tuple(
+                    doc_index.evaluate_indices(item.query,
+                                               twig_keys[id(item.query)])
+                    for item in shard.items)
             return tuple(
                 doc_index.evaluate(item.query, twig_keys[id(item.query)])
                 for item in shard.items)
@@ -445,16 +481,22 @@ class BatchEvaluator:
                          words=tuple(item.word for item in shard.items))
 
     @staticmethod
-    def _decode(shard: Shard, raw: tuple, snapshot) -> tuple:
-        if shard.kind is not ItemKind.TWIG:
-            return raw  # vertex pairs and booleans are identity-free
-        version, nodes = snapshot
-        if version != getattr(shard.items[0].instance, "_version", 0):
+    def _check_version(shard: Shard, pinned_version: int) -> None:
+        """Refuse to hand out positions that crossed a mutation."""
+        if pinned_version != getattr(shard.items[0].instance,
+                                     "_version", 0):
             raise RuntimeError(
                 "document mutated while a process batch was in flight; "
                 "the process executor refuses to decode positions across "
                 "versions — keep instances fixed for the duration of a "
                 "run() or use an in-process executor")
+
+    @staticmethod
+    def _decode(shard: Shard, raw: tuple, snapshot) -> tuple:
+        if shard.kind is not ItemKind.TWIG:
+            return raw  # vertex pairs and booleans are identity-free
+        version, nodes = snapshot
+        BatchEvaluator._check_version(shard, version)
         return tuple([nodes[i] for i in indices] for indices in raw)
 
     # ------------------------------------------------------------------

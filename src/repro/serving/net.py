@@ -471,10 +471,12 @@ class WorkloadServer:
                                             f"type {kind!r}"})
             await writer.drain()
             return
-        # The codec serves pre-order enumerations from the engine's index
-        # snapshot: a store-cached instance pays the traversal once per
-        # version, not once per round.
-        codec = WorkloadCodec(preorder=self.evaluator.engine.preorder_nodes)
+        # Positions end to end: the evaluator streams pre-order position
+        # tuples and the codec copies them straight into shard frames —
+        # the server never materialises answer nodes, never enumerates a
+        # pre-order snapshot, and never builds an id -> position map per
+        # request.  Nodes exist only on the client side of the socket.
+        codec = WorkloadCodec()
         stream = None
         try:
             workload = await self._decode_negotiated(
@@ -482,10 +484,11 @@ class WorkloadServer:
             if workload is None:
                 return
             n_shards = 0
-            stream = self.evaluator.stream(workload, gate=gate)
+            stream = self.evaluator.stream(workload, gate=gate,
+                                           positions_native=True)
             async for shard_answer in stream:
                 write_frame(writer, codec.encode_shard_answer(
-                    workload, shard_answer))
+                    workload, shard_answer, positions_native=True))
                 await writer.drain()
                 n_shards += 1
             write_frame(writer, {"type": "done", "n_shards": n_shards,

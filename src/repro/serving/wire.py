@@ -503,10 +503,12 @@ class WorkloadCodec:
     *and queries* therefore travel once each, in ``instances`` /
     ``queries`` tables, and items reference them by index — the decoded
     workload shards exactly like the original.
-    Both ends keep per-instance pre-order node lists: the server encodes
-    twig answer nodes as positions, the client decodes positions back
-    onto its own node objects — the same identity-free trick the process
-    executor uses, stretched across the socket.
+    Twig answers travel as pre-order positions.  A positions-native
+    producer (the server streams the evaluator with
+    ``positions_native=True``) encodes the engine's position tuples
+    directly; the client decodes positions back onto its own node
+    objects at the answer boundary — the same identity-free trick the
+    process executor uses, stretched across the socket.
 
     Instances are content-addressed end to end.  Encoding with
     ``known_digests`` replaces instances the peer already holds with
@@ -517,9 +519,9 @@ class WorkloadCodec:
     decoded object** — which is exactly what lets the engine's weak-keyed
     index map serve a warm index instead of rebuilding one per round.
     ``preorder`` optionally supplies the pre-order node list from a
-    shared snapshot (the server passes
-    :meth:`repro.engine.core.Engine.preorder_nodes`) instead of
-    re-walking the tree per request.
+    shared snapshot (e.g. :meth:`repro.engine.core.Engine.preorder_nodes`)
+    for *decode*-side position -> node mapping, instead of re-walking the
+    tree per codec; a positions-native encoder never needs one.
     """
 
     def __init__(self, *, preorder: Callable[[XTree], Sequence[XNode]]
@@ -797,12 +799,23 @@ class WorkloadCodec:
         return self._preorder[key]
 
     def encode_shard_answer(self, workload: Workload,
-                            shard_answer: ShardAnswer) -> dict:
-        """Identity-free shard frame (positions / pairs / booleans)."""
+                            shard_answer: ShardAnswer, *,
+                            positions_native: bool = False) -> dict:
+        """Identity-free shard frame (positions / pairs / booleans).
+
+        With ``positions_native=True`` twig answers are already pre-order
+        position tuples (a positions-native evaluator stream) and pass
+        straight into the frame — no per-request node enumeration, no
+        ``id -> position`` map.  The frame bytes are identical either
+        way, so decoders cannot tell the difference.
+        """
         answers: list[Any] = []
         for position, answer in shard_answer:
             item = workload[position]
             if item.kind is ItemKind.TWIG:
+                if positions_native:
+                    answers.append([int(p) for p in answer])
+                    continue
                 positions = self._positions_of(item.instance)
                 answers.append([positions[id(node)] for node in answer])
             elif item.kind is ItemKind.RPQ:

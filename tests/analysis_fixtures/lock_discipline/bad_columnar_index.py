@@ -1,0 +1,40 @@
+# repro-module: repro.engine.bad_columnar_index
+"""Fixture: a columnar index whose guarded columns leak out of the lock
+and whose snapshot arrays carry unexplained annotations."""
+
+import threading
+from array import array
+
+
+class BadColumnarIndex:
+    """Columns declared ``guarded-by`` but probed without the lock."""
+
+    def __init__(self, parents):
+        self._lock = threading.Lock()
+        self.parent = array("l", parents)  # guarded-by: _lock
+        self._results = {}  # guarded-by: _lock
+
+    def is_ancestor(self, a, d):
+        return a < d <= self.parent[d]  # unlocked read: finding
+
+    def cache_result(self, key, positions):
+        self._results[key] = tuple(positions)  # unlocked access: finding
+
+    def decoder(self):
+        with self._lock:
+            # The closure outlives the with-block: finding.
+            return lambda i: self.parent[i]
+
+
+class UnexplainedColumn:
+    def __init__(self, labels):
+        self.label_ids = array("l", labels)  # lock-free:
+
+
+class FloatingAnnotation:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # guarded-by: _lock
+
+    def size(self):
+        return 0

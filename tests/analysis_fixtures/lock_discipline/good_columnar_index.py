@@ -1,0 +1,35 @@
+# repro-module: repro.engine.good_columnar_index
+"""Fixture: the columnar-index discipline — structure columns are
+immutable pre-order snapshots documented ``lock-free`` (written once in
+``__init__``, replaced wholesale on rebuild), while the mutable result
+cache and its counters stay behind their lock."""
+
+import threading
+from array import array
+
+
+class GoodColumnarIndex:
+    """Flat-array document index: snapshot columns plus a guarded memo."""
+
+    def __init__(self, parents, labels):
+        self._lock = threading.Lock()
+        self.parent = array("l", parents)  # lock-free: immutable snapshot
+        self.label_ids = array("l", labels)  # lock-free: immutable snapshot
+        # lock-free: rebuilt only by replacing the whole index
+        self.last_descendant = array("l", parents)
+        self._results = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+
+    def is_ancestor(self, a, d):
+        return a < d <= self.last_descendant[a]
+
+    def evaluate(self, key, compute):
+        with self._lock:
+            hit = self._results.get(key)
+            if hit is not None:
+                self.hits += 1
+                return hit
+        answer = compute(self.parent, self.label_ids)
+        with self._lock:
+            self._results[key] = answer
+        return answer

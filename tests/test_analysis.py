@@ -126,6 +126,28 @@ def test_lock_discipline_suppressed():
     assert [f.rule for f in report.suppressed] == ["lock-discipline"]
 
 
+def test_lock_discipline_columnar_index_positive():
+    # The columnar-index shape: flat snapshot arrays plus a guarded
+    # result cache.  Declaring a column guarded and probing it without
+    # the lock fires, as do unexplained/floating annotations.
+    report = run(fixture_dir("lock-discipline") / "bad_columnar_index.py")
+    assert rules_fired(report) == {"lock-discipline"}
+    assert len(report.findings) == 5
+    messages = "\n".join(f.message for f in report.findings)
+    assert "read of self.parent" in messages
+    assert "read of self._results" in messages
+    assert "lock-free annotation is missing its reason" in messages
+    assert "not attached to an attribute assignment" in messages
+
+
+def test_lock_discipline_columnar_index_negative():
+    # The discipline the engine's real columnar indexes follow:
+    # `# lock-free:` snapshot columns written only in __init__, and a
+    # `# guarded-by: _lock` memo touched only under the lock.
+    report = run(fixture_dir("lock-discipline") / "good_columnar_index.py")
+    assert report.ok, report.render_text()
+
+
 # ---------------------------------------------------------------------------
 # async-purity
 # ---------------------------------------------------------------------------

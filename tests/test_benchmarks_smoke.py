@@ -22,6 +22,7 @@ SMOKE_RUNNERS = {
     "bench_ablations": "test_ablation_minimization",
     "bench_analysis": "test_analysis_full_tree_speed",
     "bench_async_serving": "test_async_round_trip_speed",
+    "bench_columnar": "test_columnar_twig_speedup",
     "bench_e1_examples_to_convergence": "test_e1_single_learning_step_speed",
     "bench_e2_xpathmark_coverage": "test_e2_learning_one_suite_query_speed",
     "bench_e3_schema_optimization": "test_e3_pruning_speed",

@@ -355,7 +355,7 @@ def test_gated_stream_yields_completed_shards_while_queued():
                                             executor=executor)
             futures = [concurrent.futures.Future() for _ in range(3)]
 
-            def fake_plan(shards):
+            def fake_plan(shards, *, positions_native=False):
                 assert len(shards) == 3
                 return (lambda i: futures[i]), (lambda i, raw: raw)
 
