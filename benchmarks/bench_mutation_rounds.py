@@ -1,0 +1,196 @@
+"""Mutation-round benchmark — the cost of an edit, proportional to the
+edit.
+
+A mutation round used to pay two instance-sized bills: the full record
+re-shipped to the serving tier, and a from-scratch columnar rebuild.
+The delta path (PR 9) replaces both with edit-sized work, and this
+module pins the claim on an XMark-scale document:
+
+* **Re-ship bytes**: a single-subtree edit must ship as a ``delta``
+  record at least **5x** smaller than the full instance record.
+* **Reindex time**: splicing the edit into the previous columnar index
+  (:meth:`IndexedDocument.patched`) must be at least **5x** faster than
+  the cold rebuild it replaces — with the patched columns equal to the
+  rebuilt ones, round after round.
+* **Prefetch hit rate**: a scripted interactive session speculating
+  between rounds must serve at least **50%** of its evaluation batches
+  from parked answers (in practice the next round is exactly the
+  predicted batch, so the rate is ~100%).
+
+A geo-graph row reports the CSR patch path alongside, unbarred (graph
+indexes are label-sharded; the win depends on how many labels an edit
+misses).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.xmark import generate_xmark
+from repro.engine import Engine, IndexedDocument, IndexedGraph
+from repro.engine.version import instance_version
+from repro.graphdb.geo import make_geo_graph
+from repro.learning.backend import LocalBackend
+from repro.learning.xml_session import InteractiveTwigSession
+from repro.serving.wire import (
+    delta_record_for,
+    instance_fingerprint,
+    record_digest,
+)
+from repro.twig.parse import parse_twig
+from repro.util.tables import format_table
+from repro.xmltree.tree import XTree, node
+
+from .conftest import record_report
+
+ROUNDS = 10
+#: The acceptance bars: a single-subtree edit on an XMark-scale
+#: document must ship >=5x fewer bytes and reindex >=5x faster than the
+#: full re-ship + cold rebuild it replaces; a scripted session must
+#: serve >=50% of its rounds from prefetched answers.
+BYTES_BAR = 5.0
+REINDEX_BAR = 5.0
+PREFETCH_BAR = 0.5
+
+
+def _edit(doc, i: int) -> None:
+    """One single-subtree edit: splice a small person under people."""
+    people = next(n for n in doc.root.children if n.label == "people")
+    doc.insert_subtree(
+        people, node("person", node("name", text=f"delta-{i}"),
+                     node("phone", text=str(i))))
+
+
+def test_mutation_round_costs(benchmark):
+    doc = generate_xmark(scale=2.0, rng=7)
+
+    # -- re-ship bytes: full record vs delta record ---------------------
+    d0, _ = instance_fingerprint(doc)
+    _edit(doc, 0)
+    d1, full_bytes = instance_fingerprint(doc)
+    delta = delta_record_for(doc, d1, full_bytes, {d0})
+    assert delta is not None, "the edit did not produce a shippable delta"
+    assert (delta["from"], delta["to"]) == (d0, d1)
+    delta_bytes = record_digest(delta)[1]
+    byte_reduction = full_bytes / delta_bytes
+
+    # -- reindex: splice the edit vs cold rebuild -----------------------
+    prev = IndexedDocument(doc)
+    v0 = instance_version(doc)
+    _edit(doc, 1)
+    ops = doc.edits_since(v0)
+    assert ops is not None
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        fresh = IndexedDocument(doc)
+    rebuild_s = (time.perf_counter() - start) / ROUNDS
+
+    patched = benchmark.pedantic(
+        lambda: IndexedDocument.patched(prev, doc, ops),
+        rounds=ROUNDS, iterations=1)
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        patched = IndexedDocument.patched(prev, doc, ops)
+    patch_s = (time.perf_counter() - start) / ROUNDS
+
+    # Patched == rebuilt, column for column (the hypothesis suites pin
+    # this over random edit scripts; here it guards the timed artefact).
+    assert patched is not None
+    assert patched.nodes == fresh.nodes
+    assert list(patched.parent) == list(fresh.parent)
+    assert list(patched.last_descendant) == list(fresh.last_descendant)
+
+    reindex_speedup = rebuild_s / patch_s if patch_s else float("inf")
+
+    # -- the CSR patch path, reported alongside -------------------------
+    graph = make_geo_graph(rng=3, width=12, height=9)
+    gprev = IndexedGraph(graph)
+    gv0 = instance_version(graph)
+    graph.add_edge(0, "ferry", 1)
+    gops = graph.edits_since(gv0)
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        IndexedGraph(graph)
+    grebuild_s = (time.perf_counter() - start) / ROUNDS
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        gpatched = IndexedGraph.patched(gprev, graph, gops)
+    gpatch_s = (time.perf_counter() - start) / ROUNDS
+    assert gpatched is not None
+    graph_speedup = grebuild_s / gpatch_s if gpatch_s else float("inf")
+
+    table = format_table(
+        ["mutation-round path", "cost"],
+        [
+            ("full record re-ship", f"{full_bytes} B"),
+            ("delta record", f"{delta_bytes} B"),
+            ("byte reduction", f"{byte_reduction:.1f}x"),
+            ("cold rebuild (document)", f"{rebuild_s * 1e3:.3f} ms"),
+            ("column patch (document)", f"{patch_s * 1e3:.3f} ms"),
+            ("reindex speedup", f"{reindex_speedup:.1f}x"),
+            ("cold rebuild (geo graph)", f"{grebuild_s * 1e3:.3f} ms"),
+            ("CSR patch (geo graph)", f"{gpatch_s * 1e3:.3f} ms"),
+            ("graph reindex speedup", f"{graph_speedup:.1f}x"),
+        ],
+        title=(f"single-subtree edit on XMark scale=2.0 "
+               f"(|t|={doc.size()} nodes)"),
+    )
+    record_report("MUTATION rounds: delta shipping + incremental reindex",
+                  table, metrics={
+                      "full_record_bytes": full_bytes,
+                      "delta_bytes": delta_bytes,
+                      "byte_reduction": byte_reduction,
+                      "rebuild_ms": rebuild_s * 1e3,
+                      "patch_ms": patch_s * 1e3,
+                      "reindex_speedup": reindex_speedup,
+                      "graph_rebuild_ms": grebuild_s * 1e3,
+                      "graph_patch_ms": gpatch_s * 1e3,
+                      "graph_reindex_speedup": graph_speedup,
+                  })
+    assert byte_reduction >= BYTES_BAR, (
+        f"delta record only {byte_reduction:.1f}x smaller than the full "
+        f"record (bar: {BYTES_BAR:.0f}x)")
+    assert reindex_speedup >= REINDEX_BAR, (
+        f"column patch only {reindex_speedup:.1f}x faster than the cold "
+        f"rebuild (bar: {REINDEX_BAR:.0f}x)")
+
+
+def _scripted_session():
+    # A corpus guaranteeing several positive answers, so the session
+    # speculates between many rounds.
+    docs = []
+    for i in range(3):
+        people = node("people", *[
+            node("person", node("name", text=f"n{i}{j}"),
+                 *([node("phone", text=str(j))] if j % 2 == 0 else []))
+            for j in range(4)])
+        docs.append(XTree(node("site", people)))
+    goal = parse_twig("//person[phone]/name")
+    backend = LocalBackend(engine=Engine())
+    InteractiveTwigSession(docs, goal, backend=backend).run()
+    return backend.stats()["prefetch"]
+
+
+def test_prefetch_hit_rate(benchmark):
+    stats = benchmark.pedantic(_scripted_session, rounds=3, iterations=1)
+    assert stats["submitted"] > 0, "the scripted session never speculated"
+    hit_rate = stats["hits"] / stats["submitted"]
+    table = format_table(
+        ["prefetch counter", "value"],
+        [
+            ("submitted", str(stats["submitted"])),
+            ("hits", str(stats["hits"])),
+            ("wasted", str(stats["wasted"])),
+            ("hit rate", f"{hit_rate:.0%}"),
+        ],
+        title="scripted twig session, speculation between rounds",
+    )
+    record_report("MUTATION rounds: speculative prefetch", table,
+                  metrics={"submitted": stats["submitted"],
+                           "hits": stats["hits"],
+                           "wasted": stats["wasted"],
+                           "hit_rate": hit_rate})
+    assert hit_rate >= PREFETCH_BAR, (
+        f"prefetch hit rate {hit_rate:.0%} below the "
+        f"{PREFETCH_BAR:.0%} bar")

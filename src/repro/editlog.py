@@ -1,0 +1,61 @@
+"""A bounded per-instance structural edit log.
+
+Tracked mutators on :class:`~repro.xmltree.tree.XTree` and
+:class:`~repro.graphdb.graph.Graph` append one op per version bump, so
+the window ``[v, current)`` of a log is a contiguous replayable script:
+delta shipping (:mod:`repro.serving.wire`) turns it into a wire diff
+keyed ``old_digest -> new_digest``, and incremental reindexing
+(:mod:`repro.engine`) patches columnar indexes op by op instead of
+rebuilding.
+
+The log is deliberately bounded: mutation-heavy instances drop their
+oldest ops and simply fall back to full re-ship / full rebuild for
+consumers whose snapshot predates the window — the log is an
+optimisation, never a correctness dependency.  Untracked mutations
+(``XTree.invalidate()`` after hand-editing nodes) clear the log
+entirely, because the version then advances without a replayable op.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Ops kept per instance.  Consumers whose snapshot is older than the
+#: window fall back to the full (re-ship / rebuild) path.
+EDIT_LOG_CAP = 64
+
+
+class EditLog:
+    """Contiguous ``(from_version, op)`` entries, oldest dropped first."""
+
+    __slots__ = ("cap", "_entries")
+
+    def __init__(self, cap: int = EDIT_LOG_CAP) -> None:
+        self.cap = cap
+        self._entries: list[tuple[int, dict[str, Any]]] = []
+
+    def record(self, from_version: int, op: dict[str, Any]) -> None:
+        """Log *op* as the mutation taking ``from_version`` to +1."""
+        self._entries.append((from_version, op))
+        if len(self._entries) > self.cap:
+            del self._entries[0]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def since(self, version: int,
+              current: int) -> list[dict[str, Any]] | None:
+        """Ops replaying ``version -> current``, or ``None`` if the log
+        no longer covers that window contiguously."""
+        if version == current:
+            return []
+        if version > current:
+            return None
+        ops = [op for from_version, op in self._entries
+               if from_version >= version]
+        if len(ops) != current - version:
+            return None
+        return ops
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -71,6 +71,7 @@ from repro.engine.core import (
 )
 from repro.engine.document import IndexedDocument
 from repro.engine.graph import IndexedGraph
+from repro.engine.version import instance_version
 
 __all__ = [
     "Engine",
@@ -80,5 +81,6 @@ __all__ = [
     "evaluate",
     "evaluate_rpq",
     "get_engine",
+    "instance_version",
     "reset_engine",
 ]

@@ -34,6 +34,7 @@ from collections.abc import Sequence
 from repro.engine.cache import LRUCache
 from repro.engine.document import IndexedDocument
 from repro.engine.graph import IndexedGraph, compile_query, query_key
+from repro.engine.version import instance_version
 from repro.graphdb.graph import Graph, VertexId
 from repro.graphdb.nfa import NFA
 from repro.twig.ast import TwigQuery
@@ -108,6 +109,9 @@ class Engine:
         # IndexedGraph was (re)built — a version bump shows up here as an
         # extra build on the next acquisition.
         self._index_builds = {"document": 0, "graph": 0}  # guarded-by: _lock
+        # ...of which, how many were incremental patches of the stale
+        # index (edit-log splice) rather than cold rebuilds.
+        self._index_patches = {"document": 0, "graph": 0}  # guarded-by: _lock
         # Hit/miss counters of per-index caches that were evicted or
         # garbage-collected since the last reset_stats(), so aggregate
         # totals never silently shrink when an instance dies.
@@ -128,8 +132,7 @@ class Engine:
             # repro: allow[lock-discipline] passes the map by reference
             # only; _acquire touches it strictly under `with self._lock:`.
             tree, self._documents,
-            lambda: IndexedDocument(
-                tree, max_cached_queries=self.max_cached_queries),
+            lambda prev: self._patch_or_build_document(tree, prev),
             "document")
 
     def graph(self, graph: Graph) -> IndexedGraph:
@@ -142,28 +145,64 @@ class Engine:
             # repro: allow[lock-discipline] passes the map by reference
             # only; _acquire touches it strictly under `with self._lock:`.
             graph, self._graphs,
-            lambda: IndexedGraph(
-                graph, max_cached_results=self.max_graph_results,
-                nfa_cache=self._nfas),
+            lambda prev: self._patch_or_build_graph(graph, prev),
             "graph")
+
+    def _patch_or_build_document(self, tree: XTree,
+                                 prev: IndexedDocument | None,
+                                 ) -> IndexedDocument:
+        """Splice ``prev`` along the tree's edit log when the log covers
+        the gap and the edit is small; cold-rebuild otherwise."""
+        if prev is not None:
+            ops = tree.edits_since(prev.version)
+            if ops:
+                patched = IndexedDocument.patched(
+                    prev, tree, ops,
+                    max_cached_queries=self.max_cached_queries)
+                if patched is not None:
+                    with self._lock:
+                        self._index_patches["document"] += 1
+                    return patched
+        return IndexedDocument(tree,
+                               max_cached_queries=self.max_cached_queries)
+
+    def _patch_or_build_graph(self, graph: Graph,
+                              prev: IndexedGraph | None) -> IndexedGraph:
+        """Graph twin of :meth:`_patch_or_build_document`."""
+        if prev is not None:
+            ops = graph.edits_since(prev.version)
+            if ops:
+                patched = IndexedGraph.patched(
+                    prev, graph, ops,
+                    max_cached_results=self.max_graph_results,
+                    nfa_cache=self._nfas)
+                if patched is not None:
+                    with self._lock:
+                        self._index_patches["graph"] += 1
+                    return patched
+        return IndexedGraph(graph, max_cached_results=self.max_graph_results,
+                            nfa_cache=self._nfas)
 
     def _acquire(self, instance, index_map, build, kind):
         """Serve a fresh index, building under a per-instance lock."""
         with self._lock:
             index = index_map.get(instance)
             if index is not None and \
-                    index.version == getattr(instance, "_version", 0):
+                    index.version == instance_version(instance):
                 return index
             build_lock = self._build_locks.get(instance)
             if build_lock is None:
                 build_lock = self._build_locks[instance] = threading.RLock()
         with build_lock:
             with self._lock:  # another thread may have won the build race
-                index = index_map.get(instance)
-                if index is not None and \
-                        index.version == getattr(instance, "_version", 0):
-                    return index
-            index = self._build(instance, build)
+                prev = index_map.get(instance)
+                if prev is not None and \
+                        prev.version == instance_version(instance):
+                    return prev
+            # The stale index is the patch base: when the instance's
+            # edit log covers prev.version -> now, the build callable
+            # splices it instead of re-traversing the whole instance.
+            index = self._build(instance, build, prev)
             with self._lock:
                 stale = index_map.get(instance)
                 index_map[instance] = index
@@ -213,7 +252,7 @@ class Engine:
             self._retired[kind]["hits"] += cache_stats["hits"]
             self._retired[kind]["misses"] += cache_stats["misses"]
 
-    def _build(self, instance, build):
+    def _build(self, instance, build, prev=None):
         """Build an index, retrying when a concurrent mutation tears it.
 
         A mutation running in another thread while we snapshot can either
@@ -221,16 +260,19 @@ class Engine:
         snapshot recorded) or leave the build reading a half-changed
         structure (which surfaces as a build error).  Both are transient,
         so both retry; a *deterministic* build failure still surfaces
-        after the retry budget, since retrying cannot fix it.
+        after the retry budget, since retrying cannot fix it.  A retried
+        *patch* naturally widens its window: the callable re-reads the
+        edit log from ``prev.version``, which now includes the racing
+        ops.
         """
         last_index = last_error = None
         for _ in range(self.MAX_REINDEX_RETRIES):
             try:
-                index = build()
+                index = build(prev)
             except Exception as exc:
                 last_error = exc
                 continue
-            if index.version == getattr(instance, "_version", 0):
+            if index.version == instance_version(instance):
                 return index
             last_index = index
         if last_index is None:
@@ -379,6 +421,8 @@ class Engine:
             self._build_locks.clear()
             for kind in self._index_builds:
                 self._index_builds[kind] = 0
+            for kind in self._index_patches:
+                self._index_patches[kind] = 0
             for retired in self._retired.values():
                 retired["hits"] = 0
                 retired["misses"] = 0
@@ -404,6 +448,7 @@ class Engine:
             doc_stats = [d.cache_stats() for d in self._documents.values()]
             graph_stats = [g.cache_stats() for g in self._graphs.values()]
             builds = dict(self._index_builds)
+            patches = dict(self._index_patches)
             retired_doc = dict(self._retired["document"])
             retired_graph = dict(self._retired["graph"])
         return {
@@ -412,6 +457,9 @@ class Engine:
             "document_builds": builds["document"],
             "graph_builds": builds["graph"],
             "index_builds": builds["document"] + builds["graph"],
+            "document_patches": patches["document"],
+            "graph_patches": patches["graph"],
+            "index_patches": patches["document"] + patches["graph"],
             "twig_query_hits":
                 sum(s["hits"] for s in doc_stats) + retired_doc["hits"],
             "twig_query_misses":
@@ -439,6 +487,8 @@ class Engine:
                 index.reset_cache_stats()
             for kind in self._index_builds:
                 self._index_builds[kind] = 0
+            for kind in self._index_patches:
+                self._index_patches[kind] = 0
             for retired in self._retired.values():
                 retired["hits"] = 0
                 retired["misses"] = 0

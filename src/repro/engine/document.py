@@ -35,9 +35,11 @@ from __future__ import annotations
 
 import weakref
 from array import array
+from bisect import bisect_left, insort
 from collections.abc import Sequence
 
 from repro.engine.cache import LRUCache
+from repro.engine.version import instance_version
 from repro.twig.ast import Axis, TwigNode, TwigQuery
 from repro.xmltree.tree import XNode, XTree
 
@@ -67,7 +69,7 @@ class IndexedDocument:
         # Weak back-reference: the engine maps trees to indexes weakly, so
         # a strong ref here would keep every indexed tree alive forever.
         self._tree = weakref.ref(tree)
-        self.version: int = getattr(tree, "_version", 0)
+        self.version: int = instance_version(tree)
         # Pre-order columns, built in ONE traversal that captures each
         # node's children list exactly once: a concurrent atomic mutation
         # (one list op on one node) can only move the whole snapshot
@@ -111,7 +113,7 @@ class IndexedDocument:
         for i in range(n):
             by_label[node_labels[i]].append(i)
         self.nodes: list[XNode] = nodes
-        self.index: dict[int, int] = index
+        self._index: dict[int, int] | None = index
         self.parent = parent  # lock-free: immutable after __init__
         self.depth = depth    # lock-free: immutable after __init__
         self.label_ids = label_ids  # lock-free: immutable after __init__
@@ -128,6 +130,270 @@ class IndexedDocument:
         if tree is None:
             raise ReferenceError("the indexed document has been collected")
         return tree
+
+    @property
+    def index(self) -> dict[int, int]:
+        """The ``id(node) -> pre-order position`` map.
+
+        Built lazily after a splice patch; the rebuild is idempotent
+        (same nodes, same positions), so a benign publish race between
+        concurrent readers leaves an identical dict either way.
+        """
+        idx = self._index
+        if idx is None:
+            idx = {id(x): i for i, x in enumerate(self.nodes)}
+            self._index = idx
+        return idx
+
+    # -- incremental reindexing ----------------------------------------
+    #: Give up and rebuild above this many ops per patch window.
+    MAX_PATCH_OPS = 16
+    #: ...or when the spliced subtrees exceed this fraction of the
+    #: document (patch cost approaches rebuild cost, with none of the
+    #: single-traversal simplicity).
+    MAX_PATCH_FRACTION = 0.25
+
+    @classmethod
+    def patched(cls, prev: "IndexedDocument", tree: XTree,
+                ops: Sequence[dict], *,
+                max_cached_queries: int = 256) -> "IndexedDocument | None":
+        """A fresh index equal to rebuilding ``tree``, built by splicing
+        ``prev``'s columns along the edit-log ``ops`` — or ``None`` when
+        patching is not worthwhile (caller rebuilds).
+
+        The result is a *new* immutable snapshot: ``prev`` and all its
+        columns stay untouched, so concurrent shards holding the old
+        index keep their consistent view.  Cost is proportional to the
+        edit (spliced subtree sizes plus one pre-order tail shift)
+        instead of the document; result caches start cold, since the
+        answers changed.
+
+        Correctness leans on two facts: pre-order intervals are laminar
+        (the head positions whose ``last_descendant`` crosses a splice
+        point are exactly the splice point's ancestor chain, and each
+        ancestor's interval grows/shrinks by exactly the spliced size),
+        and each op was snapshotted when it happened (a replayed insert
+        never sees edits that landed inside its subtree later — those
+        are later ops, replayed in order against the patched state).
+        """
+        if not ops or len(ops) > cls.MAX_PATCH_OPS:
+            return None
+        budget = max(64, int(len(prev.nodes) * cls.MAX_PATCH_FRACTION))
+        # Working state; splice ops replace these containers wholesale
+        # and relabels copy-on-write, so prev's columns are never
+        # written.  Each op's ``path`` was recorded against the state
+        # the previous ops produce, so resolving it against the working
+        # columns is exact.
+        nodes = prev.nodes
+        parent = prev.parent
+        depth = prev.depth
+        label_ids = prev.label_ids
+        last = prev.last_descendant
+        label_table = prev._label_table
+        by_label = prev._label_positions
+        own_labels = False  # label state copied-on-write yet?
+        labels_by_id: list[str] | None = None
+
+        def own_label_state() -> None:
+            nonlocal label_table, by_label, label_ids, own_labels
+            if not own_labels:
+                label_table = dict(label_table)
+                by_label = dict(by_label)
+                label_ids = array("l", label_ids)
+                own_labels = True
+
+        def label_of(lid: int) -> str:
+            nonlocal labels_by_id
+            if labels_by_id is None or len(labels_by_id) < len(label_table):
+                labels_by_id = [""] * len(label_table)
+                for lab, i in label_table.items():
+                    labels_by_id[i] = lab
+            return labels_by_id[lid]
+
+        def child_slot(p_pos: int, k: int) -> int:
+            """Pre-order position where child ``k`` of ``p_pos`` starts
+            (``last[p_pos] + 1`` when appending past the final child),
+            or -1 when the node has fewer than ``k`` children.  Each
+            hop skips a whole child subtree via its interval end."""
+            child = p_pos + 1
+            for _ in range(k):
+                if child > last[p_pos]:
+                    return -1
+                child = last[child] + 1
+            return child
+
+        def pos_at(path: Sequence[int]) -> int:
+            pos = 0
+            for k in path:
+                child = child_slot(pos, k)
+                if child < 0 or child > last[pos]:
+                    return -1
+                pos = child
+            return pos
+
+        spliced = False
+        touched = 0
+        for op in ops:
+            name = op.get("op")
+            if name == "relabel":
+                pos = pos_at(op["path"])
+                if pos < 0:
+                    return None
+                own_label_state()
+                new_label = op["label"]
+                new_id = label_table.setdefault(new_label, len(label_table))
+                old_id = label_ids[pos]
+                if new_id == old_id:
+                    continue  # text-only edit; nothing indexed moved
+                label_ids[pos] = new_id
+                old_label = label_of(old_id)
+                old_arr = by_label[old_label]
+                k = bisect_left(old_arr, pos)
+                shrunk = old_arr[:k]
+                shrunk.extend(old_arr[k + 1:])
+                by_label[old_label] = shrunk
+                grown = array("l", by_label.get(new_label, ()))
+                insort(grown, pos)
+                by_label[new_label] = grown
+                continue
+            if name == "insert":
+                pre_nodes: list[XNode] = op["pre_nodes"]
+                pre_parents: list[int] = op["pre_parents"]
+                pre_labels: list[str] = op["pre_labels"]
+                m = len(pre_nodes)
+                touched += m
+                if touched > budget:
+                    return None
+                p_pos = pos_at(op["path"])
+                if p_pos < 0:
+                    return None
+                pos = child_slot(p_pos, op["index"])
+                if pos < 0:
+                    return None
+                own_label_state()
+                spliced = True
+                new_nodes = nodes[:pos]
+                new_nodes.extend(pre_nodes)
+                new_nodes.extend(nodes[pos:])
+                new_parent = parent[:pos]
+                new_parent.extend(p_pos if pp < 0 else pos + pp
+                                  for pp in pre_parents)
+                new_parent.extend(v + m if v >= pos else v
+                                  for v in parent[pos:])
+                rel = [0] * m
+                for j in range(1, m):
+                    rel[j] = rel[pre_parents[j]] + 1
+                base_depth = depth[p_pos] + 1
+                new_depth = depth[:pos]
+                new_depth.extend(base_depth + r for r in rel)
+                new_depth.extend(depth[pos:])
+                new_label_ids = label_ids[:pos]
+                new_label_ids.extend(
+                    label_table.setdefault(lab, len(label_table))
+                    for lab in pre_labels)
+                new_label_ids.extend(label_ids[pos:])
+                # Segment interval ends by the usual reverse pre-order
+                # propagation; every ancestor of the insert point grows
+                # by m, every tail interval shifts by m (tail ends are
+                # >= their own position >= pos).
+                seg_last = list(range(m))
+                for j in range(m - 1, 0, -1):
+                    pp = pre_parents[j]
+                    if seg_last[j] > seg_last[pp]:
+                        seg_last[pp] = seg_last[j]
+                new_last = last[:pos]
+                a = p_pos
+                while a >= 0:
+                    new_last[a] += m
+                    a = parent[a]
+                new_last.extend(pos + v for v in seg_last)
+                new_last.extend(v + m for v in last[pos:])
+                seg_by_label: dict[str, list[int]] = {}
+                for j, lab in enumerate(pre_labels):
+                    seg_by_label.setdefault(lab, []).append(pos + j)
+                for lab in set(by_label) | set(seg_by_label):
+                    arr = by_label.get(lab)
+                    mid = seg_by_label.get(lab, ())
+                    if arr is None:
+                        by_label[lab] = array("l", mid)
+                        continue
+                    k = bisect_left(arr, pos)
+                    if k == len(arr) and not mid:
+                        continue  # entirely below the splice; share
+                    out = arr[:k]
+                    out.extend(mid)
+                    out.extend(v + m for v in arr[k:])
+                    by_label[lab] = out
+                nodes, parent, depth, label_ids, last = (
+                    new_nodes, new_parent, new_depth, new_label_ids,
+                    new_last)
+                continue
+            if name == "delete":
+                pos = pos_at(op["path"])
+                if pos < 0:
+                    return None
+                m = last[pos] - pos + 1
+                end = pos + m
+                touched += m
+                if touched > budget:
+                    return None
+                own_label_state()
+                spliced = True
+                new_nodes = nodes[:pos]
+                new_nodes.extend(nodes[end:])
+                # Tail parents are either before the splice (< pos:
+                # unchanged) or after it (>= end: shift); a parent
+                # inside [pos, end) would mean a survivor hanging off
+                # the deleted subtree, which cannot happen.
+                new_parent = parent[:pos]
+                new_parent.extend(v - m if v >= end else v
+                                  for v in parent[end:])
+                new_depth = depth[:pos]
+                new_depth.extend(depth[end:])
+                new_label_ids = label_ids[:pos]
+                new_label_ids.extend(label_ids[end:])
+                new_last = last[:pos]
+                a = parent[pos]
+                while a >= 0:
+                    new_last[a] -= m
+                    a = parent[a]
+                new_last.extend(v - m for v in last[end:])
+                for lab in list(by_label):
+                    arr = by_label[lab]
+                    k1 = bisect_left(arr, pos)
+                    if k1 == len(arr):
+                        continue  # entirely below the splice; share
+                    k2 = bisect_left(arr, end)
+                    out = arr[:k1]
+                    out.extend(v - m for v in arr[k2:])
+                    by_label[lab] = out
+                nodes, parent, depth, label_ids, last = (
+                    new_nodes, new_parent, new_depth, new_label_ids,
+                    new_last)
+                continue
+            return None  # unknown op kind — let the caller rebuild
+        out = cls.__new__(cls)
+        out._tree = weakref.ref(tree)
+        # Versioned as prev + the ops applied, NOT the live tree's
+        # version: if a mutation raced in between, the engine's
+        # version check fails and it rebuilds with a wider window.
+        out.version = prev.version + len(ops)
+        out.nodes = nodes
+        # Splices invalidate every tail position's dict entry, and the
+        # next patch window often lands before anyone asks order_of —
+        # so the id -> position map is rebuilt lazily, not per patch.
+        out._index = None if spliced else prev._index
+        out.parent = parent
+        out.depth = depth
+        out.label_ids = label_ids
+        out.last_descendant = last
+        out._label_table = label_table
+        out._label_positions = by_label
+        out._all_positions = (array("l", range(len(nodes)))
+                              if spliced else prev._all_positions)
+        out._query_cache = LRUCache(max_cached_queries)
+        out._canonical_cache = {}
+        return out
 
     # ------------------------------------------------------------------
     # Structure queries

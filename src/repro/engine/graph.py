@@ -39,6 +39,7 @@ from array import array
 from collections.abc import Hashable, Sequence
 
 from repro.engine.cache import LRUCache
+from repro.engine.version import instance_version
 from repro.graphdb.graph import Graph, VertexId
 from repro.graphdb.nfa import NFA, compile_regex
 from repro.graphdb.regex import Regex
@@ -97,7 +98,7 @@ class IndexedGraph:
         # Weak back-reference: see IndexedDocument — a strong ref would
         # pin the weakly-keyed engine map entry forever.
         self._graph = weakref.ref(graph)
-        self.version: int = getattr(graph, "_version", 0)
+        self.version: int = instance_version(graph)
         self.vertices: list[VertexId] = list(graph.vertices())
         n = len(self.vertices)
         vertex_ids: dict[VertexId, int] = {
@@ -136,6 +137,118 @@ class IndexedGraph:
         if graph is None:
             raise ReferenceError("the indexed graph has been collected")
         return graph
+
+    # -- incremental reindexing ----------------------------------------
+    #: Give up and rebuild above this many ops per patch window.
+    MAX_PATCH_OPS = 16
+
+    @classmethod
+    def patched(cls, prev: "IndexedGraph", graph: Graph,
+                ops: Sequence[dict], *, max_cached_results: int = 1024,
+                nfa_cache: LRUCache | None = None,
+                ) -> "IndexedGraph | None":
+        """A fresh index over ``graph`` built from ``prev`` plus the
+        edit-log ``ops``, or ``None`` when patching is not worthwhile
+        (caller rebuilds).
+
+        Only the labels an op touched get their CSR/bitset slabs
+        rebuilt (from the live adjacency, which the ops window brought
+        to the current version); every other label *shares* ``prev``'s
+        immutable slabs by reference, extended with empty rows when
+        vertices were added.  That skips the vertex-interning pass and
+        all untouched per-label builds — the dominant rebuild cost when
+        an edit touches one label of many.  Result caches start cold.
+
+        ``remove_vertex`` cascades through every incident label, so it
+        declines to the rebuild path rather than tracking per-label
+        fallout.  ``prev`` is never written: its columns stay a
+        consistent snapshot for concurrent readers.
+        """
+        if not ops or len(ops) > cls.MAX_PATCH_OPS:
+            return None
+        affected: set[str] = set()
+        added: list[VertexId] = []
+        known = prev._vertex_ids
+        seen_new: set[int] = set()
+        for op in ops:
+            name = op.get("op")
+            if name == "add_vertex":
+                v = op["v"]
+                if v not in known and id(v) not in seen_new \
+                        and not any(v == a for a in added):
+                    added.append(v)
+                    seen_new.add(id(v))
+            elif name in ("add_edge", "remove_edge"):
+                affected.add(op["label"])
+            else:  # remove_vertex, or an op kind we do not know
+                return None
+        vertices = prev.vertices + added if added else prev.vertices
+        n = len(vertices)
+        if added:
+            vertex_ids = dict(prev._vertex_ids)
+            for i, v in enumerate(added, len(prev.vertices)):
+                vertex_ids[v] = i
+        else:
+            vertex_ids = prev._vertex_ids
+        # Touched labels: re-derive their pairs from the live adjacency
+        # in one pass over the edge set.  (If a concurrent mutation has
+        # advanced the graph past this ops window, the version check in
+        # the engine's build loop discards the result and rebuilds.)
+        pairs_by_label: dict[str, list[tuple[int, int]]] = {
+            label: [] for label in affected
+        }
+        for (src, label, dst) in list(graph.edge_keys()):
+            if label in affected:
+                s = vertex_ids.get(src)
+                d = vertex_ids.get(dst)
+                if s is None or d is None:
+                    return None  # raced with an untracked mutation
+                pairs_by_label[label].append((s, d))
+        out = cls.__new__(cls)
+        out._graph = weakref.ref(graph)
+        # Versioned as prev + the ops applied, NOT the live graph's
+        # version: a racing mutation fails the engine's version check
+        # and triggers a rebuild with a wider window.
+        out.version = prev.version + len(ops)
+        out.vertices = vertices
+        out._vertex_ids = vertex_ids
+        csr: dict[str, Csr] = {}
+        rcsr: dict[str, Csr] = {}
+        adj_bits: dict[str, list[int]] = {}
+        k = len(added)
+        for label in prev._csr:
+            if label in affected:
+                continue
+            if k == 0:
+                csr[label] = prev._csr[label]
+                rcsr[label] = prev._rcsr[label]
+                adj_bits[label] = prev._adj_bits[label]
+                continue
+            indptr, targets = prev._csr[label]
+            grown = array("l", indptr)
+            grown.extend(indptr[-1:] * k)
+            csr[label] = (grown, targets)
+            rindptr, rtargets = prev._rcsr[label]
+            rgrown = array("l", rindptr)
+            rgrown.extend(rindptr[-1:] * k)
+            rcsr[label] = (rgrown, rtargets)
+            adj_bits[label] = prev._adj_bits[label] + [0] * k
+        for label, pairs in pairs_by_label.items():
+            if not pairs:
+                continue  # label vanished; absent, like a rebuild
+            csr[label] = _build_csr(pairs, n)
+            rcsr[label] = _build_csr([(d, s) for s, d in pairs], n)
+            rows = [0] * n
+            for src_ix, dst_ix in pairs:
+                rows[src_ix] |= 1 << dst_ix
+            adj_bits[label] = rows
+        out._csr = csr
+        out._rcsr = rcsr
+        out._adj_bits = adj_bits
+        out._nfas = nfa_cache if nfa_cache is not None else LRUCache(256)
+        out._reachable = LRUCache(max_cached_results)
+        out._words = LRUCache(128)
+        return out
 
     def in_edges(self, v: VertexId) -> list[tuple[str, VertexId]]:
         """Incoming ``(label, source)`` edges of ``v`` (reverse CSR).

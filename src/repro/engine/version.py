@@ -1,0 +1,30 @@
+"""The version seam, in one place.
+
+Mutable instances (:class:`repro.xmltree.tree.XTree`,
+:class:`repro.graphdb.graph.Graph`) carry a monotonically increasing
+``_version`` counter bumped on every structural mutation.  Everything
+that snapshots an instance — columnar indexes, pinned pre-orders,
+wire fingerprints — records the version it saw and compares it later
+to decide whether the snapshot is still valid.
+
+Historically each of those sites spelled the probe as
+``getattr(x, "_version", 0)`` by hand; this module is the single
+definition so the seam (including the "unversioned objects are version
+0" convention for plain test doubles) cannot drift between layers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["instance_version"]
+
+
+def instance_version(instance: Any) -> int:
+    """Current mutation version of *instance* (0 when unversioned).
+
+    Objects without a ``_version`` attribute are treated as immutable:
+    they report version 0 forever, so version comparisons against them
+    always match and cached snapshots never retire.
+    """
+    return getattr(instance, "_version", 0)

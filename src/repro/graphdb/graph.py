@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterator, Mapping
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.editlog import EditLog
 from repro.errors import GraphError
 
 VertexId = Hashable
@@ -40,6 +42,18 @@ class Graph:
         # Bumped by every structural mutation; external index caches
         # (repro.engine) compare it to detect staleness.
         self._version = 0
+        # One replayable op per version bump; consumed by delta shipping
+        # and incremental reindexing.
+        self._edits = EditLog()
+
+    def _log(self, op: dict[str, Any]) -> None:
+        self._edits.record(self._version, op)
+        self._version += 1
+
+    def edits_since(self, version: int) -> list[dict[str, Any]] | None:
+        """Replayable ops taking ``version`` to the current version, or
+        ``None`` when the log no longer covers that window."""
+        return self._edits.since(version, self._version)
 
     # ------------------------------------------------------------------
     # Construction
@@ -48,7 +62,7 @@ class Graph:
         self._vertices.setdefault(v, {}).update(properties)
         self._out.setdefault(v, {})
         self._in.setdefault(v, {})
-        self._version += 1
+        self._log({"op": "add_vertex", "v": v, "props": dict(properties)})
 
     def add_edge(self, src: VertexId, label: str, dst: VertexId,
                  **properties: object) -> None:
@@ -59,7 +73,42 @@ class Graph:
         self._out[src].setdefault(label, set()).add(dst)
         self._in[dst].setdefault(label, set()).add(src)
         self._edge_props.setdefault((src, label, dst), {}).update(properties)
-        self._version += 1
+        self._log({"op": "add_edge", "src": src, "label": label, "dst": dst,
+                   "props": dict(properties)})
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
+    def remove_edge(self, src: VertexId, label: str, dst: VertexId) -> None:
+        """Remove one labelled edge (endpoints stay)."""
+        try:
+            del self._edge_props[(src, label, dst)]
+        except KeyError:
+            raise GraphError(
+                f"no edge {src!r} -{label}-> {dst!r}") from None
+        self._out[src][label].discard(dst)
+        self._in[dst][label].discard(src)
+        self._log({"op": "remove_edge", "src": src, "label": label,
+                   "dst": dst})
+
+    def remove_vertex(self, v: VertexId) -> None:
+        """Remove ``v`` and every incident edge, as one logged op."""
+        if v not in self._vertices:
+            raise GraphError(f"unknown vertex {v!r}")
+        for label, targets in self._out[v].items():
+            for dst in targets:
+                self._edge_props.pop((v, label, dst), None)
+                if dst != v:
+                    self._in[dst][label].discard(v)
+        for label, sources in self._in[v].items():
+            for src in sources:
+                self._edge_props.pop((src, label, v), None)
+                if src != v:
+                    self._out[src][label].discard(v)
+        del self._vertices[v]
+        del self._out[v]
+        del self._in[v]
+        self._log({"op": "remove_vertex", "v": v})
 
     # ------------------------------------------------------------------
     # Introspection
@@ -79,6 +128,11 @@ class Graph:
     def edges(self) -> Iterator[Edge]:
         for (src, label, dst), props in self._edge_props.items():
             yield Edge(src, label, dst, props)
+
+    def edge_keys(self) -> Iterator[tuple[VertexId, str, VertexId]]:
+        """``(src, label, dst)`` keys in insertion order, without the
+        :class:`Edge` wrapper (the cheap path for bulk scans)."""
+        return iter(self._edge_props)
 
     def edge_properties(self, src: VertexId, label: str,
                         dst: VertexId) -> dict[str, object]:
@@ -119,6 +173,19 @@ class Graph:
         out: set[VertexId] = set()
         for sources in self._in[v].values():
             out |= sources
+        return out
+
+    def copy(self) -> "Graph":
+        """Structural copy (fresh version/edit log).
+
+        Vertex and edge insertion order is preserved, so the copy's wire
+        record — and therefore its digest — matches the original's.
+        """
+        out = Graph()
+        for v, props in self._vertices.items():
+            out.add_vertex(v, **props)
+        for (src, label, dst), props in self._edge_props.items():
+            out.add_edge(src, label, dst, **props)
         return out
 
     def n_vertices(self) -> int:

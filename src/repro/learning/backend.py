@@ -49,6 +49,8 @@ backends by construction, not by parallel re-implementation.
 
 from __future__ import annotations
 
+import json
+from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
 from typing import Any
 
@@ -63,7 +65,11 @@ from repro.serving.evaluator import (
 )
 from repro.serving.executors import ShardExecutor
 from repro.serving.net import WorkloadClient
-from repro.serving.wire import instance_fingerprint
+from repro.serving.wire import (
+    encode_path_query,
+    encode_twig_query,
+    instance_fingerprint,
+)
 from repro.serving.workload import (
     ItemKind,
     Shard,
@@ -129,6 +135,34 @@ def candidate_pair_flags(answers: Sequence, n_queries: int,
     return flags
 
 
+def _prefetch_key(item: WorkloadItem) -> str | None:
+    """A value-based identity for one workload item, or ``None``.
+
+    Keys pair the wire encoding of the query with the *content digest*
+    of the instance (memoised per version by
+    :func:`~repro.serving.wire.instance_fingerprint`), so a parked
+    speculative answer can never serve a mutated instance — the digest
+    changes with the version.  ``None`` means unkeyable (never parked,
+    never served).
+    """
+    try:
+        if item.kind is ItemKind.TWIG:
+            payload: dict = {"k": "twig",
+                             "q": encode_twig_query(item.query),
+                             "i": instance_fingerprint(item.instance)[0]}
+        elif item.kind is ItemKind.RPQ:
+            payload = {"k": "rpq", "q": encode_path_query(item.query),
+                       "i": instance_fingerprint(item.instance)[0],
+                       "s": None if item.sources is None
+                       else [repr(v) for v in item.sources]}
+        else:
+            payload = {"k": "accepts", "q": encode_path_query(item.query),
+                       "w": list(item.word)}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except Exception:  # noqa: BLE001 - unkeyable item, not an error
+        return None
+
+
 class EvaluationBackend:
     """Where hypotheses get evaluated; the learning layer's only seam.
 
@@ -142,6 +176,10 @@ class EvaluationBackend:
     """
 
     name = "abstract"
+
+    #: Bound on parked speculative answers; overflow ages out FIFO and
+    #: counts as waste (a prefetch nobody asked about).
+    PREFETCH_CAP = 1024
 
     def __init__(self, *, engine: Engine | None = None) -> None:
         #: Client-side engine for hypothesis *construction* (canonical
@@ -157,6 +195,11 @@ class EvaluationBackend:
         self._batches = 0
         self._items = 0
         self._map_calls = 0
+        #: Speculative answers parked by :meth:`prefetch`, keyed by
+        #: value (:func:`_prefetch_key`), consumed once by the first
+        #: matching :meth:`run`/:meth:`stream`.
+        self._prefetched: "OrderedDict[str, object]" = OrderedDict()
+        self._prefetch_counts = {"submitted": 0, "hits": 0, "wasted": 0}
 
     # ------------------------------------------------------------------
     # Primitives (subclass responsibility)
@@ -178,6 +221,14 @@ class EvaluationBackend:
         """Evaluate every item; answers aligned with item order."""
         self._batches += 1
         self._items += len(workload)
+        served = self._serve_prefetched(workload)
+        if served is not None:
+            answers: list = [None] * len(workload)
+            for shard_answer in served:
+                for position, answer in shard_answer:
+                    answers[position] = answer
+            return WorkloadResult(workload, tuple(answers), self.name,
+                                  len(served))
         return self._run(workload)
 
     def evaluate_batch(self, workload: Workload) -> WorkloadResult:
@@ -190,7 +241,60 @@ class EvaluationBackend:
         """Yield per-shard answers as they complete (completion order)."""
         self._batches += 1
         self._items += len(workload)
+        served = self._serve_prefetched(workload)
+        if served is not None:
+            return iter(served)
         return self._stream(workload)
+
+    # ------------------------------------------------------------------
+    # Speculative prefetch
+    # ------------------------------------------------------------------
+    def prefetch(self, workload: Workload) -> int:
+        """Speculatively evaluate ``workload`` and park the answers.
+
+        Sessions call this between interaction rounds with the
+        evaluation the next round will most likely ask for (the current
+        hypothesis over the still-pending candidates); a later
+        :meth:`run`/:meth:`stream` whose items *all* match parked
+        answers is served without touching the evaluation tier at all.
+        Answers are consumed once and aged out FIFO above
+        :attr:`PREFETCH_CAP` (counted as waste); keys carry the
+        instance's content digest, so a mutation between prefetch and
+        use can never serve stale answers.  Returns the number of items
+        submitted.
+        """
+        if not len(workload):
+            return 0
+        self._prefetch_counts["submitted"] += len(workload)
+        result = self._run(workload)
+        for item, answer in zip(workload, result.answers):
+            key = _prefetch_key(item)
+            if key is None:
+                continue
+            self._prefetched[key] = answer
+            self._prefetched.move_to_end(key)
+        while len(self._prefetched) > self.PREFETCH_CAP:
+            self._prefetched.popitem(last=False)
+            self._prefetch_counts["wasted"] += 1
+        return len(workload)
+
+    def _serve_prefetched(self,
+                          workload: Workload) -> list[ShardAnswer] | None:
+        """Parked answers for the *whole* workload, shard-shaped, or
+        ``None`` when any item misses (all-or-nothing: partial serves
+        would still pay the evaluation round trip they exist to save)."""
+        if not self._prefetched or not len(workload):
+            return None
+        keys = [_prefetch_key(item) for item in workload]
+        if any(key is None or key not in self._prefetched for key in keys):
+            return None
+        self._prefetch_counts["hits"] += len(workload)
+        answers = [self._prefetched[key] for key in keys]
+        for key in set(keys):
+            del self._prefetched[key]
+        return [ShardAnswer(i, shard.indices,
+                            tuple(answers[p] for p in shard.indices))
+                for i, shard in enumerate(workload.shards())]
 
     # ------------------------------------------------------------------
     # Twig membership shapes
@@ -338,12 +442,14 @@ class EvaluationBackend:
     def stats(self) -> dict[str, object]:
         """Backend-level counters; subclasses add their own detail."""
         return {"backend": self.name, "batches": self._batches,
-                "items": self._items, "map_calls": self._map_calls}
+                "items": self._items, "map_calls": self._map_calls,
+                "prefetch": dict(self._prefetch_counts)}
 
     def reset_stats(self) -> None:
         self._batches = 0
         self._items = 0
         self._map_calls = 0
+        self._prefetch_counts = {"submitted": 0, "hits": 0, "wasted": 0}
 
     def close(self) -> None:
         """Release resources this backend constructed (idempotent)."""
@@ -643,6 +749,28 @@ class RemoteBackend(EvaluationBackend):
                 return True
         return False
 
+    def prefetch(self, workload: Workload) -> int:
+        """Ship the round prefetch-flagged instead of parking it locally.
+
+        The server evaluates the flagged workload — warming its engine
+        indexes and per-query caches — and parks the items' keys in its
+        prefetch ledger.  The real round re-sends the same items, so the
+        server's submitted/hits/wasted block (the wire ``stats`` frame
+        and ``GET /stats``) stays truthful; answers are deliberately
+        *not* parked client-side, since serving the real round locally
+        would hide the hit from the server's ledger.
+        """
+        if not len(workload):
+            return 0
+        self._prefetch_counts["submitted"] += len(workload)
+        client = self._checkout()
+        try:
+            client.run(workload, known_digests=self.known_digests,
+                       prefetch=True)
+        finally:
+            self._checkin(client)
+        return len(workload)
+
     def stats(self) -> dict[str, object]:
         out = {**super().stats(),
                "connections": len(self._clients),
@@ -662,6 +790,14 @@ class RemoteBackend(EvaluationBackend):
                 self._checkin(client)
         except Exception as exc:  # noqa: BLE001 - stats must stay best-effort
             out["server"] = {"error": str(exc)}
+        server = out["server"]
+        if isinstance(server, dict) \
+                and isinstance(server.get("prefetch"), dict):
+            # Hit accounting lives server-side on this backend (the
+            # ledger sees both the flagged and the real frames).
+            out["prefetch"] = {**out["prefetch"],  # type: ignore[dict-item]
+                               "hits": server["prefetch"].get("hits", 0),
+                               "wasted": server["prefetch"].get("wasted", 0)}
         return out
 
     def close(self) -> None:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.errors import LearningError
 from repro.graphdb.graph import Graph, VertexId
 from repro.graphdb.pathquery import PathQuery
-from repro.learning.backend import EvaluationBackend, as_backend
+from repro.learning.backend import EvaluationBackend, Workload, as_backend
 from repro.learning.path_learner import lgg_path, normalize
 from repro.learning.protocol import SessionStats
 from repro.learning.workload import WorkloadPriors
@@ -63,10 +63,15 @@ class InteractivePathSession:
         max_length: int = 8,
         max_candidates: int = 200,
         backend: EvaluationBackend | None = None,
+        prefetch: bool = True,
     ) -> None:
         self.graph = graph
         self.goal = goal
         self.priors = priors
+        #: Speculate between rounds: after each answer, submit the next
+        #: acceptance scan (updated hypothesis over all pending words)
+        #: through the backend's prefetch path.
+        self.prefetch = prefetch
         # The per-interaction acceptance scan over all pending words runs
         # as one backend batch, consumed sub-shard by sub-shard (same
         # memoised answers, any backend/executor, order-independent
@@ -152,6 +157,10 @@ class InteractivePathSession:
                     converged_at = stats.questions
             else:
                 negatives.append(word)
+            if self.prefetch and hypothesis is not None and pending:
+                # Between rounds: the next acceptance scan asks exactly
+                # this batch.
+                self.backend.prefetch(Workload.accepts(hypothesis, pending))
 
         # Final label propagation, streamed over the same sub-shards.
         if hypothesis is not None:

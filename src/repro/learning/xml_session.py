@@ -40,7 +40,12 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import LearningError
-from repro.learning.backend import EvaluationBackend, as_backend
+from repro.learning.backend import (
+    EvaluationBackend,
+    Workload,
+    as_backend,
+    distinct_documents,
+)
 from repro.learning.protocol import SessionStats, TwigOracle
 from repro.twig.anchored import anchor_repair
 from repro.twig.ast import TwigQuery
@@ -71,6 +76,7 @@ class InteractiveTwigSession:
         max_pool: int | None = 300,
         practical: bool = True,
         backend: EvaluationBackend | None = None,
+        prefetch: bool = True,
     ) -> None:
         if not documents:
             raise LearningError("the session needs at least one document")
@@ -79,6 +85,12 @@ class InteractiveTwigSession:
         self.schema = schema
         self.practical = practical
         self.backend = as_backend(backend)
+        #: Speculate between rounds: after each answer, submit the next
+        #: round's classification batch (the updated hypothesis over the
+        #: pending candidates' documents) through the backend's prefetch
+        #: path, so the round the user triggers is served from parked
+        #: answers (or, remotely, the server's warm caches).
+        self.prefetch = prefetch
         pool: list[Candidate] = []
         # Stable question descriptors for SessionStats.asked: the node's
         # (document position, pre-order position), identical across
@@ -170,6 +182,11 @@ class InteractiveTwigSession:
                 hypothesis = self._extend(hypothesis, candidate)
             else:
                 negatives.append(candidate)
+            if self.prefetch and hypothesis is not None and pending:
+                # Between rounds: the next classification round asks for
+                # exactly this batch.
+                self.backend.prefetch(
+                    Workload.twig(hypothesis, distinct_documents(pending)))
 
         # Final label propagation, shard-streamed the same way.
         for group in self.backend.selects_stream(hypothesis, pending):

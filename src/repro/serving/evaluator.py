@@ -49,7 +49,7 @@ from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import Any
 
-from repro.engine import Engine, get_engine
+from repro.engine import Engine, get_engine, instance_version
 from repro.graphdb.graph import Graph, VertexId
 from repro.serving.executors import SerialExecutor, ShardExecutor
 from repro.serving.wire import instance_fingerprint
@@ -169,7 +169,7 @@ def _pin_preorder(tree: XTree) -> tuple[int, list[XNode]]:
     rebuilt copy), so worker positions map onto these node objects
     directly.
     """
-    return getattr(tree, "_version", 0), list(tree.nodes())
+    return instance_version(tree), list(tree.nodes())
 
 
 def group_candidates_by_tree(
@@ -357,7 +357,7 @@ class BatchEvaluator:
 
             if positions_native:
                 versions = {
-                    i: getattr(shard.items[0].instance, "_version", 0)
+                    i: instance_version(shard.items[0].instance)
                     for i, shard in enumerate(shards)
                     if shard.kind is ItemKind.TWIG
                 }
@@ -483,8 +483,7 @@ class BatchEvaluator:
     @staticmethod
     def _check_version(shard: Shard, pinned_version: int) -> None:
         """Refuse to hand out positions that crossed a mutation."""
-        if pinned_version != getattr(shard.items[0].instance,
-                                     "_version", 0):
+        if pinned_version != instance_version(shard.items[0].instance):
             raise RuntimeError(
                 "document mutated while a process batch was in flight; "
                 "the process executor refuses to decode positions across "

@@ -57,6 +57,8 @@ from repro.serving.net import EndpointThread, WorkloadClient, WorkloadServer
 from repro.serving.ring import DEFAULT_REPLICAS, HashRing
 from repro.serving.wire import (
     ProtocolError,
+    apply_record_delta,
+    decode_delta,
     read_frame,
     record_digest,
     reinit_after_fork,
@@ -143,6 +145,7 @@ class FleetRouter:
         self.shards_forwarded = 0  # lock-free: loop thread only
         self.failovers = 0  # lock-free: loop thread only
         self.reships = 0  # lock-free: loop thread only
+        self.deltas_patched = 0  # lock-free: loop thread only
 
     # ------------------------------------------------------------------
     # Lifecycle (same shape as WorkloadServer, so EndpointThread fits)
@@ -316,6 +319,9 @@ class FleetRouter:
         if kind == "put_instances":
             await self._serve_put_instances(frame, writer, upstreams)
             return
+        if kind == "delta":
+            await self._serve_put_deltas(frame, writer, upstreams)
+            return
         if kind is not None:
             write_frame(writer, {"type": "error",
                                  "message": f"unsupported request frame "
@@ -369,6 +375,7 @@ class FleetRouter:
                 "shards_forwarded": self.shards_forwarded,
                 "failovers": self.failovers,
                 "reships": self.reships,
+                "deltas_patched": self.deltas_patched,
                 "members_live": len(self._ring),
                 "record_cache": self.record_store.stats(),
             },
@@ -470,6 +477,132 @@ class FleetRouter:
         write_frame(writer, {"type": "ok", "stored": len(stored)})
         await writer.drain()
 
+    def patch_record(self, delta: dict) -> dict | None:
+        """The full record for a decoded delta's target digest, or ``None``.
+
+        Applies the diff to the router's cached *encoded* record for the
+        base digest (:func:`~repro.serving.wire.apply_record_delta` — no
+        instance is ever materialised router-side), verifies the patched
+        record hashes to the promised target digest, and caches it under
+        that digest.  The base record stays cached too: it is still a
+        correct encoding of the *old* state, unlike a server's patched
+        instance.  Any failure — base unknown, inapplicable ops, digest
+        mismatch — returns ``None`` and lets the member/client
+        ``need_instances`` negotiation repair the gap.
+        """
+        to_digest = delta["to"]
+        cached = self.record_store.get(to_digest)
+        if isinstance(cached, dict):
+            return cached
+        base = self.record_store.get(delta["from"])
+        if not isinstance(base, dict):
+            return None
+        try:
+            patched = apply_record_delta(base, delta)
+            actual, size = record_digest(patched)
+            if actual != to_digest:
+                return None
+        except ProtocolError:
+            return None
+        patched = {**patched, "digest": to_digest}
+        self.record_store.put(to_digest, patched, size)
+        self.deltas_patched += 1
+        return patched
+
+    async def _serve_put_deltas(
+            self, frame: dict, writer: asyncio.StreamWriter,
+            upstreams: dict[str, tuple[asyncio.StreamReader,
+                                       asyncio.StreamWriter]]) -> None:
+        """Patch the record cache, then forward each delta to the ring
+        owner of its *target* digest.
+
+        A member that cannot apply a forwarded delta (base evicted, or
+        the target re-hashed onto a member that never held the base)
+        reports the target digest missing; the router re-ships the full
+        patched record from its own cache — one hop, no client round
+        trip.  Only digests the router cannot supply either surface in
+        the reply's ``missing`` list for the client's full-record
+        fallback.
+        """
+        records = frame.get("instances")
+        if not isinstance(records, list) \
+                or not all(isinstance(r, dict) for r in records):
+            write_frame(writer, {"type": "error",
+                                 "message": "malformed delta frame"})
+            await writer.drain()
+            return
+        try:
+            entries = []  # (to_digest, delta record, patched full | None)
+            for record in records:
+                delta = decode_delta(record)
+                entries.append((delta["to"], record,
+                                self.patch_record(delta)))
+        except ProtocolError as exc:
+            write_frame(writer, {"type": "error", "message": str(exc)})
+            await writer.drain()
+            return
+        applied: list[str] = []
+        missing: list[str] = []
+        remaining = entries
+        while remaining:
+            if not len(self._ring):
+                write_frame(writer, {"type": "error",
+                                     "message": "no live fleet members"})
+                await writer.drain()
+                return
+            assignment: dict[str, list[tuple[str, dict, dict | None]]] = {}
+            for entry in remaining:
+                owner = self._ring.node_for(entry[0])
+                assignment.setdefault(owner, []).append(entry)
+            remaining = []
+            for member_id, group in assignment.items():
+                try:
+                    up_reader, up_writer = await self._upstream(member_id,
+                                                                upstreams)
+                    write_frame(up_writer, {
+                        "type": "delta",
+                        "instances": [record for _, record, _ in group]})
+                    await up_writer.drain()
+                    reply = await read_frame(up_reader)
+                except (_MemberDown, OSError, ProtocolError):
+                    self._mark_down(member_id, upstreams)
+                    remaining.extend(group)
+                    continue
+                if not (isinstance(reply, dict)
+                        and reply.get("type") == "ok"):
+                    self._mark_down(member_id, upstreams)
+                    remaining.extend(group)
+                    continue
+                member_missing = set(reply.get("missing") or ())
+                fulls: list[dict] = []
+                for to_digest, _, patched in group:
+                    if to_digest not in member_missing:
+                        applied.append(to_digest)
+                    elif patched is not None:
+                        fulls.append(patched)
+                    else:
+                        missing.append(to_digest)
+                if not fulls:
+                    continue
+                try:
+                    write_frame(up_writer, {"type": "put_instances",
+                                            "instances": fulls})
+                    await up_writer.drain()
+                    reply = await read_frame(up_reader)
+                except (OSError, ProtocolError):
+                    self._mark_down(member_id, upstreams)
+                    missing.extend(r["digest"] for r in fulls)
+                    continue
+                if isinstance(reply, dict) and reply.get("type") == "ok":
+                    self.reships += len(fulls)
+                    applied.extend(r["digest"] for r in fulls)
+                else:
+                    self._mark_down(member_id, upstreams)
+                    missing.extend(r["digest"] for r in fulls)
+        write_frame(writer, {"type": "ok", "applied": applied,
+                             "missing": missing})
+        await writer.drain()
+
     def _checked_records(self, frame: dict) -> list[tuple[str, dict]]:
         """Digest-verify and cache every record of a ``put_instances``."""
         records = frame.get("instances")
@@ -533,6 +666,13 @@ class _WorkloadCall:
         #: Digests the client shipped in full *this request* — inlined
         #: into the first dispatch so the initial ship is one hop.
         self.shipped: set[str] = set()
+        #: target digest → the ``delta`` record the client shipped for
+        #: it this request, and target digest → its base digest.  The
+        #: first dispatch forwards the delta itself when the target
+        #: still hashes to the base's owner (warm in-place patch); a
+        #: moved target gets the router-patched full record instead.
+        self.delta_records: dict[str, dict] = {}
+        self.delta_from: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     async def serve(self) -> None:
@@ -593,6 +733,15 @@ class _WorkloadCall:
                 cached = self.router.record_store.get(digest)
                 if isinstance(cached, dict):
                     self.records[digest] = cached
+            elif kind == "delta":
+                delta = decode_delta(record)
+                digest = delta["to"]
+                self.inst_digests.append(digest)
+                self.delta_records[digest] = record
+                self.delta_from[digest] = delta["from"]
+                patched = self.router.patch_record(delta)
+                if patched is not None:
+                    self.records[digest] = patched
             elif kind in ("tree", "graph"):
                 actual, size = record_digest(record)
                 digest = record.get("digest")
@@ -662,6 +811,8 @@ class _WorkloadCall:
                     instance_slot[digest] = len(sub_instances)
                     if inline and digest in self.shipped:
                         sub_instances.append(self.records[digest])
+                    elif inline and digest in self.delta_records:
+                        sub_instances.append(self._delta_ship(digest))
                     else:
                         sub_instances.append({"type": "ref",
                                               "digest": digest})
@@ -669,6 +820,26 @@ class _WorkloadCall:
             items.append(record)
         return {"instances": sub_instances, "queries": sub_queries,
                 "items": items}
+
+    def _delta_ship(self, digest: str) -> dict:
+        """What the first dispatch sends for a client-shipped delta.
+
+        The target digest's ring owner held the *base* only when the
+        two digests hash to the same member — then the delta itself
+        goes through and the member patches its warm copy in place.  A
+        target that re-hashed onto a different member gets the
+        router-patched full record directly (when the router could
+        patch): warm-affinity loss costs one hop, not a client round
+        trip.  With no patched record available the delta is forwarded
+        anyway and the ``need_instances`` negotiation repairs the gap.
+        """
+        ring = self.router._ring
+        if digest in self.records \
+                and ring.node_for(digest) != ring.node_for(
+                    self.delta_from[digest]):
+            self.router.reships += 1
+            return self.records[digest]
+        return self.delta_records[digest]
 
     async def _dispatch(self, positions: list[int], *,
                         inline: bool) -> None:

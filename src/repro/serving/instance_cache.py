@@ -78,6 +78,22 @@ class InstanceStore:
                 self._bytes -= old_size
                 self._evictions += 1
 
+    def pop(self, digest: str) -> object | None:
+        """Remove and return the entry for ``digest`` (``None`` if absent).
+
+        The delta-shipping rekey: after an in-place patch the stored
+        object no longer matches its old digest, so the old key must go
+        — a later ref to it then negotiates a re-ship instead of
+        silently evaluating against the patched state.  Not counted as
+        a hit or miss (it is maintenance, not a lookup).
+        """
+        with self._lock:
+            entry = self._entries.pop(digest, None)
+            if entry is None:
+                return None
+            self._bytes -= entry[1]
+            return entry[0]
+
     def __contains__(self, digest: str) -> bool:
         with self._lock:
             return digest in self._entries

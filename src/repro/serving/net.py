@@ -56,6 +56,7 @@ import asyncio
 import json
 import socket
 import threading
+from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 
 from repro.serving.async_evaluator import AsyncBatchEvaluator
@@ -65,8 +66,13 @@ from repro.serving.wire import (
     NeedInstances,
     ProtocolError,
     WorkloadCodec,
+    apply_delta_copy,
+    apply_delta_to_instance,
+    delta_record_for,
+    instance_digest,
     instance_fingerprint,
     read_frame,
+    record_digest,
     recv_frame_counted,
     send_frame_blocking,
     write_frame,
@@ -226,6 +232,18 @@ class WorkloadServer:
         # event-loop thread only; aclose() runs there too.
         self._conn_tasks: set[asyncio.Task] = set()
         self._next_conn_token = 0  # lock-free: event-loop thread only
+        # Digests in-flight requests currently evaluate against; the
+        # in-place delta applier patches a *copy* while anyone still
+        # holds the base.  lock-free: event-loop thread only (appliers
+        # run during decode, which happens on the loop).
+        self._active_refs: dict[str, int] = {}
+        # Speculative-prefetch ledger: frame-level keys of prefetch
+        # items not yet claimed by a normal request (True values; FIFO
+        # pruned above the cap, pruned entries count as wasted).
+        # lock-free: event-loop thread only.
+        self._prefetch_pending: "OrderedDict[str, bool]" = OrderedDict()
+        # lock-free: event-loop thread only
+        self._prefetch = {"submitted": 0, "hits": 0, "wasted": 0}
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -349,12 +367,94 @@ class WorkloadServer:
                 # surfacing a cancellation nobody can act on.
                 pass
 
+    def _delta_applier_for(self, codec: WorkloadCodec):
+        """The server's delta applier, bound to one request's codec.
+
+        When nothing else references the base — no in-flight request,
+        and not even an earlier record of this same request — the diff
+        is replayed *onto the stored instance*: its tracked mutators
+        keep the edit log flowing, so the engine patches the warm
+        columnar index instead of rebuilding, and the store entry is
+        rekeyed from the old digest to the new one.  A contended base
+        is patched as a structural copy instead (the default applier),
+        leaving concurrent evaluations their consistent snapshot.
+        """
+
+        def apply(base: object, delta: dict) -> object:
+            from_digest = delta["from"]
+            if self._active_refs.get(from_digest, 0) > 0 \
+                    or from_digest in codec.resolved_digests():
+                return apply_delta_copy(base, delta)
+            try:
+                apply_delta_to_instance(base, delta)
+                digest = instance_digest(base)
+                if digest != delta["to"]:
+                    raise ProtocolError(
+                        f"delta digest mismatch: patched instance hashes "
+                        f"to {digest!r}, delta promised {delta['to']!r}")
+                return base
+            finally:
+                # Patched or torn, the stored object no longer matches
+                # its old digest; later refs to it must renegotiate.
+                self.instance_store.pop(from_digest)
+
+        return apply
+
+    @staticmethod
+    def _prefetch_keys(frame: dict) -> list[str]:
+        """Stable per-item keys of a workload frame, straight from the
+        encoded form (no decode needed): the query record, the
+        instance's content digest (full/ref ``digest`` or delta ``to``),
+        and the item's own parameters."""
+        queries = frame.get("queries") or []
+        instances = frame.get("instances") or []
+        keys: list[str] = []
+        for item in frame.get("items") or []:
+            if not isinstance(item, dict):
+                continue
+            qi = item.get("query")
+            query = queries[qi] \
+                if isinstance(qi, int) and 0 <= qi < len(queries) else None
+            ii = item.get("instance")
+            digest = None
+            if isinstance(ii, int) and 0 <= ii < len(instances) \
+                    and isinstance(instances[ii], dict):
+                digest = instances[ii].get("digest") \
+                    or instances[ii].get("to")
+            keys.append(json.dumps(
+                {"q": query, "d": digest, "k": item.get("kind"),
+                 "s": item.get("sources"), "w": item.get("word")},
+                sort_keys=True, separators=(",", ":")))
+        return keys
+
+    #: Unclaimed prefetch keys kept before the oldest are pruned (and
+    #: counted as wasted).
+    PREFETCH_PENDING_CAP = 4096
+
+    def _note_prefetch(self, frame: dict, *, is_prefetch: bool) -> None:
+        """Update the speculative-prefetch ledger for one workload frame."""
+        keys = self._prefetch_keys(frame)
+        if is_prefetch:
+            self._prefetch["submitted"] += len(keys)
+            for key in keys:
+                self._prefetch_pending[key] = True
+                self._prefetch_pending.move_to_end(key)
+            while len(self._prefetch_pending) > self.PREFETCH_PENDING_CAP:
+                self._prefetch_pending.popitem(last=False)
+                self._prefetch["wasted"] += 1
+        else:
+            for key in keys:
+                if self._prefetch_pending.pop(key, None) is not None:
+                    self._prefetch["hits"] += 1
+
     def _stats_payload(self) -> dict:
         """Live server state — one dict, JSON-encodable end to end."""
         out = {
             "executor": self.evaluator.executor.name,
             "engine": self.evaluator.engine.stats(),
             "instance_cache": self.instance_store.stats(),
+            "prefetch": {**self._prefetch,
+                         "pending": len(self._prefetch_pending)},
             "draining": self.draining,
             "admission": {
                 "max_inflight_shards":
@@ -463,6 +563,22 @@ class WorkloadServer:
                 write_frame(writer, {"type": "error", "message": str(exc)})
             await writer.drain()
             return
+        if kind == "delta":
+            # Proactive delta push: patch stored instances forward to
+            # their post-mutation digests.  Unresolvable diffs (base
+            # evicted, digest mismatch) come back in ``missing`` so the
+            # pusher re-ships those in full — degradation, not failure.
+            try:
+                codec = WorkloadCodec()
+                codec.set_delta_applier(self._delta_applier_for(codec))
+                applied, missing = codec.decode_delta_frame(
+                    frame, self.instance_store)
+                write_frame(writer, {"type": "ok", "applied": applied,
+                                     "missing": missing})
+            except Exception as exc:  # noqa: BLE001 - surfaced to the peer
+                write_frame(writer, {"type": "error", "message": str(exc)})
+            await writer.drain()
+            return
         if kind is not None:
             # Tagged frames are exhaustively handled above; an unknown
             # tag must not be mistaken for a (type-less) workload frame.
@@ -477,12 +593,24 @@ class WorkloadServer:
         # pre-order snapshot, and never builds an id -> position map per
         # request.  Nodes exist only on the client side of the socket.
         codec = WorkloadCodec()
+        codec.set_delta_applier(self._delta_applier_for(codec))
+        if isinstance(frame, dict):
+            self._note_prefetch(frame,
+                                is_prefetch=bool(frame.get("prefetch")))
         stream = None
+        held: frozenset[str] = frozenset()
         try:
             workload = await self._decode_negotiated(
                 frame, codec, reader, writer)
             if workload is None:
                 return
+            # Pin this request's digests in the active-ref ledger: a
+            # delta arriving on another connection then patches a copy
+            # instead of mutating an instance mid-evaluation here.
+            held = codec.resolved_digests()
+            for digest in held:
+                self._active_refs[digest] = \
+                    self._active_refs.get(digest, 0) + 1
             n_shards = 0
             stream = self.evaluator.stream(workload, gate=gate,
                                            positions_native=True)
@@ -496,6 +624,12 @@ class WorkloadServer:
         except Exception as exc:  # noqa: BLE001 - surfaced to the peer
             write_frame(writer, {"type": "error", "message": str(exc)})
         finally:
+            for digest in held:
+                remaining = self._active_refs.get(digest, 0) - 1
+                if remaining <= 0:
+                    self._active_refs.pop(digest, None)
+                else:
+                    self._active_refs[digest] = remaining
             if stream is not None:
                 # A drain() that died on a disconnected peer abandons the
                 # iteration mid-stream; closing the generator runs its
@@ -738,9 +872,10 @@ class WorkloadClient:
         self.bytes_sent = 0
         self.bytes_received = 0
         #: Content-addressing counters: full instance records shipped,
-        #: and the approximate encoded bytes that sending refs instead of
-        #: full records saved.
+        #: structural diffs shipped instead of full records, and the
+        #: approximate encoded bytes that refs/deltas saved.
         self.instances_shipped = 0
+        self.deltas_shipped = 0
         self.bytes_saved = 0
 
     def close(self) -> None:
@@ -822,14 +957,21 @@ class WorkloadClient:
 
     def stream(self, workload: Workload, *,
                known_digests: set[str] | None = None,
-               ) -> Iterator[ShardAnswer]:
+               prefetch: bool = False) -> Iterator[ShardAnswer]:
         """Send one workload; yield decoded shard answers as frames land.
 
         ``known_digests`` is the caller's registry of instance digests
         the server is believed to hold: matching instances ship as refs,
-        and digests shipped in full are added to the registry after the
+        a *mutated* instance whose pre-mutation digest is registered
+        ships as a structural ``delta`` record, and digests shipped in
+        full (or as applied deltas) are added to the registry after the
         send (optimistically — a wrong entry only ever costs the one
         ``need_instances`` round trip this method answers transparently).
+
+        ``prefetch`` marks the workload as speculative: the server's
+        prefetch ledger counts it as submitted and counts the matching
+        later non-speculative items as hits (the ``prefetch`` block of
+        :meth:`stats` / ``GET /stats``).
 
         The final ``done`` frame's shard count is cross-checked against
         the frames actually seen; an ``error`` frame raises
@@ -850,15 +992,23 @@ class WorkloadClient:
         self._require_usable()
         self._drain_pending_response()
         codec = WorkloadCodec()
-        self._send(codec.encode_workload(workload,
-                                         known_digests=known_digests))
+        payload = codec.encode_workload(workload,
+                                        known_digests=known_digests)
+        if prefetch:
+            payload["prefetch"] = True
+        self._send(payload)
         self.requests += 1
         self._request_epoch += 1
         self._pending_response = True
         self.instances_shipped += len(codec.shipped_digests)
+        self.deltas_shipped += len(codec.delta_digests)
         self.bytes_saved += codec.bytes_saved
         if known_digests is not None:
             known_digests.update(codec.shipped_digests)
+            # Applied deltas leave the server holding the *new* digest;
+            # a failed apply comes back as need_instances and re-ships
+            # the full record mid-stream, so the entry stays truthful.
+            known_digests.update(codec.delta_digests)
         return self._stream_frames(codec, workload, self._request_epoch)
 
     def _stream_frames(self, codec: WorkloadCodec, workload: Workload,
@@ -946,6 +1096,71 @@ class WorkloadClient:
             known_digests.update(digests)
         return digests
 
+    def push_deltas(self, instances: Sequence[object], *,
+                    known_digests: set[str]) -> dict:
+        """Ship mutated instances forward as structural diffs.
+
+        For every instance whose *current* digest the server does not
+        hold but whose edit log reaches back to a digest in
+        ``known_digests``, one ``delta`` record goes out on a single
+        ``delta`` frame; diffs the server cannot apply (base evicted,
+        log too old) are re-shipped as full records in one follow-up
+        ``put_instances``.  ``known_digests`` ends up containing every
+        instance's current digest either way.  Returns ``{"applied":
+        [...], "reshipped": [...], "already_known": [...]}``.
+        """
+        self._require_usable()
+        self._drain_pending_response()
+        codec = WorkloadCodec()
+        records: list[dict] = []
+        full: list[str] = []
+        already: list[str] = []
+        seen: set[str] = set()
+        for instance in instances:
+            digest = codec.register_instance(instance)
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if digest in known_digests:
+                already.append(digest)
+                continue
+            _, size = instance_fingerprint(instance)
+            delta = delta_record_for(instance, digest, size, known_digests)
+            if delta is None:
+                full.append(digest)
+                continue
+            records.append(delta)
+            self.bytes_saved += size - record_digest(delta)[1]
+        applied: list[str] = []
+        if records:
+            reply = self._request_reply(
+                codec.encode_delta_frame(records), expect="ok")
+            self.deltas_shipped += len(records)
+            applied = [d for d in reply.get("applied", ())
+                       if isinstance(d, str)]
+            for digest in reply.get("missing", ()):
+                if isinstance(digest, str) and digest not in full:
+                    full.append(digest)
+                    self.bytes_saved -= instance_fingerprint(
+                        codec.instance_for(digest))[1]
+        if full:
+            self._send(codec.encode_put_instances(full))
+            self.requests += 1
+            self.instances_shipped += len(full)
+            frame = self._recv()
+            if frame is None:
+                raise self._unrecoverable("server closed mid-response")
+            kind = frame.get("type") if isinstance(frame, dict) else None
+            if kind == "error":
+                raise ProtocolError(
+                    f"server error: {frame.get('message', 'unknown')}")
+            if kind != "ok":
+                raise self._unrecoverable(f"unexpected frame {frame!r}")
+        known_digests.update(applied)
+        known_digests.update(full)
+        return {"applied": applied, "reshipped": full,
+                "already_known": already}
+
     def stats(self) -> dict:
         """The server's live engine statistics (one ``stats`` round trip).
 
@@ -1009,12 +1224,14 @@ class WorkloadClient:
         return self._request_reply({"type": "ring"}, expect="ring")
 
     def run(self, workload: Workload, *,
-            known_digests: set[str] | None = None) -> WorkloadResult:
+            known_digests: set[str] | None = None,
+            prefetch: bool = False) -> WorkloadResult:
         """Remote evaluation with the deterministic position-aligned merge."""
         answers: list = [None] * len(workload)
         n_shards = 0
         for shard_answer in self.stream(workload,
-                                        known_digests=known_digests):
+                                        known_digests=known_digests,
+                                        prefetch=prefetch):
             n_shards += 1
             for position, answer in shard_answer:
                 answers[position] = answer

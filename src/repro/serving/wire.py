@@ -44,6 +44,7 @@ evaluation round.
 from __future__ import annotations
 
 import asyncio
+import copy as _copy
 import hashlib
 import json
 import socket
@@ -53,6 +54,7 @@ import weakref
 from collections.abc import Callable, Sequence
 from typing import Any, Protocol
 
+from repro.engine.version import instance_version
 from repro.errors import ReproError
 from repro.graphdb.graph import Graph, VertexId
 from repro.graphdb.pathquery import PathAtom, PathQuery
@@ -93,7 +95,12 @@ FRAME_TYPES = frozenset({
 })
 
 #: Instance/query record ``"type"`` tags inside workload frames.
-RECORD_TYPES = frozenset({"tree", "graph", "ref", "path", "regex"})
+#: ``delta`` is a structural diff keyed ``(from digest -> to digest)``;
+#: the same tag doubles as the standalone delta-push frame's ``type``
+#: (a frame carrying only delta records), so it lives in exactly one
+#: registry as the disjointness rule requires.
+RECORD_TYPES = frozenset({"tree", "graph", "ref", "path", "regex",
+                          "delta"})
 
 #: Workload item ``"kind"`` tags (the wire spelling of
 #: :class:`~repro.serving.workload.ItemKind`).
@@ -441,6 +448,15 @@ _fingerprints: "weakref.WeakKeyDictionary[object, tuple[int, str, int]]" \
     = weakref.WeakKeyDictionary()
 _fingerprint_lock = threading.Lock()
 
+#: Per-instance ``[(version, digest, size), ...]`` of recently
+#: fingerprinted versions (oldest first, bounded).  Delta shipping walks
+#: it newest-first looking for a version the peer already holds whose
+#: edit-log window is still replayable.  Guarded by
+#: ``_fingerprint_lock`` like the memo above.
+_digest_history: "weakref.WeakKeyDictionary[object, list[tuple[int, str, int]]]" \
+    = weakref.WeakKeyDictionary()
+_DIGEST_HISTORY_CAP = 8
+
 
 def reinit_after_fork() -> None:
     """Replace the module-level fingerprint lock with a fresh one.
@@ -466,7 +482,7 @@ def _fingerprint_with_record(
     ship); on a miss, the record built for hashing is returned so a
     cold full-ship never encodes the same instance twice.
     """
-    version = getattr(instance, "_version", 0)
+    version = instance_version(instance)
     with _fingerprint_lock:
         entry = _fingerprints.get(instance)
     if entry is not None and entry[0] == version:
@@ -475,6 +491,11 @@ def _fingerprint_with_record(
     digest, size = record_digest(record)
     with _fingerprint_lock:
         _fingerprints[instance] = (version, digest, size)
+        history = _digest_history.setdefault(instance, [])
+        if not history or history[-1][0] != version:
+            history.append((version, digest, size))
+            if len(history) > _DIGEST_HISTORY_CAP:
+                del history[0]
     return digest, size, record
 
 
@@ -487,6 +508,296 @@ def instance_fingerprint(instance: object) -> tuple[str, int]:
 def instance_digest(instance: object) -> str:
     """The stable structural digest of a document or graph."""
     return instance_fingerprint(instance)[0]
+
+
+# ---------------------------------------------------------------------------
+# Delta records: structural diffs keyed (old digest -> new digest)
+# ---------------------------------------------------------------------------
+#
+# A mutation round used to cost a full re-ship; with the instances' edit
+# logs (:mod:`repro.editlog`) it costs a ``delta`` record instead: the
+# replayable ops taking the version the peer already holds to the
+# current one.  The receiver applies the ops to its stored copy,
+# verifies the resulting digest, and falls back to the ordinary
+# ``need_instances`` negotiation on any mismatch — the delta path is an
+# optimisation layered on the content-addressed protocol, never a
+# correctness dependency.
+
+
+def encode_delta(instance: object, from_digest: str, to_digest: str,
+                 ops: Sequence[dict]) -> dict:
+    """One ``delta`` record from an instance's local edit-log ops.
+
+    Local ops carry live node references alongside their JSON-able
+    fields; this strips them to the wire form (tree ops: child-index
+    ``path`` plus snapshot records; graph ops: wire-encoded vertex ids).
+    """
+    wire_ops: list[dict] = []
+    if isinstance(instance, XTree):
+        target = "tree"
+        for op in ops:
+            name = op.get("op")
+            if name == "insert":
+                wire_ops.append({"op": "insert", "path": list(op["path"]),
+                                 "index": op["index"],
+                                 "node": op["record"]})
+            elif name == "delete":
+                wire_ops.append({"op": "delete", "path": list(op["path"])})
+            elif name == "relabel":
+                wire_ops.append({"op": "relabel", "path": list(op["path"]),
+                                 "label": op["label"], "text": op["text"]})
+            else:
+                raise ProtocolError(f"unencodable tree edit op {name!r}")
+    elif isinstance(instance, Graph):
+        target = "graph"
+        for op in ops:
+            name = op.get("op")
+            if name == "add_vertex":
+                wire_ops.append({"op": "add_vertex",
+                                 "v": _encode_vertex(op["v"]),
+                                 "props": dict(op["props"])})
+            elif name == "add_edge":
+                wire_ops.append({"op": "add_edge",
+                                 "src": _encode_vertex(op["src"]),
+                                 "label": op["label"],
+                                 "dst": _encode_vertex(op["dst"]),
+                                 "props": dict(op["props"])})
+            elif name == "remove_edge":
+                wire_ops.append({"op": "remove_edge",
+                                 "src": _encode_vertex(op["src"]),
+                                 "label": op["label"],
+                                 "dst": _encode_vertex(op["dst"])})
+            elif name == "remove_vertex":
+                wire_ops.append({"op": "remove_vertex",
+                                 "v": _encode_vertex(op["v"])})
+            else:
+                raise ProtocolError(f"unencodable graph edit op {name!r}")
+    else:
+        raise ProtocolError(
+            f"undiffable instance {type(instance).__name__}")
+    return {"type": "delta", "target": target,
+            "from": from_digest, "to": to_digest, "ops": wire_ops}
+
+
+def decode_delta(record: dict) -> dict:
+    """Validate a ``delta`` record; returns the normalised form the
+    appliers below consume (ops keep wire-encoded vertex ids)."""
+    try:
+        target = record["target"]
+        from_digest = record["from"]
+        to_digest = record["to"]
+        ops = record["ops"]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed delta record: {exc}") from exc
+    if target not in ("tree", "graph"):
+        raise ProtocolError(f"unknown delta target {target!r}")
+    if not isinstance(from_digest, str) or not isinstance(to_digest, str):
+        raise ProtocolError("delta digests must be strings")
+    if not isinstance(ops, list) \
+            or not all(isinstance(op, dict) for op in ops):
+        raise ProtocolError("delta ops must be a list of objects")
+    return {"target": target, "from": from_digest, "to": to_digest,
+            "ops": ops}
+
+
+def apply_delta_to_instance(instance: object, delta: dict) -> None:
+    """Replay a decoded delta through the instance's tracked mutators.
+
+    Replaying through the mutators (not by hand) extends the receiving
+    instance's *own* edit log, so the engine's incremental-reindex path
+    and any onward delta shipping keep working from the patched copy.
+    The caller verifies the resulting digest.
+    """
+    try:
+        if delta["target"] == "tree":
+            assert isinstance(instance, XTree)
+            for op in delta["ops"]:
+                name = op.get("op")
+                if name == "insert":
+                    instance.insert_subtree(
+                        instance.node_at(op["path"]),
+                        _decode_tree(op["node"]), op["index"])
+                elif name == "delete":
+                    instance.delete_subtree(instance.node_at(op["path"]))
+                elif name == "relabel":
+                    instance.relabel_node(
+                        instance.node_at(op["path"]),
+                        label=op["label"], text=op["text"])
+                else:
+                    raise ProtocolError(f"unknown tree edit op {name!r}")
+        else:
+            assert isinstance(instance, Graph)
+            for op in delta["ops"]:
+                name = op.get("op")
+                if name == "add_vertex":
+                    instance.add_vertex(_decode_vertex(op["v"]),
+                                        **op.get("props", {}))
+                elif name == "add_edge":
+                    instance.add_edge(_decode_vertex(op["src"]),
+                                      op["label"],
+                                      _decode_vertex(op["dst"]),
+                                      **op.get("props", {}))
+                elif name == "remove_edge":
+                    instance.remove_edge(_decode_vertex(op["src"]),
+                                         op["label"],
+                                         _decode_vertex(op["dst"]))
+                elif name == "remove_vertex":
+                    instance.remove_vertex(_decode_vertex(op["v"]))
+                else:
+                    raise ProtocolError(f"unknown graph edit op {name!r}")
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"delta does not apply: {exc}") from exc
+
+
+def _record_node_at(record: dict, path: Sequence[int]) -> dict:
+    node = record
+    for index in path:
+        try:
+            node = node["children"][index]
+        except (KeyError, IndexError, TypeError):
+            raise ProtocolError(
+                f"delta path {list(path)!r} falls off the record") from None
+    return node
+
+
+def apply_record_delta(record: dict, delta: dict) -> dict:
+    """Patch an *encoded* instance record (digest field excluded) with a
+    decoded delta, returning a new record; the input is not mutated.
+
+    This is the router's path: it caches encoded records, not decoded
+    instances, so a delta for a cached digest can be applied — and the
+    resulting digest verified — without ever materialising the
+    instance.  The patched tree record reproduces the encoder's shape
+    exactly (``text``/``children`` keys omitted when empty), so digests
+    computed from it match digests computed from the patched instance.
+    """
+    out = _copy.deepcopy(record)
+    out.pop("digest", None)
+    try:
+        if delta["target"] == "tree":
+            root = out["root"]
+            for op in delta["ops"]:
+                name = op.get("op")
+                path = op.get("path", ())
+                if name == "insert":
+                    parent = _record_node_at(root, path)
+                    parent.setdefault("children", []).insert(
+                        op["index"], _copy.deepcopy(op["node"]))
+                elif name == "delete":
+                    parent = _record_node_at(root, path[:-1])
+                    children = parent.get("children")
+                    if children is None:
+                        raise ProtocolError(
+                            "delta delete path falls off the record")
+                    del children[path[-1]]
+                    if not children:
+                        del parent["children"]
+                elif name == "relabel":
+                    node = _record_node_at(root, path)
+                    node["label"] = op["label"]
+                    if op.get("text") is None:
+                        node.pop("text", None)
+                    else:
+                        node["text"] = op["text"]
+                else:
+                    raise ProtocolError(f"unknown tree edit op {name!r}")
+        else:
+            vertices = out["vertices"]
+            edges = out["edges"]
+            for op in delta["ops"]:
+                name = op.get("op")
+                if name == "add_vertex":
+                    v = op["v"]
+                    for entry in vertices:
+                        if entry[0] == v:
+                            entry[1].update(op.get("props", {}))
+                            break
+                    else:
+                        vertices.append([v, dict(op.get("props", {}))])
+                elif name == "add_edge":
+                    key = (op["src"], op["label"], op["dst"])
+                    for entry in edges:
+                        if (entry[0], entry[1], entry[2]) == key:
+                            entry[3].update(op.get("props", {}))
+                            break
+                    else:
+                        edges.append([op["src"], op["label"], op["dst"],
+                                      dict(op.get("props", {}))])
+                elif name == "remove_edge":
+                    key = (op["src"], op["label"], op["dst"])
+                    for i, entry in enumerate(edges):
+                        if (entry[0], entry[1], entry[2]) == key:
+                            del edges[i]
+                            break
+                    else:
+                        raise ProtocolError(
+                            f"delta removes unknown edge {key!r}")
+                elif name == "remove_vertex":
+                    v = op["v"]
+                    vertices[:] = [e for e in vertices if e[0] != v]
+                    edges[:] = [e for e in edges
+                                if e[0] != v and e[2] != v]
+                else:
+                    raise ProtocolError(f"unknown graph edit op {name!r}")
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"delta does not apply to record: {exc}") \
+            from exc
+    return out
+
+
+def apply_delta_copy(base: object, delta: dict) -> object:
+    """The default (safe) applier: patch a structural copy of ``base``,
+    verify the resulting digest, and return the copy.
+
+    Never mutates ``base`` — the conservative choice when the caller
+    cannot prove no concurrent evaluation still references it.
+    """
+    copier = getattr(base, "copy", None)
+    if copier is None:
+        raise ProtocolError(
+            f"cannot copy instance {type(base).__name__} for delta")
+    patched = copier()
+    apply_delta_to_instance(patched, delta)
+    digest = instance_digest(patched)
+    if digest != delta["to"]:
+        raise ProtocolError(
+            f"delta digest mismatch: patched instance hashes to "
+            f"{digest!r}, delta promised {delta['to']!r}")
+    return patched
+
+
+def delta_record_for(instance: object, digest: str, size: int,
+                     known_digests: set[str]) -> dict | None:
+    """A ``delta`` record shipping ``instance`` against a version the
+    peer already holds, or ``None`` when no profitable delta exists.
+
+    Requires a surviving edit-log window from a fingerprinted older
+    version whose digest is in ``known_digests``; gives up (full ship)
+    when the delta would not be smaller than the record itself.
+    """
+    edits_since = getattr(instance, "edits_since", None)
+    if edits_since is None or not known_digests:
+        return None
+    with _fingerprint_lock:
+        history = list(_digest_history.get(instance) or ())
+    for old_version, old_digest, _old_size in reversed(history):
+        if old_digest == digest or old_digest not in known_digests:
+            continue
+        ops = edits_since(old_version)
+        if ops is None:
+            # The log no longer reaches this version; older history
+            # entries need an even wider window, so stop looking.
+            return None
+        delta = encode_delta(instance, old_digest, digest, ops)
+        _, delta_size = record_digest(delta)
+        if delta_size >= size:
+            return None
+        return delta
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -525,6 +836,8 @@ class WorkloadCodec:
     """
 
     def __init__(self, *, preorder: Callable[[XTree], Sequence[XNode]]
+                 | None = None,
+                 delta_applier: Callable[[object, dict], object]
                  | None = None) -> None:
         self._instances: list[object] = []
         self._index_of: dict[int, int] = {}
@@ -545,8 +858,17 @@ class WorkloadCodec:
         self.shipped_digests: list[str] = []
         #: Digests sent as refs by the last encode.
         self.ref_digests: list[str] = []
-        #: Approximate encoded bytes the refs of the last encode saved.
+        #: Digests shipped as deltas by the last encode (the *new*
+        #: digest of each; the peer holds it after a successful apply).
+        self.delta_digests: list[str] = []
+        #: Approximate encoded bytes the refs/deltas of the last encode
+        #: saved vs full records.
         self.bytes_saved = 0
+        # How this codec turns a delta record into an instance given its
+        # base.  The default patches a structural copy (safe anywhere);
+        # the server installs an in-place applier that reuses the stored
+        # instance — and its warm index — when nothing else is using it.
+        self._delta_applier = delta_applier or apply_delta_copy
 
     # -- encoding side ---------------------------------------------------
     def _instance_ref(self, instance: object) -> int:
@@ -604,6 +926,7 @@ class WorkloadCodec:
         instances: list[dict] = []
         self.shipped_digests = []
         self.ref_digests = []
+        self.delta_digests = []
         self.bytes_saved = 0
         for instance in self._instances:
             digest, size, record = _fingerprint_with_record(instance)
@@ -612,12 +935,21 @@ class WorkloadCodec:
                 instances.append({"type": "ref", "digest": digest})
                 self.ref_digests.append(digest)
                 self.bytes_saved += size
-            else:
-                if record is None:  # warm fingerprint, cold ship
-                    record = encode_instance_record(instance)
-                record["digest"] = digest
-                instances.append(record)
-                self.shipped_digests.append(digest)
+                continue
+            delta = None
+            if known_digests is not None:
+                delta = delta_record_for(instance, digest, size,
+                                         known_digests)
+            if delta is not None:
+                instances.append(delta)
+                self.delta_digests.append(digest)
+                self.bytes_saved += size - record_digest(delta)[1]
+                continue
+            if record is None:  # warm fingerprint, cold ship
+                record = encode_instance_record(instance)
+            record["digest"] = digest
+            instances.append(record)
+            self.shipped_digests.append(digest)
         return {"instances": instances, "queries": self._queries,
                 "items": items}
 
@@ -626,6 +958,21 @@ class WorkloadCodec:
         digest, _ = instance_fingerprint(instance)
         self._instance_by_digest[digest] = instance
         return digest
+
+    def resolved_digests(self) -> frozenset[str]:
+        """Digests this codec (= this request) has resolved so far."""
+        return frozenset(self._resolved_by_digest)
+
+    def set_delta_applier(
+            self, applier: Callable[[object, dict], object]) -> None:
+        """Install how this codec turns delta records into instances.
+
+        The server seam: its applier patches the *stored* instance in
+        place (keeping the warm index) when no in-flight request still
+        references the base — a decision that needs the codec itself,
+        so it cannot be closed over at construction time.
+        """
+        self._delta_applier = applier
 
     def instance_for(self, digest: str) -> object | None:
         """The instance this codec knows under ``digest``, if any."""
@@ -685,6 +1032,69 @@ class WorkloadCodec:
         self._resolved_by_digest[digest] = instance
         return instance
 
+    def _resolve_delta(self, record: dict, store: InstanceStoreLike | None,
+                       missing: list[str]) -> object | None:
+        """Resolve one ``delta`` record to an instance.
+
+        Resolution order: the *target* digest may already be held (a
+        retried or concurrent request applied it first); otherwise the
+        base is looked up and patched through the codec's applier.  Any
+        failure — unknown base, inapplicable ops, digest mismatch —
+        degrades to a ``need_instances`` negotiation for the target
+        digest, exactly like an unresolvable ref.
+        """
+        delta = decode_delta(record)
+        to_digest = delta["to"]
+        instance = self._resolved_by_digest.get(to_digest)
+        if instance is None and store is not None:
+            instance = store.get(to_digest)
+        if instance is not None:
+            self._resolved_by_digest[to_digest] = instance
+            return instance
+        base = self._resolved_by_digest.get(delta["from"])
+        if base is None and store is not None:
+            base = store.get(delta["from"])
+        if base is None:
+            missing.append(to_digest)
+            return None
+        try:
+            instance = self._delta_applier(base, delta)
+        except ProtocolError:
+            missing.append(to_digest)
+            return None
+        if store is not None:
+            _, size = instance_fingerprint(instance)
+            store.put(to_digest, instance, size)
+        self._resolved_by_digest[to_digest] = instance
+        return instance
+
+    def encode_delta_frame(self, records: Sequence[dict]) -> dict:
+        """A standalone delta-push frame (the ``put_instances`` of the
+        delta path): apply these diffs ahead of future workloads."""
+        return {"type": "delta", "instances": list(records)}
+
+    def decode_delta_frame(
+            self, obj: dict,
+            store: InstanceStoreLike | None) -> tuple[list[str], list[str]]:
+        """Apply every delta of a delta-push frame.
+
+        Returns ``(applied, missing)`` target digests; missing ones are
+        reported back so the pusher can fall back to full records.
+        """
+        try:
+            records = obj["instances"]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed delta frame: {exc}") from exc
+        applied: list[str] = []
+        missing: list[str] = []
+        for record in records:
+            if not isinstance(record, dict):
+                raise ProtocolError("delta frame entries must be records")
+            instance = self._resolve_delta(record, store, missing)
+            if instance is not None:
+                applied.append(record.get("to"))
+        return applied, missing
+
     def decode_put_instances(self, obj: dict,
                              store: InstanceStoreLike | None) -> list[str]:
         """Store every record of a ``put_instances`` frame; the digests."""
@@ -731,6 +1141,9 @@ class WorkloadCodec:
                 if instance is None:
                     missing.append(digest)
                 self._instances.append(instance)
+            elif kind == "delta":
+                self._instances.append(
+                    self._resolve_delta(record, store, missing))
             elif kind in ("tree", "graph"):
                 self._instances.append(self._resolve_record(record, store))
             else:

@@ -17,7 +17,9 @@ Design notes
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import Optional
+from typing import Any, Optional
+
+from repro.editlog import EditLog
 
 
 class XNode:
@@ -103,6 +105,9 @@ class XTree:
         # Bumped by invalidate(); external index caches (repro.engine)
         # compare it to detect staleness without being notified.
         self._version = 0
+        # One op per version bump while mutations go through the tracked
+        # mutators below; cleared by invalidate() (untracked edits).
+        self._edits = EditLog()
 
     def nodes(self) -> Iterator[XNode]:
         return self.root.iter()
@@ -143,19 +148,158 @@ class XTree:
         return path
 
     def invalidate(self) -> None:
-        """Drop cached structure after a mutation.
+        """Drop cached structure after an *untracked* mutation.
 
         Also bumps the tree's version, which tells the shared evaluation
         engine (:mod:`repro.engine`) to rebuild its index of this tree.
+        The edit log is cleared too: the version advances without a
+        replayable op, so delta consumers must fall back to a full
+        re-ship / rebuild.  Prefer the tracked mutators
+        (:meth:`insert_subtree` / :meth:`delete_subtree` /
+        :meth:`relabel_node`), which keep deltas flowing.
         """
         self._parents = None
         self._version += 1
+        self._edits.clear()
+
+    # ------------------------------------------------------------------
+    # Tracked mutators: structural edits that log a replayable op, bump
+    # the version, and maintain the parent map incrementally.  Each op
+    # carries both live node references (for in-process index patching)
+    # and a JSON-able form — child-index ``path`` plus a structural
+    # ``record`` snapshot — for delta shipping.
+    # ------------------------------------------------------------------
+    def path_of(self, n: XNode) -> list[int]:
+        """Child-index path from the root to ``n`` (``[]`` for the root).
+
+        Identity-based, like :meth:`parent`; raises ``ValueError`` for
+        nodes outside this tree.
+        """
+        chain = self.path_to_root(n)  # n .. root
+        path: list[int] = []
+        for child, parent in zip(chain, chain[1:]):
+            path.append(next(i for i, c in enumerate(parent.children)
+                             if c is child))
+        path.reverse()
+        return path
+
+    def node_at(self, path: list[int]) -> XNode:
+        """The node a child-index path points at (inverse of
+        :meth:`path_of`)."""
+        n = self.root
+        for index in path:
+            try:
+                n = n.children[index]
+            except IndexError:
+                raise ValueError(f"path {path!r} falls off the tree "
+                                 f"at child {index}") from None
+        return n
+
+    def _log(self, op: dict[str, Any]) -> None:
+        self._edits.record(self._version, op)
+        self._version += 1
+
+    def edits_since(self, version: int) -> list[dict[str, Any]] | None:
+        """Replayable ops taking ``version`` to the current version, or
+        ``None`` when the log no longer covers that window (too many
+        edits, or an untracked ``invalidate()`` in between)."""
+        return self._edits.since(version, self._version)
+
+    def insert_subtree(self, parent: XNode, child: XNode,
+                       index: Optional[int] = None) -> XNode:
+        """Splice ``child`` (and its subtree) under ``parent``.
+
+        ``index`` is the position among ``parent.children`` (append by
+        default).  Returns ``child``.
+        """
+        path = self.path_of(parent)  # also validates membership
+        if index is None:
+            index = len(parent.children)
+        if not 0 <= index <= len(parent.children):
+            raise ValueError(f"insert index {index} out of range")
+        # Snapshot the inserted subtree as of now: later tracked edits
+        # inside it are separate ops, so replaying this op must not see
+        # them.
+        pre_nodes: list[XNode] = []
+        pre_parents: list[int] = []
+        pos_of: dict[int, int] = {}
+        stack: list[tuple[XNode, int]] = [(child, -1)]
+        while stack:
+            n, p = stack.pop()
+            pos_of[id(n)] = len(pre_nodes)
+            pre_nodes.append(n)
+            pre_parents.append(p)
+            stack.extend((c, pos_of[id(n)])
+                         for c in reversed(n.children))
+        parent.children.insert(index, child)
+        if self._parents is not None:
+            self._parents[id(child)] = parent
+            for n in pre_nodes:
+                for c in n.children:
+                    self._parents[id(c)] = n
+        self._log({
+            "op": "insert", "path": path, "index": index,
+            "record": subtree_record(child), "node": child,
+            "pre_nodes": pre_nodes, "pre_parents": pre_parents,
+            "pre_labels": [n.label for n in pre_nodes],
+            "pre_texts": [n.text for n in pre_nodes],
+        })
+        return child
+
+    def delete_subtree(self, n: XNode) -> XNode:
+        """Detach ``n`` (and its subtree) from the tree; returns ``n``."""
+        path = self.path_of(n)
+        if not path:
+            raise ValueError("cannot delete the root of a tree")
+        parent = self.parent(n)
+        assert parent is not None
+        del parent.children[path[-1]]
+        if self._parents is not None:
+            for sub in n.iter():
+                self._parents.pop(id(sub), None)
+        self._log({"op": "delete", "path": path, "node": n})
+        return n
+
+    _UNCHANGED: Any = object()
+
+    def relabel_node(self, n: XNode, *, label: Optional[str] = None,
+                     text: Any = _UNCHANGED) -> XNode:
+        """Change ``n``'s label and/or text in place; returns ``n``."""
+        path = self.path_of(n)
+        if label is not None:
+            if not label:
+                raise ValueError("node label must be a non-empty string")
+            n.label = label
+        if text is not XTree._UNCHANGED:
+            n.text = text
+        # The op records the *resulting* values, so replay is a plain
+        # assignment (and idempotent).
+        self._log({"op": "relabel", "path": path, "node": n,
+                   "label": n.label, "text": n.text})
+        return n
 
     def copy(self) -> "XTree":
         return XTree(self.root.copy())
 
     def __repr__(self) -> str:
         return f"<XTree root={self.root.label!r} size={self.size()}>"
+
+
+def subtree_record(n: XNode) -> dict:
+    """A plain JSON-able snapshot of a subtree.
+
+    The shape (``label`` plus optional ``text`` / ``children``) is the
+    document wire format of :mod:`repro.serving.wire`; edit-log insert
+    ops snapshot their subtree in this form so delta shipping can put
+    the op on the wire without re-walking live (possibly since-mutated)
+    nodes.
+    """
+    out: dict = {"label": n.label}
+    if n.text is not None:
+        out["text"] = n.text
+    if n.children:
+        out["children"] = [subtree_record(c) for c in n.children]
+    return out
 
 
 def canonical_form(n: XNode) -> tuple:

@@ -1,0 +1,24 @@
+# repro-module: repro.serving.bad_delta_cache
+"""Fixture: a delta patcher that reads its guarded record store outside
+the lock, publishes the patched record unlocked, and annotates its
+counter without a reason."""
+
+import threading
+
+
+class BadDeltaCache:
+    """Delta application with the router's locking discipline undone."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records = {}  # guarded-by: _lock
+        self.deltas_patched = 0  # lock-free:
+
+    def patch(self, delta, apply_ops):
+        base = self._records.get(delta["from"])  # unlocked read: finding
+        if base is None:
+            return None
+        patched = apply_ops(base, delta["ops"])
+        self._records[delta["to"]] = patched  # unlocked write: finding
+        self.deltas_patched += 1
+        return patched

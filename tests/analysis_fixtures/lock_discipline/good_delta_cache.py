@@ -1,0 +1,38 @@
+# repro-module: repro.serving.good_delta_cache
+"""Fixture: the delta-patch discipline of the serving tier — the
+digest-keyed record store and its byte gauge stay behind the router
+lock (patches read the base and publish the patched record under it),
+while the mutation counters owned by the single event-loop thread carry
+``lock-free`` reasons."""
+
+import threading
+
+
+class GoodDeltaCache:
+    """Record store patched in place by ``(from -> to)`` deltas."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records = {}  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
+        self.deltas_patched = 0  # lock-free: loop thread only
+        self.reships = 0  # lock-free: loop thread only
+
+    def patch(self, delta, apply_ops):
+        with self._lock:
+            base = self._records.get(delta["from"])
+        if base is None:
+            return None
+        patched = apply_ops(base, delta["ops"])
+        with self._lock:
+            self._records[delta["to"]] = patched
+            self._bytes += len(patched)
+        self.deltas_patched += 1
+        return patched
+
+    def reship(self, digest):
+        with self._lock:
+            record = self._records.get(digest)
+        if record is not None:
+            self.reships += 1
+        return record

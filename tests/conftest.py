@@ -99,6 +99,66 @@ def twig_queries(draw, max_depth: int = 3) -> TwigQuery:
 
 
 # ---------------------------------------------------------------------------
+# Seeded edit scripts through the tracked mutators
+# ---------------------------------------------------------------------------
+# The mutation suites (delta codecs, incremental reindexing) need edit
+# scripts that flow through the *logged* mutators — hand-edits would not
+# leave replayable ops.  Seeded rather than hypothesis-composite so a
+# script can be replayed against copies of the same instance.
+
+
+def random_tree_edits(doc: XTree, rnd, count: int) -> None:
+    """Apply ``count`` random tracked edits (relabel/insert/delete)."""
+    from repro.xmltree.tree import node
+
+    for _ in range(count):
+        nodes = list(doc.nodes())
+        choice = rnd.randrange(3)
+        non_root = [n for n in nodes if n is not doc.root]
+        if choice == 2 and not non_root:
+            choice = 0
+        if choice == 0:
+            doc.relabel_node(
+                rnd.choice(nodes), label=rnd.choice(LABELS),
+                text=rnd.choice((None, f"t{rnd.randrange(5)}")))
+        elif choice == 1:
+            parent = rnd.choice(nodes)
+            doc.insert_subtree(parent,
+                               node(rnd.choice(LABELS),
+                                    text=f"i{rnd.randrange(5)}"),
+                               rnd.randrange(len(parent.children) + 1))
+        else:
+            doc.delete_subtree(rnd.choice(non_root))
+
+
+def random_graph_edits(graph, rnd, count: int, *,
+                       remove_vertices: bool = True) -> None:
+    """Apply ``count`` random tracked graph edits.
+
+    ``remove_vertices=False`` restricts to the op kinds the incremental
+    CSR patch path supports (it declines ``remove_vertex``).
+    """
+    kinds = 4 if remove_vertices else 3
+    for _ in range(count):
+        vs = list(graph.vertices())
+        edges = list(graph.edge_keys())
+        choice = rnd.randrange(kinds)
+        if choice == 2 and not edges:
+            choice = 0
+        if choice == 3 and len(vs) < 2:
+            choice = 1
+        if choice == 0:
+            graph.add_vertex(rnd.randrange(12), p=rnd.randrange(3))
+        elif choice == 1:
+            graph.add_edge(rnd.choice(vs), rnd.choice("abc"),
+                           rnd.choice(vs))
+        elif choice == 2:
+            graph.remove_edge(*rnd.choice(edges))
+        else:
+            graph.remove_vertex(rnd.choice(vs))
+
+
+# ---------------------------------------------------------------------------
 # Shared assertions
 # ---------------------------------------------------------------------------
 

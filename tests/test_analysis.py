@@ -148,6 +148,26 @@ def test_lock_discipline_columnar_index_negative():
     assert report.ok, report.render_text()
 
 
+def test_lock_discipline_delta_cache_positive():
+    # The delta-patch shape: a guarded digest-keyed record store probed
+    # and published outside the lock, plus a reasonless annotation on
+    # the patch counter.
+    report = run(fixture_dir("lock-discipline") / "bad_delta_cache.py")
+    assert rules_fired(report) == {"lock-discipline"}
+    assert len(report.findings) == 3
+    messages = "\n".join(f.message for f in report.findings)
+    assert "read of self._records" in messages
+    assert "lock-free annotation is missing its reason" in messages
+
+
+def test_lock_discipline_delta_cache_negative():
+    # The discipline the fleet router's delta layer follows: record
+    # store and byte gauge guarded, loop-thread counters lock-free with
+    # written reasons.
+    report = run(fixture_dir("lock-discipline") / "good_delta_cache.py")
+    assert report.ok, report.render_text()
+
+
 # ---------------------------------------------------------------------------
 # async-purity
 # ---------------------------------------------------------------------------

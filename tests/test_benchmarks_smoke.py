@@ -36,6 +36,7 @@ SMOKE_RUNNERS = {
     "bench_engine_cache": "test_engine_rpq_cache_speedup",
     "bench_ext_extensions": "test_ext_union_consistency_trivial_speed",
     "bench_fleet": "test_fleet_failover_round",
+    "bench_mutation_rounds": "test_prefetch_hit_rate",
     "bench_remote_session": "test_local_backend_session_speed",
     "bench_serving_shards": "test_serving_rpq_batch_parity",
 }

@@ -26,7 +26,9 @@ from repro.serving import (
     Workload,
     WorkloadClient,
 )
+from repro.serving.wire import instance_digest
 from repro.twig.parse import parse_twig
+from repro.xmltree.tree import XTree, node
 
 from .conftest import identical_answers, xml
 
@@ -277,6 +279,111 @@ def test_member_drain_frame_on_plain_server_is_rejected(fleet):
         # ...and the ring frame is single-server-shaped too.
         with pytest.raises(ProtocolError, match="no ring to report"):
             direct.ring()
+
+
+# ---------------------------------------------------------------------------
+# Delta shipping through the router (mutation-heavy traffic)
+# ---------------------------------------------------------------------------
+
+
+def _mutation_doc(tag: str) -> XTree:
+    """A document big enough that a one-node edit wins as a delta
+    (delta records only ship when smaller than the full record)."""
+    return XTree(node(
+        "site",
+        *[node("item", node("name", text=f"{tag}-{i}"),
+               node("price", text=str(i))) for i in range(40)],
+        node("e", text=tag)))
+
+
+def test_mutated_instance_rehashing_to_another_member_ships_once(fleet):
+    """The warm-affinity regression the delta path exists for: a mutated
+    corpus whose new digest re-hashes to a *different* member still
+    answers correctly, and the full record crosses the client link at
+    most once — the router serves the re-ship from its own patched
+    record cache (one hop), never by bouncing back to the client."""
+    query = parse_twig("//item[price]/name")
+    ring = HashRing(fleet.members())
+    with fleet.client() as client:
+        registry: set[str] = set()
+        doc = _mutation_doc("warm-affinity")
+        client.run(Workload.twig(query, [doc]), known_digests=registry)
+        full_ships = client.instances_shipped
+        # Mutate until the content digest re-hashes onto a new member.
+        owner = ring.node_for(instance_digest(doc))
+        i = 0
+        while True:
+            doc.relabel_node(doc.root.children[-1], label="e",
+                             text=f"moved-{i}")
+            if ring.node_for(instance_digest(doc)) != owner:
+                break
+            i += 1
+        before = client.stats()["router"]
+        result = client.run(Workload.twig(query, [doc]),
+                            known_digests=registry)
+        after = client.stats()["router"]
+        # Correct answers from the member that never saw the original.
+        local = BatchEvaluator(engine=Engine()).run(
+            Workload.twig(query, [doc]))
+        assert identical_answers(result.answers, local.answers)
+        # The mutation crossed the client link as a delta, not a record;
+        # the member's copy came router-cache-first.
+        assert client.instances_shipped == full_ships
+        assert client.deltas_shipped >= 1
+        assert after["deltas_patched"] == before["deltas_patched"] + 1
+        assert after["reships"] >= before["reships"] + 1
+
+
+def test_same_owner_delta_patches_in_place(fleet):
+    """A mutation whose digest stays on the same member forwards the
+    delta itself: the member patches its stored instance, no full
+    record moves anywhere."""
+    query = parse_twig("//item[price]/name")
+    ring = HashRing(fleet.members())
+    with fleet.client() as client:
+        registry: set[str] = set()
+        doc = _mutation_doc("same-owner")
+        client.run(Workload.twig(query, [doc]), known_digests=registry)
+        full_ships = client.instances_shipped
+        owner = ring.node_for(instance_digest(doc))
+        i = 0
+        while True:
+            doc.relabel_node(doc.root.children[-1], label="e",
+                             text=f"stay-{i}")
+            if ring.node_for(instance_digest(doc)) == owner:
+                break
+            i += 1
+        before = client.stats()["router"]
+        result = client.run(Workload.twig(query, [doc]),
+                            known_digests=registry)
+        after = client.stats()["router"]
+        local = BatchEvaluator(engine=Engine()).run(
+            Workload.twig(query, [doc]))
+        assert identical_answers(result.answers, local.answers)
+        assert client.instances_shipped == full_ships
+        assert client.deltas_shipped >= 1
+        assert after["deltas_patched"] == before["deltas_patched"] + 1
+        assert after["reships"] == before["reships"]
+
+
+def test_push_deltas_through_the_router(fleet):
+    """The standalone delta-push frame fans out to ring owners and
+    reports applied digests; a later workload round sends refs only."""
+    query = parse_twig("//item[price]/name")
+    with fleet.client() as client:
+        registry: set[str] = set()
+        doc = _mutation_doc("push")
+        client.run(Workload.twig(query, [doc]), known_digests=registry)
+        doc.relabel_node(doc.root.children[-1], label="e", text="pushed")
+        report = client.push_deltas([doc], known_digests=registry)
+        assert report["applied"] or report["reshipped"]
+        shipped = client.instances_shipped
+        result = client.run(Workload.twig(query, [doc]),
+                            known_digests=registry)
+        assert client.instances_shipped == shipped
+        local = BatchEvaluator(engine=Engine()).run(
+            Workload.twig(query, [doc]))
+        assert identical_answers(result.answers, local.answers)
 
 
 # ---------------------------------------------------------------------------
