@@ -1,0 +1,170 @@
+"""Resilience economics: what self-healing costs, and what it buys.
+
+Two numbers gate this layer:
+
+* **Happy-path overhead** — the retry wrapper (attempt accounting,
+  deadline plumbing, broken-transport checks) sits on *every* request,
+  so its cost on a fault-free round must be noise: the pinned bound is
+  **< 5 %** on the median round-trip, measured A/B against the same
+  server with interleaved samples so clock drift and cache warmth
+  cancel.
+
+* **Post-kill recovery** — when the chaos proxy kills a connection
+  mid-stream, a retry-enabled client must reconnect, replay refs-only,
+  and finish **within one retry budget**: attempts never exceed the
+  policy's ``max_attempts``, and the healed round's wall time stays
+  under the round itself plus the policy's worst-case backoff.
+
+The report lands in ``benchmarks/results/BENCH_resilience.json`` so CI
+tracks both numbers per commit.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.engine import Engine
+from repro.serving import (
+    AsyncBatchEvaluator,
+    ChaosProxy,
+    KillAfter,
+    RetryPolicy,
+    ServerThread,
+    Workload,
+    WorkloadClient,
+)
+from repro.twig.parse import parse_twig
+from repro.util.tables import format_table
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.tree import XTree
+
+from .conftest import record_report
+
+N_DOCS = 4
+SAMPLES = 120
+OVERHEAD_BOUND = 0.05
+
+
+def _workload() -> Workload:
+    docs = [XTree(parse_xml(f"<a><b><c>t{i}</c></b><b/></a>"))
+            for i in range(N_DOCS)]
+    return Workload.twig(parse_twig("//b[c]"), docs)
+
+
+def _retry_policy() -> RetryPolicy:
+    return RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2.0,
+                       max_delay=0.05, jitter=0.1, seed=11)
+
+
+def _median_round(client: WorkloadClient, workload: Workload,
+                  known: set, samples: int) -> float:
+    times = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        client.run(workload, known_digests=known)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_retry_wrapper_overhead(benchmark):
+    """Happy path A/B: the same rounds with and without a retry policy."""
+    workload = _workload()
+
+    def measure():
+        with ServerThread(AsyncBatchEvaluator(engine=Engine())) as server:
+            with WorkloadClient(*server.address) as bare, \
+                    WorkloadClient(*server.address,
+                                   retry=_retry_policy()) as wrapped:
+                bare_known: set = set()
+                wrapped_known: set = set()
+                # Warm both connections (corpus ship + index build).
+                bare.run(workload, known_digests=bare_known)
+                wrapped.run(workload, known_digests=wrapped_known)
+                # Interleave the A/B samples so drift hits both arms.
+                half = SAMPLES // 2
+                bare_t = _median_round(bare, workload, bare_known, half)
+                wrapped_t = _median_round(wrapped, workload,
+                                          wrapped_known, half)
+                assert wrapped.retries == 0  # genuinely fault-free
+                return bare_t, wrapped_t
+
+    bare_t, wrapped_t = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = wrapped_t / bare_t - 1.0
+    rows = [
+        ["bare client", f"{bare_t * 1e3:.3f}", "-"],
+        ["retry-enabled client", f"{wrapped_t * 1e3:.3f}",
+         f"{overhead * 100:+.2f}%"],
+    ]
+    record_report(
+        "resilience retry wrapper happy-path overhead",
+        format_table(["client", "median round (ms)", "overhead"], rows),
+        metrics={"bare_ms": bare_t * 1e3, "wrapped_ms": wrapped_t * 1e3,
+                 "overhead_fraction": overhead,
+                 "bound_fraction": OVERHEAD_BOUND})
+    assert overhead < OVERHEAD_BOUND, (
+        f"retry wrapper costs {overhead * 100:.2f}% on the happy path "
+        f"(pinned bound {OVERHEAD_BOUND * 100:.0f}%)")
+
+
+def test_post_kill_recovery_within_budget(benchmark):
+    """A connection killed mid-stream heals within one retry budget."""
+    workload = _workload()
+    policy = _retry_policy()
+    worst_backoff = sum(policy.delays())
+
+    def measure():
+        with ServerThread(AsyncBatchEvaluator(engine=Engine())) as server:
+            known: set = set()
+            # Phase 1, fault-free: the healthy floor, and the protocol's
+            # deterministic frames-per-round for scripting the kill.
+            with ChaosProxy(server.address) as proxy:
+                with WorkloadClient(*proxy.address,
+                                    retry=policy) as client:
+                    client.run(workload, known_digests=known)  # warm
+                    frames_warm = proxy.stats()["frames_forwarded"]
+                    healthy = _median_round(client, workload, known, 9)
+                    per_round = (proxy.stats()["frames_forwarded"]
+                                 - frames_warm) // 9
+            # Phase 2: the first connection dies mid-way through its
+            # second round; the retry must reconnect and replay.
+            kill_at = per_round + max(1, per_round // 2)
+            with ChaosProxy(server.address,
+                            plan={0: KillAfter(frames=kill_at)}) as proxy:
+                with WorkloadClient(*proxy.address,
+                                    retry=policy) as client:
+                    client.run(workload, known_digests=known)
+                    start = time.perf_counter()
+                    client.run(workload, known_digests=known)
+                    healed = time.perf_counter() - start
+                    assert proxy.stats()["killed"] == 1, (
+                        "the scripted kill never fired")
+                    return (healthy, healed, client.retries,
+                            client.reconnects, client.replays)
+
+    healthy, healed, retries, reconnects, replays = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    budget = 2 * healthy + worst_backoff + 0.5
+    rows = [
+        ["healthy round (median)", f"{healthy * 1e3:.3f} ms"],
+        ["killed round, healed", f"{healed * 1e3:.3f} ms"],
+        ["retry budget ceiling", f"{budget * 1e3:.3f} ms"],
+        ["retries spent", str(retries)],
+        ["reconnects", str(reconnects)],
+        ["replays", str(replays)],
+    ]
+    record_report(
+        "resilience post-kill recovery",
+        format_table(["metric", "value"], rows),
+        metrics={"healthy_ms": healthy * 1e3, "healed_ms": healed * 1e3,
+                 "budget_ms": budget * 1e3, "retries": retries,
+                 "reconnects": reconnects, "replays": replays})
+    assert reconnects >= 1 and replays >= 1
+    # Within one retry budget: the healed round never needs more than
+    # the policy's attempts, and its wall time stays under the healthy
+    # round plus one full backoff schedule (generous margin for the
+    # second evaluation).
+    assert retries <= policy.max_attempts - 1
+    assert healed < budget, (
+        f"recovery took {healed * 1e3:.1f} ms, budget was "
+        f"{budget * 1e3:.1f} ms")

@@ -50,5 +50,26 @@ class RelationalError(ReproError):
     """Schema mismatches and malformed operations in the relational engine."""
 
 
+class DeadlineExceeded(ReproError):
+    """A per-request time budget ran out before the request completed.
+
+    Raised client-side when a :class:`repro.serving.resilience.Deadline`
+    expires mid-request, and server-side (then surfaced as a coded
+    ``error`` frame) when admission control sheds work whose deadline
+    already passed.  Never retried: the time the retry would need is
+    exactly what ran out.
+    """
+
+
+class ServiceUnavailable(ReproError):
+    """The serving tier is unreachable after bounded recovery attempts.
+
+    The crisp fail-fast error of the client edge: retries exhausted, or
+    a :class:`repro.serving.resilience.CircuitBreaker` is open after
+    consecutive failures.  Callers can catch this one class to implement
+    degraded modes without fishing through socket errors.
+    """
+
+
 class GraphError(ReproError):
     """Malformed graph operations (unknown vertices, bad labels...)."""

@@ -65,6 +65,7 @@ from repro.serving.evaluator import (
 )
 from repro.serving.executors import ShardExecutor
 from repro.serving.net import WorkloadClient
+from repro.serving.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.serving.wire import (
     encode_path_query,
     encode_twig_query,
@@ -634,15 +635,53 @@ class RemoteBackend(EvaluationBackend):
     same question sequence, same node objects.  Fleet failover and
     member drains are invisible here too; at worst a round pays one
     extra ``need_instances`` re-ship for a digest that moved.
+
+    The backend is **self-healing by default**: pool connections carry a
+    :class:`~repro.serving.resilience.RetryPolicy` (bounded backoff,
+    seeded jitter), so a connection killed mid-round reconnects and
+    replays transparently — and every reconnect clears
+    :attr:`~EvaluationBackend.known_digests`, so a server that restarted
+    with an empty store is re-shipped the corpus instead of being sent
+    refs it cannot resolve (pass ``retry=None`` explicitly for the old
+    fail-fast behaviour).  A :class:`~repro.serving.resilience.CircuitBreaker`
+    sits in front of the pool: after ``failure_threshold`` consecutive
+    failed rounds, requests fail fast with
+    :class:`~repro.errors.ServiceUnavailable` instead of each paying the
+    full dial-and-retry cost, and after its cooldown one checkout probes
+    the peer with a ``ping`` before the pool resumes.  ``request_deadline``
+    (seconds) gives every round a per-request
+    :class:`~repro.serving.resilience.Deadline` budget, flowing into
+    socket timeouts and the wire ``deadline_ms`` field so the server can
+    shed work nobody is waiting for.  Broken connections are evicted
+    from the pool at check-in (their counters fold into :meth:`stats`,
+    which also reports ``retries``/``reconnects``/``replays`` and the
+    breaker state).
     """
 
     name = "remote"
 
+    #: Sentinel: "no retry argument given" (``None`` must mean *disable*).
+    _DEFAULT_RETRY = object()
+
     def __init__(self, host: str | None = None, port: int | None = None, *,
                  client: WorkloadClient | None = None,
                  engine: Engine | None = None,
-                 timeout: float | None = 30.0) -> None:
+                 timeout: float | None = 30.0,
+                 retry: "RetryPolicy | None | object" = _DEFAULT_RETRY,
+                 breaker: CircuitBreaker | None = None,
+                 request_deadline: float | None = None) -> None:
         self._timeout = timeout
+        if retry is RemoteBackend._DEFAULT_RETRY:
+            retry = RetryPolicy()
+        self._retry: RetryPolicy | None = retry  # type: ignore[assignment]
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        self._request_deadline = request_deadline
+        # Counters of evicted (broken) pool connections, folded into
+        # stats() so eviction never under-reports traffic.
+        self._retired = {"connections": 0, "requests": 0, "bytes_sent": 0,
+                         "bytes_received": 0, "instances_shipped": 0,
+                         "bytes_saved": 0, "retries": 0, "reconnects": 0,
+                         "replays": 0}
         if client is not None:
             if host is not None or port is not None:
                 raise ValueError("pass host/port or a ready client, not both")
@@ -661,9 +700,9 @@ class RemoteBackend(EvaluationBackend):
             if host is None or port is None:
                 raise ValueError("RemoteBackend needs host and port "
                                  "(or a ready client)")
-            self.client = WorkloadClient(host, port, timeout=timeout)
-            self._own_primary = True
             self._host, self._port = host, port
+            self.client = self._dial()
+            self._own_primary = True
         super().__init__(engine=engine)
         self._accepts_memo = LRUCache(8192)
         self._closed = False
@@ -673,31 +712,96 @@ class RemoteBackend(EvaluationBackend):
         self._idle: list[WorkloadClient] = [self.client]
 
     # -- connection pool ------------------------------------------------
+    def _dial(self, host: str | None = None,
+              port: int | None = None) -> WorkloadClient:
+        return WorkloadClient(
+            host if host is not None else self._host,
+            port if port is not None else self._port,
+            timeout=self._timeout, retry=self._retry,
+            on_reconnect=self._note_reconnect)
+
+    def _note_reconnect(self) -> None:
+        """A pool connection re-dialed: distrust the digest registry.
+
+        The reconnect may mean the server restarted with an empty store;
+        clearing makes the next round ship full records (a *running*
+        server that merely dropped one connection costs one redundant
+        full ship, which the content-addressed store absorbs — the
+        ``need_instances`` negotiation would also have covered it, one
+        round trip slower).
+        """
+        self.known_digests.clear()
+
+    def _deadline(self) -> "Deadline | None":
+        if self._request_deadline is None:
+            return None
+        return Deadline.after(self._request_deadline)
+
     def _checkout(self) -> WorkloadClient:
         if self._closed:
             raise RuntimeError("backend is closed; construct a new one")
-        while self._idle:
-            client = self._idle.pop()
-            if not client.closed and not client._broken:
-                return client
-        client = WorkloadClient(self._host, self._port,
-                                timeout=self._timeout)
-        self._clients.append(client)
+        probe = False
+        if self._breaker is not None:
+            probe = self._breaker.state == "half_open"
+            self._breaker.guard(f"{self._host}:{self._port}")
+        try:
+            client = None
+            while self._idle:
+                candidate = self._idle.pop()
+                if not candidate.closed and not candidate._broken:
+                    client = candidate
+                    break
+                self._evict(candidate)
+            if client is None:
+                client = self._dial()
+                self._clients.append(client)
+            if probe:
+                # Half-open: prove the peer answers before letting the
+                # round (and its retry budget) through.
+                client.ping()
+        except Exception:
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        if probe and self._breaker is not None:
+            self._breaker.record_success()
         return client
 
+    def _evict(self, client: WorkloadClient) -> None:
+        """Drop a dead connection from the pool, keeping its counters."""
+        if client in self._clients:
+            self._clients.remove(client)
+            self._retired["connections"] += 1
+            self._retired["requests"] += client.requests
+            self._retired["bytes_sent"] += client.bytes_sent
+            self._retired["bytes_received"] += client.bytes_received
+            self._retired["instances_shipped"] += client.instances_shipped
+            self._retired["bytes_saved"] += client.bytes_saved
+            self._retired["retries"] += client.retries
+            self._retired["reconnects"] += client.reconnects
+            self._retired["replays"] += client.replays
+        if client is not self.client or self._own_primary:
+            client.close()
+
     def _checkin(self, client: WorkloadClient) -> None:
+        if self._breaker is not None and not self._closed:
+            if client._broken or client.closed:
+                self._breaker.record_failure()
+            else:
+                self._breaker.record_success()
         if client.closed:
+            self._evict(client)
             return
         if client._broken:
-            if client is not self.client or self._own_primary:
-                client.close()
+            self._evict(client)
             return
         self._idle.append(client)
 
     def _run(self, workload: Workload) -> WorkloadResult:
         client = self._checkout()
         try:
-            return client.run(workload, known_digests=self.known_digests)
+            return client.run(workload, known_digests=self.known_digests,
+                              deadline=self._deadline())
         finally:
             self._checkin(client)
 
@@ -705,7 +809,8 @@ class RemoteBackend(EvaluationBackend):
         client = self._checkout()
         try:
             yield from client.stream(workload,
-                                     known_digests=self.known_digests)
+                                     known_digests=self.known_digests,
+                                     deadline=self._deadline())
         finally:
             # Runs on completion, on abandonment (generator close), and
             # on error; an abandoned response drains on next checkout.
@@ -772,15 +877,30 @@ class RemoteBackend(EvaluationBackend):
         return len(workload)
 
     def stats(self) -> dict[str, object]:
+        retired = self._retired
         out = {**super().stats(),
-               "connections": len(self._clients),
-               "round_trips": sum(c.requests for c in self._clients),
-               "bytes_sent": sum(c.bytes_sent for c in self._clients),
-               "bytes_received": sum(c.bytes_received
-                                     for c in self._clients),
-               "instances_shipped": sum(c.instances_shipped
-                                        for c in self._clients),
-               "bytes_saved": sum(c.bytes_saved for c in self._clients),
+               "connections": len(self._clients) + retired["connections"],
+               "round_trips": retired["requests"] + sum(
+                   c.requests for c in self._clients),
+               "bytes_sent": retired["bytes_sent"] + sum(
+                   c.bytes_sent for c in self._clients),
+               "bytes_received": retired["bytes_received"] + sum(
+                   c.bytes_received for c in self._clients),
+               "instances_shipped": retired["instances_shipped"] + sum(
+                   c.instances_shipped for c in self._clients),
+               "bytes_saved": retired["bytes_saved"] + sum(
+                   c.bytes_saved for c in self._clients),
+               "retries": retired["retries"] + sum(
+                   c.retries for c in self._clients),
+               "reconnects": retired["reconnects"] + sum(
+                   c.reconnects for c in self._clients),
+               "replays": retired["replays"] + sum(
+                   c.replays for c in self._clients),
+               "evicted_connections": retired["connections"],
+               "breaker": None if self._breaker is None
+               else self._breaker.stats(),
+               "breaker_state": None if self._breaker is None
+               else self._breaker.state,
                "known_digests": len(self.known_digests)}
         try:
             client = self._checkout()

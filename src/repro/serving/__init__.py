@@ -87,6 +87,15 @@ Typical use::
 
 from repro.serving.async_evaluator import AsyncBatchEvaluator
 from repro.serving.evaluator import BatchEvaluator, ShardTask
+from repro.serving.faults import (
+    ChaosProxy,
+    KillAfter,
+    Refuse,
+    Stall,
+    Truncate,
+    periodic_plan,
+    seeded_plan,
+)
 from repro.serving.fleet import Fleet, FleetRouter, RouterThread
 from repro.serving.executors import (
     ProcessExecutor,
@@ -102,10 +111,19 @@ from repro.serving.net import (
     WorkloadClient,
     WorkloadServer,
 )
+from repro.serving.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServiceUnavailable,
+)
 from repro.serving.ring import HashRing
 from repro.serving.wire import (
     NeedInstances,
     ProtocolError,
+    RemoteError,
+    TransportError,
     WorkloadCodec,
     instance_digest,
 )
@@ -121,24 +139,36 @@ from repro.serving.workload import (
 __all__ = [
     "AsyncBatchEvaluator",
     "BatchEvaluator",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "EndpointThread",
     "Fleet",
     "FleetRouter",
     "HashRing",
     "InstanceStore",
+    "KillAfter",
     "RouterThread",
     "ItemKind",
     "NeedInstances",
     "ProcessExecutor",
     "ProtocolError",
+    "Refuse",
+    "RemoteError",
+    "RetryPolicy",
     "SerialExecutor",
     "ServerThread",
+    "ServiceUnavailable",
     "Shard",
     "ShardAnswer",
     "ShardExecutor",
     "ShardGate",
     "ShardTask",
+    "Stall",
     "ThreadExecutor",
+    "TransportError",
+    "Truncate",
     "Workload",
     "WorkloadClient",
     "WorkloadCodec",
@@ -146,4 +176,6 @@ __all__ = [
     "WorkloadResult",
     "WorkloadServer",
     "instance_digest",
+    "periodic_plan",
+    "seeded_plan",
 ]

@@ -1,0 +1,379 @@
+"""A deterministic, scriptable fault-injection TCP proxy.
+
+:class:`ChaosProxy` sits between any workload client and any server or
+router and executes a **fault plan**: a per-connection script of exactly
+which failure each accepted connection suffers.  Faults are expressed in
+protocol-meaningful units — *frames*, not bytes or wall-clock — so a
+plan like "kill the third connection after one answer frame" reproduces
+bit-identically on every run and every machine.  That determinism is the
+point: every client-edge failure mode the resilience layer claims to
+survive (refused connections, connections killed mid-stream, stalled
+peers, truncated frames) is reproducible in tests and CI, not just
+observed once in production.
+
+The fault vocabulary:
+
+:class:`Refuse`
+    The connection is accepted and immediately closed, before a single
+    byte flows — the observable shape of a peer whose listener is down
+    or backlogged (the dialing client sees an immediate EOF/reset on
+    first use).
+
+:class:`KillAfter`
+    Forward ``frames`` upstream→downstream frames, then drop both sides
+    of the connection — a server process dying mid-response.
+
+:class:`Stall`
+    Before forwarding the next upstream→downstream frame, hold all
+    traffic for ``seconds`` — a wedged peer or a black-holed link.  The
+    client's socket timeout / request deadline decides what happens;
+    the stall itself ends and the connection continues cleanly (or is
+    killed, with ``then_kill=True``).
+
+:class:`Truncate`
+    Forward ``frames`` whole frames, then send only the length prefix
+    plus half the body of the next one and drop the connection — the
+    mid-frame truncation a crashing peer or dirty NAT produces.
+
+A plan maps **connection ordinals** (0-based accept order) to faults;
+unplanned connections relay cleanly.  :func:`periodic_plan` builds the
+"every Nth connection dies" shape chaos sessions use, and
+:func:`seeded_plan` derives a reproducible pseudo-random plan from a
+seed — same seed, same faults, same run.
+
+The proxy is plain blocking sockets on daemon threads (two pump threads
+per live connection) — deliberately *not* part of the asyncio serving
+tier, so a stalled pump can never interfere with the event loop under
+test, and `time.sleep` stalls are exactly what they claim to be.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.serving.timeouts import CONNECT_TIMEOUT
+
+__all__ = [
+    "ChaosProxy",
+    "Fault",
+    "KillAfter",
+    "Refuse",
+    "Stall",
+    "Truncate",
+    "periodic_plan",
+    "seeded_plan",
+]
+
+_LENGTH = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base marker for one connection's scripted failure."""
+
+
+@dataclass(frozen=True)
+class Refuse(Fault):
+    """Accept and immediately drop the connection (no bytes flow)."""
+
+
+@dataclass(frozen=True)
+class KillAfter(Fault):
+    """Relay ``frames`` upstream frames, then kill the connection."""
+
+    frames: int = 1
+
+
+@dataclass(frozen=True)
+class Stall(Fault):
+    """Hold traffic for ``seconds`` before the next upstream frame.
+
+    ``then_kill`` drops the connection after the stall instead of
+    resuming — a peer that wedged and then died.
+    """
+
+    seconds: float = 0.5
+    then_kill: bool = False
+
+
+@dataclass(frozen=True)
+class Truncate(Fault):
+    """Relay ``frames`` whole frames, then cut the next one mid-body."""
+
+    frames: int = 0
+
+
+PlanLike = Mapping[int, Fault] | Callable[[int], Fault | None] | None
+
+
+def periodic_plan(every: int, fault: Fault, *,
+                  start: int | None = None) -> Callable[[int], Fault | None]:
+    """A plan hitting every ``every``-th connection with ``fault``.
+
+    ``start`` is the first affected ordinal (default ``every - 1``, so
+    the initial connection of a session always survives to ship the
+    corpus).
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every!r}")
+    first = every - 1 if start is None else start
+
+    def plan(ordinal: int) -> Fault | None:
+        if ordinal >= first and (ordinal - first) % every == 0:
+            return fault
+        return None
+
+    return plan
+
+
+def seeded_plan(seed: int, faults: "list[Fault]", *, probability: float = 0.3,
+                protect: int = 1) -> Callable[[int], Fault | None]:
+    """A reproducible pseudo-random plan: same seed, same script.
+
+    Each connection ordinal independently draws (from
+    ``random.Random(seed)``-derived state, keyed by ordinal so lookup
+    order does not matter) whether it faults and which fault it gets.
+    The first ``protect`` connections never fault, so a session can
+    always establish itself before the chaos starts.
+    """
+    if not faults:
+        raise ValueError("seeded_plan needs at least one fault to choose")
+    if not 0 <= probability <= 1:
+        raise ValueError(f"probability must be in [0, 1], "
+                         f"got {probability!r}")
+
+    def plan(ordinal: int) -> Fault | None:
+        if ordinal < protect:
+            return None
+        rng = random.Random(seed * 2_147_483_647 + ordinal)
+        if rng.random() >= probability:
+            return None
+        return rng.choice(faults)
+
+    return plan
+
+
+class ChaosProxy:
+    """A TCP proxy that executes a deterministic per-connection fault plan.
+
+    ``upstream`` is the real endpoint's ``(host, port)``; ``plan`` maps
+    accept-order ordinals to :class:`Fault` records (a mapping, or a
+    callable ``ordinal -> Fault | None``).  Point any
+    :class:`~repro.serving.net.WorkloadClient` /
+    :class:`~repro.learning.backend.RemoteBackend` at :attr:`address`
+    and it experiences exactly the scripted failures, nothing else —
+    unplanned connections are byte-faithful relays.
+
+    :meth:`stats` reports what actually happened (connections accepted,
+    refused, killed, stalled, truncated, frames forwarded), so a chaos
+    test can assert the fault *fired*, not merely that the client
+    survived something.
+    """
+
+    def __init__(self, upstream: tuple[str, int], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 plan: PlanLike = None) -> None:
+        self._upstream = upstream
+        self._plan = plan
+        self._lock = threading.Lock()
+        self._counts = {  # guarded-by: _lock
+            "connections": 0, "refused": 0, "killed": 0, "stalled": 0,
+            "truncated": 0, "frames_forwarded": 0, "relayed_clean": 0,
+        }
+        self._closing = False  # guarded-by: _lock
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+            self._listener.bind((host, port))
+            self._listener.listen(64)
+        except OSError:
+            self._listener.close()
+            raise
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"chaos-proxy-{self.port}")
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """What clients should dial instead of the upstream."""
+        return self.host, self.port
+
+    def stats(self) -> dict[str, int]:
+        """What the proxy has done so far (JSON-encodable counters)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[key] += by
+
+    def close(self) -> None:
+        """Stop accepting and release the listener.  Idempotent.
+
+        Live relayed connections are daemon threads over dead-end
+        sockets; they exit as their peers close.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        # A bare close() does not wake a thread blocked in accept();
+        # shutdown() does (and on platforms where it raises for
+        # listeners, the self-connect below wakes it instead).
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=0.2):
+                pass
+        except OSError:
+            pass
+        self._listener.close()
+        self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _fault_for(self, ordinal: int) -> Fault | None:
+        plan = self._plan
+        if plan is None:
+            return None
+        if callable(plan):
+            return plan(ordinal)
+        return plan.get(ordinal)
+
+    def _accept_loop(self) -> None:
+        ordinal = 0
+        while True:
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                closing = self._closing
+            if closing:  # the wake-up connect from close(), not traffic
+                downstream.close()
+                return
+            self._bump("connections")
+            fault = self._fault_for(ordinal)
+            ordinal += 1
+            if isinstance(fault, Refuse):
+                self._bump("refused")
+                downstream.close()
+                continue
+            try:
+                upstream = socket.create_connection(self._upstream,
+                                                    timeout=CONNECT_TIMEOUT)
+            except OSError:
+                # The real endpoint is down: to the client that is
+                # indistinguishable from a refusal.
+                self._bump("refused")
+                downstream.close()
+                continue
+            threading.Thread(target=self._pump_raw,
+                             args=(downstream, upstream),
+                             daemon=True, name="chaos-pump-up").start()
+            threading.Thread(target=self._pump_frames,
+                             args=(upstream, downstream, fault),
+                             daemon=True, name="chaos-pump-down").start()
+
+    def _pump_raw(self, source: socket.socket, sink: socket.socket) -> None:
+        """Byte-faithful client→server relay (requests are never faulted;
+        every scripted failure manifests on the response path, which is
+        where a client can actually observe it)."""
+        try:
+            while True:
+                data = source.recv(65536)
+                if not data:
+                    break
+                sink.sendall(data)
+            try:
+                sink.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+        except OSError:
+            pass
+        finally:
+            # Closing both halves here would tear the response path out
+            # from under the frame pump; it owns the teardown.
+            pass
+
+    def _pump_frames(self, source: socket.socket, sink: socket.socket,
+                     fault: Fault | None) -> None:
+        """Frame-aware server→client relay executing the scripted fault."""
+        forwarded = 0
+        try:
+            while True:
+                if isinstance(fault, KillAfter) \
+                        and forwarded >= fault.frames:
+                    self._bump("killed")
+                    return
+                if isinstance(fault, Stall):
+                    self._bump("stalled")
+                    time.sleep(fault.seconds)
+                    if fault.then_kill:
+                        self._bump("killed")
+                        return
+                    fault = None  # stall once, then relay cleanly
+                prefix = self._recv_exact(source, _LENGTH.size)
+                if not prefix:
+                    if fault is None:
+                        self._bump("relayed_clean")
+                    return
+                (length,) = _LENGTH.unpack(prefix)
+                body = self._recv_exact(source, length)
+                if len(body) != length:
+                    return  # upstream died mid-frame; relay the carnage
+                if isinstance(fault, Truncate) \
+                        and forwarded >= fault.frames:
+                    self._bump("truncated")
+                    sink.sendall(prefix + body[:max(1, length // 2)])
+                    return
+                sink.sendall(prefix + body)
+                forwarded += 1
+                self._bump("frames_forwarded")
+        except OSError:
+            pass
+        finally:
+            for sock in (source, sink):
+                # shutdown() before close(): the raw pump thread may be
+                # blocked in recv() on this same socket, and a bare
+                # close() then never sends the FIN — the killed client
+                # would only notice at its socket timeout instead of
+                # immediately.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    @staticmethod
+    def _recv_exact(sock: socket.socket, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)

@@ -52,6 +52,7 @@ import multiprocessing
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro.serving import timeouts
 from repro.serving.instance_cache import InstanceStore
 from repro.serving.net import EndpointThread, WorkloadClient, WorkloadServer
 from repro.serving.ring import DEFAULT_REPLICAS, HashRing
@@ -115,9 +116,11 @@ class FleetRouter:
     """
 
     #: Bound on the aclose() drain of in-flight connection handlers.
-    CLOSE_DRAIN_TIMEOUT = 5.0
-    #: Bound on dialing one member.
-    CONNECT_TIMEOUT = 10.0
+    #: (Number lives in :mod:`repro.serving.timeouts`; override per
+    #: instance as needed.)
+    CLOSE_DRAIN_TIMEOUT = timeouts.CLOSE_DRAIN_TIMEOUT
+    #: Bound on dialing one member (from :mod:`repro.serving.timeouts`).
+    CONNECT_TIMEOUT = timeouts.CONNECT_TIMEOUT
 
     def __init__(self, members: Mapping[str, tuple[str, int]], *,
                  host: str = "127.0.0.1", port: int = 0,
@@ -1116,7 +1119,7 @@ class Fleet:
             daemon=True, name=f"repro-fleet-{member_id}")
         process.start()
         child_conn.close()
-        if not parent_conn.poll(30):
+        if not parent_conn.poll(timeouts.MEMBER_STARTUP_TIMEOUT):
             process.kill()
             raise RuntimeError(
                 f"fleet member {member_id} did not report a port "
@@ -1186,10 +1189,10 @@ class Fleet:
             if process.is_alive():
                 process.terminate()
         for process in self._processes.values():
-            process.join(timeout=10)
+            process.join(timeout=timeouts.PROCESS_JOIN_TIMEOUT)
             if process.is_alive():
                 process.kill()
-                process.join(timeout=10)
+                process.join(timeout=timeouts.PROCESS_JOIN_TIMEOUT)
 
     def __enter__(self) -> "Fleet":
         return self

@@ -59,12 +59,17 @@ import threading
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 
+from repro.errors import DeadlineExceeded
+from repro.serving import timeouts
 from repro.serving.async_evaluator import AsyncBatchEvaluator
 from repro.serving.executors import ShardExecutor
 from repro.serving.instance_cache import InstanceStore
+from repro.serving.resilience import Deadline, RetryPolicy, RetryState
 from repro.serving.wire import (
     NeedInstances,
     ProtocolError,
+    RemoteError,
+    TransportError,
     WorkloadCodec,
     apply_delta_copy,
     apply_delta_to_instance,
@@ -111,13 +116,24 @@ class ShardGate:
         # single event-loop thread; cross-thread readers (stats) tolerate
         # a stale read of one int — it is observability, not accounting.
         self.in_flight = 0
+        #: Shard admissions refused because the request's deadline had
+        #: already passed (at entry, or after queueing for a slot).
+        # lock-free: mutated only from acquire() on the event-loop thread.
+        self.deadline_sheds = 0
         self._semaphore = asyncio.Semaphore(limit)
         # lock-free: owner bookkeeping is touched only from acquire()/
         # release() on the single event-loop thread.
         self._owner_held: dict[object, int] = {}
         self._owner_turn: dict[object, asyncio.Event] = {}
 
-    async def acquire(self, owner: object = None) -> None:
+    async def acquire(self, owner: object = None,
+                      deadline: "Deadline | None" = None) -> None:
+        if deadline is not None and deadline.expired:
+            # Nobody is waiting for this shard anymore: shed it before
+            # it queues (let alone occupies) an executor slot.
+            self.deadline_sheds += 1
+            raise DeadlineExceeded(
+                "request deadline expired before shard admission")
         if self.per_owner is not None and owner is not None:
             while self._owner_held.get(owner, 0) >= self.per_owner:
                 event = self._owner_turn.get(owner)
@@ -133,6 +149,15 @@ class ShardGate:
             if self.per_owner is not None and owner is not None:
                 self._drop_owner_slot(owner)
             raise
+        if deadline is not None and deadline.expired:
+            # The deadline ran out while this submission was queued for
+            # a slot: give the slot straight back and shed the shard.
+            self._semaphore.release()
+            if self.per_owner is not None and owner is not None:
+                self._drop_owner_slot(owner)
+            self.deadline_sheds += 1
+            raise DeadlineExceeded(
+                "request deadline expired while queued for shard admission")
         self.in_flight += 1
 
     def release(self, owner: object = None) -> None:
@@ -167,17 +192,28 @@ class _ScopedGate:
     :meth:`AsyncBatchEvaluator.stream
     <repro.serving.async_evaluator.AsyncBatchEvaluator.stream>` expects,
     while every slot it takes is accounted to its owner for the
-    per-connection fairness quota.
+    per-connection fairness quota.  :meth:`with_deadline` additionally
+    binds one request's :class:`~repro.serving.resilience.Deadline`, so
+    admission control sheds queued shards nobody is waiting for anymore
+    (``acquire`` raises :class:`~repro.errors.DeadlineExceeded`, which
+    the evaluator stream surfaces and the server answers with a coded
+    ``error`` frame).
     """
 
-    __slots__ = ("_gate", "_owner")
+    __slots__ = ("_gate", "_owner", "_deadline")
 
-    def __init__(self, gate: ShardGate, owner: object) -> None:
+    def __init__(self, gate: ShardGate, owner: object,
+                 deadline: "Deadline | None" = None) -> None:
         self._gate = gate
         self._owner = owner
+        self._deadline = deadline
+
+    def with_deadline(self, deadline: "Deadline | None") -> "_ScopedGate":
+        """This handle with a per-request deadline bound (same owner)."""
+        return _ScopedGate(self._gate, self._owner, deadline)
 
     async def acquire(self) -> None:
-        await self._gate.acquire(self._owner)
+        await self._gate.acquire(self._owner, self._deadline)
 
     def release(self) -> None:
         self._gate.release(self._owner)
@@ -244,6 +280,10 @@ class WorkloadServer:
         self._prefetch_pending: "OrderedDict[str, bool]" = OrderedDict()
         # lock-free: event-loop thread only
         self._prefetch = {"submitted": 0, "hits": 0, "wasted": 0}
+        # Workload requests shed whole because their ``deadline_ms`` had
+        # already expired on arrival (per-shard sheds are counted by the
+        # gate).  lock-free: event-loop thread only.
+        self._deadline_sheds = 0
 
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -285,7 +325,9 @@ class WorkloadServer:
     #: How long :meth:`aclose` waits for cancelled connection handlers
     #: to finish before giving up on them (they are daemons of the loop
     #: being torn down anyway — a bounded drain, never an unbounded one).
-    CLOSE_DRAIN_TIMEOUT = 5.0
+    #: The number lives in :mod:`repro.serving.timeouts`; this attribute
+    #: exists so callers and tests can override it per instance.
+    CLOSE_DRAIN_TIMEOUT = timeouts.CLOSE_DRAIN_TIMEOUT
 
     async def aclose(self, *, drain_timeout: float | None = None) -> None:
         """Stop listening and tear down in-flight connection handlers.
@@ -465,6 +507,10 @@ class WorkloadServer:
                     0 if self._gate is None else self._gate.in_flight,
                 "owners": 0 if self._gate is None else self._gate.owners(),
             },
+            "resilience": {
+                "deadline_sheds": self._deadline_sheds + (
+                    0 if self._gate is None else self._gate.deadline_sheds),
+            },
         }
         return out
 
@@ -592,11 +638,28 @@ class WorkloadServer:
         # the server never materialises answer nodes, never enumerates a
         # pre-order snapshot, and never builds an id -> position map per
         # request.  Nodes exist only on the client side of the socket.
+        deadline = None
+        if isinstance(frame, dict):
+            budget_ms = frame.get("deadline_ms")
+            if isinstance(budget_ms, (int, float)) and budget_ms >= 0:
+                deadline = Deadline.after(budget_ms / 1000.0)
+        if deadline is not None and deadline.expired:
+            # The budget was spent in transit/queueing: shed the whole
+            # request before decoding a single instance.
+            self._deadline_sheds += 1
+            write_frame(writer, {
+                "type": "error", "code": "deadline_exceeded",
+                "message": "deadline expired before evaluation began; "
+                           "request shed"})
+            await writer.drain()
+            return
         codec = WorkloadCodec()
         codec.set_delta_applier(self._delta_applier_for(codec))
         if isinstance(frame, dict):
             self._note_prefetch(frame,
                                 is_prefetch=bool(frame.get("prefetch")))
+        if gate is not None and deadline is not None:
+            gate = gate.with_deadline(deadline)
         stream = None
         held: frozenset[str] = frozenset()
         try:
@@ -621,6 +684,12 @@ class WorkloadServer:
                 n_shards += 1
             write_frame(writer, {"type": "done", "n_shards": n_shards,
                                  "executor": self.evaluator.executor.name})
+        except DeadlineExceeded as exc:
+            # Coded so the client surfaces DeadlineExceeded (and never
+            # retries it — the time a retry needs is what ran out).
+            write_frame(writer, {"type": "error",
+                                 "code": "deadline_exceeded",
+                                 "message": str(exc)})
         except Exception as exc:  # noqa: BLE001 - surfaced to the peer
             write_frame(writer, {"type": "error", "message": str(exc)})
         finally:
@@ -722,8 +791,9 @@ class EndpointThread:
     runs a :class:`~repro.serving.fleet.FleetRouter`.
     """
 
-    #: Default bound on the close() join.
-    JOIN_TIMEOUT = 10.0
+    #: Default bound on the close() join (the number lives in
+    #: :mod:`repro.serving.timeouts`; override per instance as needed).
+    JOIN_TIMEOUT = timeouts.JOIN_TIMEOUT
 
     def __init__(self, endpoint, *, thread_name: str = "repro-serving-net",
                  ) -> None:
@@ -852,11 +922,47 @@ class WorkloadClient:
     requests raise :class:`~repro.serving.wire.ProtocolError`
     immediately instead of hanging on a desynced drain, and
     :meth:`close` stays safe and idempotent throughout.
+
+    Passing ``retry=RetryPolicy(...)`` makes the client *self-healing*
+    instead: a transport failure (connection killed, truncated frame,
+    socket timeout) is answered by a bounded-backoff **reconnect**, and
+    an interrupted ``stream()`` transparently **replays** its workload
+    on the fresh connection — refs-only, with the ``need_instances``
+    negotiation re-shipping the corpus if the server restarted empty —
+    while already-delivered item positions are filtered from the
+    replayed answers, so the caller still sees every position exactly
+    once.  ``on_reconnect`` (if given) fires after each successful
+    re-dial, before any replay — the hook a pooled backend uses to
+    invalidate its digest bookkeeping.  Non-transport failures (server
+    ``error`` frames, protocol desyncs, expired deadlines) are never
+    retried.  The counters: :attr:`retries` (recovery attempts after a
+    backoff), :attr:`reconnects` (successful re-dials), :attr:`replays`
+    (workloads re-sent mid-stream).
+
+    A per-request ``deadline`` (:class:`~repro.serving.resilience.Deadline`)
+    caps every blocking socket operation at ``min(remaining, timeout)``,
+    travels to the server as the workload frame's ``deadline_ms`` (so
+    admission control sheds shards nobody is waiting for), and bounds
+    retry backoff — raising :class:`~repro.errors.DeadlineExceeded`
+    when the budget runs out.
     """
 
     def __init__(self, host: str, port: int, *,
-                 timeout: float | None = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 timeout: float | None = timeouts.REQUEST_TIMEOUT,
+                 retry: "RetryPolicy | None" = None,
+                 on_reconnect=None) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._on_reconnect = on_reconnect
+        #: Recovery attempts made after a backoff (dial or replay).
+        self.retries = 0
+        #: Successful re-dials after a broken connection.
+        self.reconnects = 0
+        #: Workloads re-sent on a fresh connection mid-stream.
+        self.replays = 0
+        self._sock: socket.socket | None = None
         # Unread response frames of an abandoned stream() — drained before
         # the next request so connection reuse can never desync.
         self._pending_response = False
@@ -877,6 +983,35 @@ class WorkloadClient:
         self.instances_shipped = 0
         self.deltas_shipped = 0
         self.bytes_saved = 0
+        if retry is None:
+            self._connect()
+        else:
+            # The first dial is a request like any other: a peer that is
+            # briefly down (restarting member, router re-binding) costs
+            # backoff, not an error.
+            retry.call(self._connect, on_retry=self._count_retry)
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self._host, self._port),
+                                              timeout=self._timeout)
+
+    def _count_retry(self, exc: BaseException) -> None:
+        self.retries += 1
+
+    def _reconnect(self) -> None:
+        """Drop the broken socket, dial fresh, reset alignment state."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._connect()
+        self._pending_response = False
+        self._broken = False
+        self.reconnects += 1
+        if self._on_reconnect is not None:
+            self._on_reconnect()
 
     def close(self) -> None:
         """Close the connection.  Idempotent; safe after any error."""
@@ -928,6 +1063,41 @@ class WorkloadClient:
         self._broken = True
         return ProtocolError(message)
 
+    def _dead_transport(self, message: str) -> TransportError:
+        """Like :meth:`_unrecoverable`, but the *byte stream* died (the
+        peer vanished) rather than the protocol desyncing — retryable
+        with a reconnect when a policy is configured."""
+        self._broken = True
+        return TransportError(message)
+
+    @staticmethod
+    def _server_error(frame: dict) -> Exception:
+        """The exception for a server-reported ``error`` frame.
+
+        Coded frames map to crisp types — ``deadline_exceeded`` to
+        :class:`~repro.errors.DeadlineExceeded` (the server shed work
+        this client stopped waiting for) — and everything else to
+        :class:`~repro.serving.wire.RemoteError`, which is never
+        retried: the peer *processed* the request and rejected it, so a
+        replay would fail identically.
+        """
+        message = f"server error: {frame.get('message', 'unknown')}"
+        error_code = frame.get("code")
+        if error_code == "deadline_exceeded":
+            return DeadlineExceeded(message)
+        return RemoteError(message, code=error_code
+                           if isinstance(error_code, str) else None)
+
+    def _apply_io_timeout(self, deadline: "Deadline | None") -> None:
+        """Cap the next blocking socket op at ``min(remaining, timeout)``.
+
+        Raises :class:`~repro.errors.DeadlineExceeded` instead of
+        issuing a blocking call with no budget left.
+        """
+        if deadline is None or self._sock is None:
+            return
+        self._sock.settimeout(deadline.io_timeout(self._timeout))
+
     # ------------------------------------------------------------------
     def _drain_pending_response(self) -> None:
         """Discard leftover frames of an abandoned earlier ``stream()``.
@@ -943,7 +1113,7 @@ class WorkloadClient:
         while self._pending_response:
             frame = self._recv()
             if frame is None:
-                raise self._unrecoverable("server closed mid-response")
+                raise self._dead_transport("server closed mid-response")
             kind = frame.get("type") if isinstance(frame, dict) else None
             if kind in ("done", "error"):
                 self._pending_response = False
@@ -955,9 +1125,41 @@ class WorkloadClient:
             elif kind != "shard":
                 raise self._unrecoverable(f"unexpected frame {frame!r}")
 
+    # ------------------------------------------------------------------
+    def _retrying(self, fn, state: RetryState,
+                  deadline: "Deadline | None" = None):
+        """Run ``fn`` under an in-progress retry budget, healing first.
+
+        A broken transport is re-dialed *before* each attempt (the dial
+        itself consumes budget on failure); ``state.backoff`` re-raises
+        anything non-retryable or past the attempt budget, so this loop
+        always terminates.
+        """
+        while True:
+            if self._broken and self._sock is not None:
+                try:
+                    self._reconnect()
+                except Exception as exc:  # noqa: BLE001 - reclassified
+                    state.backoff(exc, deadline=deadline)
+                    self.retries += 1
+                    continue
+            try:
+                return fn()
+            except Exception as exc:  # noqa: BLE001 - reclassified
+                state.backoff(exc, deadline=deadline)
+                self.retries += 1
+
+    def _with_retry(self, fn, *, deadline: "Deadline | None" = None):
+        """One public request under this client's policy (if any)."""
+        if self._retry is None:
+            return fn()
+        return self._retrying(fn, self._retry.start(), deadline)
+
     def stream(self, workload: Workload, *,
                known_digests: set[str] | None = None,
-               prefetch: bool = False) -> Iterator[ShardAnswer]:
+               prefetch: bool = False,
+               deadline: "Deadline | None" = None,
+               ) -> Iterator[ShardAnswer]:
         """Send one workload; yield decoded shard answers as frames land.
 
         ``known_digests`` is the caller's registry of instance digests
@@ -988,14 +1190,43 @@ class WorkloadClient:
         interleaving ``stats()``/``put_instances()`` calls between
         ``stream(...)`` and its first ``next()`` cannot reorder requests
         or skew the :attr:`requests`/:attr:`instances_shipped` counters.
+
+        With a retry policy configured, a transport death mid-stream is
+        healed transparently: reconnect, **replay** the workload on the
+        fresh connection (refs-only; ``need_instances`` re-ships the
+        corpus if the server restarted empty), and filter out item
+        positions already delivered — the caller still sees every
+        position exactly once, in shard-completion order.
         """
         self._require_usable()
+        if self._retry is None:
+            codec = self._send_workload(workload, known_digests, prefetch,
+                                        deadline)
+            return self._stream_frames(codec, workload,
+                                       self._request_epoch, deadline)
+        state = self._retry.start()
+        codec = self._retrying(
+            lambda: self._send_workload(workload, known_digests, prefetch,
+                                        deadline),
+            state, deadline)
+        return self._resilient_frames(codec, workload, known_digests,
+                                      prefetch, deadline, state)
+
+    def _send_workload(self, workload: Workload,
+                       known_digests: set[str] | None, prefetch: bool,
+                       deadline: "Deadline | None") -> WorkloadCodec:
+        """Encode and eagerly send one workload frame; returns its codec."""
         self._drain_pending_response()
         codec = WorkloadCodec()
         payload = codec.encode_workload(workload,
                                         known_digests=known_digests)
         if prefetch:
             payload["prefetch"] = True
+        self._apply_io_timeout(deadline)
+        if deadline is not None:
+            # The remaining budget travels with the request, so server-
+            # side admission can shed shards nobody waits for anymore.
+            payload["deadline_ms"] = deadline.ms()
         self._send(payload)
         self.requests += 1
         self._request_epoch += 1
@@ -1009,59 +1240,122 @@ class WorkloadClient:
             # a failed apply comes back as need_instances and re-ships
             # the full record mid-stream, so the entry stays truthful.
             known_digests.update(codec.delta_digests)
-        return self._stream_frames(codec, workload, self._request_epoch)
+        return codec
 
     def _stream_frames(self, codec: WorkloadCodec, workload: Workload,
-                       epoch: int) -> Iterator[ShardAnswer]:
+                       epoch: int, deadline: "Deadline | None" = None,
+                       ) -> Iterator[ShardAnswer]:
         """The response-reading half of :meth:`stream` (lazy by nature)."""
         seen = 0
-        while True:
-            if self._request_epoch != epoch:
-                # A later request was sent on this connection; its drain
-                # consumed the rest of our response.  The connection
-                # itself is fine — only this iterator is dead.
-                raise ProtocolError(
-                    "stream superseded by a later request on this "
-                    "connection")
-            frame = self._recv()
-            if frame is None:
-                raise self._unrecoverable("server closed mid-response")
-            kind = frame.get("type") if isinstance(frame, dict) else None
-            if kind == "shard":
-                seen += 1
-                yield codec.decode_shard_answer(workload, frame)
-            elif kind == "need_instances":
-                # The server evicted digests we sent as refs; re-ship
-                # those full records and keep reading — answers follow.
-                digests = frame.get("digests", ())
+        try:
+            while True:
+                if self._request_epoch != epoch:
+                    # A later request was sent on this connection; its
+                    # drain consumed the rest of our response.  The
+                    # connection itself is fine — only this iterator is
+                    # dead.
+                    raise ProtocolError(
+                        "stream superseded by a later request on this "
+                        "connection")
+                self._apply_io_timeout(deadline)
                 try:
-                    payload = codec.encode_put_instances(digests)
-                except ProtocolError as exc:
-                    # A digest this request never encoded: peer bug.  The
-                    # server is left awaiting a put we cannot produce, so
-                    # the connection cannot realign — fail fast instead
-                    # of letting the next request hang on the drain.
-                    raise self._unrecoverable(
-                        f"server requested unknown digests: {exc}") from exc
-                self._send(payload)
-                self.instances_shipped += len(digests)
-                self.bytes_saved -= sum(
-                    instance_fingerprint(codec.instance_for(d))[1]
-                    for d in digests)
-            elif kind == "done":
-                self._pending_response = False
-                if frame.get("n_shards") != seen:
-                    raise self._unrecoverable(
-                        f"server announced {frame.get('n_shards')} shards "
-                        f"but sent {seen}")
-                self._last_executor = frame.get("executor", "remote")
+                    frame = self._recv()
+                except OSError as exc:
+                    if deadline is not None and deadline.expired:
+                        # The tightened socket timeout fired *because*
+                        # the budget ran out: surface the deadline, not
+                        # the socket plumbing underneath it.
+                        raise DeadlineExceeded(
+                            "request deadline expired while awaiting "
+                            "response frames") from exc
+                    raise
+                if frame is None:
+                    raise self._dead_transport("server closed mid-response")
+                kind = frame.get("type") if isinstance(frame, dict) else None
+                if kind == "shard":
+                    seen += 1
+                    yield codec.decode_shard_answer(workload, frame)
+                elif kind == "need_instances":
+                    # The server evicted digests we sent as refs; re-ship
+                    # those full records and keep reading — answers follow.
+                    digests = frame.get("digests", ())
+                    try:
+                        payload = codec.encode_put_instances(digests)
+                    except ProtocolError as exc:
+                        # A digest this request never encoded: peer bug.
+                        # The server is left awaiting a put we cannot
+                        # produce, so the connection cannot realign —
+                        # fail fast instead of letting the next request
+                        # hang on the drain.
+                        raise self._unrecoverable(
+                            f"server requested unknown digests: "
+                            f"{exc}") from exc
+                    self._send(payload)
+                    self.instances_shipped += len(digests)
+                    self.bytes_saved -= sum(
+                        instance_fingerprint(codec.instance_for(d))[1]
+                        for d in digests)
+                elif kind == "done":
+                    self._pending_response = False
+                    if frame.get("n_shards") != seen:
+                        raise self._unrecoverable(
+                            f"server announced {frame.get('n_shards')} "
+                            f"shards but sent {seen}")
+                    self._last_executor = frame.get("executor", "remote")
+                    return
+                elif kind == "error":
+                    self._pending_response = False
+                    raise self._server_error(frame)
+                else:
+                    raise self._unrecoverable(f"unexpected frame {frame!r}")
+        finally:
+            if deadline is not None and self._sock is not None \
+                    and not self._broken:
+                # Deadlines tighten the socket timeout per-operation;
+                # leave the connection at its static default for the
+                # next (deadline-less) request.
+                self._sock.settimeout(self._timeout)
+
+    def _resilient_frames(self, codec: WorkloadCodec, workload: Workload,
+                          known_digests: set[str] | None, prefetch: bool,
+                          deadline: "Deadline | None", state: RetryState,
+                          ) -> Iterator[ShardAnswer]:
+        """The replaying response reader behind a retry-enabled stream.
+
+        Safe because evaluation is pure and instances are content-
+        addressed: re-sending the workload re-evaluates identically, and
+        ``delivered`` keeps the exactly-once answer contract — replayed
+        shard answers are filtered down to positions the caller has not
+        seen yet (a replayed shard with nothing new is dropped whole).
+        """
+        delivered: set[int] = set()
+        epoch = self._request_epoch
+        while True:
+            try:
+                for shard_answer in self._stream_frames(
+                        codec, workload, epoch, deadline):
+                    fresh_positions: list[int] = []
+                    fresh_answers: list[object] = []
+                    for position, answer in shard_answer:
+                        if position in delivered:
+                            continue
+                        delivered.add(position)
+                        fresh_positions.append(position)
+                        fresh_answers.append(answer)
+                    if fresh_positions:
+                        yield ShardAnswer(shard_answer.shard,
+                                          tuple(fresh_positions),
+                                          tuple(fresh_answers))
                 return
-            elif kind == "error":
-                self._pending_response = False
-                raise ProtocolError(
-                    f"server error: {frame.get('message', 'unknown')}")
-            else:
-                raise self._unrecoverable(f"unexpected frame {frame!r}")
+            except Exception as exc:  # noqa: BLE001 - reclassified
+                state.backoff(exc, deadline=deadline)
+                self.retries += 1
+            codec = self._retrying(
+                lambda: self._send_workload(workload, known_digests,
+                                            prefetch, deadline),
+                state, deadline)
+            epoch = self._request_epoch
+            self.replays += 1
 
     def put_instances(self, instances: Sequence[object], *,
                       known_digests: set[str] | None = None) -> list[str]:
@@ -1070,8 +1364,17 @@ class WorkloadClient:
         One ``put_instances`` request, acknowledged by an ``ok`` frame;
         returns the digests shipped and records them in
         ``known_digests`` so later workloads send refs immediately.
+        Idempotent (the store is content-addressed), so a retry policy
+        replays it wholesale after a transport failure.
         """
         self._require_usable()
+        return self._with_retry(
+            lambda: self._put_instances_once(instances,
+                                             known_digests=known_digests))
+
+    def _put_instances_once(self, instances: Sequence[object], *,
+                            known_digests: set[str] | None = None,
+                            ) -> list[str]:
         self._drain_pending_response()
         codec = WorkloadCodec()
         digests: list[str] = []
@@ -1085,11 +1388,10 @@ class WorkloadClient:
         self.instances_shipped += len(digests)
         frame = self._recv()
         if frame is None:
-            raise self._unrecoverable("server closed mid-response")
+            raise self._dead_transport("server closed mid-response")
         kind = frame.get("type") if isinstance(frame, dict) else None
         if kind == "error":
-            raise ProtocolError(
-                f"server error: {frame.get('message', 'unknown')}")
+            raise self._server_error(frame)
         if kind != "ok":
             raise self._unrecoverable(f"unexpected frame {frame!r}")
         if known_digests is not None:
@@ -1108,8 +1410,19 @@ class WorkloadClient:
         ``put_instances``.  ``known_digests`` ends up containing every
         instance's current digest either way.  Returns ``{"applied":
         [...], "reshipped": [...], "already_known": [...]}``.
+
+        Retry-safe: a replay whose deltas were already applied finds
+        their bases rekeyed away and gets those digests back in
+        ``missing``, so they re-ship as full records — degradation,
+        never failure.
         """
         self._require_usable()
+        return self._with_retry(
+            lambda: self._push_deltas_once(instances,
+                                           known_digests=known_digests))
+
+    def _push_deltas_once(self, instances: Sequence[object], *,
+                          known_digests: set[str]) -> dict:
         self._drain_pending_response()
         codec = WorkloadCodec()
         records: list[dict] = []
@@ -1133,7 +1446,7 @@ class WorkloadClient:
             self.bytes_saved += size - record_digest(delta)[1]
         applied: list[str] = []
         if records:
-            reply = self._request_reply(
+            reply = self._request_reply_once(
                 codec.encode_delta_frame(records), expect="ok")
             self.deltas_shipped += len(records)
             applied = [d for d in reply.get("applied", ())
@@ -1149,11 +1462,10 @@ class WorkloadClient:
             self.instances_shipped += len(full)
             frame = self._recv()
             if frame is None:
-                raise self._unrecoverable("server closed mid-response")
+                raise self._dead_transport("server closed mid-response")
             kind = frame.get("type") if isinstance(frame, dict) else None
             if kind == "error":
-                raise ProtocolError(
-                    f"server error: {frame.get('message', 'unknown')}")
+                raise self._server_error(frame)
             if kind != "ok":
                 raise self._unrecoverable(f"unexpected frame {frame!r}")
         known_digests.update(applied)
@@ -1171,27 +1483,48 @@ class WorkloadClient:
         """
         return self._request_reply({"type": "stats"}, expect="stats")
 
-    def _request_reply(self, payload: dict, *, expect: str) -> dict:
+    def _request_reply(self, payload: dict, *, expect: str,
+                       deadline: "Deadline | None" = None) -> dict:
         """One request frame, one reply frame of kind ``expect``.
 
         Shared by every non-streaming request (``stats`` and the fleet
-        control frames).  A server ``error`` frame raises
-        :class:`~repro.serving.wire.ProtocolError` but leaves the
+        control frames), retried under the client's policy when one is
+        configured.  A server ``error`` frame raises
+        :class:`~repro.serving.wire.RemoteError` but leaves the
         connection aligned; any other unexpected frame breaks it.
         """
         self._require_usable()
+        return self._with_retry(
+            lambda: self._request_reply_once(payload, expect=expect,
+                                             deadline=deadline),
+            deadline=deadline)
+
+    def _request_reply_once(self, payload: dict, *, expect: str,
+                            deadline: "Deadline | None" = None) -> dict:
         self._drain_pending_response()
-        self._send(payload)
-        self.requests += 1
-        frame = self._recv()
+        self._apply_io_timeout(deadline)
+        try:
+            self._send(payload)
+            self.requests += 1
+            try:
+                frame = self._recv()
+            except OSError as exc:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceeded(
+                        "request deadline expired while awaiting "
+                        "reply") from exc
+                raise
+        finally:
+            if deadline is not None and self._sock is not None \
+                    and not self._broken:
+                self._sock.settimeout(self._timeout)
         if frame is None:
-            raise self._unrecoverable("server closed mid-response")
+            raise self._dead_transport("server closed mid-response")
         kind = frame.get("type") if isinstance(frame, dict) else None
         if kind == expect:
             return {k: v for k, v in frame.items() if k != "type"}
         if kind == "error":
-            raise ProtocolError(
-                f"server error: {frame.get('message', 'unknown')}")
+            raise self._server_error(frame)
         raise self._unrecoverable(f"unexpected frame {frame!r}")
 
     # ------------------------------------------------------------------
@@ -1225,13 +1558,15 @@ class WorkloadClient:
 
     def run(self, workload: Workload, *,
             known_digests: set[str] | None = None,
-            prefetch: bool = False) -> WorkloadResult:
+            prefetch: bool = False,
+            deadline: "Deadline | None" = None) -> WorkloadResult:
         """Remote evaluation with the deterministic position-aligned merge."""
         answers: list = [None] * len(workload)
         n_shards = 0
         for shard_answer in self.stream(workload,
                                         known_digests=known_digests,
-                                        prefetch=prefetch):
+                                        prefetch=prefetch,
+                                        deadline=deadline):
             n_shards += 1
             for position, answer in shard_answer:
                 answers[position] = answer

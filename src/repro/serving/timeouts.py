@@ -1,0 +1,59 @@
+"""The serving tier's one timeout configuration surface.
+
+Every timeout a serving component applies is declared here, once, with
+its composition rule — previously these were scattered class attributes
+(``WorkloadServer.CLOSE_DRAIN_TIMEOUT``, ``FleetRouter.CONNECT_TIMEOUT``,
+``EndpointThread.JOIN_TIMEOUT``) plus hardcoded literals (``join(10)``
+in the fleet's process teardown), which made it impossible to reason
+about how a deadline composes with a drain.  The class attributes still
+exist (callers and tests override them per instance), but they are
+*assigned from* these constants, so this module is the single place the
+numbers live.
+
+The composition rules the constants encode:
+
+* ``CONNECT <= REQUEST``: dialing a peer is part of serving a request,
+  so a connect may never outlive the request budget it serves.
+* ``CLOSE_DRAIN < JOIN``: a bounded close first cancels and drains
+  connection handlers (``CLOSE_DRAIN``), then joins the loop thread
+  (``JOIN``) — the join bound must leave room for the drain bound plus
+  loop teardown, or a close would report a wedged thread that was
+  merely draining.
+* ``PROCESS_JOIN`` bounds each stage of fleet-member teardown
+  (terminate → join → kill → join); a full teardown is therefore at
+  most ``2 * PROCESS_JOIN`` per member.
+* Per-request :class:`~repro.serving.resilience.Deadline` budgets cap
+  every socket operation they cover at ``min(remaining, REQUEST)`` —
+  a deadline tightens the static timeouts, never loosens them.
+"""
+
+from __future__ import annotations
+
+#: Bound on dialing one peer (client -> server, router -> member).
+CONNECT_TIMEOUT = 10.0
+
+#: Default per-socket-operation budget of a blocking client request
+#: (each frame read/write, not the whole request).
+REQUEST_TIMEOUT = 30.0
+
+#: Bound on an endpoint's ``aclose()`` drain of cancelled in-flight
+#: connection handlers (server and router alike).
+CLOSE_DRAIN_TIMEOUT = 5.0
+
+#: Bound on joining an endpoint's event-loop thread at ``close()``.
+JOIN_TIMEOUT = 10.0
+
+#: Bound on joining a fleet-member process at each teardown stage.
+PROCESS_JOIN_TIMEOUT = 10.0
+
+#: Bound on a freshly forked fleet member reporting its bound port.
+MEMBER_STARTUP_TIMEOUT = 30.0
+
+
+def validate() -> None:
+    """Assert the documented composition rules (imported by the tests)."""
+    if not CONNECT_TIMEOUT <= REQUEST_TIMEOUT:
+        raise ValueError("CONNECT_TIMEOUT must not exceed REQUEST_TIMEOUT")
+    if not CLOSE_DRAIN_TIMEOUT < JOIN_TIMEOUT:
+        raise ValueError(
+            "CLOSE_DRAIN_TIMEOUT must leave JOIN_TIMEOUT headroom")

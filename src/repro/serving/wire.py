@@ -111,6 +111,31 @@ class ProtocolError(ReproError):
     """Malformed frame or unencodable/undecodable payload."""
 
 
+class TransportError(ProtocolError):
+    """The byte stream died mid-frame (reset, truncation, unexpected EOF).
+
+    The *retryable* half of the protocol-error space: nothing is known
+    about whether the request was processed, but evaluation purity and
+    content-addressed instances make a replay safe, so the resilience
+    layer (:func:`repro.serving.resilience.default_retryable`) treats
+    these as transient.  Plain :class:`ProtocolError` — a peer speaking
+    the protocol wrong — stays permanent.
+    """
+
+
+class RemoteError(ProtocolError):
+    """The peer processed the request and reported failure (``error`` frame).
+
+    Never retried: the request itself was rejected, so a replay would
+    fail identically.  Carries the optional machine-readable ``code``
+    from the frame (``deadline_exceeded``, ``unavailable``, ...).
+    """
+
+    def __init__(self, message: str, *, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class NeedInstances(ProtocolError):
     """A workload references digests the decoder's store does not hold.
 
@@ -193,11 +218,11 @@ async def read_frame(reader: asyncio.StreamReader) -> Any | None:
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ProtocolError("connection closed mid-frame") from exc
+        raise TransportError("connection closed mid-frame") from exc
     try:
         body = await reader.readexactly(_checked_length(prefix))
     except asyncio.IncompleteReadError as exc:
-        raise ProtocolError("connection closed mid-frame") from exc
+        raise TransportError("connection closed mid-frame") from exc
     return _decode_body(body)
 
 
@@ -214,7 +239,7 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
         if not chunk:
             if remaining == n and not chunks:
                 return b""
-            raise ProtocolError("connection closed mid-frame")
+            raise TransportError("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

@@ -1,0 +1,30 @@
+# repro-module: repro.serving.bad_proxy
+"""Fixture: proxy pump / backoff loops that swallow failures broadly."""
+
+import time
+
+
+def pump(source, sink):
+    while True:
+        try:
+            data = source.recv(65536)
+        except Exception:  # swallowed, unbound, unused: finding
+            return
+        if not data:
+            return
+        sink.sendall(data)
+
+
+def backoff_loop(fn, delays):
+    for delay in delays:
+        try:
+            return fn()
+        except:  # noqa: E722  bare except: finding
+            time.sleep(delay)
+
+
+def teardown(sock):
+    try:
+        sock.shutdown(2)
+    except BaseException as exc:  # noqa: BLE001  bound, never used: finding
+        return None

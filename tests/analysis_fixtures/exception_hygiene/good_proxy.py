@@ -1,0 +1,36 @@
+# repro-module: repro.serving.good_proxy
+"""Fixture: proxy pump / backoff loops that classify what they catch."""
+
+import time
+
+
+def pump(source, sink):
+    while True:
+        try:
+            data = source.recv(65536)
+        except OSError:  # narrow: the socket died, the pump is done
+            return
+        if not data:
+            return
+        sink.sendall(data)
+
+
+def backoff_loop(fn, delays, retryable):
+    last = None
+    for delay in delays:
+        try:
+            return fn()
+        except Exception as exc:
+            if not retryable(exc):
+                raise
+            last = exc
+            time.sleep(delay)
+    raise last
+
+
+def teardown_reports(sock, log):
+    try:
+        sock.shutdown(2)
+    except BaseException as exc:
+        log.append(str(exc))
+        raise

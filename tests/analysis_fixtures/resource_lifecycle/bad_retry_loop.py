@@ -1,0 +1,31 @@
+# repro-module: repro.serving.bad_retry_loop
+"""Fixture: retry/reconnect shapes that leak a connection per attempt."""
+
+import socket
+
+
+def redial_per_attempt(host, port, work, attempts):
+    for _ in range(attempts):
+        client = WorkloadClient(host, port)  # noqa: F821
+        try:
+            return client.run(work)
+        except OSError:
+            continue  # the failed dial is never closed: finding
+
+
+def close_after_success_only(host, port, work):
+    client = WorkloadClient(host, port)  # noqa: F821
+    result = client.run(work)  # a raise here leaks the client: finding
+    client.close()
+    return result
+
+
+def probe_and_forget(host, port):
+    return WorkloadClient(host, port).ping()  # noqa: F821  finding
+
+
+class LeakyProxyConnection:
+    """A proxy-side connection pair with no release path."""
+
+    def __init__(self, upstream):
+        self._upstream = socket.create_connection(upstream)  # finding

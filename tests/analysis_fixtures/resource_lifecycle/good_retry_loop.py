@@ -1,0 +1,35 @@
+# repro-module: repro.serving.good_retry_loop
+"""Fixture: the disciplined retry/reconnect counterparts — every dialed
+connection is owned by a finally, a with block, or a close method."""
+
+import socket
+
+
+def redial_per_attempt(host, port, work, attempts):
+    for _ in range(attempts):
+        client = WorkloadClient(host, port)  # noqa: F821
+        try:
+            return client.run(work)
+        except OSError:
+            continue
+        finally:
+            client.close()
+
+
+def scoped_round(host, port, work):
+    with WorkloadClient(host, port) as client:  # noqa: F821
+        return client.run(work)
+
+
+def reconnect_returns_ownership(host, port):
+    return socket.create_connection((host, port))
+
+
+class ProxyConnection:
+    """A proxy-side connection pair with an explicit release path."""
+
+    def __init__(self, upstream):
+        self._upstream = socket.create_connection(upstream)
+
+    def close(self):
+        self._upstream.close()

@@ -254,6 +254,7 @@ def test_exception_hygiene_positive():
 
 def test_exception_hygiene_negative():
     report = run(fixture_dir("exception-hygiene") / "good_handler.py",
+                 fixture_dir("exception-hygiene") / "good_proxy.py",
                  fixture_dir("exception-hygiene") / "good_outside_scope.py")
     assert report.ok, report.render_text()
 
@@ -282,7 +283,8 @@ def test_resource_lifecycle_positive():
 
 
 def test_resource_lifecycle_negative():
-    report = run(fixture_dir("resource-lifecycle") / "good_leaks.py")
+    report = run(fixture_dir("resource-lifecycle") / "good_leaks.py",
+                 fixture_dir("resource-lifecycle") / "good_retry_loop.py")
     assert report.ok, report.render_text()
 
 

@@ -38,6 +38,7 @@ SMOKE_RUNNERS = {
     "bench_fleet": "test_fleet_failover_round",
     "bench_mutation_rounds": "test_prefetch_hit_rate",
     "bench_remote_session": "test_local_backend_session_speed",
+    "bench_resilience": "test_retry_wrapper_overhead",
     "bench_serving_shards": "test_serving_rpq_batch_parity",
 }
 

@@ -1,15 +1,24 @@
 """Failure injection: malformed inputs must raise crisp library errors,
-never crash with bare Python exceptions deep in the stack."""
+never crash with bare Python exceptions deep in the stack.
+
+The serving tier extends the same contract across the wire: injected
+*network* failures (scripted by the chaos proxy) must surface as crisp
+:class:`~repro.errors.ReproError` subclasses too — a dead transport, a
+peer-reported failure, a blown deadline, and an open circuit each get
+their own type, so callers can tell "retry this" from "give up" without
+string-matching."""
 
 import pytest
 
 from repro.errors import (
+    DeadlineExceeded,
     GraphError,
     LearningError,
     ParseError,
     RelationalError,
     ReproError,
     SchemaError,
+    ServiceUnavailable,
 )
 from repro.graphdb.graph import Graph
 from repro.learning.join_learner import learn_join
@@ -24,9 +33,17 @@ from repro.xmltree.parser import parse_xml
 
 
 def test_every_error_is_a_repro_error():
+    from repro.serving.wire import ProtocolError, RemoteError, TransportError
+
     for exc in (GraphError, LearningError, ParseError, RelationalError,
-                SchemaError):
+                SchemaError, DeadlineExceeded, ServiceUnavailable,
+                ProtocolError, RemoteError, TransportError):
         assert issubclass(exc, ReproError)
+    # The wire taxonomy: both failure flavours are ProtocolErrors (so
+    # existing catch sites keep working), but only a dead *transport* is
+    # retryable — a peer-reported error would just fail again.
+    assert issubclass(TransportError, ProtocolError)
+    assert issubclass(RemoteError, ProtocolError)
 
 
 @pytest.mark.parametrize("text", [
@@ -115,3 +132,92 @@ def test_parse_error_exposes_position():
         parse_twig("/a[")
     except ParseError as e:
         assert e.position is not None
+
+
+# ---------------------------------------------------------------------------
+# Serving tier: injected network failures surface as crisp errors too.
+# (Transparent-recovery counterparts live in tests/test_serving_resilience.py;
+# here every scenario runs WITHOUT a retry policy, so the raw failure
+# classification itself is on display.)
+# ---------------------------------------------------------------------------
+
+
+def _serving_scenario(plan):
+    from repro.engine import Engine
+    from repro.serving import (
+        AsyncBatchEvaluator,
+        ChaosProxy,
+        ServerThread,
+        Workload,
+        WorkloadClient,
+    )
+
+    docs = [parse_xml("<a><b><c>t</c></b></a>")]
+    from repro.xmltree.tree import XTree
+
+    workload = Workload.twig(parse_twig("//b[c]"), [XTree(d) for d in docs])
+    server = ServerThread(AsyncBatchEvaluator(engine=Engine()))
+    proxy = ChaosProxy(server.address, plan=plan)
+    client = WorkloadClient(*proxy.address, timeout=0.5)
+    return server, proxy, client, workload
+
+
+def _run_scenario(plan, run):
+    server, proxy, client, workload = _serving_scenario(plan)
+    try:
+        run(client, workload)
+    finally:
+        client.close()
+        proxy.close()
+        server.close()
+
+
+def test_killed_connection_raises_transport_error():
+    from repro.serving import KillAfter, TransportError
+
+    def run(client, workload):
+        with pytest.raises(TransportError, match="mid-"):
+            client.run(workload)
+
+    _run_scenario({0: KillAfter(frames=1)}, run)
+
+
+def test_truncated_frame_raises_transport_error():
+    from repro.serving import TransportError, Truncate
+
+    def run(client, workload):
+        with pytest.raises(TransportError, match="mid-frame"):
+            client.run(workload)
+
+    _run_scenario({0: Truncate(frames=0)}, run)
+
+
+def test_stalled_peer_with_deadline_raises_deadline_exceeded():
+    from repro.serving import Deadline, Stall
+
+    def run(client, workload):
+        with pytest.raises(DeadlineExceeded):
+            client.run(workload, deadline=Deadline.after(0.1))
+
+    _run_scenario({0: Stall(seconds=0.6, then_kill=True)}, run)
+
+
+def test_refused_connection_raises_crisply():
+    from repro.serving import Refuse
+
+    def run(client, workload):
+        # The refused dial surfaces on first use as a ReproError
+        # subclass or a plain OSError — never a desync deep in decode.
+        with pytest.raises((ReproError, OSError)):
+            client.run(workload)
+
+    _run_scenario({0: Refuse()}, run)
+
+
+def test_open_circuit_raises_service_unavailable():
+    from repro.serving.resilience import CircuitBreaker
+
+    breaker = CircuitBreaker(failure_threshold=1, reset_after=60.0)
+    breaker.record_failure()
+    with pytest.raises(ServiceUnavailable):
+        breaker.guard("somewhere:1234")
